@@ -1,0 +1,334 @@
+package ipg
+
+// This file contains one benchmark per reproduced table/figure of the
+// paper (E1-E16 of DESIGN.md), plus micro-benchmarks of the core
+// substrate.  Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment benchmarks execute the full reproduction (including
+// all paper-vs-measured checks) and fail the benchmark if any check fails,
+// so `-bench` doubles as an end-to-end verification pass at measured cost.
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipg/internal/ascend"
+	"ipg/internal/emul"
+	"ipg/internal/experiments"
+	"ipg/internal/netsim"
+	"ipg/internal/nucleus"
+	"ipg/internal/schedule"
+	"ipg/internal/superipg"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed() {
+			b.Fatalf("experiment %s failed:\n%s", id, res)
+		}
+	}
+}
+
+// E1: Figure 1a.
+func BenchmarkFig1aSchedule(b *testing.B) { benchExperiment(b, "fig1a") }
+
+// E2: Figure 1b.
+func BenchmarkFig1bSchedule(b *testing.B) { benchExperiment(b, "fig1b") }
+
+// E3: Section 3.1 dimension-11 table.
+func BenchmarkDim11Emulation(b *testing.B) { benchExperiment(b, "dim11") }
+
+// E4: Theorem 3.1 / Corollaries 3.2-3.3.
+func BenchmarkSDCEmulation(b *testing.B) { benchExperiment(b, "sdc") }
+
+// E5: Corollary 3.6.
+func BenchmarkAscendSteps(b *testing.B) { benchExperiment(b, "ascend") }
+
+// E6: Corollary 3.7.
+func BenchmarkAscendGHC(b *testing.B) { benchExperiment(b, "ascend-ghc") }
+
+// E7: Corollaries 3.10/3.11.
+func BenchmarkMNBTE(b *testing.B) { benchExperiment(b, "mnb-te") }
+
+// E8: Theorem 4.1 / Corollary 4.2.
+func BenchmarkInterclusterDiameter(b *testing.B) { benchExperiment(b, "ic-diameter") }
+
+// E9: Corollary 4.4.
+func BenchmarkSymmetricDiameter(b *testing.B) { benchExperiment(b, "symmetric") }
+
+// E10: Theorem 4.7 / Corollary 4.8.
+func BenchmarkBisectionHSN(b *testing.B) { benchExperiment(b, "bisection-hsn") }
+
+// E11: Corollaries 4.9/4.10.
+func BenchmarkBisectionBaselines(b *testing.B) { benchExperiment(b, "bisection-base") }
+
+// E12: Section 4.2 worked example.
+func BenchmarkWorkedExample(b *testing.B) { benchExperiment(b, "worked-example") }
+
+// E13: Section 4.1 off-chip transmissions.
+func BenchmarkOffchipTransmissions(b *testing.B) { benchExperiment(b, "offchip") }
+
+// E14: Sections 3.3/4.1 TE intercluster census.
+func BenchmarkTEIntercluster(b *testing.B) { benchExperiment(b, "te-intercluster") }
+
+// E15: headline throughput comparison.
+func BenchmarkThroughput(b *testing.B) { benchExperiment(b, "throughput") }
+
+// E16: Corollary 4.11.
+func BenchmarkBisectionOptimality(b *testing.B) { benchExperiment(b, "optimality") }
+
+// E17: Section 3.1 wormhole/VCT discussion.
+func BenchmarkWormholeSlowdown(b *testing.B) { benchExperiment(b, "wormhole") }
+
+// E18: matrix transposition (Section 1 task list).
+func BenchmarkTranspose(b *testing.B) { benchExperiment(b, "transpose") }
+
+// E19: ID-cost / II-cost (Section 4.2).
+func BenchmarkIICost(b *testing.B) { benchExperiment(b, "ii-cost") }
+
+// E20: Corollary 3.4 embeddings.
+func BenchmarkEmbeddings(b *testing.B) { benchExperiment(b, "embeddings") }
+
+// E21: three-tier packaging extension.
+func BenchmarkMultiLevel(b *testing.B) { benchExperiment(b, "multilevel") }
+
+// E22: HSN design-space sweep.
+func BenchmarkDesignSweep(b *testing.B) { benchExperiment(b, "design-sweep") }
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkBuildHSN3Q4 materializes the paper's flagship 4096-node
+// instance.
+func BenchmarkBuildHSN3Q4(b *testing.B) {
+	w := superipg.HSN(3, nucleus.Hypercube(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := w.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.N() != 4096 {
+			b.Fatal("wrong size")
+		}
+	}
+}
+
+// BenchmarkFFT4096 runs a full 4096-point FFT on HSN(3,Q4).
+func BenchmarkFFT4096(b *testing.B) {
+	w := superipg.HSN(3, nucleus.Hypercube(4))
+	g, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := ascend.NewRunner[complex128](w, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, g.N())
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ascend.FFT(r, x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBitonicSort1024 sorts 1024 keys on HSN(2,Q5).
+func BenchmarkBitonicSort1024(b *testing.B) {
+	w := superipg.HSN(2, nucleus.Hypercube(5))
+	g, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := ascend.NewRunner[float64](w, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]float64, g.N())
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ascend.BitonicSort(r, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomRouting4096 simulates random routing on HSN(3,Q4) under
+// unit chip capacity.
+func BenchmarkRandomRouting4096(b *testing.B) {
+	w := superipg.HSN(3, nucleus.Hypercube(4))
+	g, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := netsim.BuildSuperIPG(w, g, 4.0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.RunRandomUniform(net, 1, 0.05, 20, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleBuild builds and verifies a large all-port schedule.
+func BenchmarkScheduleBuild(b *testing.B) {
+	w := superipg.CompleteCN(12, nucleus.Hypercube(8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := schedule.Build(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSDCDimensionWords measures the emulation word generator.
+func BenchmarkSDCDimensionWords(b *testing.B) {
+	w := superipg.HSN(8, nucleus.Hypercube(8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 1; j <= w.L*w.NumNucGens(); j++ {
+			if _, err := emul.DimensionWord(w, j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationHSNRouterVsTable compares the O(1)-state hierarchical
+// HSN router against the all-pairs table router on the same network: the
+// table costs O(N^2) memory and a large precomputation; the hierarchical
+// router needs only the nucleus table.
+func BenchmarkAblationHSNRouterVsTable(b *testing.B) {
+	w := superipg.HSN(3, nucleus.Hypercube(3))
+	g, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := netsim.BuildSuperIPG(w, g, 1e9, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("hierarchical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := netsim.NewHSNRouter(w, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			routeAll(b, r, g.N())
+		}
+	})
+	b.Run("table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, err := netsim.NewTableRouter(net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			routeAll(b, tr, g.N())
+		}
+	})
+}
+
+func routeAll(b *testing.B, r netsim.Router, n int) {
+	b.Helper()
+	for src := 0; src < n; src += 37 {
+		for dst := 0; dst < n; dst += 41 {
+			if src != dst {
+				if p := r.NextPort(src, dst); p < 0 {
+					b.Fatal("router returned no port")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationScheduleVsSequential compares the Theorem 3.8 all-port
+// schedule (max(2n, l+1) steps) against naive sequential single-dimension
+// emulation (3 steps per dimension = 3*l*n total): the schedule's step
+// count is the quantity of interest, benchmarked here alongside build
+// cost.
+func BenchmarkAblationScheduleVsSequential(b *testing.B) {
+	w := superipg.HSN(8, nucleus.Hypercube(6))
+	s, err := schedule.Build(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := 3 * w.L * w.NumNucGens()
+	if s.T >= seq {
+		b.Fatalf("schedule %d steps should beat sequential %d", s.T, seq)
+	}
+	b.ReportMetric(float64(seq)/float64(s.T), "speedup")
+	for i := 0; i < b.N; i++ {
+		s, err := schedule.Build(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationParallelBFS compares source-parallel and serial
+// all-pairs BFS on the HSN(3,Q3) graph.
+func BenchmarkAblationParallelBFS(b *testing.B) {
+	g := superipg.HSN(3, nucleus.Hypercube(3)).MustBuild().Undirected()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g.Diameter() < 0 {
+				b.Fatal("disconnected")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g.DiameterParallel() < 0 {
+				b.Fatal("disconnected")
+			}
+		}
+	})
+}
+
+// BenchmarkTotalExchange512 runs a full total exchange on HSN(3,Q3).
+func BenchmarkTotalExchange512(b *testing.B) {
+	w := superipg.HSN(3, nucleus.Hypercube(3))
+	g, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := netsim.BuildSuperIPG(w, g, 1e9, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.RunTotalExchange(net, 1, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command ipgsim drives the packet-level network simulator on the paper's
+// network families and workloads.
+//
+// Usage examples:
+//
+//	ipgsim -net hsn -l 3 -nucleus q4 -workload random -rate 0.5
+//	ipgsim -net hypercube -dim 12 -logm 4 -workload sweep
+//	ipgsim -net hsn -l 3 -nucleus q3 -workload te
+//	ipgsim -net torus -k 16 -side 4 -workload transpose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ipg/internal/netsim"
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+)
+
+func main() {
+	var (
+		netName  = flag.String("net", "hsn", "network: hsn|hypercube|torus")
+		l        = flag.Int("l", 3, "super-symbols (hsn)")
+		nucName  = flag.String("nucleus", "q2", "nucleus: qK (hsn)")
+		dim      = flag.Int("dim", 8, "dimension (hypercube)")
+		logm     = flag.Int("logm", 2, "log2 nodes/chip (hypercube)")
+		k        = flag.Int("k", 8, "radix (torus)")
+		side     = flag.Int("side", 2, "chip side (torus)")
+		chipCap  = flag.Float64("chipcap", 8.0, "off-chip budget per chip, packets/round")
+		workload = flag.String("workload", "random", "workload: random|sweep|te|transpose")
+		rate     = flag.Float64("rate", 0.2, "injection rate, packets/node/round (random)")
+		warm     = flag.Int("warmup", 150, "warmup rounds")
+		measure  = flag.Int("measure", 300, "measured rounds")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+	)
+	flag.Parse()
+
+	net, logN, addrToNode, nodeToAddr := buildNet(*netName, *l, *nucName, *dim, *logm, *k, *side, *chipCap)
+	fmt.Printf("network: %s (%d nodes)\n", net.Name, net.N)
+
+	switch *workload {
+	case "random":
+		res, err := netsim.RunRandomUniform(net, *seed, *rate, *warm, *measure)
+		fail(err)
+		fmt.Printf("offered %.3f, accepted %.3f packets/node/round; latency %.2f rounds\n",
+			res.Rate, res.Accepted, res.Latency)
+		fmt.Printf("off-chip transmissions/packet: %.3f; saturated: %v\n",
+			res.Stats.OffChipPerPacket(), res.Saturated)
+	case "sweep":
+		best, trace, err := netsim.SaturationThroughput(net, *seed, *rate, 100**rate, *warm, *measure)
+		fail(err)
+		fmt.Printf("%-8s %-10s %-10s %s\n", "rate", "accepted", "latency", "saturated")
+		for _, r := range trace {
+			fmt.Printf("%-8.3f %-10.3f %-10.2f %v\n", r.Rate, r.Accepted, r.Latency, r.Saturated)
+		}
+		fmt.Printf("saturation throughput: %.3f packets/node/round\n", best)
+	case "te":
+		res, err := netsim.RunTotalExchange(net, *seed, 1<<22)
+		fail(err)
+		fmt.Printf("total exchange: %d packets in %d rounds\n", res.Stats.Delivered, res.Rounds)
+		fmt.Printf("off-chip transmissions: %d (%.3f per packet)\n",
+			res.Stats.OffChipHops, res.Stats.OffChipPerPacket())
+	case "transpose":
+		if logN%2 != 0 {
+			fail(fmt.Errorf("transpose needs an even number of address bits, network has %d", logN))
+		}
+		if 1<<logN != net.N {
+			fail(fmt.Errorf("transpose needs a power-of-two node count, network has %d", net.N))
+		}
+		perm, err := netsim.Transpose(logN)
+		fail(err)
+		if addrToNode != nil {
+			// Map the address-space permutation onto simulator node ids.
+			mapped := make([]int32, net.N)
+			for v := 0; v < net.N; v++ {
+				mapped[v] = addrToNode[perm[nodeToAddr[v]]]
+			}
+			perm = mapped
+		}
+		res, err := netsim.RunPermutation(net, *seed, perm, 1<<22)
+		fail(err)
+		fmt.Printf("transpose: %d packets in %d rounds; %d off-chip transmissions\n",
+			res.Stats.Delivered, res.Rounds, res.Stats.OffChipHops)
+	default:
+		fail(fmt.Errorf("unknown workload %q", *workload))
+	}
+}
+
+// buildNet returns the simulated network, its address-bit count, and (for
+// networks whose node ids are not addresses) the address<->node maps.
+func buildNet(name string, l int, nucName string, dim, logm, k, side int, chipCap float64) (*netsim.Network, int, []int32, []int32) {
+	switch name {
+	case "hypercube":
+		net, err := netsim.BuildHypercube(dim, logm, chipCap)
+		fail(err)
+		return net, dim, nil, nil
+	case "torus":
+		net, err := netsim.BuildTorus2D(k, side, chipCap)
+		fail(err)
+		logN := 0
+		for 1<<logN < k*k {
+			logN++
+		}
+		return net, logN, nil, nil
+	case "hsn":
+		kk, err := strconv.Atoi(strings.TrimPrefix(nucName, "q"))
+		fail(err)
+		w := superipg.HSN(l, nucleus.Hypercube(kk))
+		g, err := w.Build()
+		fail(err)
+		net, err := netsim.BuildSuperIPG(w, g, chipCap, nil)
+		fail(err)
+		addrToNode := make([]int32, g.N())
+		nodeToAddr := make([]int32, g.N())
+		for v := 0; v < g.N(); v++ {
+			a, err := w.AddressOf(g.Label(v))
+			fail(err)
+			addrToNode[a] = int32(v)
+			nodeToAddr[v] = int32(a)
+		}
+		return net, l * kk, addrToNode, nodeToAddr
+	}
+	fail(fmt.Errorf("unknown network %q", name))
+	return nil, 0, nil, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipgsim: %v\n", err)
+		os.Exit(1)
+	}
+}

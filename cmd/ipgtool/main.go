@@ -1,0 +1,227 @@
+// Command ipgtool builds interconnection networks from the paper's
+// families and prints their structural and MCMP metrics.
+//
+// Usage examples:
+//
+//	ipgtool -net hsn -l 3 -nucleus q4          # HSN(3,Q4)
+//	ipgtool -net complete-cn -l 4 -nucleus q2  # complete-CN(4,Q2)
+//	ipgtool -net hcn -l 2 -nucleus q5          # HCN(5,5)
+//	ipgtool -net hypercube -dim 10 -logm 2     # 10-cube, 4-node chips
+//	ipgtool -net torus -k 16 -side 4           # 16-ary 2-cube, 16-node chips
+//	ipgtool -net hsn -l 4 -nucleus ghc:4,4     # HSN over GHC(4,4)
+//	ipgtool -net hsn -l 4 -nucleus q3 -schedule  # print the Thm 3.8 schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ipg/internal/analysis"
+	"ipg/internal/mcmp"
+	"ipg/internal/nucleus"
+	"ipg/internal/schedule"
+	"ipg/internal/superipg"
+	"ipg/internal/topology"
+)
+
+func main() {
+	var (
+		netName  = flag.String("net", "hsn", "family: hsn|ring-cn|complete-cn|sfn|hcn|rcc|hypercube|torus|ccc|butterfly")
+		l        = flag.Int("l", 3, "number of super-symbols (super-IPG families)")
+		nucName  = flag.String("nucleus", "q2", "nucleus: qK | fqK | kM | cM | sN | ghc:m1,m2,...")
+		dim      = flag.Int("dim", 8, "dimension (hypercube/ccc/butterfly)")
+		logm     = flag.Int("logm", 2, "log2 nodes per chip (hypercube)")
+		k        = flag.Int("k", 8, "radix (torus)")
+		side     = flag.Int("side", 2, "chip side (torus)")
+		band     = flag.Int("band", 2, "level band width (butterfly)")
+		sched    = flag.Bool("schedule", false, "print the all-port emulation schedule (Theorem 3.8)")
+		diameter = flag.Bool("diameter", false, "compute the exact graph diameter (O(N^2), slow for large N)")
+		dotFile  = flag.String("dot", "", "write the network (chips as clusters, off-chip links red) as Graphviz DOT to this file")
+	)
+	flag.Parse()
+
+	switch *netName {
+	case "hsn", "ring-cn", "complete-cn", "sfn", "hcn", "rcc":
+		runSuperIPG(*netName, *l, *nucName, *sched, *diameter, *dotFile)
+	case "hypercube":
+		h := topology.NewHypercube(*dim)
+		c, err := mcmp.ClusterHypercube(h, *logm)
+		fail(err)
+		a, err := mcmp.Analyze(c, mcmp.HypercubeBisection(c), float64(c.M))
+		fail(err)
+		printAnalysis(a, h.G.Diameter())
+	case "torus":
+		tr := topology.NewTorus(*k, 2)
+		c, err := mcmp.ClusterTorus2D(tr, *side)
+		fail(err)
+		a, err := mcmp.Analyze(c, mcmp.Torus2DBisection(tr, c, *side), float64(c.M))
+		fail(err)
+		printAnalysis(a, tr.G.Diameter())
+	case "ccc":
+		cc := topology.NewCCC(*dim)
+		c, err := mcmp.ClusterCCC(cc)
+		fail(err)
+		a, err := mcmp.Analyze(c, mcmp.CCCBisection(cc, c), float64(c.M))
+		fail(err)
+		printAnalysis(a, cc.G.Diameter())
+	case "butterfly":
+		bf := topology.NewButterfly(*dim)
+		c, err := mcmp.ClusterButterfly(bf, *band)
+		fail(err)
+		sideB, err := mcmp.ButterflyBisection(bf, c, *band)
+		fail(err)
+		a, err := mcmp.Analyze(c, sideB, float64(c.M))
+		fail(err)
+		printAnalysis(a, bf.G.Diameter())
+	default:
+		fmt.Fprintf(os.Stderr, "ipgtool: unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+}
+
+func runSuperIPG(family string, l int, nucName string, sched, diameter bool, dotFile string) {
+	nuc, err := parseNucleus(nucName)
+	fail(err)
+	var w *superipg.Network
+	switch family {
+	case "hsn":
+		w = superipg.HSN(l, nuc)
+	case "ring-cn":
+		w = superipg.RingCN(l, nuc)
+	case "complete-cn":
+		w = superipg.CompleteCN(l, nuc)
+	case "sfn":
+		w = superipg.SFN(l, nuc)
+	case "hcn":
+		w = superipg.HSN(2, nuc)
+		w.Family = "HCN"
+	case "rcc":
+		w = superipg.RCC(l, nuc)
+	}
+	fmt.Printf("network:   %s\n", w.Name())
+	fmt.Printf("nodes:     %d (M=%d, l=%d)\n", w.N(), w.M(), w.L)
+	fmt.Printf("seed:      %s\n", w.Seed().GroupedString(w.SymbolLen()))
+	fmt.Printf("gens:      %d nucleus + %d super\n", w.NumNucGens(), w.NumSupers())
+	if t, err := w.InterclusterT(); err == nil {
+		fmt.Printf("intercluster diameter t (Thm 4.1): %d  (closed form l-1 = %d)\n", t, w.L-1)
+	}
+	if ts, err := w.SymmetricTS(); err == nil {
+		fmt.Printf("symmetric t_S (Thm 4.3):           %d\n", ts)
+	}
+	if w.N() <= 1<<16 {
+		g, err := w.Build()
+		fail(err)
+		u := g.Undirected()
+		min, max, avg := u.DegreeStats()
+		fmt.Printf("materialized: %d nodes, %d links, degree min/avg/max = %d/%.2f/%d\n",
+			g.N(), u.M(), min, avg, max)
+		fmt.Printf("intercluster links: %d, intercluster degree: %.4g\n",
+			w.InterclusterLinks(g), w.InterclusterDegree(g))
+		fmt.Printf("measured intercluster diameter: %d, avg intercluster distance: %.4g\n",
+			w.InterclusterDiameter(g), w.AvgInterclusterDistance(g))
+		if diameter {
+			fmt.Printf("graph diameter: %d\n", u.DiameterParallel())
+		}
+		if dotFile != "" {
+			f, err := os.Create(dotFile)
+			fail(err)
+			clusterOf, _ := w.Clusters(g)
+			err = u.WriteDOT(f, w.Name(), clusterOf, func(v int) string {
+				return g.Label(v).GroupedString(w.SymbolLen())
+			})
+			fail(err)
+			fail(f.Close())
+			fmt.Printf("wrote DOT to %s\n", dotFile)
+		}
+	} else {
+		fmt.Printf("(too large to materialize; label-level metrics only)\n")
+	}
+	if sched {
+		s, err := schedule.Build(w)
+		fail(err)
+		fail(s.Verify())
+		_, avgU := s.Utilization()
+		fmt.Printf("\nall-port emulation schedule (Theorem 3.8), %d steps, %.1f%% link utilization:\n%s",
+			s.T, 100*avgU, s.Render())
+	}
+}
+
+func parseNucleus(s string) (*nucleus.Nucleus, error) {
+	if rest, ok := strings.CutPrefix(s, "ghc:"); ok {
+		var radices []int
+		for _, part := range strings.Split(rest, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad radix %q", part)
+			}
+			radices = append(radices, m)
+		}
+		return nucleus.GeneralizedHypercube(radices...), nil
+	}
+	if len(s) < 2 {
+		return nil, fmt.Errorf("bad nucleus %q", s)
+	}
+	num := func(tail string) (int, error) { return strconv.Atoi(tail) }
+	switch {
+	case strings.HasPrefix(s, "fq"):
+		n, err := num(s[2:])
+		if err != nil {
+			return nil, err
+		}
+		return nucleus.FoldedHypercube(n), nil
+	case s[0] == 'q':
+		n, err := num(s[1:])
+		if err != nil {
+			return nil, err
+		}
+		return nucleus.Hypercube(n), nil
+	case s[0] == 'k':
+		n, err := num(s[1:])
+		if err != nil {
+			return nil, err
+		}
+		return nucleus.Complete(n), nil
+	case s[0] == 'c':
+		n, err := num(s[1:])
+		if err != nil {
+			return nil, err
+		}
+		return nucleus.Ring(n), nil
+	case s[0] == 's':
+		n, err := num(s[1:])
+		if err != nil {
+			return nil, err
+		}
+		return nucleus.Star(n), nil
+	}
+	return nil, fmt.Errorf("unknown nucleus %q", s)
+}
+
+func printAnalysis(a mcmp.Analysis, diameter int) {
+	tb := analysis.NewTable("MCMP profile (unit chip capacity, w=1)",
+		"metric", "value")
+	tb.AddRow("network", a.Name)
+	tb.AddRow("nodes", a.N)
+	tb.AddRow("chips", a.Chips)
+	tb.AddRow("nodes/chip", a.M)
+	tb.AddRow("diameter", diameter)
+	tb.AddRow("off-chip links", a.OffChipLinks)
+	tb.AddRow("links/chip", a.LinksPerChip)
+	tb.AddRow("intercluster degree", a.InterclusterDeg)
+	tb.AddRow("intercluster diameter", a.InterclusterDiam)
+	tb.AddRow("avg intercluster distance", a.AvgInterclusterDst)
+	tb.AddRow("per-link bandwidth", a.PerLinkBW)
+	tb.AddRow("bisection width", a.BisectionWidth)
+	tb.AddRow("bisection bandwidth", a.BisectionBandwidth)
+	fmt.Print(tb)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipgtool: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// MCMP comparison — the paper's headline result: with the same 256 chips
+// (16 nodes, equal pin budget each), a parallel machine wired as an
+// HSN(3,Q4) has more than double the bisection bandwidth of a 12-cube and
+// correspondingly higher random-routing throughput, while a 2-D torus
+// falls far behind.  This example reproduces the Section 4.2 numbers and
+// then demonstrates the throughput gap live in the packet simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipg"
+	"ipg/internal/analysis"
+	"ipg/internal/mcmp"
+	"ipg/internal/netsim"
+	"ipg/internal/topology"
+)
+
+func main() {
+	const w = 1.0        // per-node off-chip bandwidth in the 16-node reference chip
+	const chipCap = 16.0 // every system uses the same chip: budget 16w
+
+	tb := analysis.NewTable("Section 4.2: 256 chips, equal pins (budget 16w each)",
+		"system", "N", "per-link bw", "bisection width", "bisection bandwidth", "avg IC dist")
+
+	// 12-cube with 16-node chips.
+	h := topology.NewHypercube(12)
+	ch, err := mcmp.ClusterHypercube(h, 4)
+	must(err)
+	ah, err := mcmp.Analyze(ch, mcmp.HypercubeBisection(ch), chipCap)
+	must(err)
+	tb.AddRow("12-cube", ah.N, ah.PerLinkBW, ah.BisectionWidth, ah.BisectionBandwidth, ah.AvgInterclusterDst)
+
+	// HSN(3,Q4) with one nucleus per chip.
+	net := ipg.HSN(3, ipg.HypercubeNucleus(4))
+	g, err := net.Build()
+	must(err)
+	c, err := mcmp.ClusterSuperIPG(net, g)
+	must(err)
+	side, err := mcmp.SuperIPGBisection(net, g, c)
+	must(err)
+	aH, err := mcmp.Analyze(c, side, chipCap)
+	must(err)
+	tb.AddRow(net.Name(), aH.N, aH.PerLinkBW, aH.BisectionWidth, aH.BisectionBandwidth, aH.AvgInterclusterDst)
+
+	// 64-ary 2-cube with 4x4 chips (same N, same chips).
+	tor := topology.NewTorus(64, 2)
+	ct, err := mcmp.ClusterTorus2D(tor, 4)
+	must(err)
+	at, err := mcmp.Analyze(ct, mcmp.Torus2DBisection(tor, ct, 4), chipCap)
+	must(err)
+	tb.AddRow(tor.Name(), at.N, at.PerLinkBW, at.BisectionWidth, at.BisectionBandwidth, at.AvgInterclusterDst)
+
+	fmt.Print(tb)
+	fmt.Printf("\nHSN / 12-cube bisection bandwidth ratio: %.3f (paper: \"slightly more than double\")\n\n",
+		aH.BisectionBandwidth/ah.BisectionBandwidth)
+
+	// Live throughput measurement in the packet simulator (smaller
+	// instances for speed: 64 nodes, 16 chips of 4, same chip budget).
+	fmt.Println("Packet-simulator saturation throughput (64 nodes, 16 chips of 4, budget 4/round):")
+	cube, err := netsim.BuildHypercube(6, 2, 4.0)
+	must(err)
+	cubeTh, _, err := netsim.SaturationThroughput(cube, 1, 0.05, 1.2, 150, 300)
+	must(err)
+	small := ipg.HSN(3, ipg.HypercubeNucleus(2))
+	gs, err := small.Build()
+	must(err)
+	hsnNet, err := netsim.BuildSuperIPG(small, gs, 4.0, nil)
+	must(err)
+	hsnTh, _, err := netsim.SaturationThroughput(hsnNet, 1, 0.05, 1.2, 150, 300)
+	must(err)
+	torus, err := netsim.BuildTorus2D(8, 2, 4.0)
+	must(err)
+	torTh, _, err := netsim.SaturationThroughput(torus, 1, 0.05, 1.2, 150, 300)
+	must(err)
+	fmt.Printf("  %-22s %.3f packets/node/round\n", cube.Name, cubeTh)
+	fmt.Printf("  %-22s %.3f packets/node/round (%.2fx the hypercube)\n", hsnNet.Name, hsnTh, hsnTh/cubeTh)
+	fmt.Printf("  %-22s %.3f packets/node/round (%.2fx the hypercube)\n", torus.Name, torTh, torTh/cubeTh)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Bitonic sorting on super-IPGs: sorts random keys on several families
+// with the bitonic sorting network executed as ascend/descend bit
+// operations, verifies the output, and reports the communication cost
+// relative to a hypercube running the same algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ipg"
+	"ipg/internal/analysis"
+	"ipg/internal/ascend"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+
+	tb := analysis.NewTable("Bitonic sort of 256 keys",
+		"network", "exchanges", "super steps", "comm steps", "sorted")
+	nets := []*ipg.Network{
+		ipg.HSN(2, ipg.HypercubeNucleus(4)),
+		ipg.HSN(4, ipg.HypercubeNucleus(2)),
+		ipg.CompleteCN(4, ipg.HypercubeNucleus(2)),
+		ipg.RingCN(4, ipg.HypercubeNucleus(2)),
+		ipg.SFN(4, ipg.HypercubeNucleus(2)),
+	}
+	for _, net := range nets {
+		g, err := net.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := ipg.NewFloatRunner(net, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		keys := make([]float64, g.N())
+		for i := range keys {
+			keys[i] = rng.Float64() * 1000
+		}
+		sorted, st, err := ipg.BitonicSort(r, keys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := true
+		want := ascend.SortedReference(keys)
+		for i := range want {
+			if sorted[i] != want[i] {
+				ok = false
+				break
+			}
+		}
+		tb.AddRow(net.Name(), st.Exchanges, st.SuperSteps, st.CommSteps, ok)
+	}
+	fmt.Print(tb)
+	logN := 8
+	fmt.Printf("\nThe bitonic network needs log N (log N + 1)/2 = %d compare-exchange stages;\n",
+		logN*(logN+1)/2)
+	fmt.Println("a hypercube pays exactly one communication step per stage, the super-IPGs")
+	fmt.Println("add the super-generator transitions counted above — and under the MCMP model")
+	fmt.Println("each of their few off-chip steps rides a much wider link (see examples/mcmp).")
+}

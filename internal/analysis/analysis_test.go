@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x+1
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if f.R2 < 0.999999 {
+		t.Errorf("R2 = %v", f.R2)
+	}
+}
+
+func TestLogLogFitPowerLaw(t *testing.T) {
+	var x, y []float64
+	for n := 16; n <= 4096; n *= 2 {
+		x = append(x, float64(n))
+		y = append(y, 3.5*math.Pow(float64(n), 1.5))
+	}
+	f, err := LogLogFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-1.5) > 1e-9 {
+		t.Errorf("alpha = %v, want 1.5", f.Slope)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate x should error")
+	}
+	if _, err := LogLogFit([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("negative data should error")
+	}
+}
+
+func TestQuickFitRecoversLine(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			return true
+		}
+		if math.IsNaN(b) || math.IsInf(b, 0) || math.Abs(b) > 1e6 {
+			return true
+		}
+		x := []float64{0, 1, 2, 5, 9}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = a*x[i] + b
+		}
+		fit, err := LinearFit(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-a) < 1e-6*(1+math.Abs(a)) &&
+			math.Abs(fit.Intercept-b) < 1e-6*(1+math.Abs(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Bisection bandwidth", "network", "B_B")
+	tb.AddRow("Q12", 256.0)
+	tb.AddRow("HSN(3,Q4)", 546.1333)
+	out := tb.String()
+	if !strings.Contains(out, "Bisection bandwidth") ||
+		!strings.Contains(out, "HSN(3,Q4)") ||
+		!strings.Contains(out, "546.1") {
+		t.Errorf("table output:\n%s", out)
+	}
+	if !strings.Contains(out, "256") {
+		t.Error("integral float should print without decimals")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("ratio wrong")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Error("zero denominator should give +Inf")
+	}
+}

@@ -1,0 +1,189 @@
+package ascend
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+)
+
+func TestMatMulDNS(t *testing.T) {
+	// p = 4: 64 processors.  Run on several families.
+	nets := []*superipg.Network{
+		superipg.HSN(3, nucleus.Hypercube(2)),
+		superipg.CompleteCN(3, nucleus.Hypercube(2)),
+		superipg.HSN(2, nucleus.Hypercube(3)),
+		superipg.SFN(6, nucleus.Hypercube(1)),
+	}
+	rng := rand.New(rand.NewSource(9))
+	p := 4
+	a := randMatrix(rng, p)
+	b := randMatrix(rng, p)
+	want := MatMulReference(a, b)
+	for _, w := range nets {
+		g, err := w.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner[ABPair](w, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := NewRunner[float64](w, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := MatMulDNS(r, rc, a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if math.Abs(got[i][j]-want[i][j]) > 1e-9 {
+					t.Fatalf("%s: C[%d][%d] = %v, want %v", w.Name(), i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+		if st.Exchanges != DNSCommSteps(p) {
+			t.Errorf("%s: %d exchanges, want %d", w.Name(), st.Exchanges, DNSCommSteps(p))
+		}
+		if st.CommSteps < st.Exchanges {
+			t.Errorf("%s: comm accounting broken: %+v", w.Name(), st)
+		}
+	}
+}
+
+func TestMatMulDNSLarger(t *testing.T) {
+	// p = 8: 512 processors on HSN(3,Q3).
+	w := superipg.HSN(3, nucleus.Hypercube(3))
+	g, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner[ABPair](w, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRunner[float64](w, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	p := 8
+	a := randMatrix(rng, p)
+	b := randMatrix(rng, p)
+	got, _, err := MatMulDNS(r, rc, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MatMulReference(a, b)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if math.Abs(got[i][j]-want[i][j]) > 1e-9 {
+				t.Fatalf("C[%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulDNSErrors(t *testing.T) {
+	// logN = 4 is not divisible by 3.
+	w := superipg.HSN(2, nucleus.Hypercube(2))
+	g, _ := w.Build()
+	r, _ := NewRunner[ABPair](w, g)
+	rc, _ := NewRunner[float64](w, g)
+	if _, _, err := MatMulDNS(r, rc, randMatrix(rand.New(rand.NewSource(1)), 2), randMatrix(rand.New(rand.NewSource(2)), 2)); err == nil {
+		t.Error("indivisible logN should error")
+	}
+	// Wrong matrix size.
+	w2 := superipg.HSN(3, nucleus.Hypercube(2))
+	g2, _ := w2.Build()
+	r2, _ := NewRunner[ABPair](w2, g2)
+	rc2, _ := NewRunner[float64](w2, g2)
+	if _, _, err := MatMulDNS(r2, rc2, randMatrix(rand.New(rand.NewSource(1)), 2), randMatrix(rand.New(rand.NewSource(2)), 2)); err == nil {
+		t.Error("wrong matrix size should error")
+	}
+}
+
+func randMatrix(rng *rand.Rand, p int) [][]float64 {
+	m := make([][]float64, p)
+	for i := range m {
+		m[i] = make([]float64, p)
+		for j := range m[i] {
+			m[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	return m
+}
+
+func TestPrefixSum(t *testing.T) {
+	for _, w := range []*superipg.Network{
+		superipg.HSN(3, nucleus.Hypercube(2)),
+		superipg.CompleteCN(2, nucleus.Hypercube(3)),
+		superipg.RingCN(3, nucleus.Hypercube(2)),
+	} {
+		g, err := w.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner[[2]float64](w, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		x := make([]float64, g.N())
+		for i := range x {
+			x[i] = rng.Float64()*10 - 5
+		}
+		got, st, err := PrefixSum(r, x)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		want := PrefixSumReference(x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*float64(g.N()) {
+				t.Fatalf("%s: scan[%d] = %v, want %v", w.Name(), i, got[i], want[i])
+			}
+		}
+		if st.CommSteps != TheoreticalAscendComm(w) {
+			t.Errorf("%s: scan comm steps = %d, want %d", w.Name(), st.CommSteps, TheoreticalAscendComm(w))
+		}
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	w := superipg.CompleteCN(2, nucleus.Hypercube(3))
+	g, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner[complex128](w, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := g.N()
+	x := make([]complex128, n)
+	h := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		h[i] = complex(rng.Float64()-0.5, 0)
+	}
+	got, st, err := Convolve(r, x, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ConvolveReference(x, h)
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-6*float64(n) {
+			t.Fatalf("conv[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Three FFT passes' worth of communication.
+	if st.CommSteps != 3*TheoreticalAscendComm(w) {
+		t.Errorf("conv comm steps = %d, want %d", st.CommSteps, 3*TheoreticalAscendComm(w))
+	}
+}

@@ -1,0 +1,203 @@
+package emul
+
+import (
+	"strings"
+	"testing"
+
+	"ipg/internal/nucleus"
+	"ipg/internal/perm"
+	"ipg/internal/superipg"
+)
+
+// TestSection31Dim11Table reproduces the Section 3.1 example: emulating the
+// dimension-11 links of a 16-cube (generator (21,22)) on five super-IPGs
+// with the 32-symbol seed 01 01 ... 01.
+func TestSection31Dim11Table(t *testing.T) {
+	cases := []struct {
+		net       *superipg.Network
+		wantNames string // "," joined; rotations may differ from the paper's
+		// printed word by direction but must realize the same map
+	}{
+		{superipg.HCN(8), "T2,N:d3,T2"},
+		{superipg.HSN(4, nucleus.Hypercube(4)), "T3,N:d3,T3"},
+		{superipg.RCC(2, nucleus.Hypercube(4)), "T2,N:a.d3,T2"},
+		{superipg.RingCN(4, nucleus.Hypercube(4)), "L1,L1,N:d3,R1,R1"},
+		{superipg.CompleteCN(4, nucleus.Hypercube(4)), "L2,N:d3,L2"},
+	}
+	// Expected action: transpose global symbols 21 and 22 (1-based).
+	want := perm.Transposition(32, 20, 21)
+	for _, c := range cases {
+		if len(c.net.Seed()) != 32 {
+			t.Fatalf("%s: seed length %d, want 32", c.net.Name(), len(c.net.Seed()))
+		}
+		names, err := DimensionWordNames(c.net, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Join(names, ","); got != c.wantNames {
+			t.Errorf("%s dim-11 word = %s, want %s", c.net.Name(), got, c.wantNames)
+		}
+		// The word must realize exactly the 16-cube dimension-11 generator.
+		word, _ := DimensionWord(c.net, 11)
+		composed := perm.Identity(32)
+		for _, gi := range word {
+			composed = composed.Then(c.net.Gens()[gi].P)
+		}
+		if !composed.Equal(want) {
+			t.Errorf("%s dim-11 word realizes %v, want transposition (21,22)", c.net.Name(), composed)
+		}
+	}
+}
+
+func TestVerifyDimensionAllFamilies(t *testing.T) {
+	nets := []*superipg.Network{
+		superipg.HSN(3, nucleus.Hypercube(2)),
+		superipg.RingCN(4, nucleus.Hypercube(2)),
+		superipg.CompleteCN(3, nucleus.Hypercube(2)),
+		superipg.SFN(3, nucleus.Hypercube(2)),
+		superipg.HSN(2, nucleus.GeneralizedHypercube(4, 4)),
+		superipg.CompleteCN(3, nucleus.Complete(5)),
+	}
+	for _, w := range nets {
+		g := w.MustBuild()
+		nd := w.L * w.NumNucGens()
+		for j := 1; j <= nd; j++ {
+			// Verify on a spread of node labels.
+			for v := 0; v < g.N(); v += 1 + g.N()/17 {
+				if err := VerifyDimension(w, g.Label(v), j); err != nil {
+					t.Fatalf("%v", err)
+				}
+			}
+		}
+	}
+}
+
+func TestCorollary32Slowdown(t *testing.T) {
+	// Slowdown factor 3 for HSN, complete-CN, SFN (Corollary 3.2).
+	nuc := nucleus.Hypercube(2)
+	for _, w := range []*superipg.Network{
+		superipg.HSN(4, nuc), superipg.CompleteCN(4, nuc), superipg.SFN(4, nuc),
+	} {
+		if s := SlowdownSDC(w); s != 3 {
+			t.Errorf("%s: SDC slowdown = %d, want 3", w.Name(), s)
+		}
+	}
+	// ring-CN must rotate step by step: slowdown 1 + 2*floor(l/2).
+	if s := SlowdownSDC(superipg.RingCN(4, nuc)); s != 5 {
+		t.Errorf("ring-CN(4): slowdown = %d, want 5", s)
+	}
+	if s := SlowdownSDC(superipg.RingCN(3, nuc)); s != 3 {
+		t.Errorf("ring-CN(3): slowdown = %d, want 3", s)
+	}
+}
+
+func TestCorollary33Dilation(t *testing.T) {
+	// Dilation 3 embedding of HPN(l,G) in HSN/complete-CN/SFN.
+	nuc := nucleus.Hypercube(2)
+	for _, w := range []*superipg.Network{
+		superipg.HSN(3, nuc), superipg.CompleteCN(3, nuc), superipg.SFN(3, nuc),
+	} {
+		g := w.MustBuild()
+		res, err := MeasureDilation(w, g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dilation > 3 {
+			t.Errorf("%s: dilation %d > 3", w.Name(), res.Dilation)
+		}
+		if res.Dilation < 2 {
+			t.Errorf("%s: dilation %d implausibly small", w.Name(), res.Dilation)
+		}
+		if res.WordBound != 3 {
+			t.Errorf("%s: word bound %d", w.Name(), res.WordBound)
+		}
+		// First-group dimensions embed with dilation 1.
+		for j := 1; j <= w.NumNucGens(); j++ {
+			if res.PerDim[j-1] != 1 {
+				t.Errorf("%s: dim %d dilation %d, want 1", w.Name(), j, res.PerDim[j-1])
+			}
+		}
+	}
+}
+
+func TestCongestionHSN(t *testing.T) {
+	// Section 3.1: congestion for embedding the links of one HPN dimension
+	// in an HSN is 2 (enabling slowdown ~2 with wormhole routing).
+	w := superipg.HSN(2, nucleus.Hypercube(3))
+	g := w.MustBuild()
+	for j := w.NumNucGens() + 1; j <= 2*w.NumNucGens(); j++ {
+		c, err := CongestionPerDimension(w, g, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != 2 {
+			t.Errorf("HSN dim %d congestion = %d, want 2", j, c)
+		}
+	}
+	// First-group dimensions are direct links: congestion 1.
+	c, err := CongestionPerDimension(w, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Errorf("dim 1 congestion = %d, want 1", c)
+	}
+}
+
+func TestTotalCongestion(t *testing.T) {
+	// Section 4.1: total congestion for embedding the whole nl-cube in an
+	// HSN(l,Q_n) is max(2n, l): the T_i links carry 2 edges per dimension
+	// of group i (2n), the N_k links one edge per group (l).
+	cases := []struct {
+		l, n int
+	}{{2, 2}, {2, 3}, {3, 2}, {4, 2}, {6, 1}}
+	for _, c := range cases {
+		w := superipg.HSN(c.l, nucleus.Hypercube(c.n))
+		g := w.MustBuild()
+		got, err := TotalCongestion(w, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 * c.n
+		if c.l > want {
+			want = c.l
+		}
+		if got != want {
+			t.Errorf("HSN(%d,Q%d): total congestion %d, want max(2n,l) = %d", c.l, c.n, got, want)
+		}
+	}
+}
+
+func TestDimensionWordErrors(t *testing.T) {
+	w := superipg.HSN(2, nucleus.Hypercube(2))
+	if _, err := DimensionWord(w, 0); err == nil {
+		t.Error("dimension 0 should error")
+	}
+	if _, err := DimensionWord(w, 5); err == nil {
+		t.Error("dimension past l*n should error")
+	}
+	if _, err := HPNNeighbor(w, w.Seed(), 99); err == nil {
+		t.Error("HPNNeighbor out of range should error")
+	}
+}
+
+func TestHPNNeighborInvolution(t *testing.T) {
+	// For binary nuclei the HPN neighbor relation is an involution.
+	w := superipg.HSN(3, nucleus.Hypercube(2))
+	g := w.MustBuild()
+	for v := 0; v < g.N(); v += 7 {
+		for j := 1; j <= w.L*w.NumNucGens(); j++ {
+			nb, err := HPNNeighbor(w, g.Label(v), j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := HPNNeighbor(w, nb, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(g.Label(v)) {
+				t.Fatalf("HPN neighbor not involutive at v=%d j=%d", v, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package emul
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipg/internal/nucleus"
+	"ipg/internal/perm"
+	"ipg/internal/superipg"
+)
+
+// TestQuickDimensionWordsCorrect property-checks Theorem 3.1 emulation
+// across random families, sizes, dimensions, and labels: the dimension
+// word always lands on the true HPN neighbor.
+func TestQuickDimensionWordsCorrect(t *testing.T) {
+	f := func(seed int64, famRaw, lRaw, kRaw, jRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := int(lRaw%4) + 2
+		k := int(kRaw%3) + 1
+		nuc := nucleus.Hypercube(k)
+		var w *superipg.Network
+		switch famRaw % 4 {
+		case 0:
+			w = superipg.HSN(l, nuc)
+		case 1:
+			w = superipg.RingCN(l, nuc)
+		case 2:
+			w = superipg.CompleteCN(l, nuc)
+		default:
+			w = superipg.SFN(l, nuc)
+		}
+		j := int(jRaw)%(l*k) + 1
+		// Random reachable label: random nucleus content per group.
+		m := w.SymbolLen()
+		lbl := make(perm.Label, 0, m*l)
+		for i := 0; i < l; i++ {
+			a := rng.Intn(w.Nuc.M)
+			gl, err := w.Nuc.LabelOf(a)
+			if err != nil {
+				return false
+			}
+			lbl = append(lbl, gl...)
+		}
+		return VerifyDimension(w, lbl, j) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(99))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSlowdownBounds property-checks that the SDC slowdown equals
+// 2*|bring| + 1 for every family and size.
+func TestQuickSlowdownBounds(t *testing.T) {
+	f := func(famRaw, lRaw uint8) bool {
+		l := int(lRaw%5) + 2
+		nuc := nucleus.Hypercube(2)
+		var w *superipg.Network
+		switch famRaw % 4 {
+		case 0:
+			w = superipg.HSN(l, nuc)
+		case 1:
+			w = superipg.RingCN(l, nuc)
+		case 2:
+			w = superipg.CompleteCN(l, nuc)
+		default:
+			w = superipg.SFN(l, nuc)
+		}
+		maxBring := 0
+		for i := 2; i <= l; i++ {
+			if b := len(w.BringToFront(i)); b > maxBring {
+				maxBring = b
+			}
+		}
+		return SlowdownSDC(w) == 2*maxBring+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

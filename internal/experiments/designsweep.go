@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ipg/internal/analysis"
+	"ipg/internal/ascend"
+	"ipg/internal/mcmp"
+	"ipg/internal/nucleus"
+	"ipg/internal/schedule"
+	"ipg/internal/superipg"
+)
+
+// runDesignSweep explores the HSN design space the paper discusses in
+// Section 4.1: for a fixed machine size N = 2^(l*n), small l (big chips)
+// maximizes bisection bandwidth and throughput — "when l = O(1), the
+// throughput ... will be higher than that of a hypercube by a factor of
+// Theta(log N)" — while l = Theta(n) balances the degree and gives the
+// asymptotically optimal all-port emulation of Corollary 3.9.  The sweep
+// materializes every HSN(l, Q_n) with l*n = 12 and measures degree,
+// intercluster metrics, bisection bandwidth (unit chip capacity, equal
+// per-node budget w=1), ascend steps, and the all-port schedule length.
+func runDesignSweep(scale Scale) (*Result, error) {
+	res := &Result{ID: "E22/design-sweep", Title: "HSN design space at fixed N", Source: "Sections 4.1/4.2, Cor 3.9"}
+	type cfg struct{ l, n int }
+	cfgs := []cfg{{2, 6}, {3, 4}, {4, 3}, {6, 2}}
+	logN := 12
+	if scale == Paper {
+		// Same sweep: N = 4096 is already the paper's machine size.
+		logN = 12
+	}
+	tb := analysis.NewTable(fmt.Sprintf("HSN(l, Q_n) with l*n = %d (N = %d), w = 1", logN, 1<<logN),
+		"l", "n", "M", "degree", "ic degree", "B_B (Cor 4.8)", "ascend steps", "all-port T")
+	type row struct {
+		l       int
+		bb      float64
+		ascendC int
+		allport int
+		icDeg   float64
+	}
+	var rows []row
+	for _, c := range cfgs {
+		w := superipg.HSN(c.l, nucleus.Hypercube(c.n))
+		bb := mcmp.HSNBisectionBandwidth(1<<logN, w.M(), c.l, 1)
+		icDeg := float64(c.l-1) * float64(w.M()-1) / float64(w.M())
+		asc := ascend.TheoreticalAscendComm(w)
+		s, err := schedule.Build(w)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Verify(); err != nil {
+			return nil, err
+		}
+		tb.AddRow(c.l, c.n, w.M(), c.n+c.l-1, icDeg, bb, asc, s.T)
+		rows = append(rows, row{l: c.l, bb: bb, ascendC: asc, allport: s.T, icDeg: icDeg})
+
+		// Spot-verify the closed forms on the materialized graph for the
+		// configurations that are cheap to build.
+		if c.l >= 3 {
+			g, err := w.Build()
+			if err != nil {
+				return nil, err
+			}
+			cl, err := mcmp.ClusterSuperIPG(w, g)
+			if err != nil {
+				return nil, err
+			}
+			side, err := mcmp.SuperIPGBisection(w, g, cl)
+			if err != nil {
+				return nil, err
+			}
+			a, err := mcmp.Analyze(cl, side, float64(cl.M))
+			if err != nil {
+				return nil, err
+			}
+			res.check(fmt.Sprintf("HSN(%d,Q%d) measured B_B matches closed form", c.l, c.n),
+				fmt.Sprintf("%.4g", bb), fmt.Sprintf("%.4g", a.BisectionBandwidth),
+				approxEq(a.BisectionBandwidth, bb, 1e-9))
+		}
+	}
+	res.addTable(tb)
+	// Monotonicity: bisection bandwidth strictly increases as l decreases.
+	for i := 1; i < len(rows); i++ {
+		res.check(fmt.Sprintf("B_B(l=%d) > B_B(l=%d)", rows[i-1].l, rows[i].l),
+			"small l maximizes bandwidth (Sec 4.1)",
+			fmt.Sprintf("%.4g > %.4g", rows[i-1].bb, rows[i].bb),
+			rows[i-1].bb > rows[i].bb)
+	}
+	// l = O(1) advantage over the hypercube approaches Theta(log N).
+	cubeBB := mcmp.HypercubeBisectionBandwidth(1<<logN, 1<<6, 1)
+	res.check("HSN(2,Q6) vs hypercube with 64-node chips",
+		"Theta(log N) advantage at l = O(1)",
+		fmt.Sprintf("%.4g vs %.4g (%.2fx)", rows[0].bb, cubeBB, rows[0].bb/cubeBB),
+		rows[0].bb > 2.5*cubeBB)
+	// All-port schedule length max(2n, l+1) is minimized near l ~ 2n-1;
+	// the sweep's best is the balanced configuration (Cor 3.9's regime).
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.allport < best.allport {
+			best = r
+		}
+	}
+	res.check("balanced l minimizes all-port slowdown",
+		"l = Theta(n) asymptotically optimal (Cor 3.9)",
+		fmt.Sprintf("min T at l=%d", best.l), best.l == 4 || best.l == 6)
+	return res, nil
+}

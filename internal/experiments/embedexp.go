@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ipg/internal/analysis"
+	"ipg/internal/embed"
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+)
+
+// runEmbeddings reproduces Corollary 3.4: any graph embeddable in the
+// ln-dimensional hypercube with constant dilation embeds with constant
+// dilation in HCN, HFN, complete-CN, SFN, RCC, and RHSN.  Concrete
+// witnesses: rings (Gray code, dilation 1), wrapped meshes (Gray-code
+// products, dilation 1), and complete binary trees (inorder labelling,
+// dilation 2), each composed through the identity HPN embedding and
+// measured exactly by BFS on the materialized super-IPGs.
+func runEmbeddings(scale Scale) (*Result, error) {
+	res := &Result{ID: "E20/embeddings", Title: "constant-dilation embeddings", Source: "Cor 3.4"}
+	k := 2
+	if scale == Paper {
+		k = 3
+	}
+	type host struct {
+		w *superipg.Network
+		// factor bounds the dilation multiplier of the host over the
+		// hypercube: the SDC slowdown 3 for one-level families, 3^r for an
+		// r-deep RHSN (each level multiplies; still a constant, which is
+		// all Corollary 3.4 claims).
+		factor int
+	}
+	hosts := []host{
+		{superipg.HCN(k + 1), 3},
+		{superipg.HFN(k + 1), 3},
+		{superipg.HSN(3, nucleus.Hypercube(k)), 3},
+		{superipg.CompleteCN(3, nucleus.Hypercube(k)), 3},
+		{superipg.SFN(3, nucleus.Hypercube(k)), 3},
+		{superipg.RHSN(2, 2, nucleus.Hypercube(k)), 9},
+	}
+	tb := analysis.NewTable("Measured dilations (guest -> ln-cube -> super-IPG)",
+		"host", "N", "ring", "torus", "binary tree")
+	for _, h := range hosts {
+		w := h.w
+		g, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		u := g.Undirected()
+		logN := 0
+		for 1<<logN < g.N() {
+			logN++
+		}
+		guests := []*embed.Embedding{
+			embed.Ring(logN),
+			embed.Mesh(logN/2, logN-logN/2, true),
+			embed.CompleteBinaryTree(logN),
+		}
+		dils := make([]int, len(guests))
+		for i, e := range guests {
+			comp, err := embed.IntoSuperIPG(e, w, g)
+			if err != nil {
+				return nil, err
+			}
+			d, err := embed.MeasureDilation(comp, u)
+			if err != nil {
+				return nil, err
+			}
+			dils[i] = d
+			cubeDil := e.Dilation(embed.HypercubeDistance)
+			res.check(fmt.Sprintf("%s into %s", e.GuestName, w.Name()),
+				fmt.Sprintf("constant dilation (<= %dx cube's %d)", h.factor, cubeDil),
+				fmt.Sprintf("dilation %d", d), d <= h.factor*cubeDil && d >= 1)
+		}
+		tb.AddRow(w.Name(), g.N(), dils[0], dils[1], dils[2])
+	}
+	res.addTable(tb)
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ipg/internal/analysis"
+	"ipg/internal/emul"
+	"ipg/internal/nucleus"
+	"ipg/internal/perm"
+	"ipg/internal/superipg"
+)
+
+// runDim11 reproduces the Section 3.1 example: the generator sequences
+// emulating the dimension-11 links of a 16-cube (transposition (21,22)) on
+// five super-IPGs sharing the 32-symbol seed 01 01 ... 01.
+func runDim11(Scale) (*Result, error) {
+	res := &Result{ID: "E3/dim11", Title: "dimension-11 emulation of the 16-cube", Source: "Section 3.1"}
+	cases := []struct {
+		net   *superipg.Network
+		paper string
+	}{
+		{superipg.HCN(8), "T_{2,16}, (5,6), T_{2,16}"},
+		{superipg.HSN(4, nucleus.Hypercube(4)), "T_{3,8}, (5,6), T_{3,8}"},
+		{superipg.RCC(2, nucleus.Hypercube(4)), "T_{2,16}, (5,6), T_{2,16}"},
+		{superipg.RingCN(4, nucleus.Hypercube(4)), "R1 R1, (5,6), L1 L1"},
+		{superipg.CompleteCN(4, nucleus.Hypercube(4)), "R_{2,8}, (5,6), L_{2,8}"},
+	}
+	want := perm.Transposition(32, 20, 21)
+	tb := analysis.NewTable("Generator words emulating dimension 11", "network", "paper word", "this repo", "action ok")
+	for _, c := range cases {
+		names, err := emul.DimensionWordNames(c.net, 11)
+		if err != nil {
+			return nil, err
+		}
+		word, err := emul.DimensionWord(c.net, 11)
+		if err != nil {
+			return nil, err
+		}
+		composed := perm.Identity(32)
+		for _, gi := range word {
+			composed = composed.Then(c.net.Gens()[gi].P)
+		}
+		ok := composed.Equal(want)
+		tb.AddRow(c.net.Name(), c.paper, strings.Join(names, " "), ok)
+		res.check(fmt.Sprintf("%s realizes transposition (21,22)", c.net.Name()),
+			c.paper, strings.Join(names, " "), ok)
+	}
+	res.addTable(tb)
+	return res, nil
+}
+
+// runSDC reproduces Theorem 3.1 and Corollaries 3.2/3.3: SDC-model
+// emulation slowdown 3 and embedding dilation <= 3 for HSN, complete-CN,
+// and SFN, with per-dimension verification of the emulation words.
+func runSDC(scale Scale) (*Result, error) {
+	res := &Result{ID: "E4/sdc", Title: "SDC emulation slowdown and dilation", Source: "Thm 3.1, Cor 3.2/3.3"}
+	nuc := nucleus.Hypercube(2)
+	if scale == Paper {
+		nuc = nucleus.Hypercube(3)
+	}
+	nets := []*superipg.Network{
+		superipg.HSN(3, nuc),
+		superipg.CompleteCN(3, nuc),
+		superipg.SFN(3, nuc),
+		superipg.RingCN(4, nuc),
+	}
+	tb := analysis.NewTable("SDC emulation of HPN(l,G)", "network", "slowdown t+1", "dilation", "dim-congestion")
+	for _, w := range nets {
+		g, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		// Verify every dimension word on a sample of labels.
+		for j := 1; j <= w.L*w.NumNucGens(); j++ {
+			for v := 0; v < g.N(); v += 1 + g.N()/13 {
+				if err := emul.VerifyDimension(w, g.Label(v), j); err != nil {
+					return nil, err
+				}
+			}
+		}
+		slow := emul.SlowdownSDC(w)
+		dil, err := emul.MeasureDilation(w, g, 64)
+		if err != nil {
+			return nil, err
+		}
+		maxCong := 0
+		for j := 1; j <= w.L*w.NumNucGens(); j++ {
+			c, err := emul.CongestionPerDimension(w, g, j)
+			if err != nil {
+				return nil, err
+			}
+			if c > maxCong {
+				maxCong = c
+			}
+		}
+		tb.AddRow(w.Name(), slow, dil.Dilation, maxCong)
+		if w.Family == "HSN" {
+			// Section 4.1: total congestion (all dimensions at once) is
+			// max(2n, l) = Theta(sqrt(log N)) at l = Theta(n).
+			total, err := emul.TotalCongestion(w, g)
+			if err != nil {
+				return nil, err
+			}
+			want := 2 * w.NumNucGens()
+			if w.L > want {
+				want = w.L
+			}
+			res.check(w.Name()+" total congestion", fmt.Sprintf("max(2n,l) = %d (Theta(sqrt(log N)))", want),
+				fmt.Sprint(total), total == want)
+		}
+		if w.Family == "ring-CN" {
+			res.check(w.Name()+" slowdown", "t+1 (> 3 for ring-CN)",
+				fmt.Sprint(slow), slow == 1+2*((w.L)/2))
+			continue
+		}
+		res.check(w.Name()+" SDC slowdown", "3 (Cor 3.2)", fmt.Sprint(slow), slow == 3)
+		res.check(w.Name()+" embedding dilation", "3 (Cor 3.3)", fmt.Sprint(dil.Dilation),
+			dil.Dilation >= 2 && dil.Dilation <= 3)
+		res.check(w.Name()+" per-dimension congestion", "2 (Sec 3.1 discussion)",
+			fmt.Sprint(maxCong), maxCong <= 2)
+	}
+	res.addTable(tb)
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ipg/internal/analysis"
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+	"ipg/internal/wormhole"
+)
+
+// runWormhole reproduces the Section 3.1 discussion after Corollary 3.3:
+// "When wormhole routing or virtual cut-through is used, the slowdown
+// factor is actually reduced to about 2, since the congestion for
+// embedding all the links of an HPN(l,G) that belong to a certain
+// dimension in an HSN(l,G), complete-CN(l,G), or SFN(l,G) is only 2" —
+// measured by flit-level simulation of the emulation paths, against the
+// store-and-forward slowdown of 3.
+func runWormhole(scale Scale) (*Result, error) {
+	res := &Result{ID: "E17/wormhole", Title: "wormhole/VCT emulation slowdown", Source: "Sec 3.1 after Cor 3.3"}
+	k := 2
+	flitSweep := []int{1, 4, 16, 64}
+	if scale == Paper {
+		k = 3
+		flitSweep = []int{1, 4, 16, 64, 256}
+	}
+	tb := analysis.NewTable("Flit-level slowdown of single-dimension emulation",
+		"network", "F=1", fmt.Sprintf("F=%d", flitSweep[len(flitSweep)-1]), "SAF steps")
+	for _, w := range []*superipg.Network{
+		superipg.HSN(3, nucleus.Hypercube(k)),
+		superipg.SFN(3, nucleus.Hypercube(k)),
+	} {
+		g, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		j := w.NumNucGens() + 1
+		var first, last float64
+		for i, f := range flitSweep {
+			s, err := wormhole.Slowdown(w, g, j, f)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				first = s
+			}
+			last = s
+		}
+		msgs, err := wormhole.EmulationPaths(w, g, j)
+		if err != nil {
+			return nil, err
+		}
+		saf := wormhole.StoreAndForwardMakespan(msgs, 1)
+		tb.AddRow(w.Name(), first, last, saf)
+		res.check(w.Name()+" asymptotic VCT slowdown", "about 2 (= dimension congestion)",
+			fmt.Sprintf("%.3f at F=%d", last, flitSweep[len(flitSweep)-1]),
+			last >= 2.0 && last <= 2.3)
+		res.check(w.Name()+" store-and-forward slowdown", "3 (Cor 3.2)",
+			fmt.Sprint(saf), saf == 3)
+		res.check(w.Name()+" pipelining helps", "VCT < SAF",
+			fmt.Sprintf("%.3f < 3", last), last < 3)
+	}
+	res.addTable(tb)
+	return res, nil
+}

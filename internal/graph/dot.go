@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits the graph in Graphviz DOT format.  If clusterOf is
+// non-nil, nodes are grouped into subgraph clusters (one per chip),
+// visualizing the MCMP packaging; label, if non-nil, supplies node labels.
+func (g *Graph) WriteDOT(w io.Writer, name string, clusterOf []int32, label func(v int) string) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [shape=circle fontsize=10];\n", name); err != nil {
+		return err
+	}
+	emitNode := func(v int) error {
+		if label != nil {
+			_, err := fmt.Fprintf(w, "    %d [label=%q];\n", v, label(v))
+			return err
+		}
+		_, err := fmt.Fprintf(w, "    %d;\n", v)
+		return err
+	}
+	if clusterOf != nil {
+		if len(clusterOf) != g.N() {
+			return fmt.Errorf("graph: clusterOf has %d entries for %d nodes", len(clusterOf), g.N())
+		}
+		byCluster := map[int32][]int{}
+		for v, c := range clusterOf {
+			byCluster[c] = append(byCluster[c], v)
+		}
+		for c := int32(0); int(c) < len(byCluster); c++ {
+			if _, err := fmt.Fprintf(w, "  subgraph cluster_%d {\n    label=\"chip %d\";\n", c, c); err != nil {
+				return err
+			}
+			for _, v := range byCluster[c] {
+				if err := emitNode(v); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprint(w, "  }\n"); err != nil {
+				return err
+			}
+		}
+	} else {
+		for v := 0; v < g.N(); v++ {
+			if err := emitNode(v); err != nil {
+				return err
+			}
+		}
+	}
+	var werr error
+	g.Edges(func(u, v int) {
+		if werr != nil {
+			return
+		}
+		style := ""
+		if clusterOf != nil && clusterOf[u] != clusterOf[v] {
+			style = " [color=red]" // off-chip link
+		}
+		_, werr = fmt.Fprintf(w, "  %d -- %d%s;\n", u, v, style)
+	})
+	if werr != nil {
+		return werr
+	}
+	_, err := fmt.Fprint(w, "}\n")
+	return err
+}

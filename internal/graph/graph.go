@@ -1,0 +1,261 @@
+// Package graph provides a compact undirected-graph representation and the
+// structural algorithms used throughout the reproduction: breadth-first
+// search, distance statistics, degree statistics, connectivity, Cartesian
+// products, and bisection search.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1 stored as sorted
+// adjacency lists.  Self-loops are not stored (IPG generator actions that
+// fix a node produce no edge); parallel edges are collapsed.
+type Graph struct {
+	adj [][]int32
+	m   int // number of edges
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u,v}.  Self-loops and duplicate
+// edges are ignored.  It reports whether an edge was actually added.
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph.AddEdge: vertex out of range: %d,%d (n=%d)", u, v, len(g.adj)))
+	}
+	if g.HasEdge(u, v) {
+		return false
+	}
+	g.insert(u, int32(v))
+	g.insert(v, int32(u))
+	g.m++
+	return true
+}
+
+func (g *Graph) insert(u int, v int32) {
+	lst := g.adj[u]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= v })
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = v
+	g.adj[u] = lst
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	lst := g.adj[u]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= int32(v) })
+	return i < len(lst) && lst[i] == int32(v)
+}
+
+// Neighbors returns the sorted adjacency list of u.  The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Edges calls f for every edge {u,v} with u < v.
+func (g *Graph) Edges(f func(u, v int)) {
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if int(v) > u {
+				f(u, int(v))
+			}
+		}
+	}
+}
+
+// DegreeStats returns the minimum, maximum, and average vertex degree.
+func (g *Graph) DegreeStats() (min, max int, avg float64) {
+	if g.N() == 0 {
+		return 0, 0, 0
+	}
+	min = int(^uint(0) >> 1)
+	total := 0
+	for u := range g.adj {
+		d := len(g.adj[u])
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		total += d
+	}
+	return min, max, float64(total) / float64(g.N())
+}
+
+// IsRegular reports whether all vertices have the same degree, and that
+// degree.
+func (g *Graph) IsRegular() (bool, int) {
+	min, max, _ := g.DegreeStats()
+	return min == max, max
+}
+
+// BFS returns the distance from src to every vertex (-1 if unreachable).
+func (g *Graph) BFS(src int) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.N())
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (true for N <= 1).
+func (g *Graph) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum finite distance from src, or -1 if some
+// vertex is unreachable.
+func (g *Graph) Eccentricity(src int) int {
+	dist := g.BFS(src)
+	ecc := 0
+	for _, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}
+
+// Diameter computes the exact diameter by running BFS from every vertex.
+// It returns -1 for disconnected graphs.  Cost is O(N*(N+M)).
+func (g *Graph) Diameter() int {
+	diam := 0
+	for u := 0; u < g.N(); u++ {
+		e := g.Eccentricity(u)
+		if e < 0 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// AverageDistance returns the mean distance over all ordered vertex pairs
+// including (u,u) pairs, matching the paper's convention ("the average of
+// the distances between a node X and all the network nodes (including node
+// X itself)").  It returns -1 for disconnected graphs.
+func (g *Graph) AverageDistance() float64 {
+	var total int64
+	n := g.N()
+	for u := 0; u < n; u++ {
+		for _, d := range g.BFS(u) {
+			if d < 0 {
+				return -1
+			}
+			total += int64(d)
+		}
+	}
+	return float64(total) / float64(n) / float64(n)
+}
+
+// DiameterFromSample estimates the diameter as the max eccentricity over
+// the given sample of source vertices.  For vertex-transitive graphs a
+// single source suffices for an exact answer.
+func (g *Graph) DiameterFromSample(srcs []int) int {
+	diam := 0
+	for _, u := range srcs {
+		e := g.Eccentricity(u)
+		if e < 0 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// CartesianProduct returns the Cartesian product g x h: vertices are pairs
+// (u,v) encoded as u*h.N()+v; (u,v)~(u',v') iff (u=u' and v~v') or
+// (v=v' and u~u').
+func CartesianProduct(g, h *Graph) *Graph {
+	nh := h.N()
+	p := New(g.N() * nh)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < nh; v++ {
+			id := u*nh + v
+			for _, w := range h.adj[v] {
+				p.AddEdge(id, u*nh+int(w))
+			}
+			for _, w := range g.adj[u] {
+				p.AddEdge(id, int(w)*nh+v)
+			}
+		}
+	}
+	return p
+}
+
+// Power returns the p-th Cartesian power of g (the homogeneous product
+// network HPN(p, g) of Efe & Fernandez).  Power(0) is a single vertex.
+func Power(g *Graph, p int) *Graph {
+	out := New(1)
+	for i := 0; i < p; i++ {
+		out = CartesianProduct(out, g)
+	}
+	return out
+}
+
+// Equal reports whether g and h have identical vertex sets and edge sets
+// (labels matter; this is not isomorphism).
+func Equal(g, h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for u := range g.adj {
+		if len(g.adj[u]) != len(h.adj[u]) {
+			return false
+		}
+		for i, v := range g.adj[u] {
+			if h.adj[u][i] != v {
+				return false
+			}
+		}
+	}
+	return true
+}

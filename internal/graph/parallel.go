@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file parallelizes the all-sources distance computations (diameter,
+// average distance) that dominate the metric experiments: BFS from
+// different sources is embarrassingly parallel, so sources are distributed
+// over a worker pool.
+
+// parallelSources runs fn(src, scratch) for every source in [0, n) on
+// GOMAXPROCS workers; each worker owns one scratch distance buffer.
+func (g *Graph) parallelSources(fn func(src int, dist []int32, queue []int32)) {
+	n := g.N()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		dist := make([]int32, n)
+		queue := make([]int32, 0, n)
+		for src := 0; src < n; src++ {
+			fn(src, dist, queue)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dist := make([]int32, n)
+			queue := make([]int32, 0, n)
+			for {
+				src := int(atomic.AddInt64(&next, 1))
+				if src >= n {
+					return
+				}
+				fn(src, dist, queue)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// bfsInto runs BFS from src into the caller-owned buffers and returns the
+// eccentricity and the sum of distances, or ecc = -1 if disconnected.
+func (g *Graph) bfsInto(src int, dist []int32, queue []int32) (ecc int32, sum int64) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = queue[:0]
+	queue = append(queue, int32(src))
+	visited := 1
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		sum += int64(du)
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+				visited++
+			}
+		}
+	}
+	if visited != g.N() {
+		return -1, sum
+	}
+	return ecc, sum
+}
+
+// DiameterParallel computes the exact diameter with source-parallel BFS.
+// It returns -1 for disconnected graphs.
+func (g *Graph) DiameterParallel() int {
+	if g.N() == 0 {
+		return 0
+	}
+	var diam int64
+	var disconnected int64
+	g.parallelSources(func(src int, dist []int32, queue []int32) {
+		ecc, _ := g.bfsInto(src, dist, queue)
+		if ecc < 0 {
+			atomic.StoreInt64(&disconnected, 1)
+			return
+		}
+		for {
+			cur := atomic.LoadInt64(&diam)
+			if int64(ecc) <= cur || atomic.CompareAndSwapInt64(&diam, cur, int64(ecc)) {
+				return
+			}
+		}
+	})
+	if disconnected != 0 {
+		return -1
+	}
+	return int(diam)
+}
+
+// AverageDistanceParallel computes the mean distance over all ordered
+// pairs (including self pairs) with source-parallel BFS; -1 if
+// disconnected.
+func (g *Graph) AverageDistanceParallel() float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	var total int64
+	var disconnected int64
+	g.parallelSources(func(src int, dist []int32, queue []int32) {
+		ecc, sum := g.bfsInto(src, dist, queue)
+		if ecc < 0 {
+			atomic.StoreInt64(&disconnected, 1)
+			return
+		}
+		atomic.AddInt64(&total, sum)
+	})
+	if disconnected != 0 {
+		return -1
+	}
+	return float64(total) / float64(n) / float64(n)
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	graphs := []*Graph{
+		ring(17),
+		complete(9),
+		Power(complete(2), 7),
+		CartesianProduct(ring(5), complete(4)),
+	}
+	for _, g := range graphs {
+		if dp, ds := g.DiameterParallel(), g.Diameter(); dp != ds {
+			t.Errorf("diameter parallel %d != serial %d", dp, ds)
+		}
+		ap, as := g.AverageDistanceParallel(), g.AverageDistance()
+		if ap != as {
+			t.Errorf("avg distance parallel %v != serial %v", ap, as)
+		}
+	}
+}
+
+func TestParallelDisconnected(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 5)
+	if g.DiameterParallel() != -1 {
+		t.Error("disconnected diameter should be -1")
+	}
+	if g.AverageDistanceParallel() != -1 {
+		t.Error("disconnected avg distance should be -1")
+	}
+}
+
+func TestParallelEmpty(t *testing.T) {
+	g := New(0)
+	if g.DiameterParallel() != 0 {
+		t.Error("empty graph diameter should be 0")
+	}
+}
+
+func TestQuickParallelRandomGraphs(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		r := rand.New(rand.NewSource(seed))
+		g := New(n)
+		// Random spanning structure plus noise edges for connectivity.
+		for v := 1; v < n; v++ {
+			g.AddEdge(v, r.Intn(v))
+		}
+		for e := 0; e < n/2; e++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		return g.DiameterParallel() == g.Diameter() &&
+			g.AverageDistanceParallel() == g.AverageDistance()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

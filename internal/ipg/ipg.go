@@ -1,0 +1,223 @@
+// Package ipg implements the index-permutation graph (IPG) model of Yeh &
+// Parhami: a graph defined by a seed label (a symbol string, possibly with
+// repeated symbols) and a set of permutation generators.  The vertices are
+// all labels reachable from the seed by generator applications; the edges
+// are the generator actions.
+//
+// Cayley graphs are the special case where the seed has all-distinct
+// symbols; allowing repeats is exactly the extension that yields
+// super-IPGs, hierarchical swap networks, cyclic networks, and the other
+// families studied in the paper.
+package ipg
+
+import (
+	"fmt"
+
+	"ipg/internal/graph"
+	"ipg/internal/perm"
+)
+
+// Spec defines an IPG before materialization.
+type Spec struct {
+	Name string
+	Seed perm.Label
+	Gens perm.GenSet
+}
+
+// Validate checks that the generators are valid permutations acting on
+// labels of the seed's length.
+func (s Spec) Validate() error {
+	if err := s.Gens.Validate(); err != nil {
+		return err
+	}
+	if s.Gens[0].P.Size() != len(s.Seed) {
+		return fmt.Errorf("ipg: generators act on %d positions but seed has %d symbols",
+			s.Gens[0].P.Size(), len(s.Seed))
+	}
+	return nil
+}
+
+// Graph is a materialized IPG: the closure of the seed under the
+// generators, with per-generator adjacency.
+type Graph struct {
+	Spec
+	nodes []perm.Label
+	index map[string]int32
+	// adj[v][g] is the node reached from v by generator g.  It may equal v:
+	// generators can fix a label when symbols repeat (a self-loop, which is
+	// not a link in the physical network).
+	adj [][]int32
+}
+
+// MaxNodes caps IPG materialization as a guard against runaway closures
+// (e.g. a mistaken generator set generating a huge permutation group).
+const MaxNodes = 1 << 22
+
+// Build materializes the IPG defined by spec via breadth-first closure.
+func Build(spec Spec) (*Graph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		Spec:  spec,
+		index: make(map[string]int32),
+	}
+	g.addNode(spec.Seed.Clone())
+	scratch := make(perm.Label, len(spec.Seed))
+	for head := 0; head < len(g.nodes); head++ {
+		cur := g.nodes[head]
+		row := make([]int32, len(spec.Gens))
+		for gi, gen := range spec.Gens {
+			gen.P.ApplyInto(scratch, cur)
+			key := string(scratch)
+			id, ok := g.index[key]
+			if !ok {
+				if len(g.nodes) >= MaxNodes {
+					return nil, fmt.Errorf("ipg: %s exceeds MaxNodes=%d", spec.Name, MaxNodes)
+				}
+				id = g.addNode(scratch.Clone())
+			}
+			row[gi] = id
+		}
+		g.adj = append(g.adj, row)
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(spec Spec) *Graph {
+	g, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) addNode(l perm.Label) int32 {
+	id := int32(len(g.nodes))
+	g.nodes = append(g.nodes, l)
+	g.index[string(l)] = id
+	return id
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.nodes) }
+
+// NumGens returns the number of generators (the directed out-degree
+// including self-loops).
+func (g *Graph) NumGens() int { return len(g.Gens) }
+
+// Label returns the label of node v.  The returned slice is owned by the
+// graph.
+func (g *Graph) Label(v int) perm.Label { return g.nodes[v] }
+
+// NodeID returns the node with the given label, or -1.
+func (g *Graph) NodeID(l perm.Label) int {
+	if id, ok := g.index[string(l)]; ok {
+		return int(id)
+	}
+	return -1
+}
+
+// Seed returns the node id of the seed label (always 0).
+func (g *Graph) SeedID() int { return 0 }
+
+// Neighbor returns the node reached from v by generator gi.  The result
+// equals v when the generator fixes v's label (self-loop).
+func (g *Graph) Neighbor(v, gi int) int { return int(g.adj[v][gi]) }
+
+// IsLoop reports whether generator gi is a self-loop at v.
+func (g *Graph) IsLoop(v, gi int) bool { return int(g.adj[v][gi]) == v }
+
+// EffectiveDegree returns the number of distinct non-self neighbors of v.
+func (g *Graph) EffectiveDegree(v int) int {
+	seen := make(map[int32]bool, len(g.adj[v]))
+	for _, w := range g.adj[v] {
+		if int(w) != v {
+			seen[w] = true
+		}
+	}
+	return len(seen)
+}
+
+// Undirected collapses the IPG into a simple undirected graph (self-loops
+// dropped, parallel edges merged).  For inverse-closed generator sets this
+// loses no connectivity information.
+func (g *Graph) Undirected() *graph.Graph {
+	u := graph.New(g.N())
+	for v := range g.adj {
+		for _, w := range g.adj[v] {
+			if int(w) != v {
+				u.AddEdge(v, int(w))
+			}
+		}
+	}
+	return u
+}
+
+// ApplyWord applies the generator sequence word (generator indices) to the
+// label x and returns the resulting label.
+func (g *Graph) ApplyWord(x perm.Label, word []int) perm.Label {
+	cur := x.Clone()
+	next := make(perm.Label, len(x))
+	for _, gi := range word {
+		g.Gens[gi].P.ApplyInto(next, cur)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// WalkWord follows the generator sequence from node v, returning the final
+// node id.
+func (g *Graph) WalkWord(v int, word []int) int {
+	for _, gi := range word {
+		v = int(g.adj[v][gi])
+	}
+	return v
+}
+
+// GeneratorEdgeCount returns, for each generator, the number of non-loop
+// directed edges it contributes.
+func (g *Graph) GeneratorEdgeCount() []int {
+	counts := make([]int, len(g.Gens))
+	for v := range g.adj {
+		for gi, w := range g.adj[v] {
+			if int(w) != v {
+				counts[gi]++
+			}
+		}
+	}
+	return counts
+}
+
+// SelfLoopCount returns the total number of (node, generator) pairs where
+// the generator fixes the node.
+func (g *Graph) SelfLoopCount() int {
+	loops := 0
+	for v := range g.adj {
+		for _, w := range g.adj[v] {
+			if int(w) == v {
+				loops++
+			}
+		}
+	}
+	return loops
+}
+
+// ClustersBy partitions nodes by an arbitrary key of their label and
+// returns (clusterOf, clusterCount).  Super-IPG packages use the suffix
+// beyond the first group as the key, making each cluster one nucleus copy.
+func (g *Graph) ClustersBy(key func(perm.Label) string) ([]int32, int) {
+	clusterOf := make([]int32, g.N())
+	idx := make(map[string]int32)
+	for v, l := range g.nodes {
+		k := key(l)
+		id, ok := idx[k]
+		if !ok {
+			id = int32(len(idx))
+			idx[k] = id
+		}
+		clusterOf[v] = id
+	}
+	return clusterOf, len(idx)
+}

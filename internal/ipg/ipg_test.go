@@ -1,0 +1,220 @@
+package ipg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipg/internal/perm"
+)
+
+// section2Spec is the worked IPG example from Section 2 of the paper:
+// seed 123321 with generators 213456, 321456, 456123 yields 36 nodes.
+func section2Spec() Spec {
+	return Spec{
+		Name: "paper-sec2",
+		Seed: perm.MustParseLabel("123321"),
+		Gens: perm.GenSet{
+			perm.Gen("p1", perm.FromImage(2, 1, 3, 4, 5, 6)),
+			perm.Gen("p2", perm.FromImage(3, 2, 1, 4, 5, 6)),
+			perm.Gen("p3", perm.FromImage(4, 5, 6, 1, 2, 3)),
+		},
+	}
+}
+
+func TestSection2Example(t *testing.T) {
+	g := MustBuild(section2Spec())
+	if g.N() != 36 {
+		t.Fatalf("paper example: %d nodes, want 36", g.N())
+	}
+	// The three listed neighbors of the seed.
+	seed := g.SeedID()
+	wantNbrs := []string{"213321", "321321", "321123"}
+	for gi, want := range wantNbrs {
+		nb := g.Neighbor(seed, gi)
+		if got := g.Label(nb).String(); got != want {
+			t.Errorf("generator %d neighbor = %s, want %s", gi, got, want)
+		}
+	}
+	// Generators here are involutions, so the graph is undirected.  It is
+	// not regular: labels fixed by a generator (e.g. 321321 under the
+	// half-swap 456123) lose that edge to a self-loop.
+	u := g.Undirected()
+	if !u.Connected() {
+		t.Error("IPG should be connected by construction")
+	}
+	if _, max, _ := u.DegreeStats(); max != 3 {
+		t.Errorf("max degree = %d, want 3", max)
+	}
+	if !g.Gens[2].P.Fixes(perm.MustParseLabel("321321")) {
+		t.Error("456123 should fix 321321")
+	}
+}
+
+func TestCayleySpecialCase(t *testing.T) {
+	// With all-distinct seed symbols, the IPG on transpositions (1,i) is
+	// the star graph S_n: n! nodes, (n-1)-regular, a classic Cayley graph.
+	n := 4
+	gens := perm.GenSet{}
+	for i := 2; i <= n; i++ {
+		gens = append(gens, perm.Gen("t", perm.Transposition(n, 0, i-1)))
+	}
+	g := MustBuild(Spec{Name: "star4", Seed: perm.MustParseLabel("1234"), Gens: gens})
+	if g.N() != 24 {
+		t.Fatalf("S4 nodes = %d, want 24", g.N())
+	}
+	u := g.Undirected()
+	if reg, d := u.IsRegular(); !reg || d != 3 {
+		t.Errorf("S4 should be 3-regular, got %v,%d", reg, d)
+	}
+	if diam := u.Diameter(); diam != 4 {
+		t.Errorf("S4 diameter = %d, want 4", diam)
+	}
+}
+
+func TestRepeatedSymbolsShrinkGraph(t *testing.T) {
+	// Same generators as star graph S3 but seed with repeats: fewer nodes.
+	gens := perm.GenSet{
+		perm.Gen("t2", perm.Transposition(3, 0, 1)),
+		perm.Gen("t3", perm.Transposition(3, 0, 2)),
+	}
+	distinct := MustBuild(Spec{Name: "s3", Seed: perm.MustParseLabel("123"), Gens: gens})
+	repeated := MustBuild(Spec{Name: "s3r", Seed: perm.MustParseLabel("122"), Gens: gens})
+	if distinct.N() != 6 {
+		t.Errorf("distinct seed: %d nodes, want 6", distinct.N())
+	}
+	if repeated.N() != 3 {
+		t.Errorf("repeated seed: %d nodes, want 3", repeated.N())
+	}
+}
+
+func TestSelfLoops(t *testing.T) {
+	// Seed 11 with the swap generator: single node, all actions loops.
+	g := MustBuild(Spec{
+		Name: "loop",
+		Seed: perm.MustParseLabel("11"),
+		Gens: perm.GenSet{perm.Gen("t", perm.Transposition(2, 0, 1))},
+	})
+	if g.N() != 1 || g.SelfLoopCount() != 1 || g.EffectiveDegree(0) != 0 {
+		t.Errorf("loop graph: n=%d loops=%d deg=%d", g.N(), g.SelfLoopCount(), g.EffectiveDegree(0))
+	}
+	if !g.IsLoop(0, 0) {
+		t.Error("IsLoop should be true")
+	}
+}
+
+func TestWalkAndApplyWordAgree(t *testing.T) {
+	g := MustBuild(section2Spec())
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		v := r.Intn(g.N())
+		word := make([]int, r.Intn(8))
+		for i := range word {
+			word[i] = r.Intn(g.NumGens())
+		}
+		end := g.WalkWord(v, word)
+		lbl := g.ApplyWord(g.Label(v), word)
+		if got := g.NodeID(lbl); got != end {
+			t.Fatalf("WalkWord=%d but ApplyWord lands on %d (label %v)", end, got, lbl)
+		}
+	}
+}
+
+func TestNodeID(t *testing.T) {
+	g := MustBuild(section2Spec())
+	if g.NodeID(perm.MustParseLabel("123321")) != 0 {
+		t.Error("seed should be node 0")
+	}
+	if g.NodeID(perm.MustParseLabel("111111")) != -1 {
+		t.Error("unreachable label should return -1")
+	}
+}
+
+func TestGeneratorEdgeCount(t *testing.T) {
+	g := MustBuild(section2Spec())
+	counts := g.GeneratorEdgeCount()
+	totalLoops := 0
+	for gi, c := range counts {
+		// Directed edges plus fixed labels must account for every node.
+		fixed := 0
+		for v := 0; v < g.N(); v++ {
+			if g.Gens[gi].P.Fixes(g.Label(v)) {
+				fixed++
+			}
+		}
+		if c+fixed != g.N() {
+			t.Errorf("generator %d: %d edges + %d fixed != %d nodes", gi, c, fixed, g.N())
+		}
+		totalLoops += fixed
+	}
+	if g.SelfLoopCount() != totalLoops {
+		t.Errorf("SelfLoopCount = %d, want %d", g.SelfLoopCount(), totalLoops)
+	}
+	// The half-swap generator fixes exactly the 6 labels of the form WW.
+	if want := g.N() - 6; counts[2] != want {
+		t.Errorf("half-swap generator contributes %d edges, want %d", counts[2], want)
+	}
+}
+
+func TestClustersBy(t *testing.T) {
+	g := MustBuild(section2Spec())
+	// Cluster on the last 3 symbols: nucleus-like grouping.
+	clusterOf, nc := g.ClustersBy(func(l perm.Label) string { return string(l[3:]) })
+	if nc <= 1 || nc >= g.N() {
+		t.Fatalf("implausible cluster count %d", nc)
+	}
+	// Nodes in the same cluster share suffixes.
+	for v := 0; v < g.N(); v++ {
+		for w := v + 1; w < g.N(); w++ {
+			same := clusterOf[v] == clusterOf[w]
+			suffixEq := g.Label(v)[3:].Equal(g.Label(w)[3:])
+			if same != suffixEq {
+				t.Fatalf("cluster/suffix mismatch at %d,%d", v, w)
+			}
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := Spec{
+		Name: "bad",
+		Seed: perm.MustParseLabel("123"),
+		Gens: perm.GenSet{perm.Gen("g", perm.Identity(4))},
+	}
+	if _, err := Build(bad); err == nil {
+		t.Error("size-mismatched spec should fail")
+	}
+	if _, err := Build(Spec{Name: "empty", Seed: perm.MustParseLabel("1")}); err == nil {
+		t.Error("empty generator set should fail")
+	}
+}
+
+func TestQuickClosureInvariants(t *testing.T) {
+	// Property: for random small generator sets, every node's every
+	// neighbor is a valid node, and edge relation v--g-->w implies
+	// w--g^-1-->v when the inverse generator is present.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(3)
+		p := perm.Random(r, n)
+		gens := perm.GenSet{perm.Gen("p", p), perm.Gen("p'", p.Inverse())}
+		lbl := make(perm.Label, n)
+		for i := range lbl {
+			lbl[i] = byte(r.Intn(3))
+		}
+		g, err := Build(Spec{Name: "rand", Seed: lbl, Gens: gens})
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			w := g.Neighbor(v, 0)
+			if g.Neighbor(w, 1) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package mcmp
+
+import "math"
+
+// This file collects the closed-form bisection-bandwidth results of
+// Section 4.2.  All formulas use w = the average aggregate off-chip
+// bandwidth of a node, i.e. a chip's budget is w*M.
+
+// HSNBisectionBandwidth returns Corollary 4.8's closed form for an N-node
+// HSN or SFN with M-node nucleus chips and l = log_M(N) super-symbols:
+//
+//	B_B = w*N*M / (4*(l-1)*(M-1))
+func HSNBisectionBandwidth(n, m, l int, w float64) float64 {
+	return w * float64(n) * float64(m) / (4 * float64(l-1) * float64(m-1))
+}
+
+// HypercubeBisectionBandwidth returns Corollary 4.9's hypercube form:
+//
+//	B_B = w*N / (2*(log2 N - log2 M))
+func HypercubeBisectionBandwidth(n, m int, w float64) float64 {
+	return w * float64(n) / (2 * (math.Log2(float64(n)) - math.Log2(float64(m))))
+}
+
+// TorusBisectionBandwidth returns Corollary 4.10's form for the
+// sqrt(N)-ary 2-cube with M-node square chips:
+//
+//	B_B = w*sqrt(N*M)/2
+func TorusBisectionBandwidth(n, m int, w float64) float64 {
+	return w * math.Sqrt(float64(n)*float64(m)) / 2
+}
+
+// LowerBoundBisectionBandwidth returns Theorem 4.7's lower bound from the
+// average intercluster distance a (for random routing with balanced
+// off-chip traffic):
+//
+//	B_B >= w*N/(4*a)
+func LowerBoundBisectionBandwidth(n int, w, avgIC float64) float64 {
+	return w * float64(n) / (4 * avgIC)
+}
+
+// TrivialUpperBoundBisectionBandwidth returns Corollary 4.11's trivial
+// upper bound w*N/2 (every node's whole off-chip budget crossing the cut).
+func TrivialUpperBoundBisectionBandwidth(n int, w float64) float64 {
+	return w * float64(n) / 2
+}
+
+// HSNAvgInterclusterDistance returns the exact average intercluster
+// distance of an HSN/SFN with l groups over an M-node nucleus:
+// (l-1)(M-1)/M (each of the l-1 non-front groups independently needs one
+// intercluster hop unless it already matches, probability 1/M).
+func HSNAvgInterclusterDistance(m, l int) float64 {
+	return float64(l-1) * float64(m-1) / float64(m)
+}
+
+// HypercubeAvgInterclusterDistance returns the average intercluster
+// distance of a hypercube with 2^logM-node subcube chips: half the
+// off-chip dimensions differ on average: (log2 N - log2 M)/2.
+func HypercubeAvgInterclusterDistance(n, m int) float64 {
+	return (math.Log2(float64(n)) - math.Log2(float64(m))) / 2
+}
+
+// IDCost returns the paper's ID-cost metric: intercluster degree times
+// diameter.
+func IDCost(interclusterDegree float64, diameter int) float64 {
+	return interclusterDegree * float64(diameter)
+}
+
+// IICost returns the paper's II-cost metric: intercluster degree times
+// intercluster diameter.
+func IICost(interclusterDegree float64, icDiameter int) float64 {
+	return interclusterDegree * float64(icDiameter)
+}

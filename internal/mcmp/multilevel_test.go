@@ -1,0 +1,114 @@
+package mcmp
+
+import (
+	"testing"
+
+	"ipg/internal/topology"
+)
+
+// twoLevelQ6 packages Q6 as 16 chips of 4 nodes on 4 boards of 4 chips.
+func twoLevelQ6(t *testing.T) (*TwoLevel, *topology.Hypercube) {
+	t.Helper()
+	h := topology.NewHypercube(6)
+	chipOf := make([]int32, h.N())
+	for v := range chipOf {
+		chipOf[v] = int32(v >> 2)
+	}
+	boardOfChip := make([]int32, 16)
+	for c := range boardOfChip {
+		boardOfChip[c] = int32(c >> 2)
+	}
+	two, err := NewTwoLevel("Q6/3-tier", h.G, chipOf, boardOfChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return two, h
+}
+
+func TestTwoLevelStructure(t *testing.T) {
+	two, h := twoLevelQ6(t)
+	if two.Chips != 16 || two.MChip != 4 || two.Boards != 4 || two.ChipsPerBoard != 4 {
+		t.Fatalf("structure: %+v", two)
+	}
+	if two.BoardOfNode(63) != 3 || two.BoardOfNode(0) != 0 {
+		t.Error("BoardOfNode wrong")
+	}
+	// Cross-board links: dimensions 4,5 cross boards: 2 * N/2 = 64.
+	if got := two.CrossBoardLinks(); got != 64 {
+		t.Errorf("cross-board links = %d, want 64", got)
+	}
+	_ = h
+}
+
+func TestTwoLevelValidation(t *testing.T) {
+	h := topology.NewHypercube(4)
+	chipOf := make([]int32, h.N())
+	for v := range chipOf {
+		chipOf[v] = int32(v >> 2)
+	}
+	if _, err := NewTwoLevel("bad", h.G, chipOf, []int32{0, 0, 1}); err == nil {
+		t.Error("wrong boardOfChip length should error")
+	}
+	if _, err := NewTwoLevel("bad", h.G, chipOf, []int32{0, 0, 0, 1}); err == nil {
+		t.Error("uneven boards should error")
+	}
+	if _, err := NewTwoLevel("bad", h.G, chipOf, []int32{0, 0, 7, 7}); err == nil {
+		t.Error("non-dense board ids should error")
+	}
+	if _, err := NewTwoLevel("ok", h.G, chipOf, []int32{0, 0, 1, 1}); err != nil {
+		t.Errorf("valid packaging rejected: %v", err)
+	}
+}
+
+func TestAnalyzeLevelQ6(t *testing.T) {
+	two, _ := twoLevelQ6(t)
+	cc, err := two.ChipClustered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chipSide := make([]int8, cc.Chips)
+	for c := range chipSide {
+		chipSide[c] = int8(c >> 3 & 1)
+	}
+	chip, err := AnalyzeLevel("chip", cc, chipSide, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each chip: 4 nodes x 4 off-chip dims = 16 links; per-link bw = 1/4.
+	if chip.LinksPerUnit != 16 {
+		t.Errorf("links/chip = %d, want 16", chip.LinksPerUnit)
+	}
+	if chip.BisectionWidth != 32 { // top-bit cut of Q6
+		t.Errorf("chip-level width = %d, want 32", chip.BisectionWidth)
+	}
+	if chip.BisectionBandwidth != 8 { // 32 * 4/16
+		t.Errorf("chip-level B_B = %v, want 8", chip.BisectionBandwidth)
+	}
+	if chip.PerLinkBW != 0.25 {
+		t.Errorf("per-link bw = %v, want 0.25", chip.PerLinkBW)
+	}
+
+	bc, err := two.BoardClustered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boardSide := []int8{0, 0, 1, 1}
+	board, err := AnalyzeLevel("board", bc, boardSide, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Board: 16 nodes x 2 off-board dims = 32 links; bw = 0.5; width 32.
+	if board.LinksPerUnit != 32 || board.BisectionWidth != 32 {
+		t.Errorf("board level: links=%d width=%d", board.LinksPerUnit, board.BisectionWidth)
+	}
+	if board.BisectionBandwidth != 16 {
+		t.Errorf("board-level B_B = %v, want 16", board.BisectionBandwidth)
+	}
+	if board.InterUnitDiameter != 2 {
+		t.Errorf("board ic diameter = %d, want 2", board.InterUnitDiameter)
+	}
+	// Unbalanced partition rejected.
+	if _, err := AnalyzeLevel("bad", bc, []int8{0, 0, 0, 1}, 16); err == nil {
+		t.Error("unbalanced board split should error")
+	}
+}

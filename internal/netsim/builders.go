@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ipg/internal/ipg"
+	"ipg/internal/superipg"
+)
+
+// This file assembles simulated networks under the unit chip capacity
+// model: each chip has off-chip budget chipCapacity (in packets per round),
+// split evenly over its off-chip directed links; on-chip links are
+// effectively infinite.
+
+// UniformCapacity overwrites every present port's capacity with c,
+// switching a network to the unit link capacity model of Section 3 (with
+// c = 1).  Cluster assignments are kept for off-chip accounting.
+func UniformCapacity(net *Network, c float64) {
+	for u := range net.Cap {
+		for p := range net.Cap[u] {
+			if net.Ports[u][p] >= 0 {
+				net.Cap[u][p] = c
+			}
+		}
+	}
+}
+
+// BuildHypercube returns a d-cube with 2^logM-node chips (low address bits
+// on-chip).  Port b flips bit b.
+func BuildHypercube(d, logM int, chipCapacity float64) (*Network, error) {
+	if logM < 0 || logM >= d {
+		return nil, fmt.Errorf("netsim: logM %d out of range for Q%d", logM, d)
+	}
+	n := 1 << d
+	offLinksPerChip := (1 << logM) * (d - logM) // M nodes x off-chip degree
+	offCap := chipCapacity / float64(offLinksPerChip)
+	ports := make([][]int32, n)
+	caps := make([][]float64, n)
+	clusterOf := make([]int32, n)
+	for v := 0; v < n; v++ {
+		clusterOf[v] = int32(v >> logM)
+		ports[v] = make([]int32, d)
+		caps[v] = make([]float64, d)
+		for b := 0; b < d; b++ {
+			ports[v][b] = int32(v ^ 1<<b)
+			if b < logM {
+				caps[v][b] = OnChipCapacity
+			} else {
+				caps[v][b] = offCap
+			}
+		}
+	}
+	return &Network{
+		Name:      fmt.Sprintf("Q%d/M=%d", d, 1<<logM),
+		N:         n,
+		Ports:     ports,
+		Cap:       caps,
+		ClusterOf: clusterOf,
+		Router:    HypercubeRouter{D: d},
+	}, nil
+}
+
+// BuildTorus2D returns the k-ary 2-cube with side x side chips.  Ports:
+// 0 = +x, 1 = -x, 2 = +y, 3 = -y.
+func BuildTorus2D(k, side int, chipCapacity float64) (*Network, error) {
+	if side < 1 || k%side != 0 || k/side < 2 {
+		return nil, fmt.Errorf("netsim: chip side %d invalid for k=%d", side, k)
+	}
+	n := k * k
+	chipsPerRow := k / side
+	// Each chip has 4*side off-chip undirected links, i.e. 4*side outgoing
+	// off-chip arcs.
+	offCap := chipCapacity / float64(4*side)
+	ports := make([][]int32, n)
+	caps := make([][]float64, n)
+	clusterOf := make([]int32, n)
+	chipOf := func(x, y int) int32 { return int32((y/side)*chipsPerRow + x/side) }
+	for v := 0; v < n; v++ {
+		x, y := v%k, v/k
+		clusterOf[v] = chipOf(x, y)
+		nb := [4][2]int{
+			{(x + 1) % k, y}, {(x - 1 + k) % k, y},
+			{x, (y + 1) % k}, {x, (y - 1 + k) % k},
+		}
+		ports[v] = make([]int32, 4)
+		caps[v] = make([]float64, 4)
+		for p, xy := range nb {
+			ports[v][p] = int32(xy[1]*k + xy[0])
+			if chipOf(xy[0], xy[1]) == clusterOf[v] {
+				caps[v][p] = OnChipCapacity
+			} else {
+				caps[v][p] = offCap
+			}
+		}
+	}
+	return &Network{
+		Name:      fmt.Sprintf("%d-ary 2-cube/M=%d", k, side*side),
+		N:         n,
+		Ports:     ports,
+		Cap:       caps,
+		ClusterOf: clusterOf,
+		Router:    TorusRouter{K: k, Dims: 2},
+	}, nil
+}
+
+// BuildSuperIPG returns a simulated super-IPG with one nucleus per chip.
+// Ports coincide with generator indices; generator self-loops become
+// absent ports.  If router is nil an HSNRouter is built (swap families
+// only); pass a TableRouter-based router for other families.
+func BuildSuperIPG(w *superipg.Network, g *ipg.Graph, chipCapacity float64, router Router) (*Network, error) {
+	clusterOf, _ := w.Clusters(g)
+	// Count off-chip out-arcs per chip and check uniformity.
+	arcs := make(map[int32]int)
+	for v := 0; v < g.N(); v++ {
+		for gi := w.NumNucGens(); gi < len(w.Gens()); gi++ {
+			u := g.Neighbor(v, gi)
+			if u != v && clusterOf[u] != clusterOf[v] {
+				arcs[clusterOf[v]]++
+			}
+		}
+	}
+	// Each chip splits its budget over its own off-chip arcs.  Swap
+	// families have uniform counts; CN families have slightly fewer arcs
+	// on "diagonal" clusters (labels with coinciding groups turn some
+	// super-generator actions into self-loops), whose links are then
+	// correspondingly wider.
+	offCap := make(map[int32]float64, len(arcs))
+	for chip, cnt := range arcs {
+		offCap[chip] = chipCapacity / float64(cnt)
+	}
+	ports := make([][]int32, g.N())
+	caps := make([][]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		ng := len(w.Gens())
+		ports[v] = make([]int32, ng)
+		caps[v] = make([]float64, ng)
+		for gi := 0; gi < ng; gi++ {
+			u := g.Neighbor(v, gi)
+			if u == v {
+				ports[v][gi] = -1
+				caps[v][gi] = 1
+				continue
+			}
+			ports[v][gi] = int32(u)
+			if clusterOf[u] == clusterOf[v] {
+				caps[v][gi] = OnChipCapacity
+			} else {
+				caps[v][gi] = offCap[clusterOf[v]]
+			}
+		}
+	}
+	net := &Network{
+		Name:      w.Name(),
+		N:         g.N(),
+		Ports:     ports,
+		Cap:       caps,
+		ClusterOf: clusterOf,
+		Router:    router,
+	}
+	if net.Router == nil {
+		r, err := NewHSNRouter(w, g)
+		if err != nil {
+			return nil, err
+		}
+		net.Router = r
+	}
+	return net, nil
+}

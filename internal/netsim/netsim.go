@@ -1,0 +1,515 @@
+// Package netsim is a synchronous, packet-level interconnection-network
+// simulator used to reproduce the paper's communication experiments:
+// random uniform routing, total exchange, and permutation traffic under
+// the unit link / unit chip capacity models.
+//
+// Model: store-and-forward, one routing decision per packet per node,
+// per-directed-link FIFO queues, and per-link capacities in packets per
+// round.  Fractional capacities (e.g. the 8w/15 off-chip links of an
+// HSN(3,Q4) chip) accumulate as credits.  On-chip links are modelled as
+// effectively infinite, following the paper's assumption that "on-chip
+// links can be made fast enough so that they do not form a performance
+// bottleneck".
+//
+// The simulator advances in two phases per round, each parallelized over
+// node shards with a barrier in between: phase A pops up to capacity
+// packets from every node's output queues; phase B routes arrivals and
+// injections into the destination nodes' queues.  Queue ownership moves
+// from the source shard (phase A) to the target shard (phase B), so the
+// phases are data-race free; results are deterministic for a fixed seed
+// and worker-independent.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// OnChipCapacity is the per-round packet capacity assigned to on-chip
+// links.
+const OnChipCapacity = math.MaxFloat64
+
+// Router decides the outgoing port for a packet.
+type Router interface {
+	// NextPort returns the port index at cur on which to forward a packet
+	// destined for dst (cur != dst).
+	NextPort(cur, dst int) int
+}
+
+// Network is the static description of a simulated network.
+type Network struct {
+	Name string
+	N    int
+	// Ports[u][p] is the neighbor reached from u via port p, or -1 if the
+	// port is absent at u (e.g. an IPG generator that fixes u's label).
+	Ports [][]int32
+	// Cap[u][p] is the capacity of the directed link at (u,p) in packets
+	// per round.
+	Cap [][]float64
+	// ClusterOf assigns nodes to chips for off-chip accounting; nil means
+	// every node is its own chip.
+	ClusterOf []int32
+	Router    Router
+	// SinglePort restricts each node to transmitting on at most one
+	// outgoing link per round (the single-port model of Section 3, of
+	// which SDC is a special case); the default is all-port.
+	SinglePort bool
+}
+
+// Validate checks structural consistency.
+func (n *Network) Validate() error {
+	if len(n.Ports) != n.N || len(n.Cap) != n.N {
+		return fmt.Errorf("netsim: %s: ports/cap length mismatch", n.Name)
+	}
+	for u := range n.Ports {
+		if len(n.Ports[u]) != len(n.Cap[u]) {
+			return fmt.Errorf("netsim: %s: node %d port/cap mismatch", n.Name, u)
+		}
+		for p, v := range n.Ports[u] {
+			if v >= 0 && (int(v) >= n.N || n.Cap[u][p] <= 0) {
+				return fmt.Errorf("netsim: %s: node %d port %d invalid", n.Name, u, p)
+			}
+		}
+	}
+	if n.ClusterOf != nil && len(n.ClusterOf) != n.N {
+		return fmt.Errorf("netsim: %s: clusterOf length mismatch", n.Name)
+	}
+	if n.Router == nil {
+		return fmt.Errorf("netsim: %s: no router", n.Name)
+	}
+	return nil
+}
+
+// offChip reports whether the directed link u->v crosses chips.
+func (n *Network) offChip(u, v int32) bool {
+	return n.ClusterOf != nil && n.ClusterOf[u] != n.ClusterOf[v]
+}
+
+// Packet is a unicast payload descriptor.
+type Packet struct {
+	Dst  int32
+	Born int32 // round of injection
+}
+
+// Stats aggregates simulation measurements.
+type Stats struct {
+	Rounds       int
+	Injected     int64
+	Delivered    int64
+	TotalLatency int64 // sum over delivered packets of (arrival - born)
+	Hops         int64 // total link transmissions
+	OffChipHops  int64 // transmissions crossing chips
+	InFlight     int64 // packets still queued when the run ended
+}
+
+// AvgLatency returns mean delivery latency in rounds.
+func (s Stats) AvgLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Delivered)
+}
+
+// OffChipPerPacket returns mean off-chip transmissions per delivered
+// packet.
+func (s Stats) OffChipPerPacket() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.OffChipHops) / float64(s.Delivered)
+}
+
+// HopsPerPacket returns mean total transmissions per delivered packet.
+func (s Stats) HopsPerPacket() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.Hops) / float64(s.Delivered)
+}
+
+// Sim is a running simulation instance.
+type Sim struct {
+	Net *Network
+
+	queues  [][][]Packet // queues[u][p]: FIFO (head at index qhead)
+	qhead   [][]int
+	credits [][]float64
+	outbox  [][][]Packet // phase A results, consumed in phase B
+
+	inLinks [][]inLink // per destination node: links arriving at it
+
+	round   int32
+	stats   Stats
+	workers int
+
+	// Livelock detection: with fractional link capacities, rounds where
+	// nothing moves are legitimate while credits accumulate; only a streak
+	// longer than the slowest link's refill period indicates a stuck
+	// simulation.
+	zeroStreak int
+	maxIdle    int
+
+	// rrPort is the per-node round-robin pointer for single-port mode.
+	rrPort []int
+
+	// injectFn, if set, is called in phase B for each node to produce new
+	// packets this round.
+	injectFn func(u int, round int32, emit func(dst int32))
+
+	perNode []localStats
+	rngs    []*rand.Rand
+}
+
+type inLink struct {
+	src  int32
+	port int16
+}
+
+type localStats struct {
+	delivered, latency, hops, offchip, injected int64
+	_pad                                        [3]int64 // reduce false sharing
+	// hist counts deliveries by latency (index = rounds, last bucket =
+	// overflow); nil unless EnableLatencyHistogram was called.  Node-local,
+	// so updates are race-free under the phase-B sharding.
+	hist []int64
+}
+
+// New creates a simulation for the network with the given PRNG seed.
+func New(net *Network, seed int64) (*Sim, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		Net:     net,
+		workers: runtime.GOMAXPROCS(0),
+	}
+	if s.workers > net.N {
+		s.workers = net.N
+	}
+	if s.workers < 1 {
+		s.workers = 1
+	}
+	s.queues = make([][][]Packet, net.N)
+	s.qhead = make([][]int, net.N)
+	s.credits = make([][]float64, net.N)
+	s.outbox = make([][][]Packet, net.N)
+	s.inLinks = make([][]inLink, net.N)
+	s.perNode = make([]localStats, net.N)
+	s.rngs = make([]*rand.Rand, net.N)
+	for u := 0; u < net.N; u++ {
+		np := len(net.Ports[u])
+		s.queues[u] = make([][]Packet, np)
+		s.qhead[u] = make([]int, np)
+		s.credits[u] = make([]float64, np)
+		s.outbox[u] = make([][]Packet, np)
+		s.rngs[u] = rand.New(rand.NewSource(seed + int64(u)*1_000_003))
+	}
+	minCap := math.Inf(1)
+	for u := 0; u < net.N; u++ {
+		for p, v := range net.Ports[u] {
+			if v >= 0 {
+				s.inLinks[v] = append(s.inLinks[v], inLink{src: int32(u), port: int16(p)})
+				if c := net.Cap[u][p]; c < minCap {
+					minCap = c
+				}
+			}
+		}
+	}
+	s.maxIdle = 2
+	if minCap < 1 {
+		s.maxIdle = int(math.Ceil(1/minCap)) + 2
+	}
+	if net.SinglePort {
+		s.rrPort = make([]int, net.N)
+	}
+	return s, nil
+}
+
+// SetInjector installs the per-round traffic source.
+func (s *Sim) SetInjector(fn func(u int, round int32, emit func(dst int32))) {
+	s.injectFn = fn
+}
+
+// EnableLatencyHistogram starts recording per-packet delivery latencies in
+// buckets 0..maxLatency (larger values land in the overflow bucket).
+func (s *Sim) EnableLatencyHistogram(maxLatency int) {
+	for i := range s.perNode {
+		s.perNode[i].hist = make([]int64, maxLatency+2)
+	}
+}
+
+// LatencyPercentiles merges the per-node histograms and returns the
+// requested percentiles (each in [0,1]) of the delivered-packet latency.
+func (s *Sim) LatencyPercentiles(percentiles []float64) ([]int, error) {
+	if s.perNode[0].hist == nil {
+		return nil, fmt.Errorf("netsim: latency histogram not enabled")
+	}
+	merged := make([]int64, len(s.perNode[0].hist))
+	var total int64
+	for i := range s.perNode {
+		for b, c := range s.perNode[i].hist {
+			merged[b] += c
+			total += c
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("netsim: no deliveries recorded")
+	}
+	out := make([]int, len(percentiles))
+	for i, p := range percentiles {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("netsim: percentile %v out of [0,1]", p)
+		}
+		target := int64(p * float64(total-1))
+		var cum int64
+		for b, c := range merged {
+			cum += c
+			if cum > target {
+				out[i] = b
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// Enqueue injects a packet at node u immediately (before the next round).
+func (s *Sim) Enqueue(u int, dst int32) error {
+	if int(dst) == u {
+		return fmt.Errorf("netsim: packet to self at node %d", u)
+	}
+	p := s.routePort(u, dst)
+	if p < 0 || p >= len(s.queues[u]) || s.Net.Ports[u][p] < 0 {
+		return fmt.Errorf("netsim: router returned invalid port %d at node %d for dst %d", p, u, dst)
+	}
+	s.queues[u][p] = append(s.queues[u][p], Packet{Dst: dst, Born: s.round})
+	s.perNode[u].injected++
+	return nil
+}
+
+// parallelNodes runs fn over node ranges on the worker pool.
+func (s *Sim) parallelNodes(fn func(lo, hi int)) {
+	n := s.Net.N
+	if s.workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + s.workers - 1) / s.workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Step advances the simulation one round.  It returns the number of
+// packets that moved or were injected (0 with packets in flight indicates
+// livelock, reported as an error).
+func (s *Sim) Step() (int, error) {
+	net := s.Net
+	// Phase A: pop up to capacity from each source queue into outboxes.
+	s.parallelNodes(func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if net.SinglePort {
+				s.singlePortPhaseA(u)
+				continue
+			}
+			for p := range s.queues[u] {
+				q := s.queues[u][p]
+				head := s.qhead[u][p]
+				avail := len(q) - head
+				if avail == 0 {
+					s.outbox[u][p] = s.outbox[u][p][:0]
+					continue
+				}
+				cap := net.Cap[u][p]
+				var take int
+				if cap >= float64(avail) {
+					take = avail
+				} else {
+					// Token bucket: credits accumulate across idle rounds
+					// up to one round's worth plus one packet.
+					s.credits[u][p] += cap
+					if limit := cap + 1; s.credits[u][p] > limit {
+						s.credits[u][p] = limit
+					}
+					take = int(s.credits[u][p])
+					if take > avail {
+						take = avail
+					}
+					s.credits[u][p] -= float64(take)
+				}
+				s.outbox[u][p] = append(s.outbox[u][p][:0], q[head:head+take]...)
+				head += take
+				if head == len(q) {
+					s.queues[u][p] = q[:0]
+					s.qhead[u][p] = 0
+				} else {
+					s.qhead[u][p] = head
+					if head > 4096 && head*2 > len(q) {
+						s.queues[u][p] = append(s.queues[u][p][:0], q[head:]...)
+						s.qhead[u][p] = 0
+					}
+				}
+			}
+		}
+	})
+	// Phase B: arrivals and injections, sharded by destination node.
+	round := s.round
+	s.parallelNodes(func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			ls := &s.perNode[v]
+			for _, il := range s.inLinks[v] {
+				box := s.outbox[il.src][il.port]
+				if len(box) == 0 {
+					continue
+				}
+				off := net.offChip(il.src, int32(v))
+				for _, pkt := range box {
+					ls.hops++
+					if off {
+						ls.offchip++
+					}
+					if int(pkt.Dst) == v {
+						ls.delivered++
+						lat := int64(round + 1 - pkt.Born)
+						ls.latency += lat
+						if ls.hist != nil {
+							b := int(lat)
+							if b >= len(ls.hist) {
+								b = len(ls.hist) - 1
+							}
+							ls.hist[b]++
+						}
+						continue
+					}
+					p := s.routePort(v, pkt.Dst)
+					s.queues[v][p] = append(s.queues[v][p], pkt)
+				}
+			}
+			if s.injectFn != nil {
+				s.injectFn(v, round+1, func(dst int32) {
+					if int(dst) == v {
+						return
+					}
+					p := s.routePort(v, dst)
+					s.queues[v][p] = append(s.queues[v][p], Packet{Dst: dst, Born: round + 1})
+					ls.injected++
+				})
+			}
+		}
+	})
+	s.round++
+	s.stats.Rounds++
+	moved := 0
+	for u := range s.outbox {
+		for p := range s.outbox[u] {
+			moved += len(s.outbox[u][p])
+			s.outbox[u][p] = s.outbox[u][p][:0]
+		}
+	}
+	if moved == 0 && s.injectFn == nil && s.InFlight() > 0 {
+		s.zeroStreak++
+		if s.zeroStreak > s.maxIdle {
+			return 0, fmt.Errorf("netsim: %s: livelock with %d packets in flight", net.Name, s.InFlight())
+		}
+	} else {
+		s.zeroStreak = 0
+	}
+	return moved, nil
+}
+
+// singlePortPhaseA transmits at most one packet at node u, on the next
+// nonempty port in round-robin order (credits still gate slow links).
+func (s *Sim) singlePortPhaseA(u int) {
+	np := len(s.queues[u])
+	for p := range s.outbox[u] {
+		s.outbox[u][p] = s.outbox[u][p][:0]
+	}
+	if np == 0 {
+		return
+	}
+	start := s.rrPort[u]
+	for off := 0; off < np; off++ {
+		p := (start + off) % np
+		q := s.queues[u][p]
+		head := s.qhead[u][p]
+		if len(q)-head == 0 {
+			continue
+		}
+		cap := s.Net.Cap[u][p]
+		if cap < 1 {
+			s.credits[u][p] += cap
+			if limit := cap + 1; s.credits[u][p] > limit {
+				s.credits[u][p] = limit
+			}
+			if s.credits[u][p] < 1 {
+				continue // link not ready; try another port
+			}
+			s.credits[u][p]--
+		}
+		s.outbox[u][p] = append(s.outbox[u][p][:0], q[head])
+		head++
+		if head == len(q) {
+			s.queues[u][p] = q[:0]
+			s.qhead[u][p] = 0
+		} else {
+			s.qhead[u][p] = head
+		}
+		s.rrPort[u] = (p + 1) % np
+		return
+	}
+}
+
+// InFlight returns the number of queued packets.
+func (s *Sim) InFlight() int64 {
+	var total int64
+	for u := range s.queues {
+		for p := range s.queues[u] {
+			total += int64(len(s.queues[u][p]) - s.qhead[u][p])
+		}
+	}
+	return total
+}
+
+// Stats reduces the per-node counters into the aggregate view.
+func (s *Sim) Stats() Stats {
+	out := s.stats
+	for i := range s.perNode {
+		ls := &s.perNode[i]
+		out.Delivered += ls.delivered
+		out.TotalLatency += ls.latency
+		out.Hops += ls.hops
+		out.OffChipHops += ls.offchip
+		out.Injected += ls.injected
+	}
+	out.InFlight = s.InFlight()
+	return out
+}
+
+// ResetStats zeroes the measurement counters (e.g. after warmup) without
+// touching queue state.
+func (s *Sim) ResetStats() {
+	s.stats = Stats{}
+	for i := range s.perNode {
+		hist := s.perNode[i].hist
+		s.perNode[i] = localStats{}
+		if hist != nil {
+			for b := range hist {
+				hist[b] = 0
+			}
+			s.perNode[i].hist = hist
+		}
+	}
+}

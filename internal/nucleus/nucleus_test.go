@@ -1,0 +1,300 @@
+package nucleus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipg/internal/perm"
+)
+
+func TestHypercubeStructure(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		nu := Hypercube(k)
+		g, err := nu.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 1<<k {
+			t.Fatalf("Q%d: %d nodes, want %d", k, g.N(), 1<<k)
+		}
+		u := g.Undirected()
+		if reg, d := u.IsRegular(); !reg || d != k {
+			t.Errorf("Q%d: degree %v,%d want %d-regular", k, reg, d, k)
+		}
+		if diam := u.Diameter(); diam != k {
+			t.Errorf("Q%d diameter = %d, want %d", k, diam, k)
+		}
+		if u.M() != k*(1<<k)/2 {
+			t.Errorf("Q%d edges = %d", k, u.M())
+		}
+	}
+}
+
+func TestHypercubeAddressing(t *testing.T) {
+	nu := Hypercube(4)
+	g, _ := nu.Build()
+	seen := make(map[int]bool)
+	for v := 0; v < g.N(); v++ {
+		addr, err := nu.AddressOf(g.Label(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr < 0 || addr >= 16 || seen[addr] {
+			t.Fatalf("bad/duplicate address %d for %v", addr, g.Label(v))
+		}
+		seen[addr] = true
+		back, err := nu.LabelOf(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(g.Label(v)) {
+			t.Fatalf("LabelOf(AddressOf) mismatch: %v -> %d -> %v", g.Label(v), addr, back)
+		}
+	}
+	// Neighbors along dimension d differ by bit d.
+	for v := 0; v < g.N(); v++ {
+		a, _ := nu.AddressOf(g.Label(v))
+		for d := 0; d < 4; d++ {
+			w := g.Neighbor(v, nu.Dims[d].GenIdx[0])
+			b, _ := nu.AddressOf(g.Label(w))
+			if a^b != 1<<d {
+				t.Fatalf("dimension %d link: %04b -> %04b", d, a, b)
+			}
+		}
+	}
+}
+
+func TestFoldedHypercube(t *testing.T) {
+	nu := FoldedHypercube(3)
+	g, err := nu.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 {
+		t.Fatalf("FQ3 nodes = %d", g.N())
+	}
+	u := g.Undirected()
+	if reg, d := u.IsRegular(); !reg || d != 4 {
+		t.Errorf("FQ3 degree = %v,%d, want 4-regular", reg, d)
+	}
+	// Folded hypercube diameter is ceil(k/2) = 2.
+	if diam := u.Diameter(); diam != 2 {
+		t.Errorf("FQ3 diameter = %d, want 2", diam)
+	}
+	// Complement generator connects addresses a and ^a.
+	comp := len(nu.Gens) - 1
+	for v := 0; v < g.N(); v++ {
+		a, _ := nu.AddressOf(g.Label(v))
+		w := g.Neighbor(v, comp)
+		b, _ := nu.AddressOf(g.Label(w))
+		if a^b != 7 {
+			t.Fatalf("complement link %03b -> %03b", a, b)
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	for m := 2; m <= 8; m++ {
+		nu := Complete(m)
+		g, err := nu.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != m {
+			t.Fatalf("K%d nodes = %d", m, g.N())
+		}
+		u := g.Undirected()
+		if u.M() != m*(m-1)/2 {
+			t.Fatalf("K%d edges = %d, want %d", m, u.M(), m*(m-1)/2)
+		}
+		if m > 2 {
+			if diam := u.Diameter(); diam != 1 {
+				t.Errorf("K%d diameter = %d", m, diam)
+			}
+		}
+	}
+}
+
+func TestCompleteAddressing(t *testing.T) {
+	nu := Complete(5)
+	g, _ := nu.Build()
+	for v := 0; v < g.N(); v++ {
+		a, err := nu.AddressOf(g.Label(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _ := nu.LabelOf(a)
+		if !l.Equal(g.Label(v)) {
+			t.Fatalf("roundtrip failed for %v", g.Label(v))
+		}
+	}
+	// DimGenerator moves digit a to digit b.
+	for a := 0; a < 5; a++ {
+		la, _ := nu.LabelOf(a)
+		for b := 0; b < 5; b++ {
+			if a == b {
+				continue
+			}
+			gi, err := nu.DimGenerator(0, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := nu.Gens[gi].P.Apply(la)
+			addr, _ := nu.AddressOf(got)
+			if addr != b {
+				t.Fatalf("DimGenerator(%d->%d) lands on %d", a, b, addr)
+			}
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	nu := Ring(6)
+	g, err := nu.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := g.Undirected()
+	if g.N() != 6 || u.M() != 6 {
+		t.Fatalf("C6: n=%d m=%d", g.N(), u.M())
+	}
+	if diam := u.Diameter(); diam != 3 {
+		t.Errorf("C6 diameter = %d", diam)
+	}
+}
+
+func TestGeneralizedHypercube(t *testing.T) {
+	// GHC(4,4,4): the paper's Corollary 3.7 example (m_i = 4, n = 3).
+	nu := GeneralizedHypercube(4, 4, 4)
+	g, err := nu.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 64 {
+		t.Fatalf("GHC(4,4,4) nodes = %d, want 64", g.N())
+	}
+	u := g.Undirected()
+	// Degree: 3 dims x (4-1) = 9.
+	if reg, d := u.IsRegular(); !reg || d != 9 {
+		t.Errorf("GHC(4,4,4) degree = %v,%d, want 9", reg, d)
+	}
+	if diam := u.Diameter(); diam != 3 {
+		t.Errorf("GHC(4,4,4) diameter = %d, want 3", diam)
+	}
+	if nu.NumGens() != 9 || nu.NumDims() != 3 {
+		t.Errorf("gens=%d dims=%d", nu.NumGens(), nu.NumDims())
+	}
+}
+
+func TestGHCMixedRadix(t *testing.T) {
+	nu := GeneralizedHypercube(2, 3, 4)
+	g, err := nu.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 24 {
+		t.Fatalf("GHC(2,3,4) nodes = %d", g.N())
+	}
+	// Round-trip all addresses.
+	for a := 0; a < nu.M; a++ {
+		l, err := nu.LabelOf(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := nu.AddressOf(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != a {
+			t.Fatalf("address roundtrip %d -> %v -> %d", a, l, back)
+		}
+		if g.NodeID(l) < 0 {
+			t.Fatalf("label %v for address %d not in graph", l, a)
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	nu := Star(4)
+	g, err := nu.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 24 {
+		t.Fatalf("S4 nodes = %d", g.N())
+	}
+	if nu.NumDims() != 0 {
+		t.Error("star graph should not be dimensionable")
+	}
+}
+
+func TestQuickGHCDigitMove(t *testing.T) {
+	// Property: DimGenerator changes exactly the requested digit.
+	nu := GeneralizedHypercube(3, 4, 5)
+	f := func(addrRaw uint16, dimRaw, deltaRaw uint8) bool {
+		addr := int(addrRaw) % nu.M
+		dim := int(dimRaw) % nu.NumDims()
+		radix := nu.Dims[dim].Radix
+		l, err := nu.LabelOf(addr)
+		if err != nil {
+			return false
+		}
+		digits := digitsOf(nu, addr)
+		newDigit := (digits[dim] + 1 + int(deltaRaw)%(radix-1)) % radix
+		gi, err := nu.DimGenerator(dim, digits[dim], newDigit)
+		if err != nil {
+			return false
+		}
+		got := nu.Gens[gi].P.Apply(l)
+		gotAddr, err := nu.AddressOf(got)
+		if err != nil {
+			return false
+		}
+		want := digitsOf(nu, gotAddr)
+		for d := 0; d < nu.NumDims(); d++ {
+			switch {
+			case d == dim && want[d] != newDigit:
+				return false
+			case d != dim && want[d] != digits[d]:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func digitsOf(nu *Nucleus, addr int) []int {
+	out := make([]int, nu.NumDims())
+	for d := 0; d < nu.NumDims(); d++ {
+		out[d] = addr % nu.Dims[d].Radix
+		addr /= nu.Dims[d].Radix
+	}
+	return out
+}
+
+func TestDimGeneratorErrors(t *testing.T) {
+	nu := Hypercube(3)
+	if _, err := nu.DimGenerator(5, 0, 1); err == nil {
+		t.Error("out-of-range dimension should error")
+	}
+	if _, err := nu.DimGenerator(0, 1, 1); err == nil {
+		t.Error("unchanged digit should error")
+	}
+}
+
+func TestAddressErrors(t *testing.T) {
+	nu := Hypercube(3)
+	if _, err := nu.AddressOf(perm.MustParseLabel("01")); err == nil {
+		t.Error("short label should error")
+	}
+	if _, err := nu.LabelOf(-1); err == nil {
+		t.Error("negative address should error")
+	}
+	if _, err := nu.LabelOf(8); err == nil {
+		t.Error("address >= M should error")
+	}
+}

@@ -1,0 +1,56 @@
+package perm
+
+import (
+	"testing"
+)
+
+// FuzzParseLabel checks that ParseLabel never panics and that accepted
+// labels round-trip through GroupedString (modulo whitespace).
+func FuzzParseLabel(f *testing.F) {
+	f.Add("123321")
+	f.Add("01 01 01")
+	f.Add("")
+	f.Add("zz9 0a")
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := ParseLabel(s)
+		if err != nil {
+			return
+		}
+		re, err := ParseLabel(l.String())
+		if err != nil {
+			t.Fatalf("rendered label %q failed to reparse: %v", l.String(), err)
+		}
+		if !re.Equal(l) {
+			t.Fatalf("roundtrip mismatch: %v vs %v", l, re)
+		}
+	})
+}
+
+// FuzzPermFromBytes builds permutations from fuzzed byte slices (rejecting
+// invalid ones) and checks the group laws.
+func FuzzPermFromBytes(f *testing.F) {
+	f.Add([]byte{1, 0, 2})
+	f.Add([]byte{0})
+	f.Add([]byte{3, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 16 {
+			return
+		}
+		p := make(Perm, len(raw))
+		for i, b := range raw {
+			p[i] = int(b)
+		}
+		if !p.Valid() {
+			return
+		}
+		if !p.Then(p.Inverse()).IsIdentity() {
+			t.Fatalf("p * p^-1 != id for %v", p)
+		}
+		if p.Pow(p.Order()).IsIdentity() == false {
+			t.Fatalf("p^order != id for %v", p)
+		}
+		if p.Inverse().Sign() != p.Sign() {
+			t.Fatalf("sign(p^-1) != sign(p) for %v", p)
+		}
+	})
+}

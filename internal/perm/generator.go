@@ -1,0 +1,113 @@
+package perm
+
+import "fmt"
+
+// Generator is a named permutation, the labelled edge relation of an IPG.
+// Names follow the paper's notation, e.g. "T2" for the transposition
+// super-generator (1,2)_m, "L1" for a cyclic shift, "N3" for the third
+// nucleus generator.
+type Generator struct {
+	Name string
+	P    Perm
+}
+
+// Gen is shorthand for constructing a Generator.
+func Gen(name string, p Perm) Generator { return Generator{Name: name, P: p} }
+
+// Inverse returns the generator realizing the inverse permutation, named
+// name+"'" unless p is an involution, in which case the name is kept.
+func (g Generator) Inverse() Generator {
+	inv := g.P.Inverse()
+	if inv.Equal(g.P) {
+		return Generator{Name: g.Name, P: inv}
+	}
+	return Generator{Name: g.Name + "'", P: inv}
+}
+
+func (g Generator) String() string { return fmt.Sprintf("%s=%s", g.Name, g.P) }
+
+// GenSet is an ordered collection of generators defining an IPG's edges.
+type GenSet []Generator
+
+// Perms returns the underlying permutations in order.
+func (gs GenSet) Perms() []Perm {
+	ps := make([]Perm, len(gs))
+	for i, g := range gs {
+		ps[i] = g.P
+	}
+	return ps
+}
+
+// Names returns the generator names in order.
+func (gs GenSet) Names() []string {
+	ns := make([]string, len(gs))
+	for i, g := range gs {
+		ns[i] = g.Name
+	}
+	return ns
+}
+
+// Find returns the index of the generator with the given name, or -1.
+func (gs GenSet) Find(name string) int {
+	for i, g := range gs {
+		if g.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ClosedUnderInverse reports whether for every generator in gs its inverse
+// permutation is also present.  IPGs with inverse-closed generator sets are
+// undirected graphs; others (e.g. directed cyclic networks) are digraphs.
+func (gs GenSet) ClosedUnderInverse() bool {
+	for _, g := range gs {
+		inv := g.P.Inverse()
+		found := false
+		for _, h := range gs {
+			if h.P.Equal(inv) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// InverseIndex returns, for each generator, the index of a generator
+// realizing its inverse permutation, or -1 if absent.
+func (gs GenSet) InverseIndex() []int {
+	idx := make([]int, len(gs))
+	for i, g := range gs {
+		idx[i] = -1
+		inv := g.P.Inverse()
+		for j, h := range gs {
+			if h.P.Equal(inv) {
+				idx[i] = j
+				break
+			}
+		}
+	}
+	return idx
+}
+
+// Validate checks that all generators act on the same number of positions
+// and are valid permutations.
+func (gs GenSet) Validate() error {
+	if len(gs) == 0 {
+		return fmt.Errorf("perm: empty generator set")
+	}
+	n := gs[0].P.Size()
+	for _, g := range gs {
+		if !g.P.Valid() {
+			return fmt.Errorf("perm: generator %s is not a permutation", g.Name)
+		}
+		if g.P.Size() != n {
+			return fmt.Errorf("perm: generator %s acts on %d positions, want %d", g.Name, g.P.Size(), n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package perm
+
+import (
+	"testing"
+)
+
+func TestSign(t *testing.T) {
+	if Identity(5).Sign() != 1 {
+		t.Error("identity should be even")
+	}
+	if Transposition(5, 0, 3).Sign() != -1 {
+		t.Error("transposition should be odd")
+	}
+	if RotateLeft(3, 1).Sign() != 1 {
+		t.Error("3-cycle should be even")
+	}
+	// Sign is multiplicative.
+	p := FromImage(2, 3, 1, 5, 4)
+	q := FromImage(1, 3, 2, 4, 5)
+	if p.Then(q).Sign() != p.Sign()*q.Sign() {
+		t.Error("sign not multiplicative")
+	}
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+func TestClosureStructures(t *testing.T) {
+	// Swap super-generators (1,i) generate the full symmetric group: the
+	// algebraic reason HSN routing can realize any group arrangement.
+	for l := 2; l <= 5; l++ {
+		var gens []Perm
+		for i := 1; i < l; i++ {
+			gens = append(gens, Transposition(l, 0, i))
+		}
+		size, err := ClosureSize(gens, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != factorial(l) {
+			t.Errorf("swaps on %d groups generate %d perms, want %d", l, size, factorial(l))
+		}
+	}
+	// All rotations L_1..L_{l-1} generate only the cyclic group Z_l: why
+	// complete-CN routing must rebuild contents rather than permute groups
+	// arbitrarily.
+	for l := 2; l <= 6; l++ {
+		var gens []Perm
+		for i := 1; i < l; i++ {
+			gens = append(gens, RotateLeft(l, i))
+		}
+		size, err := ClosureSize(gens, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != l {
+			t.Errorf("rotations on %d groups generate %d perms, want %d", l, size, l)
+		}
+	}
+	// Prefix reversals F_2..F_l generate the full symmetric group (the
+	// pancake group).
+	for l := 2; l <= 5; l++ {
+		var gens []Perm
+		for i := 2; i <= l; i++ {
+			gens = append(gens, Reverse(l, i))
+		}
+		size, err := ClosureSize(gens, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != factorial(l) {
+			t.Errorf("flips on %d groups generate %d perms, want %d", l, size, factorial(l))
+		}
+	}
+}
+
+func TestClosureLimits(t *testing.T) {
+	gens := []Perm{Transposition(6, 0, 1), RotateLeft(6, 1)}
+	if _, err := Closure(gens, 100); err == nil {
+		t.Error("S6 (720 elements) should exceed limit 100")
+	}
+	if _, err := Closure(nil, 10); err == nil {
+		t.Error("empty generator set should error")
+	}
+}
+
+func TestIsTransitiveOn(t *testing.T) {
+	// A single transposition is not transitive on 3 positions.
+	if IsTransitiveOn([]Perm{Transposition(3, 0, 1)}, 3) {
+		t.Error("(0 1) alone is not transitive on 3 points")
+	}
+	if !IsTransitiveOn([]Perm{RotateLeft(5, 1)}, 5) {
+		t.Error("a 5-cycle is transitive")
+	}
+	if !IsTransitiveOn([]Perm{Transposition(4, 0, 1), RotateLeft(4, 1)}, 4) {
+		t.Error("transposition + rotation is transitive")
+	}
+}

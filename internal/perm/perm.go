@@ -1,0 +1,231 @@
+// Package perm implements permutations on index positions and labelled
+// symbol strings, the algebraic substrate of the index-permutation graph
+// (IPG) model of Yeh & Parhami.
+//
+// A Perm p of size n acts on a symbol string x of length n by
+//
+//	y[i] = x[p[i]]
+//
+// matching the paper's convention: the generator written 456123 maps
+// y1..y6 to y4 y5 y6 y1 y2 y3.  Because IPG labels may contain repeated
+// symbols, a Perm acting on a Label is generally a many-to-one map on
+// label values even though it is a bijection on positions.
+package perm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Perm is a permutation of the positions 0..len(p)-1.  p[i] is the source
+// position whose symbol lands at position i when the permutation is applied.
+type Perm []int
+
+// Identity returns the identity permutation on n positions.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Transposition returns the permutation on n positions that exchanges
+// positions i and j (0-based).  It is its own inverse.
+func Transposition(n, i, j int) Perm {
+	p := Identity(n)
+	p[i], p[j] = p[j], p[i]
+	return p
+}
+
+// RotateLeft returns the permutation on n positions that rotates the string
+// k positions to the left: y[i] = x[(i+k) mod n].
+func RotateLeft(n, k int) Perm {
+	k = ((k % n) + n) % n
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = (i + k) % n
+	}
+	return p
+}
+
+// RotateRight returns the permutation rotating k positions to the right.
+func RotateRight(n, k int) Perm { return RotateLeft(n, -k) }
+
+// Reverse returns the permutation reversing the first k of n positions.
+func Reverse(n, k int) Perm {
+	p := Identity(n)
+	for i := 0; i < k/2; i++ {
+		p[i], p[k-1-i] = p[k-1-i], p[i]
+	}
+	return p
+}
+
+// FromImage builds a Perm from the paper's one-line image notation, where
+// img[i] is the 1-based source position for target position i.  For example
+// FromImage(4,5,6,1,2,3) is the generator written 456123 in the paper.
+func FromImage(img ...int) Perm {
+	p := make(Perm, len(img))
+	for i, v := range img {
+		p[i] = v - 1
+	}
+	if !p.Valid() {
+		panic(fmt.Sprintf("perm.FromImage: %v is not a permutation", img))
+	}
+	return p
+}
+
+// Valid reports whether p is a bijection on 0..len(p)-1.
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Size returns the number of positions p acts on.
+func (p Perm) Size() int { return len(p) }
+
+// IsIdentity reports whether p fixes every position.
+func (p Perm) IsIdentity() bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of p.
+func (p Perm) Clone() Perm {
+	q := make(Perm, len(p))
+	copy(q, p)
+	return q
+}
+
+// Inverse returns the permutation q with p.Then(q) == identity.
+func (p Perm) Inverse() Perm {
+	q := make(Perm, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// Then returns the composite permutation "apply p first, then q".
+// (p.Then(q)).Apply(x) == q.Apply(p.Apply(x)) for every label x.
+func (p Perm) Then(q Perm) Perm {
+	if len(p) != len(q) {
+		panic("perm.Then: size mismatch")
+	}
+	r := make(Perm, len(p))
+	for i := range r {
+		r[i] = p[q[i]]
+	}
+	return r
+}
+
+// Pow returns p composed with itself k times (k >= 0); Pow(0) is identity.
+func (p Perm) Pow(k int) Perm {
+	r := Identity(len(p))
+	base := p.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			r = r.Then(base)
+		}
+		base = base.Then(base)
+		k >>= 1
+	}
+	return r
+}
+
+// Order returns the multiplicative order of p (smallest k >= 1 with
+// p^k = identity), computed from its cycle structure.
+func (p Perm) Order() int {
+	order := 1
+	for _, c := range p.Cycles() {
+		order = lcm(order, len(c))
+	}
+	return order
+}
+
+// Cycles returns the cycle decomposition of p, including fixed points as
+// singleton cycles, each cycle starting at its smallest element.
+func (p Perm) Cycles() [][]int {
+	var cycles [][]int
+	seen := make([]bool, len(p))
+	for i := range p {
+		if seen[i] {
+			continue
+		}
+		var c []int
+		for j := i; !seen[j]; j = p[j] {
+			seen[j] = true
+			c = append(c, j)
+		}
+		cycles = append(cycles, c)
+	}
+	return cycles
+}
+
+// FixedPoints returns the positions fixed by p.
+func (p Perm) FixedPoints() []int {
+	var fps []int
+	for i, v := range p {
+		if v == i {
+			fps = append(fps, i)
+		}
+	}
+	return fps
+}
+
+// String renders p in the paper's one-line 1-based image notation for small
+// sizes, e.g. "456123".
+func (p Perm) String() string {
+	var b strings.Builder
+	for i, v := range p {
+		if len(p) > 9 {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", v+1)
+		} else {
+			fmt.Fprintf(&b, "%d", v+1)
+		}
+	}
+	return b.String()
+}
+
+// Random returns a uniformly random permutation on n positions drawn from r.
+func Random(r *rand.Rand, n int) Perm {
+	p := Identity(n)
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

@@ -1,0 +1,392 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	id := Identity(6)
+	if !id.Valid() || !id.IsIdentity() {
+		t.Fatalf("Identity(6) = %v, not a valid identity", id)
+	}
+	x := MustParseLabel("123321")
+	if !id.Apply(x).Equal(x) {
+		t.Errorf("identity moved label %v", x)
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// Section 2 of the paper: seed 123321, three generators, and their
+	// listed actions.
+	y := MustParseLabel("123321")
+	pi1 := FromImage(2, 1, 3, 4, 5, 6)
+	pi2 := FromImage(3, 2, 1, 4, 5, 6)
+	pi3 := FromImage(4, 5, 6, 1, 2, 3)
+
+	if got, want := pi1.Apply(y), MustParseLabel("213321"); !got.Equal(want) {
+		t.Errorf("pi1(Y) = %v, want %v", got, want)
+	}
+	if got, want := pi2.Apply(y), MustParseLabel("321321"); !got.Equal(want) {
+		t.Errorf("pi2(Y) = %v, want %v", got, want)
+	}
+	if got, want := pi3.Apply(y), MustParseLabel("321123"); !got.Equal(want) {
+		t.Errorf("pi3(Y) = %v, want %v", got, want)
+	}
+}
+
+func TestSection2SuperGeneratorExample(t *testing.T) {
+	// "with the seed label 123 123, the permutation 321 456 ... defines a
+	// nucleus generator" taking 123123 to 321123, "whereas the permutation
+	// 456 123 ... permutes 321 123 to get 123 321".
+	seed := MustParseLabel("123123")
+	nuc := FromImage(3, 2, 1, 4, 5, 6)
+	sup := FromImage(4, 5, 6, 1, 2, 3)
+	mid := nuc.Apply(seed)
+	if want := MustParseLabel("321123"); !mid.Equal(want) {
+		t.Fatalf("nucleus generator: got %v, want %v", mid, want)
+	}
+	end := sup.Apply(mid)
+	if want := MustParseLabel("123321"); !end.Equal(want) {
+		t.Fatalf("super generator: got %v, want %v", end, want)
+	}
+	if !IsNucleusGenerator(nuc, 2, 3) {
+		t.Error("321456 should be recognized as a nucleus generator for l=2,m=3")
+	}
+	if IsNucleusGenerator(sup, 2, 3) {
+		t.Error("456123 is not a nucleus generator")
+	}
+	if ga, ok := GroupAction(sup, 2, 3); !ok || !ga.Equal(Perm{1, 0}) {
+		t.Errorf("GroupAction(456123) = %v, %v; want [1 0], true", ga, ok)
+	}
+	if _, ok := GroupAction(nuc, 2, 3); ok {
+		t.Error("nucleus generator should not have a rigid group action")
+	}
+}
+
+func TestInverseComposition(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(20)
+		p := Random(r, n)
+		q := Random(r, n)
+		if !p.Then(p.Inverse()).IsIdentity() {
+			t.Fatalf("p.Then(p^-1) != id for %v", p)
+		}
+		if !p.Inverse().Then(p).IsIdentity() {
+			t.Fatalf("p^-1.Then(p) != id for %v", p)
+		}
+		// Composition semantics: (p.Then(q)).Apply(x) == q.Apply(p.Apply(x)).
+		x := make(Label, n)
+		for i := range x {
+			x[i] = byte(r.Intn(4))
+		}
+		lhs := p.Then(q).Apply(x)
+		rhs := q.Apply(p.Apply(x))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("composition mismatch: p=%v q=%v x=%v: %v vs %v", p, q, x, lhs, rhs)
+		}
+	}
+}
+
+func TestPowOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(12)
+		p := Random(r, n)
+		ord := p.Order()
+		if ord < 1 {
+			t.Fatalf("order %d < 1", ord)
+		}
+		if !p.Pow(ord).IsIdentity() {
+			t.Fatalf("p^order != id for %v (order %d)", p, ord)
+		}
+		for k := 1; k < ord; k++ {
+			if p.Pow(k).IsIdentity() {
+				t.Fatalf("p^%d = id but order claimed %d for %v", k, ord, p)
+			}
+		}
+	}
+}
+
+func TestCycles(t *testing.T) {
+	p := FromImage(2, 3, 1, 4, 6, 5)
+	cycles := p.Cycles()
+	if len(cycles) != 3 {
+		t.Fatalf("got %d cycles, want 3: %v", len(cycles), cycles)
+	}
+	if len(p.FixedPoints()) != 1 || p.FixedPoints()[0] != 3 {
+		t.Errorf("fixed points = %v, want [3]", p.FixedPoints())
+	}
+}
+
+func TestRotations(t *testing.T) {
+	x := MustParseLabel("123456")
+	if got := RotateLeft(6, 2).Apply(x); !got.Equal(MustParseLabel("345612")) {
+		t.Errorf("RotateLeft(6,2): got %v", got)
+	}
+	if got := RotateRight(6, 2).Apply(x); !got.Equal(MustParseLabel("561234")) {
+		t.Errorf("RotateRight(6,2): got %v", got)
+	}
+	if !RotateLeft(6, 2).Then(RotateRight(6, 2)).IsIdentity() {
+		t.Error("left then right rotation should cancel")
+	}
+}
+
+func TestSuperGenerators(t *testing.T) {
+	// l=4 groups of m=2.
+	x := MustParseLabel("00 11 22 33")
+	if got := SwapGroups(4, 2, 1, 3).Apply(x); !got.Equal(MustParseLabel("22 11 00 33")) {
+		t.Errorf("SwapGroups(1,3): got %v", got)
+	}
+	// L_1: X2 X3 X4 X1
+	if got := ShiftGroupsLeft(4, 2, 1).Apply(x); !got.Equal(MustParseLabel("11 22 33 00")) {
+		t.Errorf("L1: got %v", got)
+	}
+	// R_1: X4 X1 X2 X3
+	if got := ShiftGroupsRight(4, 2, 1).Apply(x); !got.Equal(MustParseLabel("33 00 11 22")) {
+		t.Errorf("R1: got %v", got)
+	}
+	// L_2 per the paper: X3 X4 X1 X2
+	if got := ShiftGroupsLeft(4, 2, 2).Apply(x); !got.Equal(MustParseLabel("22 33 00 11")) {
+		t.Errorf("L2: got %v", got)
+	}
+	// F_2(X1X2X3X4) = X2X1X3X4 ; F_3 = X3X2X1X4 (paper, Section 2).
+	if got := FlipGroups(4, 2, 2).Apply(x); !got.Equal(MustParseLabel("11 00 22 33")) {
+		t.Errorf("F2: got %v", got)
+	}
+	if got := FlipGroups(4, 2, 3).Apply(x); !got.Equal(MustParseLabel("22 11 00 33")) {
+		t.Errorf("F3: got %v", got)
+	}
+}
+
+func TestShiftGroupsMatchPaperFormula(t *testing.T) {
+	// L_{i,m}(X) = X_{i+1} ... X_l X_1 ... X_i and
+	// R_{i,m}(X) = X_{l-i+1} ... X_l X_1 ... X_{l-i}.
+	l, m := 5, 3
+	x := make(Label, l*m)
+	for g := 0; g < l; g++ {
+		for k := 0; k < m; k++ {
+			x[g*m+k] = byte(g)
+		}
+	}
+	for i := 1; i < l; i++ {
+		got := ShiftGroupsLeft(l, m, i).Apply(x)
+		for g := 0; g < l; g++ {
+			want := byte((g + i) % l)
+			if got[g*m] != want {
+				t.Fatalf("L_%d group %d: got %d want %d", i, g, got[g*m], want)
+			}
+		}
+		got = ShiftGroupsRight(l, m, i).Apply(x)
+		for g := 0; g < l; g++ {
+			want := byte((g - i + l) % l)
+			if got[g*m] != want {
+				t.Fatalf("R_%d group %d: got %d want %d", i, g, got[g*m], want)
+			}
+		}
+		if !ShiftGroupsLeft(l, m, i).Then(ShiftGroupsRight(l, m, i)).IsIdentity() {
+			t.Fatalf("L_%d then R_%d != id", i, i)
+		}
+	}
+}
+
+func TestLiftToLeftGroup(t *testing.T) {
+	g := FromImage(2, 1, 3) // swap first two symbols of a 3-symbol group
+	p := LiftToLeftGroup(g, 3)
+	x := MustParseLabel("123 456 789")
+	if got := p.Apply(x); !got.Equal(MustParseLabel("213 456 789")) {
+		t.Errorf("lifted generator: got %v", got)
+	}
+	if !IsNucleusGenerator(p, 3, 3) {
+		t.Error("lifted generator should be a nucleus generator")
+	}
+}
+
+func TestFixes(t *testing.T) {
+	// Swapping two identical groups fixes the label: self-loop.
+	x := MustParseLabel("12 12 34")
+	if !SwapGroups(3, 2, 1, 2).Fixes(x) {
+		t.Error("swap of identical groups should fix label")
+	}
+	if SwapGroups(3, 2, 1, 3).Fixes(x) {
+		t.Error("swap of distinct groups should not fix label")
+	}
+}
+
+func TestGenSet(t *testing.T) {
+	gs := GenSet{
+		Gen("T2", SwapGroups(3, 2, 1, 2)),
+		Gen("T3", SwapGroups(3, 2, 1, 3)),
+	}
+	if err := gs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !gs.ClosedUnderInverse() {
+		t.Error("transpositions are involutions; set should be inverse-closed")
+	}
+	if idx := gs.InverseIndex(); idx[0] != 0 || idx[1] != 1 {
+		t.Errorf("InverseIndex = %v, want [0 1]", idx)
+	}
+	if gs.Find("T3") != 1 || gs.Find("nope") != -1 {
+		t.Error("Find misbehaved")
+	}
+
+	ring := GenSet{Gen("L1", ShiftGroupsLeft(4, 2, 1))}
+	if ring.ClosedUnderInverse() {
+		t.Error("L1 alone is not inverse-closed for l=4")
+	}
+	ring = append(ring, Gen("R1", ShiftGroupsRight(4, 2, 1)))
+	if !ring.ClosedUnderInverse() {
+		t.Error("L1,R1 should be inverse-closed")
+	}
+}
+
+func TestQuickInverseInvolution(t *testing.T) {
+	// Property: Inverse is an involution and preserves validity.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		p := Random(rand.New(rand.NewSource(seed)), n)
+		return p.Inverse().Inverse().Equal(p) && p.Inverse().Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGroupActionRoundTrip(t *testing.T) {
+	// Property: every block permutation built from a group permutation has
+	// that exact group action.
+	f := func(seed int64, lRaw, mRaw uint8) bool {
+		l := int(lRaw%5) + 2
+		m := int(mRaw%4) + 1
+		r := rand.New(rand.NewSource(seed))
+		gp := Random(r, l)
+		p := make(Perm, l*m)
+		for g := 0; g < l; g++ {
+			for k := 0; k < m; k++ {
+				p[g*m+k] = gp[g]*m + k
+			}
+		}
+		got, ok := GroupAction(p, l, m)
+		return ok && got.Equal(gp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseLabelErrors(t *testing.T) {
+	if _, err := ParseLabel("12!3"); err == nil {
+		t.Error("expected error for invalid character")
+	}
+	l, err := ParseLabel("0a z9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l[1] != 10 || l[2] != 35 {
+		t.Errorf("letter parsing wrong: %v", l)
+	}
+	if l.String() != "0az9" {
+		t.Errorf("String() = %q", l.String())
+	}
+	if l.GroupedString(2) != "0a z9" {
+		t.Errorf("GroupedString(2) = %q", l.GroupedString(2))
+	}
+}
+
+func TestReverse(t *testing.T) {
+	x := MustParseLabel("123456")
+	if got := Reverse(6, 4).Apply(x); !got.Equal(MustParseLabel("432156")) {
+		t.Errorf("Reverse(6,4): got %v", got)
+	}
+}
+
+func TestRepeatGroups(t *testing.T) {
+	g := MustParseLabel("0123")
+	s := RepeatGroups(g, 3)
+	if s.GroupedString(4) != "0123 0123 0123" {
+		t.Errorf("RepeatGroups: %v", s.GroupedString(4))
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	p := FromImage(4, 5, 6, 1, 2, 3)
+	if p.String() != "456123" {
+		t.Errorf("Perm.String = %q", p.String())
+	}
+	big := Identity(12)
+	if big.String() != "1 2 3 4 5 6 7 8 9 10 11 12" {
+		t.Errorf("wide Perm.String = %q", big.String())
+	}
+	g := Gen("pi3", p)
+	if g.String() != "pi3=456123" {
+		t.Errorf("Generator.String = %q", g.String())
+	}
+}
+
+func TestGenSetAccessors(t *testing.T) {
+	gs := GenSet{
+		Gen("a", Transposition(3, 0, 1)),
+		Gen("b", RotateLeft(3, 1)),
+	}
+	ps := gs.Perms()
+	if len(ps) != 2 || !ps[1].Equal(RotateLeft(3, 1)) {
+		t.Errorf("Perms = %v", ps)
+	}
+	names := gs.Names()
+	if names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	bad := GenSet{Gen("x", Perm{0, 0, 1})}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid permutation should fail validation")
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	x := MustParseLabel("123456")
+	y := x.Clone()
+	y[0] = 9
+	if x[0] == 9 {
+		t.Error("Clone should be independent")
+	}
+	if x.Key() != string([]byte{1, 2, 3, 4, 5, 6}) {
+		t.Error("Key wrong")
+	}
+	if got := x.Group(2, 1); !got.Equal(MustParseLabel("34")) {
+		t.Errorf("Group(2,1) = %v", got)
+	}
+	dst := make(Label, 6)
+	RotateLeft(6, 2).ApplyInto(dst, x)
+	if !dst.Equal(MustParseLabel("345612")) {
+		t.Errorf("ApplyInto = %v", dst)
+	}
+	if x.Equal(MustParseLabel("12345")) {
+		t.Error("length mismatch should not be Equal")
+	}
+	if x.Equal(MustParseLabel("123457")) {
+		t.Error("content mismatch should not be Equal")
+	}
+}
+
+func TestCheckGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SwapGroups with bad index should panic")
+		}
+	}()
+	SwapGroups(3, 2, 0, 1)
+}
+
+func TestGeneratorInverseNaming(t *testing.T) {
+	t2 := Gen("T2", SwapGroups(3, 2, 1, 2))
+	if inv := t2.Inverse(); inv.Name != "T2" {
+		t.Errorf("involution inverse should keep name, got %q", inv.Name)
+	}
+	l1 := Gen("L1", ShiftGroupsLeft(3, 2, 1))
+	if inv := l1.Inverse(); inv.Name != "L1'" {
+		t.Errorf("non-involution inverse name = %q, want L1'", inv.Name)
+	}
+}

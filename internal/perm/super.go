@@ -1,0 +1,132 @@
+package perm
+
+import "fmt"
+
+// This file implements the super-generators of the super-IPG model: the
+// permutations that rearrange whole m-symbol groups of a label without
+// changing the order of symbols inside any group, plus the lift that turns a
+// nucleus generator (acting on one group) into a generator on the full label
+// acting on the leftmost group.
+
+// SwapGroups returns the transposition super-generator (i,j)_m on l groups
+// of m symbols: it exchanges the i-th and j-th groups (1-based, as in the
+// paper's T_{i,m} = (1,i)_m notation).
+func SwapGroups(l, m, i, j int) Perm {
+	checkGroup(l, i)
+	checkGroup(l, j)
+	p := Identity(l * m)
+	for k := 0; k < m; k++ {
+		a := (i-1)*m + k
+		b := (j-1)*m + k
+		p[a], p[b] = p[b], p[a]
+	}
+	return p
+}
+
+// ShiftGroupsLeft returns the cyclic-shift super-generator L_{i,m} on l
+// groups of m symbols:
+//
+//	L_i(X_1 X_2 ... X_l) = X_{i+1} X_{i+2} ... X_l X_1 X_2 ... X_i
+func ShiftGroupsLeft(l, m, i int) Perm {
+	if i <= 0 || i >= l {
+		panic(fmt.Sprintf("perm.ShiftGroupsLeft: shift %d out of range for l=%d", i, l))
+	}
+	p := make(Perm, l*m)
+	for g := 0; g < l; g++ {
+		src := (g + i) % l
+		for k := 0; k < m; k++ {
+			p[g*m+k] = src*m + k
+		}
+	}
+	return p
+}
+
+// ShiftGroupsRight returns R_{i,m} = L_{i,m}^{-1}, the cyclic shift of the
+// groups i positions to the right.
+func ShiftGroupsRight(l, m, i int) Perm { return ShiftGroupsLeft(l, m, l-i) }
+
+// FlipGroups returns the flip super-generator F_{i,m}: it reverses the order
+// of the first i groups (2 <= i <= l), leaving groups i+1..l in place.
+//
+//	F_3(X1 X2 X3 X4) = X3 X2 X1 X4
+func FlipGroups(l, m, i int) Perm {
+	if i < 2 || i > l {
+		panic(fmt.Sprintf("perm.FlipGroups: flip width %d out of range for l=%d", i, l))
+	}
+	p := make(Perm, l*m)
+	for g := 0; g < l; g++ {
+		src := g
+		if g < i {
+			src = i - 1 - g
+		}
+		for k := 0; k < m; k++ {
+			p[g*m+k] = src*m + k
+		}
+	}
+	return p
+}
+
+// LiftToLeftGroup embeds a permutation g on m positions as a permutation on
+// l*m positions acting on the leftmost group only.  This is how a nucleus
+// generator becomes a generator of the super-IPG.
+func LiftToLeftGroup(g Perm, l int) Perm {
+	m := len(g)
+	p := Identity(l * m)
+	for k := 0; k < m; k++ {
+		p[k] = g[k]
+	}
+	return p
+}
+
+// GroupAction describes how a permutation on l*m positions permutes whole
+// groups: it returns (gp, ok) where gp is the induced permutation on the l
+// groups, and ok is false if p does not map groups onto groups rigidly
+// (i.e., it is not a super-generator).
+func GroupAction(p Perm, l, m int) (Perm, bool) {
+	if len(p) != l*m {
+		return nil, false
+	}
+	gp := make(Perm, l)
+	for g := 0; g < l; g++ {
+		src := p[g*m]
+		if src%m != 0 {
+			return nil, false
+		}
+		sg := src / m
+		for k := 1; k < m; k++ {
+			if p[g*m+k] != sg*m+k {
+				return nil, false
+			}
+		}
+		gp[g] = sg
+	}
+	if !gp.Valid() {
+		return nil, false
+	}
+	return gp, true
+}
+
+// IsNucleusGenerator reports whether p (on l*m positions) only permutes
+// symbols inside the leftmost group.
+func IsNucleusGenerator(p Perm, l, m int) bool {
+	if len(p) != l*m {
+		return false
+	}
+	for i := 0; i < m; i++ {
+		if p[i] >= m {
+			return false
+		}
+	}
+	for i := m; i < l*m; i++ {
+		if p[i] != i {
+			return false
+		}
+	}
+	return true
+}
+
+func checkGroup(l, i int) {
+	if i < 1 || i > l {
+		panic(fmt.Sprintf("perm: group index %d out of range 1..%d", i, l))
+	}
+}

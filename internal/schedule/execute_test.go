@@ -1,0 +1,91 @@
+package schedule
+
+import (
+	"testing"
+
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+)
+
+func TestExecuteDeliversAllDimensions(t *testing.T) {
+	// End-to-end Theorem 3.8: the schedule's data movement delivers every
+	// dimension's packets to the correct HPN neighbors on real graphs.
+	nets := []*superipg.Network{
+		superipg.HSN(3, nucleus.Hypercube(2)),
+		superipg.HSN(4, nucleus.Hypercube(2)),
+		superipg.CompleteCN(3, nucleus.Hypercube(2)),
+		superipg.CompleteCN(4, nucleus.Hypercube(2)),
+		superipg.SFN(3, nucleus.Hypercube(2)),
+		superipg.HSN(2, nucleus.Hypercube(4)),
+		superipg.CompleteCN(2, nucleus.GeneralizedHypercube(4, 2)),
+	}
+	for _, w := range nets {
+		s, err := Build(w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		g, err := w.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if err := s.Execute(g); err != nil {
+			t.Errorf("%s: %v", w.Name(), err)
+		}
+	}
+}
+
+func TestQuickScheduleExecuteRandomSizes(t *testing.T) {
+	// Property: for every (l, n) in a modest grid and every single-step
+	// family, the built schedule verifies and executes correctly on the
+	// materialized graph.
+	if testing.Short() {
+		t.Skip("grid execution is slow in -short mode")
+	}
+	for n := 1; n <= 3; n++ {
+		for l := 2; l <= 4; l++ {
+			if 1<<(n*l) > 4096 {
+				continue
+			}
+			for _, w := range []*superipg.Network{
+				superipg.HSN(l, nucleus.Hypercube(n)),
+				superipg.CompleteCN(l, nucleus.Hypercube(n)),
+				superipg.SFN(l, nucleus.Hypercube(n)),
+			} {
+				s, err := Build(w)
+				if err != nil {
+					t.Fatalf("%s: %v", w.Name(), err)
+				}
+				if err := s.Verify(); err != nil {
+					t.Fatalf("%s: %v", w.Name(), err)
+				}
+				g, err := w.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Execute(g); err != nil {
+					t.Fatalf("%s (l=%d n=%d): %v", w.Name(), l, n, err)
+				}
+			}
+		}
+	}
+}
+
+func TestExecuteDetectsCorruption(t *testing.T) {
+	w := superipg.HSN(3, nucleus.Hypercube(2))
+	s, err := Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap a nucleus generator: packets land on the wrong neighbor.
+	s.MidGen[3] = (s.MidGen[3] + 1) % w.NumNucGens()
+	if err := s.Execute(g); err == nil {
+		t.Error("Execute should detect a corrupted schedule")
+	}
+}

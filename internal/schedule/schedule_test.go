@@ -1,0 +1,174 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+)
+
+func TestFigure1aShape(t *testing.T) {
+	// Figure 1a: 12-dimensional HPN(4, G) on a super-IPG with l=4, n=3:
+	// the schedule completes in max(2n, l+1) = 6 steps.
+	w := superipg.HSN(4, nucleus.Hypercube(3))
+	s, err := Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T != 6 {
+		t.Fatalf("T = %d, want 6", s.T)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// 12 dimensions: 3 group-1 (N only) + 9 with triples = 3 + 27 = 30
+	// transmissions over 6 steps x 6 link types.
+	_, avg := s.Utilization()
+	if want := 30.0 / 36.0; math.Abs(avg-want) > 1e-12 {
+		t.Errorf("avg utilization = %v, want %v", avg, want)
+	}
+}
+
+func TestFigure1bShape(t *testing.T) {
+	// Figure 1b: 15-dimensional HPN(5, G) on a super-IPG with l=5, n=3:
+	// 6 steps, "links fully used during steps 1 to 5, and 93% used on
+	// average" (39 transmissions / 42 slots).
+	for _, w := range []*superipg.Network{
+		superipg.HSN(5, nucleus.Hypercube(3)),
+		superipg.CompleteCN(5, nucleus.Hypercube(3)),
+		superipg.SFN(5, nucleus.Hypercube(3)),
+	} {
+		s, err := Build(w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if s.T != 6 {
+			t.Fatalf("%s: T = %d, want 6", w.Name(), s.T)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		perStep, avg := s.Utilization()
+		for step := 0; step < 5; step++ {
+			if perStep[step] != 1.0 {
+				t.Errorf("%s: step %d utilization %v, want fully used", w.Name(), step+1, perStep[step])
+			}
+		}
+		if want := 39.0 / 42.0; math.Abs(avg-want) > 1e-12 {
+			t.Errorf("%s: avg utilization = %v, want %v (93%%)", w.Name(), avg, want)
+		}
+	}
+}
+
+func TestTheorem38Sweep(t *testing.T) {
+	// The schedule must verify and meet max(2n, l+1) for a sweep of (l,n).
+	for n := 1; n <= 6; n++ {
+		nuc := nucleus.Hypercube(n)
+		for l := 2; l <= 8; l++ {
+			for _, w := range []*superipg.Network{
+				superipg.HSN(l, nuc),
+				superipg.CompleteCN(l, nuc),
+				superipg.SFN(l, nuc),
+			} {
+				s, err := Build(w)
+				if err != nil {
+					t.Fatalf("%s: %v", w.Name(), err)
+				}
+				if want := Steps(l, n); s.T != want {
+					t.Fatalf("%s: T = %d, want %d", w.Name(), s.T, want)
+				}
+				if err := s.Verify(); err != nil {
+					t.Fatalf("%s (l=%d n=%d): %v", w.Name(), l, n, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRingCNRejected(t *testing.T) {
+	w := superipg.RingCN(4, nucleus.Hypercube(2))
+	if _, err := Build(w); err == nil {
+		t.Error("ring-CN(4) should be rejected: cannot bring group 3 to front in one step")
+	}
+}
+
+func TestVerifyCatchesConflicts(t *testing.T) {
+	w := superipg.HSN(3, nucleus.Hypercube(2))
+	s, err := Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: force two dims onto the same generator at the same step.
+	s.Mid[2] = s.Mid[4]
+	s.MidGen[2] = s.MidGen[4]
+	if err := s.Verify(); err == nil {
+		t.Error("Verify should catch a double-booked generator")
+	}
+	// Corrupt ordering.
+	s2, _ := Build(w)
+	s2.Ret[3] = s2.Fwd[3]
+	if err := s2.Verify(); err == nil {
+		t.Error("Verify should catch broken ordering")
+	}
+	// Out of range.
+	s3, _ := Build(w)
+	s3.Mid[0] = s3.T + 5
+	if err := s3.Verify(); err == nil {
+		t.Error("Verify should catch out-of-range steps")
+	}
+}
+
+func TestRenderContainsGenerators(t *testing.T) {
+	w := superipg.HSN(4, nucleus.Hypercube(3))
+	s, _ := Build(w)
+	out := s.Render()
+	if !strings.Contains(out, "T2") || !strings.Contains(out, "d3") {
+		t.Errorf("render missing generator names:\n%s", out)
+	}
+	if !strings.Contains(out, "Step 6") {
+		t.Error("render missing final step")
+	}
+	if strings.Contains(out, "Step 7") {
+		t.Error("render has too many steps")
+	}
+}
+
+func TestStepsFormula(t *testing.T) {
+	cases := []struct{ l, n, want int }{
+		{4, 3, 6}, {5, 3, 6}, {2, 1, 3}, {8, 3, 9}, {3, 4, 8},
+	}
+	for _, c := range cases {
+		if got := Steps(c.l, c.n); got != c.want {
+			t.Errorf("Steps(%d,%d) = %d, want %d", c.l, c.n, got, c.want)
+		}
+	}
+}
+
+func TestAllTransmissionsPresent(t *testing.T) {
+	w := superipg.CompleteCN(6, nucleus.Hypercube(4))
+	s, err := Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for j := 0; j < s.L*s.N; j++ {
+		if s.Mid[j] == 0 {
+			t.Fatalf("dim %d missing nucleus step", j+1)
+		}
+		total++
+		if j >= s.N {
+			if s.Fwd[j] == 0 || s.Ret[j] == 0 {
+				t.Fatalf("dim %d missing super steps", j+1)
+			}
+			total += 2
+		}
+	}
+	if want := s.N + 3*s.N*(s.L-1); total != want {
+		t.Errorf("transmissions = %d, want %d", total, want)
+	}
+}

@@ -1,0 +1,144 @@
+package superipg
+
+import "fmt"
+
+// This file computes the quantities t and t_S of Theorems 4.1 and 4.3 by
+// breadth-first search over the group-arrangement state space.
+//
+// State: (arrangement, visited) where arrangement is the permutation of the
+// l super-symbol groups induced by the super-generator word applied so far
+// (arrangement[pos] = original group currently at position pos) and visited
+// is the set of original groups that have occupied the leftmost position at
+// some prefix of the word (group 1 counts as visited at the start).
+//
+//   - Theorem 4.1: t = the minimum word length after which visited is full.
+//     The intercluster diameter of the (plain) super-IPG equals t, because a
+//     route can rewrite a group's content only while it sits in the leftmost
+//     cluster position, on-chip moves are free, and each super-generator
+//     application is exactly one intercluster transmission.
+//
+//   - Theorem 4.3: t_S = the maximum over reachable arrangements sigma of
+//     the minimum word length reaching (sigma, full): each group must visit
+//     the front at least once and then the groups must be rearranged to any
+//     required order.  This is the intercluster diameter of the symmetric
+//     variant of the super-IPG.
+
+type arrState struct {
+	arr     string // arrangement as bytes: arr[pos] = original group at pos
+	visited uint32 // bitmask of groups that have been at position 0
+}
+
+// superBFS explores the arrangement state space and returns the distance
+// map.  It is shared by InterclusterT and SymmetricTS.
+func (w *Network) superBFS() map[arrState]int {
+	l := w.L
+	if l > 20 {
+		panic("superipg: arrangement BFS limited to l <= 20")
+	}
+	start := make([]byte, l)
+	for i := range start {
+		start[i] = byte(i)
+	}
+	s0 := arrState{arr: string(start), visited: 1}
+	dist := map[arrState]int{s0: 0}
+	queue := []arrState{s0}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		d := dist[s]
+		for _, act := range w.superActs {
+			next := make([]byte, l)
+			for pos := 0; pos < l; pos++ {
+				next[pos] = s.arr[act[pos]]
+			}
+			ns := arrState{arr: string(next), visited: s.visited | 1<<uint(next[0])}
+			if _, ok := dist[ns]; !ok {
+				dist[ns] = d + 1
+				queue = append(queue, ns)
+			}
+		}
+	}
+	return dist
+}
+
+// InterclusterT returns t of Theorem 4.1: the minimum number of
+// super-generator applications for every super-symbol to appear at the
+// leftmost position at least once.  It returns an error if no word achieves
+// this (a malformed family whose super-generators cannot bring some group
+// to the front).
+func (w *Network) InterclusterT() (int, error) {
+	full := uint32(1)<<uint(w.L) - 1
+	dist := w.superBFS()
+	best := -1
+	for s, d := range dist {
+		if s.visited == full && (best < 0 || d < best) {
+			best = d
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("superipg: %s super-generators cannot bring every group to the front", w.Name())
+	}
+	return best, nil
+}
+
+// SymmetricTS returns t_S of Theorem 4.3: the maximum over reachable final
+// arrangements of the minimum number of super-generator applications that
+// visits every group at the front and ends in that arrangement.
+func (w *Network) SymmetricTS() (int, error) {
+	full := uint32(1)<<uint(w.L) - 1
+	dist := w.superBFS()
+	// For each reachable arrangement find the min distance with full
+	// visited; t_S is the max over arrangements.
+	byArr := make(map[string]int)
+	reachable := make(map[string]bool)
+	for s, d := range dist {
+		reachable[s.arr] = true
+		if s.visited != full {
+			continue
+		}
+		if cur, ok := byArr[s.arr]; !ok || d < cur {
+			byArr[s.arr] = d
+		}
+	}
+	if len(byArr) == 0 {
+		return 0, fmt.Errorf("superipg: %s super-generators cannot bring every group to the front", w.Name())
+	}
+	best := 0
+	for arr := range reachable {
+		d, ok := byArr[arr]
+		if !ok {
+			return 0, fmt.Errorf("superipg: %s arrangement %q reachable but never with all groups visited", w.Name(), arr)
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// TheoreticalInterclusterDiameter returns the closed-form intercluster
+// diameter l-1 = log_M N - 1 of Corollary 4.2, which applies to HSN, RHSN,
+// RCC, CN, directed CN, and SFN.
+func (w *Network) TheoreticalInterclusterDiameter() int { return w.L - 1 }
+
+// TheoreticalSymmetricDiameter returns the closed-form t_S of Corollary
+// 4.4 for the families it covers, or -1 if the corollary gives no formula
+// for this family.
+func (w *Network) TheoreticalSymmetricDiameter() int {
+	switch w.Family {
+	case "complete-CN":
+		return w.L
+	case "HSN", "SFN", "RCC", "HCN", "RHSN", "HFN":
+		return 2*w.L - 2
+	case "ring-CN":
+		switch w.L {
+		case 2:
+			return 2
+		case 3:
+			return 3
+		default:
+			return 3*w.L/2 - 2
+		}
+	}
+	return -1
+}

@@ -1,0 +1,73 @@
+package superipg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipg/internal/nucleus"
+)
+
+// TestQuickStructuralInvariants property-checks, across random families,
+// levels, and nuclei: node count M^l, intercluster word-BFS t = l-1, and
+// the self-loop census (a super-generator action fixes a node exactly when
+// the groups it moves coincide).
+func TestQuickStructuralInvariants(t *testing.T) {
+	f := func(seed int64, famRaw, lRaw, nucRaw uint8) bool {
+		l := int(lRaw%3) + 2
+		var nuc *nucleus.Nucleus
+		switch nucRaw % 3 {
+		case 0:
+			nuc = nucleus.Hypercube(2)
+		case 1:
+			nuc = nucleus.Complete(3)
+		default:
+			nuc = nucleus.GeneralizedHypercube(2, 2)
+		}
+		var w *Network
+		switch famRaw % 4 {
+		case 0:
+			w = HSN(l, nuc)
+		case 1:
+			w = RingCN(l, nuc)
+		case 2:
+			w = CompleteCN(l, nuc)
+		default:
+			w = SFN(l, nuc)
+		}
+		g, err := w.Build()
+		if err != nil {
+			return false
+		}
+		if g.N() != pow(nuc.M, l) {
+			return false
+		}
+		tv, err := w.InterclusterT()
+		if err != nil || tv != l-1 {
+			return false
+		}
+		// Every neighbor relation is consistent: generator gi maps the
+		// label of v to the label of its neighbor.
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 10; trial++ {
+			v := rng.Intn(g.N())
+			gi := rng.Intn(len(w.Gens()))
+			want := w.Gens()[gi].P.Apply(g.Label(v))
+			if g.NodeID(want) != g.Neighbor(v, gi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package superipg
+
+import (
+	"fmt"
+
+	"ipg/internal/nucleus"
+	"ipg/internal/perm"
+)
+
+// This file builds the recursive families: recursive hierarchical swap
+// networks (RHSN), where the nucleus of a level-d network is the whole
+// level-(d-1) network, and hierarchical folded-hypercube networks (HFN),
+// the folded-hypercube analogue of HCN.
+
+// AsNucleus reinterprets a super-IPG as a nucleus graph, enabling
+// recursive constructions: the nucleus's seed and generators are the
+// super-IPG's own, and its node count is the super-IPG's N.  The returned
+// nucleus carries no dimension structure (its generator set is not a
+// product of complete graphs), but addressing is provided through an
+// explicit enumeration ordered by the inner network's own address space,
+// so AddressOf/LabelOf — and therefore embeddings and cluster metrics at
+// the outer level — keep working.
+func (w *Network) AsNucleus() *nucleus.Nucleus {
+	nu := &nucleus.Nucleus{
+		Name: w.Name(),
+		Seed: w.Seed(),
+		Gens: w.Gens(),
+		M:    w.N(),
+	}
+	labels := make([]perm.Label, w.N())
+	for a := 0; a < w.N(); a++ {
+		l, err := w.LabelOf(a)
+		if err != nil {
+			panic(fmt.Sprintf("superipg: AsNucleus enumeration: %v", err))
+		}
+		labels[a] = l
+	}
+	if err := nu.SetEnumeration(labels); err != nil {
+		panic(fmt.Sprintf("superipg: AsNucleus enumeration: %v", err))
+	}
+	return nu
+}
+
+// RHSN returns the depth-d recursive hierarchical swap network: RHSN(1) is
+// HSN(l, G); RHSN(d) is HSN(l, RHSN(d-1)) with the whole level-(d-1)
+// network as its nucleus.  Corollaries 3.6, 4.2, and 4.4 treat RHSNs
+// together with HSNs: intercluster diameter l-1 and symmetric diameter
+// 2l-2 at the outermost level.
+func RHSN(depth, l int, nuc *nucleus.Nucleus) *Network {
+	if depth < 1 {
+		panic(fmt.Sprintf("superipg.RHSN: depth %d must be >= 1", depth))
+	}
+	w := HSN(l, nuc)
+	for d := 2; d <= depth; d++ {
+		w = HSN(l, w.AsNucleus())
+	}
+	if depth > 1 {
+		w.Family = "RHSN"
+	}
+	return w
+}
+
+// HFN returns the hierarchical folded-hypercube network HFN(n, n) of Duh,
+// Chen & Fang in super-IPG skeleton form: 2^n clusters of n-dimensional
+// folded hypercubes joined by the swap super-generator.
+func HFN(n int) *Network {
+	w := HSN(2, nucleus.FoldedHypercube(n))
+	w.Family = "HFN"
+	return w
+}

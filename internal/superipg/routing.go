@@ -1,0 +1,163 @@
+package superipg
+
+import (
+	"fmt"
+
+	"ipg/internal/perm"
+)
+
+// This file implements the constructive point-to-point routing underlying
+// Theorem 4.1: a route rewrites each super-symbol while it sits at the
+// leftmost (cluster) position, using the family's super-generators to
+// bring every group that must change to the front.
+//
+//   - Swap/flip families (HSN, SFN, HCN, RCC, RHSN, HFN): for each
+//     differing group i >= 2 (highest first), steer the front group to the
+//     destination's group-i content with nucleus generators and swap it
+//     into place; finally fix group 1.  Intercluster hops = the number of
+//     differing groups beyond the first — exactly the quotient distance.
+//
+//   - Rotation families (ring-CN, complete-CN, directed-CN): perform l
+//     rotations, setting the front group before each rotation to the
+//     content its landing position needs (the content set before the j-th
+//     rotation ends at position j+1).  Intercluster hops = l for ring/
+//     directed CN; for complete-CN leading matched groups are skipped with
+//     a single larger rotation when possible.
+
+// NucleusRouter produces a nucleus generator word transforming one nucleus
+// label into another.  BFSNucleusRouter builds one from the materialized
+// nucleus.
+type NucleusRouter func(from, to perm.Label) ([]int, error)
+
+// BFSNucleusRouter materializes the nucleus and routes inside it by BFS.
+func (w *Network) BFSNucleusRouter() (NucleusRouter, error) {
+	ng, err := w.Nuc.Build()
+	if err != nil {
+		return nil, err
+	}
+	return func(from, to perm.Label) ([]int, error) {
+		src := ng.NodeID(from)
+		dst := ng.NodeID(to)
+		if src < 0 || dst < 0 {
+			return nil, fmt.Errorf("superipg: nucleus label not found")
+		}
+		if src == dst {
+			return nil, nil
+		}
+		// BFS from src tracking (parent, generator).
+		type pre struct {
+			parent int32
+			gen    int16
+		}
+		prev := make([]pre, ng.N())
+		for i := range prev {
+			prev[i] = pre{parent: -1, gen: -1}
+		}
+		queue := []int32{int32(src)}
+		prev[src] = pre{parent: int32(src), gen: -1}
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for gi := 0; gi < ng.NumGens(); gi++ {
+				u := int32(ng.Neighbor(int(v), gi))
+				if u == v || prev[u].parent >= 0 {
+					continue
+				}
+				prev[u] = pre{parent: v, gen: int16(gi)}
+				if int(u) == dst {
+					qi = len(queue)
+					break
+				}
+				queue = append(queue, u)
+			}
+		}
+		if prev[dst].parent < 0 {
+			return nil, fmt.Errorf("superipg: nucleus %s disconnected", w.Nuc.Name)
+		}
+		var word []int
+		for v := int32(dst); int(v) != src; v = prev[v].parent {
+			word = append(word, int(prev[v].gen))
+		}
+		// Reverse into src -> dst order.
+		for i, j := 0, len(word)-1; i < j; i, j = i+1, j-1 {
+			word[i], word[j] = word[j], word[i]
+		}
+		return word, nil
+	}, nil
+}
+
+// RouteWord returns a generator word (global generator indices) carrying a
+// packet from label src to label dst, using the family's hierarchical
+// routing strategy.  The returned word applied to src yields dst.
+func (w *Network) RouteWord(src, dst perm.Label, nucRoute NucleusRouter) ([]int, error) {
+	m := w.SymbolLen()
+	if len(src) != m*w.L || len(dst) != m*w.L {
+		return nil, fmt.Errorf("superipg: label length mismatch")
+	}
+	cur := src.Clone()
+	var word []int
+	apply := func(gis ...int) {
+		for _, gi := range gis {
+			cur = w.gens[gi].P.Apply(cur)
+			word = append(word, gi)
+		}
+	}
+	fixFront := func(target perm.Label) error {
+		sub, err := nucRoute(cur[:m], target)
+		if err != nil {
+			return err
+		}
+		apply(sub...)
+		return nil
+	}
+
+	switch w.kind() {
+	case kindSwap:
+		for i := w.L; i >= 2; i-- {
+			want := dst.Group(m, i-1)
+			if perm.Label(cur.Group(m, i-1)).Equal(want) {
+				continue
+			}
+			if err := fixFront(want); err != nil {
+				return nil, err
+			}
+			apply(w.BringToFront(i)...) // involution: swap front into place
+		}
+		if err := fixFront(dst.Group(m, 0)); err != nil {
+			return nil, err
+		}
+	default: // kindRotate
+		// Skip the route entirely if already equal.
+		if cur.Equal(dst) {
+			return word, nil
+		}
+		// l rotations by one position.  The content sitting at the front
+		// just before the j-th rotation (0-based) moves to position l and
+		// then climbs one position per remaining rotation, ending at
+		// 1-based position j+1 — so it must be set to dst's group j+1
+		// (0-based index j).
+		li := w.rotationWord(1)
+		for j := 0; j < w.L; j++ {
+			target := dst.Group(m, j)
+			if err := fixFront(target); err != nil {
+				return nil, err
+			}
+			apply(li...)
+		}
+	}
+	if !cur.Equal(dst) {
+		return nil, fmt.Errorf("superipg: route from %v ended at %v, want %v", src, cur, dst)
+	}
+	return word, nil
+}
+
+// InterclusterHops counts the super-generator applications in a word: the
+// route's intercluster transmissions.
+func (w *Network) InterclusterHops(word []int) int {
+	hops := 0
+	for _, gi := range word {
+		if w.IsSuper(gi) {
+			hops++
+		}
+	}
+	return hops
+}

@@ -1,0 +1,133 @@
+package superipg
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipg/internal/nucleus"
+	"ipg/internal/perm"
+)
+
+func routeNetworks() []*Network {
+	q2 := nucleus.Hypercube(2)
+	return []*Network{
+		HSN(3, q2),
+		SFN(3, q2),
+		HCN(3),
+		RingCN(4, q2),
+		CompleteCN(3, q2),
+		DirectedCN(3, q2),
+		HSN(2, nucleus.GeneralizedHypercube(4, 2)),
+	}
+}
+
+func TestRouteWordAllFamilies(t *testing.T) {
+	for _, w := range routeNetworks() {
+		g, err := w.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nr, err := w.BFSNucleusRouter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		m := w.SymbolLen()
+		for trial := 0; trial < 60; trial++ {
+			src := g.Label(rng.Intn(g.N()))
+			dst := g.Label(rng.Intn(g.N()))
+			word, err := w.RouteWord(src, dst, nr)
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name(), err)
+			}
+			// Apply and confirm.
+			cur := src.Clone()
+			for _, gi := range word {
+				cur = w.Gens()[gi].P.Apply(cur)
+			}
+			if !cur.Equal(dst) {
+				t.Fatalf("%s: route does not reach destination", w.Name())
+			}
+			hops := w.InterclusterHops(word)
+			switch w.kind() {
+			case kindSwap:
+				// Optimal: hops = number of differing suffix groups.
+				want := 0
+				for i := 1; i < w.L; i++ {
+					if !perm.Label(src.Group(m, i)).Equal(dst.Group(m, i)) {
+						want++
+					}
+				}
+				if hops != want {
+					t.Fatalf("%s: %d intercluster hops, want %d", w.Name(), hops, want)
+				}
+			default:
+				// The l-rotation plan uses at most l hops (0 when src=dst).
+				maxHops := w.L
+				if src.Equal(dst) {
+					maxHops = 0
+				}
+				if hops > maxHops {
+					t.Fatalf("%s: %d intercluster hops > %d", w.Name(), hops, maxHops)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteWordMatchesGraphDistanceBound(t *testing.T) {
+	// Route lengths are bounded by (diameter-quality) structural bounds:
+	// every hop is a real edge, so word length >= graph distance.
+	w := HSN(2, nucleus.Hypercube(2))
+	g, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := g.Undirected()
+	nr, err := w.BFSNucleusRouter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < g.N(); src++ {
+		dist := u.BFS(src)
+		for dst := 0; dst < g.N(); dst++ {
+			word, err := w.RouteWord(g.Label(src), g.Label(dst), nr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Count only real moves (self-loop generator applications are
+			// impossible here: fixFront routes between distinct labels and
+			// swaps are only applied when contents differ).
+			if len(word) < int(dist[dst]) {
+				t.Fatalf("route shorter than graph distance?! %d < %d", len(word), dist[dst])
+			}
+			if len(word) > 3*int(dist[dst])+4 {
+				t.Fatalf("route %d far exceeds distance %d", len(word), dist[dst])
+			}
+		}
+	}
+}
+
+func TestBFSNucleusRouterIdentity(t *testing.T) {
+	w := HSN(2, nucleus.Hypercube(3))
+	nr, err := w.BFSNucleusRouter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := w.Nuc.Seed
+	word, err := nr(seed, seed)
+	if err != nil || len(word) != 0 {
+		t.Errorf("identity route should be empty: %v, %v", word, err)
+	}
+	if _, err := nr(seed, perm.MustParseLabel("9999")); err == nil {
+		t.Error("unknown label should error")
+	}
+}
+
+func TestRouteWordRejectsBadLabels(t *testing.T) {
+	w := HSN(2, nucleus.Hypercube(2))
+	nr, _ := w.BFSNucleusRouter()
+	if _, err := w.RouteWord(perm.MustParseLabel("01"), w.Seed(), nr); err == nil {
+		t.Error("short label should error")
+	}
+}

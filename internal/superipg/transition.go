@@ -1,0 +1,86 @@
+package superipg
+
+import "fmt"
+
+// This file provides the arrangement transitions used by ascend/descend
+// algorithms (Section 3.2 of the paper): the super-generator words that move
+// the front of the label from one group to the next without a full
+// restore-to-identity in between.  Using these transitions, an ascend pass
+// costs l-1 transitions plus one final restore on a CN (t_r = l) and
+// 2(l-1) super steps on an HSN/SFN (t_r = 2l-2), reproducing the step
+// counts of Corollaries 3.6 and 3.7.
+//
+// Invariant: outside a transition the arrangement is always canonical for
+// the current front group f — identity for f = 1, the arrangement produced
+// by BringToFront(f) from identity otherwise.  TransitionWord moves between
+// canonical arrangements; FinalWord returns to identity.
+
+type familyKind int
+
+const (
+	kindSwap   familyKind = iota // HSN, SFN, RCC, HCN: involutive bring words
+	kindRotate                   // ring-CN, complete-CN, directed-CN: rotations
+)
+
+func (w *Network) kind() familyKind {
+	switch w.Family {
+	case "ring-CN", "complete-CN", "directed-CN":
+		return kindRotate
+	default:
+		return kindSwap
+	}
+}
+
+// TransitionWord returns the super-generator word moving the canonical
+// arrangement with front group `from` to the canonical arrangement with
+// front group `to` (both 1-based).
+func (w *Network) TransitionWord(from, to int) []int {
+	if from < 1 || from > w.L || to < 1 || to > w.L {
+		panic(fmt.Sprintf("superipg: TransitionWord(%d,%d) out of range 1..%d", from, to, w.L))
+	}
+	if from == to {
+		return nil
+	}
+	switch w.kind() {
+	case kindSwap:
+		var word []int
+		if from != 1 {
+			word = append(word, w.RestoreFromFront(from)...)
+		}
+		if to != 1 {
+			word = append(word, w.BringToFront(to)...)
+		}
+		return word
+	default: // kindRotate
+		return w.rotationWord((to - from + w.L) % w.L)
+	}
+}
+
+// FinalWord returns the word restoring the canonical arrangement with front
+// group f to the identity arrangement.
+func (w *Network) FinalWord(f int) []int {
+	return w.TransitionWord(f, 1)
+}
+
+// rotationWord returns a word rotating the groups left by delta (mod l),
+// using the shortest available rotations of the family.
+func (w *Network) rotationWord(delta int) []int {
+	delta = ((delta % w.L) + w.L) % w.L
+	if delta == 0 {
+		return nil
+	}
+	switch w.Family {
+	case "complete-CN":
+		// L_delta in one step: super generator index delta-1.
+		return []int{w.nNuc + delta - 1}
+	case "ring-CN":
+		li, ri := w.nNuc, w.nNuc+1
+		if delta <= w.L-delta {
+			return repeat(li, delta)
+		}
+		return repeat(ri, w.L-delta)
+	case "directed-CN":
+		return repeat(w.nNuc, delta)
+	}
+	panic("superipg: rotationWord on non-rotation family")
+}

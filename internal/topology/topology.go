@@ -1,0 +1,293 @@
+// Package topology builds the baseline (non-IPG) interconnection networks
+// the paper compares against: binary hypercubes, k-ary n-cubes (tori),
+// generalized hypercubes, cube-connected cycles, butterflies,
+// shuffle-exchange and de Bruijn graphs, and homogeneous product networks
+// (HPNs).  Each constructor returns both the materialized graph and enough
+// addressing structure for routing and for MCMP cluster assignment.
+package topology
+
+import (
+	"fmt"
+
+	"ipg/internal/graph"
+)
+
+// Hypercube is the binary d-cube; node id = address, edges flip one bit.
+type Hypercube struct {
+	D int
+	G *graph.Graph
+}
+
+// NewHypercube builds Q_d.
+func NewHypercube(d int) *Hypercube {
+	if d < 1 || d > 24 {
+		panic("topology.NewHypercube: d out of range [1,24]")
+	}
+	n := 1 << d
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			g.AddEdge(v, v^(1<<b))
+		}
+	}
+	return &Hypercube{D: d, G: g}
+}
+
+// N returns the node count 2^d.
+func (h *Hypercube) N() int { return 1 << h.D }
+
+// Name returns a short identifier such as "Q12".
+func (h *Hypercube) Name() string { return fmt.Sprintf("Q%d", h.D) }
+
+// NextHop returns the neighbor on a dimension-order route from cur to dst
+// (lowest differing bit first), or cur if already there.
+func (h *Hypercube) NextHop(cur, dst int) int {
+	diff := cur ^ dst
+	if diff == 0 {
+		return cur
+	}
+	b := 0
+	for diff&1 == 0 {
+		diff >>= 1
+		b++
+	}
+	return cur ^ (1 << b)
+}
+
+// Distance returns the Hamming distance between two nodes.
+func (h *Hypercube) Distance(a, b int) int {
+	d := 0
+	for x := a ^ b; x != 0; x &= x - 1 {
+		d++
+	}
+	return d
+}
+
+// Torus is the k-ary n-cube: n dimensions of radix k with wraparound.
+// Node id encodes the digit vector in base k (dimension 0 least
+// significant).  For k = 2 pairs of wrap links collapse to single edges.
+type Torus struct {
+	K, Dims int
+	G       *graph.Graph
+}
+
+// NewTorus builds the k-ary n-cube.
+func NewTorus(k, dims int) *Torus {
+	if k < 2 || dims < 1 {
+		panic("topology.NewTorus: need k >= 2, dims >= 1")
+	}
+	n := 1
+	for i := 0; i < dims; i++ {
+		n *= k
+	}
+	if n > 1<<22 {
+		panic("topology.NewTorus: too large")
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		weight := 1
+		for d := 0; d < dims; d++ {
+			digit := (v / weight) % k
+			up := v - digit*weight + ((digit+1)%k)*weight
+			g.AddEdge(v, up)
+			weight *= k
+		}
+	}
+	return &Torus{K: k, Dims: dims, G: g}
+}
+
+// N returns k^dims.
+func (t *Torus) N() int { return t.G.N() }
+
+// Name returns an identifier such as "64-ary 2-cube".
+func (t *Torus) Name() string { return fmt.Sprintf("%d-ary %d-cube", t.K, t.Dims) }
+
+// Digit returns digit d of node v.
+func (t *Torus) Digit(v, d int) int {
+	for i := 0; i < d; i++ {
+		v /= t.K
+	}
+	return v % t.K
+}
+
+// NextHop returns the neighbor on a dimension-order minimal route
+// (shortest way around each ring), or cur when cur == dst.
+func (t *Torus) NextHop(cur, dst int) int {
+	weight := 1
+	for d := 0; d < t.Dims; d++ {
+		cd := (cur / weight) % t.K
+		dd := (dst / weight) % t.K
+		if cd != dd {
+			fwd := ((dd - cd) + t.K) % t.K
+			var next int
+			if fwd <= t.K-fwd {
+				next = cur - cd*weight + ((cd+1)%t.K)*weight
+			} else {
+				next = cur - cd*weight + ((cd-1+t.K)%t.K)*weight
+			}
+			return next
+		}
+		weight *= t.K
+	}
+	return cur
+}
+
+// GHCGraph is the generalized hypercube as a plain graph: the Cartesian
+// product of complete graphs with the given radices, node id in mixed radix
+// (dimension 0 least significant).
+type GHCGraph struct {
+	Radices []int
+	G       *graph.Graph
+}
+
+// NewGHCGraph builds GHC(m_1, ..., m_n).
+func NewGHCGraph(radices ...int) *GHCGraph {
+	n := 1
+	for _, m := range radices {
+		if m < 2 {
+			panic("topology.NewGHCGraph: radix must be >= 2")
+		}
+		n *= m
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		weight := 1
+		for _, m := range radices {
+			digit := (v / weight) % m
+			for other := 0; other < m; other++ {
+				if other != digit {
+					g.AddEdge(v, v+(other-digit)*weight)
+				}
+			}
+			weight *= m
+		}
+	}
+	return &GHCGraph{Radices: append([]int(nil), radices...), G: g}
+}
+
+// N returns the node count.
+func (g *GHCGraph) N() int { return g.G.N() }
+
+// CCC is the cube-connected cycles network CCC(d): each hypercube vertex is
+// replaced by a d-cycle; node id = x*d + i for cube address x and cycle
+// position i.  Degree 3 (for d >= 3), N = d*2^d.
+type CCC struct {
+	D int
+	G *graph.Graph
+}
+
+// NewCCC builds CCC(d).
+func NewCCC(d int) *CCC {
+	if d < 3 || d > 18 {
+		panic("topology.NewCCC: d out of range [3,18]")
+	}
+	n := d * (1 << d)
+	g := graph.New(n)
+	for x := 0; x < 1<<d; x++ {
+		for i := 0; i < d; i++ {
+			v := x*d + i
+			g.AddEdge(v, x*d+(i+1)%d)    // cycle link
+			g.AddEdge(v, (x^(1<<i))*d+i) // cube link at position i
+		}
+	}
+	return &CCC{D: d, G: g}
+}
+
+// N returns d*2^d.
+func (c *CCC) N() int { return c.G.N() }
+
+// CubeAddr returns the hypercube address of node v.
+func (c *CCC) CubeAddr(v int) int { return v / c.D }
+
+// CyclePos returns the cycle position of node v.
+func (c *CCC) CyclePos(v int) int { return v % c.D }
+
+// Butterfly is the wrapped butterfly WBF(d): nodes (level, row) with
+// level in 0..d-1 and row in 0..2^d-1; node id = row*d + level.  Edges go
+// from level i to level (i+1) mod d, straight and crossing bit i.
+// N = d*2^d, 4-regular for d >= 3.
+type Butterfly struct {
+	D int
+	G *graph.Graph
+}
+
+// NewButterfly builds the wrapped butterfly of dimension d.
+func NewButterfly(d int) *Butterfly {
+	if d < 2 || d > 18 {
+		panic("topology.NewButterfly: d out of range [2,18]")
+	}
+	n := d * (1 << d)
+	g := graph.New(n)
+	for row := 0; row < 1<<d; row++ {
+		for lev := 0; lev < d; lev++ {
+			v := row*d + lev
+			next := (lev + 1) % d
+			g.AddEdge(v, row*d+next)            // straight
+			g.AddEdge(v, (row^(1<<lev))*d+next) // cross
+		}
+	}
+	return &Butterfly{D: d, G: g}
+}
+
+// N returns d*2^d.
+func (b *Butterfly) N() int { return b.G.N() }
+
+// Row returns the row of node v.
+func (b *Butterfly) Row(v int) int { return v / b.D }
+
+// Level returns the level of node v.
+func (b *Butterfly) Level(v int) int { return v % b.D }
+
+// ShuffleExchange is the shuffle-exchange graph SE(d) on 2^d nodes:
+// exchange edges flip the low bit, shuffle edges rotate the address left.
+type ShuffleExchange struct {
+	D int
+	G *graph.Graph
+}
+
+// NewShuffleExchange builds SE(d).
+func NewShuffleExchange(d int) *ShuffleExchange {
+	if d < 2 || d > 22 {
+		panic("topology.NewShuffleExchange: d out of range [2,22]")
+	}
+	n := 1 << d
+	g := graph.New(n)
+	mask := n - 1
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, v^1)                      // exchange
+		g.AddEdge(v, ((v<<1)|(v>>(d-1)))&mask) // shuffle
+	}
+	return &ShuffleExchange{D: d, G: g}
+}
+
+// N returns 2^d.
+func (s *ShuffleExchange) N() int { return s.G.N() }
+
+// DeBruijn is the binary de Bruijn graph DB(d) on 2^d nodes: v connects to
+// 2v mod N and 2v+1 mod N (undirected collapse).
+type DeBruijn struct {
+	D int
+	G *graph.Graph
+}
+
+// NewDeBruijn builds DB(d).
+func NewDeBruijn(d int) *DeBruijn {
+	if d < 2 || d > 22 {
+		panic("topology.NewDeBruijn: d out of range [2,22]")
+	}
+	n := 1 << d
+	g := graph.New(n)
+	mask := n - 1
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v<<1)&mask)
+		g.AddEdge(v, ((v<<1)|1)&mask)
+	}
+	return &DeBruijn{D: d, G: g}
+}
+
+// N returns 2^d.
+func (d *DeBruijn) N() int { return d.G.N() }
+
+// HPN returns the homogeneous product network HPN(p, g): the p-th
+// Cartesian power of g (Efe & Fernandez).
+func HPN(p int, g *graph.Graph) *graph.Graph { return graph.Power(g, p) }

@@ -1,0 +1,211 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHypercube(t *testing.T) {
+	h := NewHypercube(5)
+	if h.N() != 32 || h.G.M() != 80 {
+		t.Fatalf("Q5: n=%d m=%d", h.N(), h.G.M())
+	}
+	if d := h.G.Diameter(); d != 5 {
+		t.Errorf("Q5 diameter = %d", d)
+	}
+	if h.Distance(0b10110, 0b00011) != 3 {
+		t.Error("Hamming distance wrong")
+	}
+	if h.Name() != "Q5" {
+		t.Errorf("name = %s", h.Name())
+	}
+}
+
+func TestHypercubeNextHop(t *testing.T) {
+	h := NewHypercube(6)
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		cur, dst := r.Intn(64), r.Intn(64)
+		steps := 0
+		for cur != dst {
+			next := h.NextHop(cur, dst)
+			if !h.G.HasEdge(cur, next) {
+				t.Fatalf("NextHop returned non-neighbor %d -> %d", cur, next)
+			}
+			cur = next
+			steps++
+			if steps > 6 {
+				t.Fatal("route too long")
+			}
+		}
+	}
+	if h.NextHop(5, 5) != 5 {
+		t.Error("NextHop at destination should stay")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	tr := NewTorus(4, 2)
+	if tr.N() != 16 || tr.G.M() != 32 {
+		t.Fatalf("4-ary 2-cube: n=%d m=%d", tr.N(), tr.G.M())
+	}
+	if d := tr.G.Diameter(); d != 4 {
+		t.Errorf("4-ary 2-cube diameter = %d, want 4", d)
+	}
+	if tr.Digit(7, 0) != 3 || tr.Digit(7, 1) != 1 {
+		t.Error("Digit decoding wrong")
+	}
+	if tr.Name() != "4-ary 2-cube" {
+		t.Errorf("name = %s", tr.Name())
+	}
+}
+
+func TestTorusK2(t *testing.T) {
+	// 2-ary n-cube is the hypercube.
+	tr := NewTorus(2, 4)
+	h := NewHypercube(4)
+	if tr.N() != h.N() || tr.G.M() != h.G.M() {
+		t.Errorf("2-ary 4-cube != Q4: m=%d vs %d", tr.G.M(), h.G.M())
+	}
+}
+
+func TestTorusNextHopMinimal(t *testing.T) {
+	tr := NewTorus(5, 2)
+	r := rand.New(rand.NewSource(2))
+	dist := func(a, b int) int {
+		total := 0
+		for d := 0; d < 2; d++ {
+			delta := (tr.Digit(b, d) - tr.Digit(a, d) + 5) % 5
+			if delta > 5-delta {
+				delta = 5 - delta
+			}
+			total += delta
+		}
+		return total
+	}
+	for trial := 0; trial < 100; trial++ {
+		cur, dst := r.Intn(25), r.Intn(25)
+		want := dist(cur, dst)
+		steps := 0
+		for cur != dst {
+			next := tr.NextHop(cur, dst)
+			if !tr.G.HasEdge(cur, next) {
+				t.Fatalf("NextHop returned non-neighbor")
+			}
+			cur = next
+			steps++
+		}
+		if steps != want {
+			t.Fatalf("route length %d, want minimal %d", steps, want)
+		}
+	}
+}
+
+func TestGHCGraph(t *testing.T) {
+	g := NewGHCGraph(4, 4, 4)
+	if g.N() != 64 {
+		t.Fatalf("GHC(4,4,4) n=%d", g.N())
+	}
+	if reg, d := g.G.IsRegular(); !reg || d != 9 {
+		t.Errorf("degree = %v,%d want 9", reg, d)
+	}
+	if diam := g.G.Diameter(); diam != 3 {
+		t.Errorf("diameter = %d", diam)
+	}
+}
+
+func TestCCC(t *testing.T) {
+	c := NewCCC(3)
+	if c.N() != 24 {
+		t.Fatalf("CCC(3) n=%d", c.N())
+	}
+	if reg, d := c.G.IsRegular(); !reg || d != 3 {
+		t.Errorf("CCC(3) degree = %v,%d want 3", reg, d)
+	}
+	if !c.G.Connected() {
+		t.Error("CCC should be connected")
+	}
+	if c.CubeAddr(7) != 2 || c.CyclePos(7) != 1 {
+		t.Error("CCC addressing wrong")
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	b := NewButterfly(3)
+	if b.N() != 24 {
+		t.Fatalf("WBF(3) n=%d", b.N())
+	}
+	// Wrapped butterfly is 4-regular for d >= 3.
+	if reg, d := b.G.IsRegular(); !reg || d != 4 {
+		t.Errorf("WBF(3) degree = %v,%d want 4", reg, d)
+	}
+	if !b.G.Connected() {
+		t.Error("butterfly should be connected")
+	}
+	if b.Row(7) != 2 || b.Level(7) != 1 {
+		t.Error("butterfly addressing wrong")
+	}
+}
+
+func TestShuffleExchangeAndDeBruijn(t *testing.T) {
+	se := NewShuffleExchange(4)
+	if se.N() != 16 || !se.G.Connected() {
+		t.Fatalf("SE(4) bad: n=%d", se.N())
+	}
+	db := NewDeBruijn(4)
+	if db.N() != 16 || !db.G.Connected() {
+		t.Fatalf("DB(4) bad: n=%d", db.N())
+	}
+	// de Bruijn diameter is d.
+	if diam := db.G.Diameter(); diam != 4 {
+		t.Errorf("DB(4) diameter = %d", diam)
+	}
+}
+
+func TestHPNOfK2IsHypercube(t *testing.T) {
+	k2 := NewHypercube(1)
+	p := HPN(4, k2.G)
+	h := NewHypercube(4)
+	if p.N() != h.N() || p.M() != h.G.M() {
+		t.Errorf("HPN(4,K2) != Q4")
+	}
+	if d := p.Diameter(); d != 4 {
+		t.Errorf("HPN(4,K2) diameter = %d", d)
+	}
+}
+
+func TestQuickTorusDigits(t *testing.T) {
+	tr := NewTorus(3, 3)
+	f := func(raw uint8) bool {
+		v := int(raw) % tr.N()
+		back := 0
+		weight := 1
+		for d := 0; d < 3; d++ {
+			back += tr.Digit(v, d) * weight
+			weight *= 3
+		}
+		return back == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestButterflyEdgeStructure(t *testing.T) {
+	b := NewButterfly(4)
+	// Every node connects to exactly the straight and cross nodes at the
+	// next and previous levels.
+	for row := 0; row < 16; row++ {
+		for lev := 0; lev < 4; lev++ {
+			v := row*4 + lev
+			next := (lev + 1) % 4
+			if !b.G.HasEdge(v, row*4+next) {
+				t.Fatalf("missing straight edge at (%d,%d)", row, lev)
+			}
+			if !b.G.HasEdge(v, (row^(1<<lev))*4+next) {
+				t.Fatalf("missing cross edge at (%d,%d)", row, lev)
+			}
+		}
+	}
+}

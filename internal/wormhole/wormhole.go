@@ -1,0 +1,188 @@
+// Package wormhole simulates pipelined (virtual cut-through) message
+// transmission along the HPN-emulation paths of Section 3.1, reproducing
+// the paper's observation that "when wormhole routing or virtual
+// cut-through is used, the slowdown factor is actually reduced to about 2,
+// since the congestion for embedding all the links of an HPN(l,G) that
+// belong to a certain dimension ... is only 2".
+//
+// Model: every node simultaneously sends one F-flit message to its
+// dimension-j HPN neighbor along the 3-hop emulation path S, N, S^-1
+// (hops where a generator fixes the label are free and skipped).  Each
+// directed link carries one flit per cycle; flits of different messages
+// interleave FIFO in arrival order, and a flit may leave a node one cycle
+// after it arrives (cut-through — no store-and-forward wait for the
+// message tail).  The makespan divided by F is the slowdown relative to
+// the HPN's own one-hop transmission; as F grows it converges to the
+// embedding congestion (2), while store-and-forward costs 3 steps
+// (Theorem 3.1 / Corollary 3.2).
+package wormhole
+
+import (
+	"fmt"
+	"sort"
+
+	"ipg/internal/emul"
+	"ipg/internal/ipg"
+	"ipg/internal/superipg"
+)
+
+// Message is one unicast of F flits along a fixed node path.
+type Message struct {
+	Path []int32 // node sequence, Path[0] = source; len >= 2
+}
+
+// EmulationPaths returns, for HPN dimension j, the per-node emulation
+// paths (self-loop hops compressed away).
+func EmulationPaths(w *superipg.Network, g *ipg.Graph, j int) ([]Message, error) {
+	word, err := emul.DimensionWord(w, j)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]Message, 0, g.N())
+	for v := 0; v < g.N(); v++ {
+		path := []int32{int32(v)}
+		cur := v
+		for _, gi := range word {
+			next := g.Neighbor(cur, gi)
+			if next != cur {
+				path = append(path, int32(next))
+				cur = next
+			}
+		}
+		if len(path) < 2 {
+			return nil, fmt.Errorf("wormhole: node %d has a degenerate emulation path for dim %d", v, j)
+		}
+		msgs = append(msgs, Message{Path: path})
+	}
+	return msgs, nil
+}
+
+// flit identifies one flit in flight.
+type flit struct {
+	msg int
+	seq int // 0-based flit index within the message
+	hop int // index of the link it is queued on (Path[hop] -> Path[hop+1])
+}
+
+// SimulateCutThrough runs the flit-level simulation and returns the
+// makespan in cycles (time until every flit of every message has arrived
+// at its destination).  Every directed link moves one flit per cycle;
+// queues are FIFO in arrival order with ties broken by message index for
+// determinism.
+func SimulateCutThrough(msgs []Message, flits int) (int, error) {
+	if flits < 1 {
+		return 0, fmt.Errorf("wormhole: flits must be >= 1")
+	}
+	type linkKey struct{ u, v int32 }
+	queues := make(map[linkKey][]flit)
+	// Inject: at cycle 0, flit 0 of every message is ready on hop 0; flit
+	// s becomes ready at cycle s (source injects one flit per cycle).
+	// We process cycle by cycle.
+	pending := 0
+	for mi, m := range msgs {
+		if len(m.Path) < 2 {
+			return 0, fmt.Errorf("wormhole: message %d has no hops", mi)
+		}
+		pending += flits
+	}
+	delivered := 0
+	arrivedAtHop := func(f flit) linkKey {
+		m := msgs[f.msg]
+		return linkKey{m.Path[f.hop], m.Path[f.hop+1]}
+	}
+	// Seed injections for cycle 0.
+	for mi := range msgs {
+		queues[arrivedAtHop(flit{msg: mi, seq: 0, hop: 0})] = append(
+			queues[arrivedAtHop(flit{msg: mi, seq: 0, hop: 0})], flit{msg: mi, seq: 0, hop: 0})
+	}
+	cycle := 0
+	maxCycles := (len(msgs)*flits + flits) * 8
+	for delivered < pending {
+		cycle++
+		if cycle > maxCycles {
+			return 0, fmt.Errorf("wormhole: no progress after %d cycles (%d/%d delivered)", cycle, delivered, pending)
+		}
+		// Each link transmits its queue head this cycle.
+		type arrival struct {
+			f    flit
+			next linkKey
+			done bool
+		}
+		var arrivals []arrival
+		var freed []linkKey
+		// Deterministic link order.
+		keys := make([]linkKey, 0, len(queues))
+		for k := range queues {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].u != keys[b].u {
+				return keys[a].u < keys[b].u
+			}
+			return keys[a].v < keys[b].v
+		})
+		for _, k := range keys {
+			q := queues[k]
+			if len(q) == 0 {
+				freed = append(freed, k)
+				continue
+			}
+			f := q[0]
+			queues[k] = q[1:]
+			m := msgs[f.msg]
+			if f.hop+1 == len(m.Path)-1 {
+				arrivals = append(arrivals, arrival{f: f, done: true})
+			} else {
+				nf := flit{msg: f.msg, seq: f.seq, hop: f.hop + 1}
+				arrivals = append(arrivals, arrival{f: nf, next: linkKey{m.Path[nf.hop], m.Path[nf.hop+1]}})
+			}
+		}
+		for _, k := range freed {
+			delete(queues, k)
+		}
+		for _, a := range arrivals {
+			if a.done {
+				delivered++
+				continue
+			}
+			queues[a.next] = append(queues[a.next], a.f)
+		}
+		// Source injects the next flit of each message (one per cycle).
+		if cycle < flits {
+			for mi := range msgs {
+				f := flit{msg: mi, seq: cycle, hop: 0}
+				queues[arrivedAtHop(f)] = append(queues[arrivedAtHop(f)], f)
+			}
+		}
+	}
+	return cycle, nil
+}
+
+// StoreAndForwardMakespan returns the store-and-forward completion time
+// for the same workload under the SDC discipline of Theorem 3.1: each of
+// the (up to) 3 generator transmissions is a full F-flit step, so the
+// makespan is hops * F.
+func StoreAndForwardMakespan(msgs []Message, flits int) int {
+	maxHops := 0
+	for _, m := range msgs {
+		if h := len(m.Path) - 1; h > maxHops {
+			maxHops = h
+		}
+	}
+	return maxHops * flits
+}
+
+// Slowdown runs the cut-through simulation for dimension j and returns
+// makespan/F, the wormhole/VCT slowdown relative to the HPN's direct
+// transmission.
+func Slowdown(w *superipg.Network, g *ipg.Graph, j, flits int) (float64, error) {
+	msgs, err := EmulationPaths(w, g, j)
+	if err != nil {
+		return 0, err
+	}
+	mk, err := SimulateCutThrough(msgs, flits)
+	if err != nil {
+		return 0, err
+	}
+	return float64(mk) / float64(flits), nil
+}

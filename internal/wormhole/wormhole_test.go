@@ -1,0 +1,132 @@
+package wormhole
+
+import (
+	"testing"
+
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+)
+
+func TestSingleMessagePipeline(t *testing.T) {
+	// One message, no contention: makespan = hops + flits - 1.
+	msgs := []Message{{Path: []int32{0, 1, 2, 3}}}
+	for _, f := range []int{1, 4, 16} {
+		mk, err := SimulateCutThrough(msgs, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 3 + f - 1; mk != want {
+			t.Errorf("flits=%d: makespan %d, want %d", f, mk, want)
+		}
+	}
+}
+
+func TestTwoMessagesSharedLink(t *testing.T) {
+	// Both messages cross link 1->2: the shared link serializes 2F flits.
+	msgs := []Message{
+		{Path: []int32{0, 1, 2}},
+		{Path: []int32{3, 1, 2}},
+	}
+	f := 8
+	mk, err := SimulateCutThrough(msgs, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower bound: the shared link carries 16 flits, plus pipeline fill.
+	if mk < 2*f || mk > 2*f+4 {
+		t.Errorf("makespan %d, want about %d", mk, 2*f+1)
+	}
+}
+
+func TestSlowdownApproachesCongestion(t *testing.T) {
+	// The paper's claim: wormhole/VCT emulation slowdown ~2 (= the
+	// per-dimension congestion), vs 3 for store-and-forward.
+	for _, w := range []*superipg.Network{
+		superipg.HSN(2, nucleus.Hypercube(3)),
+		superipg.HSN(3, nucleus.Hypercube(2)),
+		superipg.SFN(3, nucleus.Hypercube(2)),
+	} {
+		g, err := w.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := w.NumNucGens() + 1 // first dimension of group 2
+		prev := 1e18
+		for _, f := range []int{1, 8, 64} {
+			s, err := Slowdown(w, g, j, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s > prev+1e-9 {
+				t.Errorf("%s: slowdown increased with flits: %v -> %v", w.Name(), prev, s)
+			}
+			prev = s
+		}
+		if prev < 2.0 || prev > 2.3 {
+			t.Errorf("%s: asymptotic slowdown %v, want ~2", w.Name(), prev)
+		}
+		// Store-and-forward: 3 steps.
+		msgs, err := EmulationPaths(w, g, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if saf := StoreAndForwardMakespan(msgs, 64); saf != 3*64 {
+			t.Errorf("%s: SAF makespan %d, want %d", w.Name(), saf, 3*64)
+		}
+	}
+}
+
+func TestCompleteCNSlowdown(t *testing.T) {
+	// Complete-CN has congestion 1 per dimension on separate forward and
+	// return links, but the L-link of group i is shared with the return of
+	// group l-i+2, which is idle in a single-dimension workload: slowdown
+	// approaches 1 (plus pipeline fill).
+	w := superipg.CompleteCN(3, nucleus.Hypercube(2))
+	g, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Slowdown(w, g, w.NumNucGens()+1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1.0 || s > 1.2 {
+		t.Errorf("complete-CN slowdown %v, want ~1", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := SimulateCutThrough([]Message{{Path: []int32{0}}}, 4); err == nil {
+		t.Error("degenerate path should error")
+	}
+	if _, err := SimulateCutThrough([]Message{{Path: []int32{0, 1}}}, 0); err == nil {
+		t.Error("zero flits should error")
+	}
+}
+
+func TestEmulationPathsCompressSelfLoops(t *testing.T) {
+	// HSN(2,Q2) nodes with X1 == X2 skip the swap hops: 1-hop paths exist.
+	w := superipg.HSN(2, nucleus.Hypercube(2))
+	g, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := EmulationPaths(w, g, w.NumNucGens()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, long := 0, 0
+	for _, m := range msgs {
+		switch len(m.Path) - 1 {
+		case 2: // self-loop at one end collapses one swap... or full path
+			short++
+		case 3:
+			long++
+		case 1:
+			short++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Errorf("expected a mix of compressed and full paths, got short=%d long=%d", short, long)
+	}
+}

@@ -1,0 +1,80 @@
+package ipg
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the README's quick-start path end to end
+// through the public API.
+func TestFacadeQuickstart(t *testing.T) {
+	net := HSN(3, HypercubeNucleus(2))
+	g, err := net.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 64 {
+		t.Fatalf("HSN(3,Q2) has %d nodes, want 64", g.N())
+	}
+	r, err := NewFFTRunner(net, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, g.N())
+	for i := range x {
+		x[i] = complex(float64(i%7)-3, 0)
+	}
+	spec, stats, err := FFT(r, x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DFT(x, false)
+	for k := range want {
+		if cmplx.Abs(spec[k]-want[k]) > 1e-6*float64(len(x)) {
+			t.Fatalf("FFT[%d] mismatch", k)
+		}
+	}
+	if stats.CommSteps <= 0 {
+		t.Error("no communication steps recorded")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 22 {
+		t.Fatalf("want 22 experiments, got %d", len(ids))
+	}
+	res, err := RunExperiment("worked-example", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Errorf("worked example failed:\n%s", res)
+	}
+}
+
+func TestFacadeSchedule(t *testing.T) {
+	s, err := BuildSchedule(HSN(4, HypercubeNucleus(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T != ScheduleSteps(4, 3) {
+		t.Errorf("schedule length %d", s.T)
+	}
+	if err := s.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeLabels(t *testing.T) {
+	l := MustParseLabel("123 321")
+	p := FromImage(4, 5, 6, 1, 2, 3)
+	if got := p.Apply(l).String(); got != "321123" {
+		t.Errorf("apply = %s", got)
+	}
+	spec := Spec{Name: "tiny", Seed: MustParseLabel("01"), Gens: GenSet{Gen("t", Transposition(2, 0, 1))}}
+	g := MustBuild(spec)
+	if g.N() != 2 {
+		t.Errorf("tiny IPG nodes = %d", g.N())
+	}
+}
