@@ -1,0 +1,88 @@
+// Command ipglint runs the project's static-analysis suite (internal/lint)
+// over package patterns and reports findings.
+//
+// Usage:
+//
+//	go run ./cmd/ipglint [-json] [-list] [pattern ...]
+//
+// Patterns default to ./... and support the go tool's ./dir and ./dir/...
+// forms.  Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Findings are suppressed inline with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on (or immediately above) the offending line, or file-wide with
+// //lint:file-ignore.  See docs/linting.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ipg/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ipglint [-json] [-list] [pattern ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipglint:", err)
+		os.Exit(2)
+	}
+	fset, pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipglint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(fset, pkgs, lint.All())
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ipglint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "ipglint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}

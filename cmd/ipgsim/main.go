@@ -119,7 +119,9 @@ func buildNet(name string, l int, nucName string, dim, logm, k, side int, chipCa
 		for v := 0; v < g.N(); v++ {
 			a, err := w.AddressOf(g.Label(v))
 			fail(err)
+			//lint:ignore indextrunc node ids and addresses are < g.N() <= ipg.MaxNodes (1<<22)
 			addrToNode[a] = int32(v)
+			//lint:ignore indextrunc node ids and addresses are < g.N() <= ipg.MaxNodes (1<<22)
 			nodeToAddr[v] = int32(a)
 		}
 		return net, l * kk, addrToNode, nodeToAddr

@@ -258,6 +258,7 @@ func (r *Runner[T]) nodeOfAddr(a int) int {
 	if r.addrToNode == nil {
 		r.addrToNode = make([]int32, len(r.homeAddr))
 		for v, ha := range r.homeAddr {
+			//lint:ignore indextrunc v < g.N() <= ipg.MaxNodes (1<<22)
 			r.addrToNode[ha] = int32(v)
 		}
 	}
@@ -303,6 +304,7 @@ func (r *Runner[T]) dimSubgroups(d int) ([]int32, error) {
 		if flat[slot] != -1 {
 			return nil, fmt.Errorf("ascend: duplicate digit %d in subgroup of dim %d", digit, d)
 		}
+		//lint:ignore indextrunc v < g.N() <= ipg.MaxNodes (1<<22)
 		flat[slot] = int32(v)
 	}
 	for i, v := range flat {

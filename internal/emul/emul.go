@@ -194,6 +194,7 @@ func TotalCongestion(w *superipg.Network, g *ipg.Graph) (int, error) {
 				if next == cur {
 					continue
 				}
+				//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
 				a, b := int32(cur), int32(next)
 				if a > b {
 					a, b = b, a
@@ -232,6 +233,7 @@ func CongestionPerDimension(w *superipg.Network, g *ipg.Graph, j int) (int, erro
 				// physical transmission happens on this step.
 				continue
 			}
+			//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
 			a, b := int32(cur), int32(next)
 			if a > b {
 				a, b = b, a

@@ -67,9 +67,11 @@ func runMultiLevel(scale Scale) (*Result, error) {
 	chipOfQ := make([]int32, h.N())
 	boardOfChipQ := make([]int32, h.N()>>logChip)
 	for v := range chipOfQ {
+		//lint:ignore indextrunc v < h.N() <= topology.MaxNodes (1<<22)
 		chipOfQ[v] = int32(v >> logChip)
 	}
 	for c := range boardOfChipQ {
+		//lint:ignore indextrunc c < h.N() <= topology.MaxNodes (1<<22)
 		boardOfChipQ[c] = int32(c >> (logBoard - logChip))
 	}
 	twoQ, err := mcmp.NewTwoLevel(h.Name(), h.G, chipOfQ, boardOfChipQ)

@@ -65,6 +65,7 @@ func runTranspose(scale Scale) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore indextrunc v < g.N() <= ipg.MaxNodes (1<<22)
 		nodeOfAddr[a] = int32(v)
 	}
 	for v := 0; v < g.N(); v++ {

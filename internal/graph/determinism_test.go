@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"runtime"
+	"testing"
+)
+
+// buildDeterministic returns a fixed connected graph: a ring over n
+// vertices plus deterministic chords, so its metrics are nontrivial and
+// identical across runs.
+func buildDeterministic(n int) *Graph {
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+	}
+	for v := 0; v < n; v += 7 {
+		g.AddEdge(v, (v*3+11)%n)
+	}
+	return g
+}
+
+// TestParallelMetricsDeterministic checks that the source-parallel
+// diameter and average-distance computations return identical values on a
+// single worker and on many, and that both agree with the serial
+// implementations.  The average is accumulated as an integer distance sum,
+// so the result must be bit-identical, not merely close.
+func TestParallelMetricsDeterministic(t *testing.T) {
+	g := buildDeterministic(601)
+
+	wantDiam := g.Diameter()
+	wantAvg := g.AverageDistance()
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, workers := range []int{1, 2, prev, 2 * prev} {
+		runtime.GOMAXPROCS(workers)
+		if d := g.DiameterParallel(); d != wantDiam {
+			t.Errorf("GOMAXPROCS=%d: DiameterParallel = %d, want %d", workers, d, wantDiam)
+		}
+		if a := g.AverageDistanceParallel(); a != wantAvg {
+			t.Errorf("GOMAXPROCS=%d: AverageDistanceParallel = %v, want bit-identical %v", workers, a, wantAvg)
+		}
+	}
+}
+
+// TestParallelMetricsDisconnected checks the disconnected sentinel is
+// stable across worker counts too.
+func TestParallelMetricsDisconnected(t *testing.T) {
+	g := New(10)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, workers := range []int{1, 4} {
+		runtime.GOMAXPROCS(workers)
+		if d := g.DiameterParallel(); d != -1 {
+			t.Errorf("GOMAXPROCS=%d: DiameterParallel on disconnected graph = %d, want -1", workers, d)
+		}
+		if a := g.AverageDistanceParallel(); a != -1 {
+			t.Errorf("GOMAXPROCS=%d: AverageDistanceParallel on disconnected graph = %v, want -1", workers, a)
+		}
+	}
+}

@@ -6,8 +6,11 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
+
+//lint:file-ignore indextrunc vertex ids in this file are < len(g.adj), which NewChecked bounds to MaxVertices (math.MaxInt32) at construction
 
 // Graph is a simple undirected graph on vertices 0..N-1 stored as sorted
 // adjacency lists.  Self-loops are not stored (IPG generator actions that
@@ -17,9 +20,38 @@ type Graph struct {
 	m   int // number of edges
 }
 
-// New returns an empty graph on n vertices.
+// MaxVertices is the largest vertex count the int32 adjacency storage can
+// address.  Super-IPG configurations beyond this must be sharded before
+// materialization; silently wrapping ids would corrupt every metric.
+const MaxVertices = math.MaxInt32
+
+// CheckVertexCount reports whether n vertices fit the int32 adjacency
+// representation, as an error suitable for propagation.
+func CheckVertexCount(n int) error {
+	if n < 0 || n > MaxVertices {
+		return fmt.Errorf("graph: vertex count %d outside [0, %d]", n, MaxVertices)
+	}
+	return nil
+}
+
+// NewChecked returns an empty graph on n vertices, or an error if n
+// overflows the int32 vertex representation.
+func NewChecked(n int) (*Graph, error) {
+	if err := CheckVertexCount(n); err != nil {
+		return nil, err
+	}
+	return &Graph{adj: make([][]int32, n)}, nil
+}
+
+// New returns an empty graph on n vertices.  It panics if n overflows the
+// int32 vertex representation; scale-sensitive callers should use
+// NewChecked.
 func New(n int) *Graph {
-	return &Graph{adj: make([][]int32, n)}
+	g, err := NewChecked(n)
+	if err != nil {
+		panic("graph.New: " + err.Error())
+	}
+	return g
 }
 
 // N returns the number of vertices.
@@ -55,8 +87,13 @@ func (g *Graph) insert(u int, v int32) {
 	g.adj[u] = lst
 }
 
-// HasEdge reports whether {u,v} is an edge.
+// HasEdge reports whether {u,v} is an edge.  Vertices outside [0, N) have
+// no edges; checking the range here keeps the int32 comparison below exact
+// rather than comparing against a wrapped id.
 func (g *Graph) HasEdge(u, v int) bool {
+	if v < 0 || v >= len(g.adj) {
+		return false
+	}
 	lst := g.adj[u]
 	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= int32(v) })
 	return i < len(lst) && lst[i] == int32(v)

@@ -55,6 +55,7 @@ func (g *Graph) bfsInto(src int, dist []int32, queue []int32) (ecc int32, sum in
 	}
 	dist[src] = 0
 	queue = queue[:0]
+	//lint:ignore indextrunc src < g.N() <= MaxVertices, enforced by NewChecked
 	queue = append(queue, int32(src))
 	visited := 1
 	for qi := 0; qi < len(queue); qi++ {

@@ -94,6 +94,7 @@ func MustBuild(spec Spec) *Graph {
 }
 
 func (g *Graph) addNode(l perm.Label) int32 {
+	//lint:ignore indextrunc Build caps len(g.nodes) at MaxNodes (1<<22) before growing
 	id := int32(len(g.nodes))
 	g.nodes = append(g.nodes, l)
 	g.index[string(l)] = id
@@ -214,6 +215,7 @@ func (g *Graph) ClustersBy(key func(perm.Label) string) ([]int32, int) {
 		k := key(l)
 		id, ok := idx[k]
 		if !ok {
+			//lint:ignore indextrunc len(idx) <= g.N() <= MaxNodes (1<<22)
 			id = int32(len(idx))
 			idx[k] = id
 		}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"strings"
+)
+
+// ignorePrefix and fileIgnorePrefix are the inline-suppression directives.
+// Both require an analyzer list and a non-empty reason:
+//
+//	//lint:ignore indextrunc ids are bounded by MaxNodes above
+//	//lint:file-ignore permalias this file implements the in-place kernels
+const (
+	ignorePrefix     = "//lint:ignore "
+	fileIgnorePrefix = "//lint:file-ignore "
+)
+
+type directive struct {
+	file      string
+	line      int
+	ownLine   bool // nothing but whitespace precedes the comment on its line
+	fileWide  bool
+	analyzers map[string]bool
+}
+
+type fileDirectives struct {
+	list []directive
+}
+
+func (fd *fileDirectives) suppresses(d Diagnostic) bool {
+	if fd == nil {
+		return false
+	}
+	for _, dir := range fd.list {
+		if dir.file != d.Pos.Filename || !dir.analyzers[d.Analyzer] {
+			continue
+		}
+		if dir.fileWide || d.Pos.Line == dir.line || (dir.ownLine && d.Pos.Line == dir.line+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans a package's comments for lint:ignore directives.
+// Malformed directives (missing reason, unknown analyzer) are returned as
+// diagnostics under the pseudo-analyzer "directive" so they cannot silently
+// fail to suppress.
+func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool) (*fileDirectives, []Diagnostic) {
+	fd := &fileDirectives{}
+	var bad []Diagnostic
+	srcByFile := make(map[string][]byte)
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Diagnostic{Analyzer: "directive", Pos: pos, Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				fileWide := false
+				var rest string
+				switch {
+				case strings.HasPrefix(text, ignorePrefix):
+					rest = text[len(ignorePrefix):]
+				case strings.HasPrefix(text, fileIgnorePrefix):
+					rest = text[len(fileIgnorePrefix):]
+					fileWide = true
+				case text == strings.TrimSuffix(ignorePrefix, " "), text == strings.TrimSuffix(fileIgnorePrefix, " "):
+					report(fset.Position(c.Pos()), "directive needs an analyzer list and a reason")
+					continue
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(pos, "directive needs an analyzer list and a reason")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				set := make(map[string]bool, len(names))
+				ok := true
+				for _, n := range names {
+					if !known[n] {
+						report(pos, "unknown analyzer "+n+" in directive")
+						ok = false
+						break
+					}
+					set[n] = true
+				}
+				if !ok {
+					continue
+				}
+				fd.list = append(fd.list, directive{
+					file:      pos.Filename,
+					line:      pos.Line,
+					ownLine:   ownLine(srcByFile, pos),
+					fileWide:  fileWide,
+					analyzers: set,
+				})
+			}
+		}
+	}
+	return fd, bad
+}
+
+// ownLine reports whether only whitespace precedes the comment on its line,
+// reading (and caching) the source file to check.
+func ownLine(cache map[string][]byte, pos token.Position) bool {
+	src, ok := cache[pos.Filename]
+	if !ok {
+		src, _ = os.ReadFile(pos.Filename)
+		cache[pos.Filename] = src
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags discarded error results from the simulation entry points:
+// functions and methods named Step, Step*, Run*, or Route* that return an
+// error.  netsim.Sim.Step reports livelock through its error; ascend's
+// Run reports malformed passes; superipg's RouteWord reports unroutable
+// label pairs.  Dropping any of these turns a wrong-answer condition into
+// a silently wrong table in the paper reproduction.
+//
+// Flagged forms: a bare call statement, `go`/`defer` of such a call, and
+// assignments that bind the error result to the blank identifier.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "discarded error result from a Step/Run*/Route* simulation call",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					reportDroppedErr(pass, call, "result discarded")
+				}
+			case *ast.GoStmt:
+				reportDroppedErr(pass, n.Call, "error lost in go statement")
+			case *ast.DeferStmt:
+				reportDroppedErr(pass, n.Call, "error lost in defer statement")
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, errIdx, ok := simCallWithError(pass, call)
+				if !ok || errIdx >= len(n.Lhs) {
+					return true
+				}
+				if id, ok := n.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(n.Pos(), "error result of %s assigned to _; handle it (livelock/malformed-pass conditions arrive this way)", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportDroppedErr(pass *Pass, call *ast.CallExpr, how string) {
+	if name, _, ok := simCallWithError(pass, call); ok {
+		pass.Reportf(call.Pos(), "error result of %s %s; handle it (livelock/malformed-pass conditions arrive this way)", name, how)
+	}
+}
+
+// simCallWithError reports whether call invokes a Step/Run*/Route* function
+// whose results include an error, returning the callee name and the index
+// of the error result.
+func simCallWithError(pass *Pass, call *ast.CallExpr) (string, int, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", 0, false
+	}
+	if name != "Step" && !strings.HasPrefix(name, "Step") &&
+		!strings.HasPrefix(name, "Run") && !strings.HasPrefix(name, "Route") {
+		return "", 0, false
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return "", 0, false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return "", 0, false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return name, i, true
+		}
+	}
+	return "", 0, false
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak flags `go` statements whose enclosing function has no
+// visible join — no sync.WaitGroup-style Wait call, no channel receive, no
+// select, and no range over a channel.  The worker pools in
+// internal/graph/parallel.go, internal/netsim, and internal/ascend all
+// follow the wg.Add / go / wg.Wait idiom; a goroutine launched without a
+// join either leaks or, worse, races the function's return with its writes
+// to shared buffers.
+//
+// The check is intraprocedural by design: handing a WaitGroup to a helper
+// that joins elsewhere needs a `//lint:ignore goroutineleak <reason>`
+// stating where the join lives.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "go statement in a function with no visible join (Wait, channel receive, or select)",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGoroutines(pass, fn.Body)
+		}
+	}
+}
+
+// checkGoroutines walks one function body, recursing manually into nested
+// function literals so each `go` statement is judged against its own
+// innermost enclosing function.
+func checkGoroutines(pass *Pass, body *ast.BlockStmt) {
+	var goStmts []*ast.GoStmt
+	joined := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkGoroutines(pass, n.Body)
+			return false
+		case *ast.GoStmt:
+			goStmts = append(goStmts, n)
+			// The spawned callee runs in the new goroutine; joins inside it
+			// do not join it.  Its body (if a literal) was handled above via
+			// FuncLit recursion, so only inspect the arguments here.
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkGoroutines(pass, lit.Body)
+			}
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				joined = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joined = true
+			}
+		case *ast.SelectStmt:
+			joined = true
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	if joined {
+		return
+	}
+	for _, g := range goStmts {
+		pass.Reportf(g.Pos(), "goroutine started here but the enclosing function never joins it (no Wait call, channel receive, or select)")
+	}
+}

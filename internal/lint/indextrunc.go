@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// IndexTrunc flags conversions that narrow an integer vertex index or
+// count — int/int64/uint/uint64 — down to int32, uint32, or int16 without
+// an overflow guard in the enclosing function.  The graph and netsim layers
+// store distances, queues, and port tables as int32/int16 for cache
+// density; a super-IPG configuration whose node count exceeds MaxInt32
+// would silently wrap and corrupt every downstream metric.
+//
+// A function counts as guarded when it either references one of the
+// math.MaxInt32 / math.MaxInt16 / math.MaxUint32 bounds (typically in a
+// comparison feeding an error return) or calls a guard helper whose name
+// matches `(?i)^check.*(count|len|range|bounds|16|32)` such as
+// graph.CheckVertexCount.  Constants that provably fit the target type are
+// never flagged.
+var IndexTrunc = &Analyzer{
+	Name: "indextrunc",
+	Doc:  "int -> int32/int16/uint32 conversion of an index or count without a bounds guard",
+	Run:  runIndexTrunc,
+}
+
+var guardFuncRE = regexp.MustCompile(`(?i)^check.*(count|len|range|bounds|16|32)`)
+
+func runIndexTrunc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if funcIsGuarded(pass, fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				target, ok := conversionTarget(pass, call)
+				if !ok {
+					return true
+				}
+				arg := call.Args[0]
+				tv, ok := pass.Info.Types[arg]
+				if !ok {
+					return true
+				}
+				if !isWideInt(tv.Type) {
+					return true
+				}
+				if tv.Value != nil {
+					if constFits(tv.Value, target) {
+						return true
+					}
+					pass.Reportf(call.Pos(), "constant %s overflows %s", tv.Value.ExactString(), target.String())
+					return true
+				}
+				pass.Reportf(call.Pos(), "%s -> %s conversion of a non-constant index/count without a bounds guard; check against math.%s (or a Check* helper) and return an error instead of wrapping",
+					tv.Type.String(), target.String(), maxConstName(target))
+				return true
+			})
+		}
+	}
+}
+
+// conversionTarget reports whether call is a type conversion to a narrow
+// integer type we police, returning the target basic type.
+func conversionTarget(pass *Pass, call *ast.CallExpr) (*types.Basic, bool) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return nil, false
+	}
+	switch basic.Kind() {
+	case types.Int32, types.Uint32, types.Int16:
+		return basic, true
+	}
+	return nil, false
+}
+
+func isWideInt(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch basic.Kind() {
+	case types.Int, types.Int64, types.Uint, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+func constFits(v constant.Value, target *types.Basic) bool {
+	i, ok := constant.Int64Val(constant.ToInt(v))
+	if !ok {
+		return false
+	}
+	switch target.Kind() {
+	case types.Int32:
+		return i >= -1<<31 && i < 1<<31
+	case types.Uint32:
+		return i >= 0 && i < 1<<32
+	case types.Int16:
+		return i >= -1<<15 && i < 1<<15
+	}
+	return false
+}
+
+func maxConstName(target *types.Basic) string {
+	switch target.Kind() {
+	case types.Uint32:
+		return "MaxUint32"
+	case types.Int16:
+		return "MaxInt16"
+	default:
+		return "MaxInt32"
+	}
+}
+
+// funcIsGuarded reports whether fn contains an overflow guard: a reference
+// to a math.Max* bound or a call to a Check*-style guard helper.
+func funcIsGuarded(pass *Pass, fn *ast.FuncDecl) bool {
+	guarded := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			switch n.Sel.Name {
+			case "MaxInt32", "MaxInt16", "MaxUint32", "MaxInt64", "MaxInt":
+				if obj := pass.Info.Uses[n.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "math" {
+					guarded = true
+				}
+			}
+		case *ast.CallExpr:
+			var name string
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if name != "" && guardFuncRE.MatchString(name) {
+				guarded = true
+			}
+		}
+		return true
+	})
+	return guarded
+}

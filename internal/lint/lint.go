@@ -1,0 +1,158 @@
+// Package lint is a small, stdlib-only static-analysis engine for this
+// repository.  It loads Go packages with go/parser + go/types (using the
+// "source" importer, so it needs no compiled export data and works with the
+// zero-dependency go.mod) and runs a suite of project-specific analyzers
+// over them.
+//
+// The analyzers encode bug classes that have bitten — or would silently
+// corrupt — the IPG reproduction:
+//
+//   - permalias:     aliasing of permutation/label slices across exported
+//     API boundaries (the generator-action in-place mutation bug class).
+//   - indextrunc:    int -> int32/int16/uint32 truncation of vertex indices
+//     and counts without an overflow guard.
+//   - goroutineleak: `go` statements in functions with no visible join
+//     (WaitGroup.Wait, channel receive, or select), violating the
+//     worker-pool idiom used by graph/netsim/ascend.
+//   - errdrop:       discarded error results from simulation entry points
+//     (Step / Run* / Route* methods).
+//
+// Findings can be suppressed with an inline directive:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or on its own line immediately above, or
+// for a whole file with
+//
+//	//lint:file-ignore <analyzer>[,<analyzer>...] <reason>
+//
+// near the top of the file.  A reason is mandatory; malformed directives
+// are themselves reported (analyzer name "directive").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check.  Run inspects a single type-checked package
+// via the Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	Name string // short lowercase identifier used in output and directives
+	Doc  string // one-line description
+	Run  func(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned in the original source.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the conventional file:line:col: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{PermAlias, IndexTrunc, GoroutineLeak, ErrDrop}
+}
+
+// ByName resolves a comma-free analyzer name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over the packages, applies ignore directives,
+// and returns the surviving diagnostics sorted by position.  Malformed
+// directives are reported under the pseudo-analyzer "directive".
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var kept []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(fset, pkg, known)
+		pkg.directives = dirs
+		kept = append(kept, bad...)
+	}
+	for _, d := range diags {
+		suppressed := false
+		for _, pkg := range pkgs {
+			if pkg.directives.suppresses(d) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for i := range kept {
+		kept[i].File = kept[i].Pos.Filename
+		kept[i].Line = kept[i].Pos.Line
+		kept[i].Col = kept[i].Pos.Column
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts `// want "regex"` and `// want:next "regex"` expectation
+// comments from fixture sources.  The :next form attaches the expectation
+// to the following line — needed when the expected diagnostic is about a
+// directive comment, which cannot share its line with a want comment.
+var wantRE = regexp.MustCompile(`// want(:next)? ("(?:[^"\\]|\\.)*")`)
+
+type wantDiag struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// parseWants scans every .go file in dir for want comments.
+func parseWants(t *testing.T, dir string) []*wantDiag {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*wantDiag
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			pattern, err := strconv.Unquote(m[2])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %s: %v", path, line, m[2], err)
+			}
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, pattern, err)
+			}
+			target := line
+			if m[1] == ":next" {
+				target = line + 1
+			}
+			wants = append(wants, &wantDiag{file: path, line: target, re: re, raw: m[2]})
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// runFixture loads testdata/<name>, runs the analyzers, and cross-checks
+// the diagnostics against the want comments in both directions.
+func runFixture(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader()
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags := Run(l.Fset, []*Package{pkg}, analyzers)
+	wants := parseWants(t, dir)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func TestPermAliasFixture(t *testing.T) {
+	runFixture(t, "permalias", []*Analyzer{PermAlias})
+}
+
+func TestIndexTruncFixture(t *testing.T) {
+	runFixture(t, "indextrunc", []*Analyzer{IndexTrunc})
+}
+
+func TestGoroutineLeakFixture(t *testing.T) {
+	runFixture(t, "goroutineleak", []*Analyzer{GoroutineLeak})
+}
+
+func TestErrDropFixture(t *testing.T) {
+	runFixture(t, "errdrop", []*Analyzer{ErrDrop})
+}
+
+// TestIgnoreFixture proves the //lint:ignore and //lint:file-ignore
+// directives suppress findings from the full suite, and that malformed
+// directives are reported instead of silently doing nothing.
+func TestIgnoreFixture(t *testing.T) {
+	runFixture(t, "ignore", All())
+}
+
+func TestExpandSkipsTestdata(t *testing.T) {
+	here, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := Expand(here, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || filepath.Clean(dirs[0]) != filepath.Clean(here) {
+		t.Fatalf("Expand(./...) from %s = %v, want just the package itself (testdata skipped)", here, dirs)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if ByName("nosuchcheck") != nil {
+		t.Error("ByName(nosuchcheck) should be nil")
+	}
+}

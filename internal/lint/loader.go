@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Dir   string // directory as given to the loader (diagnostic paths derive from it)
+	Name  string // package name from the source
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	directives *fileDirectives
+}
+
+// Loader parses and type-checks package directories.  Imports — both
+// standard library and module-internal — are resolved by the "source"
+// importer, which compiles dependencies from source and therefore works
+// offline with no compiled export data.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a ready Loader with a fresh FileSet.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Expand resolves package patterns relative to dir.  Supported forms are
+// "./...", "path/...", and plain directories.  Directories named testdata
+// or vendor, and hidden or underscore-prefixed directories, are skipped,
+// matching the go tool's convention.  Only directories containing at least
+// one non-test .go file are returned.
+func Expand(dir string, patterns []string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] && hasGoFiles(d) {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, pat := range patterns {
+		if pat == "" {
+			continue
+		}
+		if base, ok := strings.CutSuffix(pat, "..."); ok {
+			base = strings.TrimSuffix(base, "/")
+			if base == "" || base == "." {
+				base = dir
+			} else if !filepath.IsAbs(base) {
+				base = filepath.Join(dir, base)
+			}
+			err := filepath.WalkDir(base, func(path string, de os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !de.IsDir() {
+					return nil
+				}
+				name := de.Name()
+				if path != base && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: expanding %q: %w", pat, err)
+			}
+			continue
+		}
+		p := pat
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(dir, p)
+		}
+		if fi, err := os.Stat(p); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a package directory", pat)
+		}
+		add(p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the non-test Go files of one directory.
+// Test files are excluded: the analyzers target production code, and
+// external _test packages would need a second type-check universe.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(dir, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		Dir:   dir,
+		Name:  files[0].Name.Name,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// Load expands patterns relative to dir and loads every matched package.
+func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
+	dirs, err := Expand(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+	l := NewLoader()
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return l.Fset, pkgs, nil
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PermAlias flags exported functions and methods that mutate or retain a
+// permutation/label slice received from the caller.  Generator actions in
+// this codebase operate on shared `perm.Perm` ([]int) and `perm.Label`
+// ([]byte) slices; an exported API that writes into such a parameter, or
+// stores it into longer-lived state, aliases the caller's backing array and
+// silently corrupts later metric computations.
+//
+// Conventions the analyzer honors (and thereby enforces):
+//
+//   - In-place APIs must say so: functions whose name ends in "Into" or
+//     "InPlace", and destination parameters named dst/out/buf/scratch, may
+//     mutate freely (but still may not retain).
+//   - Reassigning the parameter (p = p.Clone(); p = append(...)) counts as
+//     taking a private copy; only uses before the first reassignment are
+//     reported.
+//   - Copying forms — string(p), p.Clone(), copy(fresh, p) — are never
+//     flagged as retention.
+var PermAlias = &Analyzer{
+	Name: "permalias",
+	Doc:  "exported API mutates or retains a permutation/label slice without copying",
+	Run:  runPermAlias,
+}
+
+// inPlaceParamNames are destination-buffer parameter names that signal
+// intentional in-place mutation.
+var inPlaceParamNames = map[string]bool{"dst": true, "out": true, "buf": true, "scratch": true}
+
+func runPermAlias(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			params := permParams(pass, fn)
+			if len(params) == 0 {
+				continue
+			}
+			checkPermFunc(pass, fn, params)
+		}
+	}
+}
+
+// permParams collects the parameter (and receiver) objects of fn whose type
+// is permutation-like: a named type called Perm or Label (any package), or
+// a bare []byte / []int / []int32 whose name suggests permutation data.
+func permParams(pass *Pass, fn *ast.FuncDecl) map[types.Object]string {
+	out := make(map[types.Object]string)
+	collect := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				obj := pass.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if isPermType(obj.Type(), name.Name) {
+					out[obj] = name.Name
+				}
+			}
+		}
+	}
+	collect(fn.Recv)
+	collect(fn.Type.Params)
+	return out
+}
+
+func isPermType(t types.Type, paramName string) bool {
+	if named, ok := t.(*types.Named); ok {
+		name := named.Obj().Name()
+		if name == "Perm" || name == "Label" {
+			_, isSlice := named.Underlying().(*types.Slice)
+			return isSlice
+		}
+		return false
+	}
+	slice, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch basic.Kind() {
+	case types.Byte, types.Int, types.Int32:
+	default:
+		return false
+	}
+	lower := strings.ToLower(paramName)
+	return strings.Contains(lower, "perm") || strings.Contains(lower, "label") ||
+		strings.Contains(lower, "word") || strings.Contains(lower, "seed")
+}
+
+type permViolation struct {
+	pos  token.Pos
+	obj  types.Object
+	name string
+	msg  string
+}
+
+func checkPermFunc(pass *Pass, fn *ast.FuncDecl, params map[types.Object]string) {
+	inPlaceFunc := strings.HasSuffix(fn.Name.Name, "Into") || strings.HasSuffix(fn.Name.Name, "InPlace")
+	// firstReassign[obj] is the position of the first statement that rebinds
+	// the parameter itself (p = ...): from there on the identifier refers to
+	// a private copy, so later writes and stores are fine.
+	firstReassign := make(map[types.Object]token.Pos)
+	var violations []permViolation
+
+	paramObj := func(e ast.Expr) (types.Object, string, bool) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil, "", false
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		name, tracked := params[obj]
+		return obj, name, tracked
+	}
+	mayMutate := func(name string) bool { return inPlaceFunc || inPlaceParamNames[name] }
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// p = ... rebinding: record; not a violation in itself.
+				if obj, _, ok := paramObj(lhs); ok {
+					if _, seen := firstReassign[obj]; !seen {
+						firstReassign[obj] = n.Pos()
+					}
+					continue
+				}
+				// p[i] = ... mutation through the parameter.
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					if obj, name, ok := paramObj(idx.X); ok && !mayMutate(name) {
+						violations = append(violations, permViolation{
+							pos: idx.Pos(), obj: obj, name: name,
+							msg: "writes into caller-owned slice %q; copy it first or mark the API in-place (*Into/*InPlace name, or dst/out/buf/scratch param)",
+						})
+					}
+				}
+				// field = p / pkgvar = p retention (only meaningful when each
+				// LHS has its own RHS expression).
+				if len(n.Lhs) == len(n.Rhs) && isLongLived(pass, lhs) {
+					if obj, name, ok := retainedParam(n.Rhs[i], paramObj); ok {
+						violations = append(violations, permViolation{
+							pos: n.Pos(), obj: obj, name: name,
+							msg: "stores caller-owned slice %q into longer-lived state; clone it first (p.Clone() or append-copy)",
+						})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// copy(p, ...) mutates p via the builtin.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+				if obj := pass.Info.Uses[id]; obj == nil || obj.Pkg() == nil { // builtin, not shadowed
+					if pobj, name, ok := paramObj(n.Args[0]); ok && !mayMutate(name) {
+						violations = append(violations, permViolation{
+							pos: n.Pos(), obj: pobj, name: name,
+							msg: "copies into caller-owned slice %q; mark the API in-place or use a fresh buffer",
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	seen := make(map[string]bool) // dedupe swap statements: one report per obj+line
+	for _, v := range violations {
+		if pos, ok := firstReassign[v.obj]; ok && pos <= v.pos {
+			continue // parameter was rebound to a copy before this use
+		}
+		p := pass.Fset.Position(v.pos)
+		key := fmt.Sprintf("%s:%s:%d", v.name, p.Filename, p.Line)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pass.Reportf(v.pos, "exported %s "+v.msg, fn.Name.Name, v.name)
+	}
+}
+
+// retainedParam reports whether rhs hands the bare parameter slice onward:
+// the identifier itself, an element of a composite literal, or an argument
+// to append.  string(p) conversions and method calls like p.Clone() copy,
+// so they do not retain.
+func retainedParam(rhs ast.Expr, paramObj func(ast.Expr) (types.Object, string, bool)) (types.Object, string, bool) {
+	if obj, name, ok := paramObj(rhs); ok {
+		return obj, name, true
+	}
+	switch e := rhs.(type) {
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if obj, name, ok := paramObj(elt); ok {
+				return obj, name, true
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" {
+			for _, a := range e.Args {
+				if obj, name, ok := paramObj(a); ok {
+					// append(p, ...) aliases p's array; append(x, p...) copies
+					// p's elements into x, which is retention of values but
+					// not of the caller's backing array — still flag the base
+					// case only.
+					if a == e.Args[0] && e.Ellipsis == token.NoPos {
+						return obj, name, true
+					}
+					if a != e.Args[0] && e.Ellipsis == token.NoPos {
+						return obj, name, true // append(x, p) — p stored whole as an element
+					}
+				}
+			}
+		}
+	}
+	return nil, "", false
+}
+
+// isLongLived reports whether lhs outlives the call: a field selector, an
+// element of such, or a package-level variable.
+func isLongLived(pass *Pass, lhs ast.Expr) bool {
+	switch e := lhs.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return isLongLived(pass, e.X)
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			obj = pass.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v.Parent() == pass.Pkg.Scope()
+		}
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+// Package errdrop is a fixture for the errdrop analyzer.  Lines expecting
+// a diagnostic carry a want comment with a message pattern.
+package errdrop
+
+import "errors"
+
+// Sim is a miniature simulator whose Step reports livelock via its error.
+type Sim struct{ rounds int }
+
+// Step advances one round.
+func (s *Sim) Step() error {
+	s.rounds++
+	if s.rounds > 100 {
+		return errors.New("livelock")
+	}
+	return nil
+}
+
+// RunRounds drives Step n times, returning how far it got.
+func (s *Sim) RunRounds(n int) (int, error) {
+	for i := 0; i < n; i++ {
+		if err := s.Step(); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+// RouteWord mimics the superipg router entry point.
+func RouteWord(from, to string) ([]int, error) {
+	if from == to {
+		return nil, nil
+	}
+	return []int{1}, errors.New("unroutable")
+}
+
+// DropBare discards a Step error as a bare call statement.
+func DropBare(s *Sim) {
+	s.Step() // want "result discarded"
+}
+
+// DropBlank binds the error result to the blank identifier.
+func DropBlank(s *Sim) int {
+	n, _ := s.RunRounds(10) // want "assigned to _"
+	return n
+}
+
+// DropGo loses the error inside a goroutine body.
+func DropGo(s *Sim) {
+	done := make(chan struct{})
+	go func() {
+		s.Step() // want "result discarded"
+		close(done)
+	}()
+	<-done
+}
+
+// DropGoDirect go's the simulation call itself.
+func DropGoDirect(s *Sim) {
+	go s.Step() // want "lost in go statement"
+}
+
+// DropDefer defers the call, discarding its error at function exit.
+func DropDefer(s *Sim) {
+	defer s.Step() // want "lost in defer statement"
+}
+
+// Handled checks every error: clean.
+func Handled(s *Sim) error {
+	if _, err := RouteWord("a", "b"); err != nil {
+		return err
+	}
+	return s.Step()
+}
+
+// helper returns an error but is not a simulation entry point: clean to
+// discard (go vet's job, not ours).
+func helper() error { return nil }
+
+// IgnoreHelper discards a non-simulation error: clean here.
+func IgnoreHelper() {
+	helper()
+}

@@ -1,0 +1,69 @@
+// Package goroutineleak is a fixture for the goroutineleak analyzer.
+// Lines expecting a diagnostic carry a want comment with a message pattern.
+package goroutineleak
+
+import "sync"
+
+// Leak starts a goroutine with no join anywhere in the function.
+func Leak(xs []int) {
+	go func() { // want "never joins"
+		for i := range xs {
+			xs[i]++
+		}
+	}()
+}
+
+// Joined follows the wg.Add / go / wg.Wait worker-pool idiom: clean.
+func Joined(xs []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range xs {
+			xs[i]++
+		}
+	}()
+	wg.Wait()
+}
+
+// ChannelJoined collects the result over a channel: clean.
+func ChannelJoined(xs []int) int {
+	ch := make(chan int)
+	go func() {
+		sum := 0
+		for _, x := range xs {
+			sum += x
+		}
+		ch <- sum
+	}()
+	return <-ch
+}
+
+// RangeJoined drains a channel the worker closes: clean.
+func RangeJoined(xs []int) int {
+	ch := make(chan int, len(xs))
+	go func() {
+		for _, x := range xs {
+			ch <- x
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// NestedLeak joins its outer goroutine, but the literal it spawns starts
+// a second goroutine it never joins; each `go` is judged against its own
+// innermost enclosing function.
+func NestedLeak(done chan struct{}) {
+	go func() {
+		go sideEffect() // want "never joins"
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+func sideEffect() {}

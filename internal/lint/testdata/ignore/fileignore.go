@@ -1,0 +1,13 @@
+//lint:file-ignore indextrunc fixture: every conversion in this file is bounded by construction
+
+package ignore
+
+// FileWideOne would be flagged without the file-ignore above.
+func FileWideOne(n int) int32 {
+	return int32(n)
+}
+
+// FileWideTwo proves the suppression reaches the whole file, not one line.
+func FileWideTwo(n uint64) uint32 {
+	return uint32(n)
+}

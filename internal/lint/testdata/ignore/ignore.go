@@ -1,0 +1,64 @@
+// Package ignore exercises the //lint:ignore suppression directives under
+// the full analyzer suite.  Suppressed sites carry no want comment; a
+// malformed directive must itself be reported (the `// want:next` form
+// attaches the expectation to the following line, since a directive
+// comment cannot share its line with a want comment).
+package ignore
+
+import "sync"
+
+// Truncate is suppressed by a same-line directive.
+func Truncate(n int) int32 {
+	return int32(n) //lint:ignore indextrunc fixture: callers guarantee n < 1<<22
+}
+
+// TruncateAbove is suppressed by an own-line directive on the line above.
+func TruncateAbove(n int) int32 {
+	//lint:ignore indextrunc fixture: callers guarantee n < 1<<22
+	return int32(n)
+}
+
+// TruncateUnsuppressed has no directive and stays flagged.
+func TruncateUnsuppressed(n int) int32 {
+	return int32(n) // want "without a bounds guard"
+}
+
+// TruncateBadDirective's directive lacks the mandatory reason, so it is
+// reported and suppresses nothing.
+func TruncateBadDirective(n int) int32 {
+	// want:next "needs an analyzer list and a reason"
+	//lint:ignore indextrunc
+	return int32(n) // want "without a bounds guard"
+}
+
+// The analyzer list must name real analyzers.
+// want:next "unknown analyzer nosuchcheck"
+//lint:ignore nosuchcheck fixture: misspelled analyzer name
+
+// MutateSuppressed writes into a caller-owned slice under an own-line
+// directive.
+func MutateSuppressed(label []byte) {
+	//lint:ignore permalias fixture: label is scratch space by caller contract
+	label[0] = 1
+}
+
+// CommaList triggers permalias and indextrunc on the same line; one
+// comma-list directive suppresses both.
+func CommaList(label []byte, n int) {
+	//lint:ignore permalias,indextrunc fixture: bounded scratch write
+	label[0] = byte(int32(n))
+}
+
+// SpawnHandedOff hands the WaitGroup to the caller, which joins after all
+// spawns; the intraprocedural goroutineleak analyzer needs the documented
+// ignore.
+func SpawnHandedOff(wg *sync.WaitGroup, xs []int) {
+	wg.Add(1)
+	//lint:ignore goroutineleak the caller owns wg and joins after all spawns
+	go func() {
+		defer wg.Done()
+		for i := range xs {
+			xs[i] = 0
+		}
+	}()
+}

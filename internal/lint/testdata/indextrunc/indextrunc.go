@@ -1,0 +1,78 @@
+// Package indextrunc is a fixture for the indextrunc analyzer.  Lines
+// expecting a diagnostic carry a want comment with a message pattern.
+package indextrunc
+
+import (
+	"errors"
+	"math"
+)
+
+// NodeID is a named narrow type; conversions to it are policed via the
+// underlying int32.
+type NodeID int32
+
+// Unguarded narrows a vertex count with no bounds check.
+func Unguarded(n int) int32 {
+	return int32(n) // want "int -> int32 conversion"
+}
+
+// Unguarded16 narrows a wide unsigned count to int16.
+func Unguarded16(d uint64) int16 {
+	return int16(d) // want "uint64 -> int16 conversion"
+}
+
+// UnguardedU32 narrows a uint to uint32.
+func UnguardedU32(n uint) uint32 {
+	return uint32(n) // want "uint -> uint32 conversion"
+}
+
+// UnguardedNamed converts to a named narrow type.
+func UnguardedNamed(n int) NodeID {
+	return NodeID(n) // want "int -> int32 conversion"
+}
+
+// UnguardedLoop converts a loop index inside an append.
+func UnguardedLoop(xs []int) []int32 {
+	out := make([]int32, 0, len(xs))
+	for i := range xs {
+		out = append(out, int32(i)) // want "int -> int32 conversion"
+	}
+	return out
+}
+
+// Guarded compares against math.MaxInt32 and errors instead of wrapping:
+// clean.
+func Guarded(n int) (int32, error) {
+	if n > math.MaxInt32 {
+		return 0, errors.New("count overflows int32")
+	}
+	return int32(n), nil
+}
+
+// checkNodeCount is a guard helper the analyzer recognizes by name.
+func checkNodeCount(n int) error {
+	if n < 0 || n > 1<<31-1 {
+		return errors.New("bad node count")
+	}
+	return nil
+}
+
+// GuardedByHelper delegates the bound to a Check*-style helper: clean.
+func GuardedByHelper(n int) (int32, error) {
+	if err := checkNodeCount(n); err != nil {
+		return 0, err
+	}
+	return int32(n), nil
+}
+
+const fits int64 = 1 << 20
+
+// WideConst converts a typed constant that provably fits: clean.
+func WideConst() int32 {
+	return int32(fits)
+}
+
+// AlreadyNarrow converts from a type that is not a wide index: clean.
+func AlreadyNarrow(v int32) int64 {
+	return int64(v)
+}

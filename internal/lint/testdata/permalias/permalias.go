@@ -1,0 +1,87 @@
+// Package permalias is a fixture for the permalias analyzer.  Lines
+// expecting a diagnostic carry a want comment with a message pattern.
+package permalias
+
+// Perm mirrors the repo's perm.Perm: a named permutation slice.
+type Perm []int
+
+// Label mirrors the repo's perm.Label.
+type Label []byte
+
+// Clone returns a private copy of p.
+func (p Perm) Clone() Perm {
+	out := make(Perm, len(p))
+	copy(out, p)
+	return out
+}
+
+type router struct {
+	seed Perm
+}
+
+var lastLabel Label
+
+var history []Perm
+
+// Apply writes into the caller's slice without declaring in-place intent.
+func Apply(p Perm) {
+	p[0] = 1 // want "writes into caller-owned slice"
+}
+
+// Shuffle mutates a heuristically-named bare byte slice.
+func Shuffle(word []byte) {
+	word[0] = 'a' // want "writes into caller-owned slice"
+}
+
+// Overwrite mutates via the copy builtin.
+func Overwrite(p Perm, src Perm) {
+	copy(p, src) // want "copies into caller-owned slice"
+}
+
+// Retain stores the caller's slice into longer-lived state.
+func (r *router) Retain(p Perm) {
+	r.seed = p // want "stores caller-owned slice"
+}
+
+// RetainGlobal stores the caller's slice into a package-level variable.
+func RetainGlobal(label Label) {
+	lastLabel = label // want "stores caller-owned slice"
+}
+
+// RetainAppend stores the parameter whole as a slice element.
+func RetainAppend(p Perm) {
+	history = append(history, p) // want "stores caller-owned slice"
+}
+
+// ApplyInto declares in-place intent in its name: clean.
+func ApplyInto(p Perm) {
+	p[0] = 2
+}
+
+// Fill writes through a dst-named destination parameter: clean.
+func Fill(dst Perm, v int) {
+	dst[0] = v
+}
+
+// Rebind takes a private copy before writing: clean.
+func Rebind(p Perm) {
+	p = p.Clone()
+	p[0] = 3
+}
+
+// RetainClone clones before storing: clean.
+func (r *router) RetainClone(p Perm) {
+	r.seed = p.Clone()
+}
+
+// Format copies via a string conversion: clean.
+func Format(label Label) string {
+	return string(label)
+}
+
+// mutate is unexported: outside the analyzer's API contract.
+func mutate(p Perm) {
+	p[0] = 9
+}
+
+var _ = mutate

@@ -12,6 +12,8 @@ import (
 // paper analyses for each network family.  Structured bisections never cut
 // a chip: they are partitions of the chips.
 
+//lint:file-ignore indextrunc chip and node ids here are bounded by the source network's node count, capped at topology.MaxNodes / ipg.MaxNodes (1<<22)
+
 // ClusterHypercube puts each 2^logM-node subcube (low address bits) on one
 // chip.
 func ClusterHypercube(h *topology.Hypercube, logM int) (*Clustered, error) {

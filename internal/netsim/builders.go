@@ -32,6 +32,9 @@ func BuildHypercube(d, logM int, chipCapacity float64) (*Network, error) {
 		return nil, fmt.Errorf("netsim: logM %d out of range for Q%d", logM, d)
 	}
 	n := 1 << d
+	if err := checkNodeCount(n); err != nil {
+		return nil, err
+	}
 	offLinksPerChip := (1 << logM) * (d - logM) // M nodes x off-chip degree
 	offCap := chipCapacity / float64(offLinksPerChip)
 	ports := make([][]int32, n)
@@ -67,6 +70,9 @@ func BuildTorus2D(k, side int, chipCapacity float64) (*Network, error) {
 		return nil, fmt.Errorf("netsim: chip side %d invalid for k=%d", side, k)
 	}
 	n := k * k
+	if err := checkNodeCount(n); err != nil {
+		return nil, err
+	}
 	chipsPerRow := k / side
 	// Each chip has 4*side off-chip undirected links, i.e. 4*side outgoing
 	// off-chip arcs.
@@ -108,6 +114,9 @@ func BuildTorus2D(k, side int, chipCapacity float64) (*Network, error) {
 // absent ports.  If router is nil an HSNRouter is built (swap families
 // only); pass a TableRouter-based router for other families.
 func BuildSuperIPG(w *superipg.Network, g *ipg.Graph, chipCapacity float64, router Router) (*Network, error) {
+	if err := checkNodeCount(g.N()); err != nil {
+		return nil, err
+	}
 	clusterOf, _ := w.Clusters(g)
 	// Count off-chip out-arcs per chip and check uniformity.
 	arcs := make(map[int32]int)

@@ -177,8 +177,21 @@ type localStats struct {
 	hist []int64
 }
 
+// checkNodeCount validates that a node count fits the int32 node-id /
+// int16 port-id representation used throughout the simulator, so oversized
+// caller-built networks fail loudly instead of wrapping ids.
+func checkNodeCount(n int) error {
+	if n < 0 || n > math.MaxInt32 {
+		return fmt.Errorf("netsim: node count %d outside [0, %d]", n, math.MaxInt32)
+	}
+	return nil
+}
+
 // New creates a simulation for the network with the given PRNG seed.
 func New(net *Network, seed int64) (*Sim, error) {
+	if err := checkNodeCount(net.N); err != nil {
+		return nil, err
+	}
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
@@ -375,6 +388,7 @@ func (s *Sim) Step() (int, error) {
 				if len(box) == 0 {
 					continue
 				}
+				//lint:ignore indextrunc v < net.N, which New bounds via checkNodeCount
 				off := net.offChip(il.src, int32(v))
 				for _, pkt := range box {
 					ls.hops++

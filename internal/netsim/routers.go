@@ -70,6 +70,9 @@ func NewHSNRouter(w *superipg.Network, g *ipg.Graph) (*HSNRouter, error) {
 	if w.Nuc.M > 1<<16 {
 		return nil, fmt.Errorf("netsim: nucleus too large for HSNRouter")
 	}
+	if err := checkNodeCount(g.N()); err != nil {
+		return nil, err
+	}
 	r := &HSNRouter{w: w, l: w.L, m: w.SymbolLen()}
 	r.groupAddr = make([]uint16, g.N()*w.L)
 	for v := 0; v < g.N(); v++ {
@@ -98,6 +101,9 @@ func nucleusNextGen(w *superipg.Network) ([]int16, error) {
 		return nil, err
 	}
 	M := ng.N()
+	if err := checkNodeCount(M); err != nil {
+		return nil, err
+	}
 	// Node ids of the nucleus graph ordered by address.
 	idByAddr := make([]int32, M)
 	addrByID := make([]int32, M)
@@ -187,6 +193,9 @@ type TableRouter struct {
 // NewTableRouter builds the table (O(N^2) memory, O(N*E) time).
 func NewTableRouter(net *Network) (*TableRouter, error) {
 	n := net.N
+	if err := checkNodeCount(n); err != nil {
+		return nil, err
+	}
 	if n > 1<<14 {
 		return nil, fmt.Errorf("netsim: TableRouter limited to 16384 nodes, got %d", n)
 	}

@@ -15,6 +15,9 @@ import (
 // packets cross any balanced address cut).
 func BitComplement(logN int) []int32 {
 	n := 1 << logN
+	if err := checkNodeCount(n); err != nil {
+		panic("netsim.BitComplement: " + err.Error())
+	}
 	perm := make([]int32, n)
 	mask := int32(n - 1)
 	for v := int32(0); v < int32(n); v++ {
@@ -32,6 +35,9 @@ func RunHotSpot(net *Network, seed int64, rate, hotFrac float64, hot int32, warm
 	}
 	if int(hot) < 0 || int(hot) >= net.N {
 		return RandomResult{}, fmt.Errorf("netsim: hot node %d out of range", hot)
+	}
+	if err := checkNodeCount(net.N); err != nil {
+		return RandomResult{}, err
 	}
 	s, err := New(net, seed)
 	if err != nil {
@@ -78,6 +84,9 @@ func RunHotSpot(net *Network, seed int64, rate, hotFrac float64, hot int32, warm
 // enabled and returns the requested percentiles (e.g. 0.5, 0.95, 0.99) of
 // delivery latency over the measured window.
 func LatencyProbe(net *Network, seed int64, rate float64, warmup, measure int, percentiles []float64) ([]int, error) {
+	if err := checkNodeCount(net.N); err != nil {
+		return nil, err
+	}
 	s, err := New(net, seed)
 	if err != nil {
 		return nil, err
@@ -107,6 +116,9 @@ func LatencyProbe(net *Network, seed int64, rate float64, warmup, measure int, p
 // RandomPermutation returns a uniformly random fixed permutation workload
 // (derangement not enforced; self-mappings send nothing).
 func RandomPermutation(r *rand.Rand, n int) []int32 {
+	if err := checkNodeCount(n); err != nil {
+		panic("netsim.RandomPermutation: " + err.Error())
+	}
 	p := r.Perm(n)
 	out := make([]int32, n)
 	for i, v := range p {

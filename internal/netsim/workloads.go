@@ -23,6 +23,9 @@ type RandomResult struct {
 // uniformly random destinations for warmup+measure rounds, measuring over
 // the final `measure` rounds.
 func RunRandomUniform(net *Network, seed int64, rate float64, warmup, measure int) (RandomResult, error) {
+	if err := checkNodeCount(net.N); err != nil {
+		return RandomResult{}, err
+	}
 	s, err := New(net, seed)
 	if err != nil {
 		return RandomResult{}, err
@@ -149,6 +152,9 @@ func Transpose(logN int) ([]int32, error) {
 	}
 	h := logN / 2
 	n := 1 << logN
+	if err := checkNodeCount(n); err != nil {
+		return nil, err
+	}
 	mask := int32(1<<h - 1)
 	perm := make([]int32, n)
 	for v := int32(0); v < int32(n); v++ {
@@ -161,6 +167,9 @@ func Transpose(logN int) ([]int32, error) {
 // data rearrangement.
 func BitReversePerm(logN int) []int32 {
 	n := 1 << logN
+	if err := checkNodeCount(n); err != nil {
+		panic("netsim.BitReversePerm: " + err.Error())
+	}
 	perm := make([]int32, n)
 	for v := 0; v < n; v++ {
 		r := 0
@@ -176,6 +185,9 @@ func BitReversePerm(logN int) []int32 {
 // other node, injected in waves to bound memory, and drains.  It returns
 // the completion time and the off-chip transmission census of Section 4.1.
 func RunTotalExchange(net *Network, seed int64, maxRounds int) (DrainResult, error) {
+	if err := checkNodeCount(net.N); err != nil {
+		return DrainResult{}, err
+	}
 	s, err := New(net, seed)
 	if err != nil {
 		return DrainResult{}, err

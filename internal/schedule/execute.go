@@ -26,12 +26,14 @@ func (s *Schedule) Execute(g *ipg.Graph) error {
 	for j := range pos {
 		pos[j] = make([]int32, g.N())
 		for v := range pos[j] {
+			//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
 			pos[j][v] = int32(v)
 		}
 	}
 	move := func(j, gen int) {
 		p := pos[j]
 		for v := range p {
+			//lint:ignore indextrunc Neighbor returns a node id < g.N() <= ipg.MaxNodes (1<<22)
 			p[v] = int32(g.Neighbor(int(p[v]), gen))
 		}
 	}

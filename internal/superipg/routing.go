@@ -6,6 +6,8 @@ import (
 	"ipg/internal/perm"
 )
 
+//lint:file-ignore indextrunc node and generator ids here come from ipg.Graph, whose Build caps N at ipg.MaxNodes (1<<22) and whose generator count is the label length
+
 // This file implements the constructive point-to-point routing underlying
 // Theorem 4.1: a route rewrites each super-symbol while it sits at the
 // leftmost (cluster) position, using the family's super-generators to

@@ -387,6 +387,7 @@ func (w *Network) DirectedInterclusterDiameter(g *ipg.Graph) int {
 			dist[i] = -1
 		}
 		dist[src] = 0
+		//lint:ignore indextrunc src < cluster count <= g.N() <= ipg.MaxNodes (1<<22)
 		queue := []int32{int32(src)}
 		for qi := 0; qi < len(queue); qi++ {
 			c := queue[qi]
@@ -421,6 +422,7 @@ func (w *Network) InterclusterLinks(g *ipg.Graph) int {
 			if u == v || clusterOf[u] == clusterOf[v] {
 				continue
 			}
+			//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
 			a, b := int32(v), int32(u)
 			if a > b {
 				a, b = b, a

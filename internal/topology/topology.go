@@ -71,17 +71,22 @@ type Torus struct {
 	G       *graph.Graph
 }
 
-// NewTorus builds the k-ary n-cube.
-func NewTorus(k, dims int) *Torus {
+// MaxNodes caps materialized baseline networks, mirroring ipg.MaxNodes.
+const MaxNodes = 1 << 22
+
+// NewTorusChecked builds the k-ary n-cube, reporting an error when k^dims
+// exceeds MaxNodes.  The bound is checked before each multiplication so an
+// oversized request fails cleanly instead of wrapping the int node count.
+func NewTorusChecked(k, dims int) (*Torus, error) {
 	if k < 2 || dims < 1 {
-		panic("topology.NewTorus: need k >= 2, dims >= 1")
+		return nil, fmt.Errorf("topology: torus needs k >= 2, dims >= 1 (got k=%d, dims=%d)", k, dims)
 	}
 	n := 1
 	for i := 0; i < dims; i++ {
+		if n > MaxNodes/k {
+			return nil, fmt.Errorf("topology: %d-ary %d-cube exceeds MaxNodes=%d", k, dims, MaxNodes)
+		}
 		n *= k
-	}
-	if n > 1<<22 {
-		panic("topology.NewTorus: too large")
 	}
 	g := graph.New(n)
 	for v := 0; v < n; v++ {
@@ -93,7 +98,17 @@ func NewTorus(k, dims int) *Torus {
 			weight *= k
 		}
 	}
-	return &Torus{K: k, Dims: dims, G: g}
+	return &Torus{K: k, Dims: dims, G: g}, nil
+}
+
+// NewTorus builds the k-ary n-cube, panicking on invalid or oversized
+// parameters; scale-sensitive callers should use NewTorusChecked.
+func NewTorus(k, dims int) *Torus {
+	t, err := NewTorusChecked(k, dims)
+	if err != nil {
+		panic("topology.NewTorus: " + err.Error())
+	}
+	return t
 }
 
 // N returns k^dims.
@@ -140,12 +155,17 @@ type GHCGraph struct {
 	G       *graph.Graph
 }
 
-// NewGHCGraph builds GHC(m_1, ..., m_n).
-func NewGHCGraph(radices ...int) *GHCGraph {
+// NewGHCGraphChecked builds GHC(m_1, ..., m_n), reporting an error when
+// the node count would exceed MaxNodes (checked before each multiplication
+// so the int product never wraps).
+func NewGHCGraphChecked(radices ...int) (*GHCGraph, error) {
 	n := 1
 	for _, m := range radices {
 		if m < 2 {
-			panic("topology.NewGHCGraph: radix must be >= 2")
+			return nil, fmt.Errorf("topology: GHC radix must be >= 2 (got %d)", m)
+		}
+		if n > MaxNodes/m {
+			return nil, fmt.Errorf("topology: GHC%v exceeds MaxNodes=%d", radices, MaxNodes)
 		}
 		n *= m
 	}
@@ -162,7 +182,17 @@ func NewGHCGraph(radices ...int) *GHCGraph {
 			weight *= m
 		}
 	}
-	return &GHCGraph{Radices: append([]int(nil), radices...), G: g}
+	return &GHCGraph{Radices: append([]int(nil), radices...), G: g}, nil
+}
+
+// NewGHCGraph builds GHC(m_1, ..., m_n), panicking on invalid or oversized
+// parameters; scale-sensitive callers should use NewGHCGraphChecked.
+func NewGHCGraph(radices ...int) *GHCGraph {
+	g, err := NewGHCGraphChecked(radices...)
+	if err != nil {
+		panic("topology.NewGHCGraph: " + err.Error())
+	}
+	return g
 }
 
 // N returns the node count.

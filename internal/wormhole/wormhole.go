@@ -40,11 +40,13 @@ func EmulationPaths(w *superipg.Network, g *ipg.Graph, j int) ([]Message, error)
 	}
 	msgs := make([]Message, 0, g.N())
 	for v := 0; v < g.N(); v++ {
+		//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
 		path := []int32{int32(v)}
 		cur := v
 		for _, gi := range word {
 			next := g.Neighbor(cur, gi)
 			if next != cur {
+				//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
 				path = append(path, int32(next))
 				cur = next
 			}
