@@ -314,6 +314,101 @@ func BenchmarkAblationParallelBFS(b *testing.B) {
 	})
 }
 
+// rowsBFSInto is the pre-refactor BFS over a per-row [][]int32 adjacency,
+// kept verbatim as the baseline for BenchmarkBFS_CSR.  (Test files are the
+// one place the row representation may still be spelled — see the adjbuild
+// analyzer.)
+func rowsBFSInto(rows [][]int32, src int, dist, queue []int32) (ecc int32, sum int64) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = append(queue[:0], int32(src))
+	visited := 1
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		sum += int64(du)
+		for _, v := range rows[u] {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+				visited++
+			}
+		}
+	}
+	if visited != len(rows) {
+		return -1, sum
+	}
+	return ecc, sum
+}
+
+// hsn3q4Rows materializes HSN(3,Q4) undirected plus a per-row copy of its
+// adjacency (the seed representation), for the representation benchmarks.
+func hsn3q4Rows(b *testing.B) (*UndirectedGraph, [][]int32) {
+	b.Helper()
+	g := superipg.HSN(3, nucleus.Hypercube(4)).MustBuild().Undirected()
+	rows := make([][]int32, g.N())
+	var buf []int32
+	for v := 0; v < g.N(); v++ {
+		buf = g.Neighbors(v, buf)
+		rows[v] = append([]int32(nil), buf...)
+	}
+	return g, rows
+}
+
+// BenchmarkBFS_CSR measures one full BFS over HSN(3,Q4) (4096 nodes) in
+// the flat CSR arena versus the pre-refactor per-row slice representation.
+func BenchmarkBFS_CSR(b *testing.B) {
+	g, rows := hsn3q4Rows(b)
+	n := g.N()
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	b.Run("csr", func(b *testing.B) {
+		c := g.CSR()
+		for i := 0; i < b.N; i++ {
+			if ecc, _ := c.BFSInto(i%n, dist, queue); ecc < 0 {
+				b.Fatal("disconnected")
+			}
+		}
+	})
+	b.Run("rows", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ecc, _ := rowsBFSInto(rows, i%n, dist, queue); ecc < 0 {
+				b.Fatal("disconnected")
+			}
+		}
+	})
+}
+
+// BenchmarkBFSMemoryFootprint reports the adjacency storage of HSN(3,Q4)
+// in bytes per vertex for both representations: the CSR arena (uint32
+// offsets + int32 arena) versus per-row slices (24-byte slice header plus
+// a backing array per vertex).
+func BenchmarkBFSMemoryFootprint(b *testing.B) {
+	g, rows := hsn3q4Rows(b)
+	n := float64(g.N())
+	b.Run("csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = g.MemoryFootprint()
+		}
+		b.ReportMetric(float64(g.MemoryFootprint())/n, "bytes/vertex")
+	})
+	b.Run("rows", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			bytes = int64(len(rows)) * 24 // slice headers
+			for _, r := range rows {
+				bytes += int64(cap(r)) * 4
+			}
+		}
+		b.ReportMetric(float64(bytes)/n, "bytes/vertex")
+	})
+}
+
 // BenchmarkTotalExchange512 runs a full total exchange on HSN(3,Q3).
 func BenchmarkTotalExchange512(b *testing.B) {
 	w := superipg.HSN(3, nucleus.Hypercube(3))

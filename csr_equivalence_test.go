@@ -1,0 +1,138 @@
+package ipg
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipg/internal/graph"
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+	"ipg/internal/topology"
+)
+
+// csrGolden pins the metrics of every materialized family to values
+// captured with the pre-CSR per-row adjacency representation.  The CSR
+// arena sorts each row ascending exactly as the old representation did,
+// so every metric — including the seeded greedy bisection search, which
+// is sensitive to neighbor iteration order — must reproduce bit-identical
+// values.  A mismatch here means the representation changed observable
+// behavior, not just layout.
+type csrGolden struct {
+	name         string
+	build        func() *graph.Graph
+	n, m         int
+	minDeg       int
+	maxDeg       int
+	diameter     int
+	avgDistance  float64
+	bisectionCut int
+	avgDegree    float64
+}
+
+func csrGoldens() []csrGolden {
+	q2 := func() *nucleus.Nucleus { return nucleus.Hypercube(2) }
+	return []csrGolden{
+		{
+			name:  "HSN(3,Q2)",
+			build: func() *graph.Graph { return superipg.HSN(3, q2()).MustBuild().Undirected() },
+			n:     64, m: 112, minDeg: 2, maxDeg: 4, diameter: 8,
+			avgDistance: 3.57421875, bisectionCut: 18, avgDegree: 3.5,
+		},
+		{
+			name:  "ring-CN(3,Q2)",
+			build: func() *graph.Graph { return superipg.RingCN(3, q2()).MustBuild().Undirected() },
+			n:     64, m: 124, minDeg: 2, maxDeg: 4, diameter: 8,
+			avgDistance: 3.599609375, bisectionCut: 24, avgDegree: 3.875,
+		},
+		{
+			name:  "complete-CN(3,Q2)",
+			build: func() *graph.Graph { return superipg.CompleteCN(3, q2()).MustBuild().Undirected() },
+			n:     64, m: 124, minDeg: 2, maxDeg: 4, diameter: 8,
+			avgDistance: 3.599609375, bisectionCut: 24, avgDegree: 3.875,
+		},
+		{
+			name:  "SFN(3,Q2)",
+			build: func() *graph.Graph { return superipg.SFN(3, q2()).MustBuild().Undirected() },
+			n:     64, m: 112, minDeg: 2, maxDeg: 4, diameter: 8,
+			avgDistance: 3.57421875, bisectionCut: 18, avgDegree: 3.5,
+		},
+		{
+			name:  "Q6",
+			build: func() *graph.Graph { return topology.NewHypercube(6).G },
+			n:     64, m: 192, minDeg: 6, maxDeg: 6, diameter: 6,
+			avgDistance: 3, bisectionCut: 52, avgDegree: 6,
+		},
+		{
+			name:  "8-ary 2-cube",
+			build: func() *graph.Graph { return topology.NewTorus(8, 2).G },
+			n:     64, m: 128, minDeg: 4, maxDeg: 4, diameter: 8,
+			avgDistance: 4, bisectionCut: 20, avgDegree: 4,
+		},
+		{
+			name:  "CCC(3)",
+			build: func() *graph.Graph { return topology.NewCCC(3).G },
+			n:     24, m: 36, minDeg: 3, maxDeg: 3, diameter: 6,
+			avgDistance: 3.0833333333333335, bisectionCut: 6, avgDegree: 3,
+		},
+		{
+			name:  "WBF(3)",
+			build: func() *graph.Graph { return topology.NewButterfly(3).G },
+			n:     24, m: 48, minDeg: 4, maxDeg: 4, diameter: 4,
+			avgDistance: 2.2916666666666665, bisectionCut: 8, avgDegree: 4,
+		},
+	}
+}
+
+// TestCSREquivalenceGoldens checks the CSR-backed metrics against the
+// pre-refactor goldens for all eight families.
+func TestCSREquivalenceGoldens(t *testing.T) {
+	for _, tc := range csrGoldens() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build()
+			if g.N() != tc.n {
+				t.Errorf("N = %d, want %d", g.N(), tc.n)
+			}
+			if g.M() != tc.m {
+				t.Errorf("M = %d, want %d", g.M(), tc.m)
+			}
+			minDeg, maxDeg, avgDeg := g.DegreeStats()
+			if minDeg != tc.minDeg || maxDeg != tc.maxDeg {
+				t.Errorf("degree range [%d,%d], want [%d,%d]", minDeg, maxDeg, tc.minDeg, tc.maxDeg)
+			}
+			if avgDeg != tc.avgDegree {
+				t.Errorf("avg degree = %v, want %v", avgDeg, tc.avgDegree)
+			}
+			if d := g.Diameter(); d != tc.diameter {
+				t.Errorf("diameter = %d, want %d", d, tc.diameter)
+			}
+			if a := g.AverageDistance(); a != tc.avgDistance {
+				t.Errorf("avg distance = %v, want %v", a, tc.avgDistance)
+			}
+			// The greedy bisection search consumes the rand stream in
+			// neighbor-iteration order: the cut value is bit-identical
+			// only if the CSR rows match the old sorted rows exactly.
+			_, cut := g.BestBisection(rand.New(rand.NewSource(7)), 3, 50)
+			if cut != tc.bisectionCut {
+				t.Errorf("BestBisection cut = %d, want %d", cut, tc.bisectionCut)
+			}
+		})
+	}
+}
+
+// TestCSRParallelMetricsMatchSerial checks that the worker-pool metric
+// paths see the same finalized CSR as the serial paths.
+func TestCSRParallelMetricsMatchSerial(t *testing.T) {
+	for _, tc := range csrGoldens() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build()
+			if d, dp := g.Diameter(), g.DiameterParallel(); d != dp {
+				t.Errorf("DiameterParallel = %d, serial = %d", dp, d)
+			}
+			if a, ap := g.AverageDistance(), g.AverageDistanceParallel(); a != ap {
+				t.Errorf("AverageDistanceParallel = %v, serial = %v", ap, a)
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"ipg/internal/ipg"
 	"ipg/internal/superipg"
+	"ipg/internal/topo"
 )
 
 // BitOp is the per-pair operation of an ascend/descend step: it receives
@@ -116,17 +117,24 @@ type Runner[T any] struct {
 	W *superipg.Network
 	G *ipg.Graph
 
+	// ports is the port-labelled view of G (port gi = generator gi); the
+	// data-movement loop consults only this interface.
+	ports topo.Ported
+
 	homeAddr []int // node id -> its own address
 	logM     int
 	// dimBitOffset[d] is the global bit offset of nucleus dimension d
 	// within a group's bit field.
 	dimBitOffset []int
-	// subgroups[d] caches, for nucleus dimension d, the node-id groups of
-	// the front-group exchange: a flat array of N ids in blocks of radix,
-	// block i holding the radix nodes of one subgroup ordered by digit.
-	// Node labels never move (only data does), so the grouping is static.
-	subgroups [][]int32
-	workers   int
+	// subgroups caches, per nucleus dimension, the node-id groups of the
+	// front-group exchange in one flat array of NumDims x N ids: within
+	// dimension d's slab, blocks of radix, block i holding the radix nodes
+	// of one subgroup ordered by digit.  Node labels never move (only data
+	// does), so the grouping is static; subgroupsBuilt[d] marks filled
+	// slabs.
+	subgroups      []int32
+	subgroupsBuilt []bool
+	workers        int
 	// addrToNode is the lazily built inverse of homeAddr, used to present
 	// displaced (NoFinalRestore) results in address order.
 	addrToNode []int32
@@ -138,8 +146,9 @@ func NewRunner[T any](w *superipg.Network, g *ipg.Graph) (*Runner[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner[T]{W: w, G: g, logM: logM, workers: runtime.GOMAXPROCS(0)}
-	r.subgroups = make([][]int32, w.Nuc.NumDims())
+	r := &Runner[T]{W: w, G: g, ports: g, logM: logM, workers: runtime.GOMAXPROCS(0)}
+	r.subgroups = make([]int32, w.Nuc.NumDims()*g.N())
+	r.subgroupsBuilt = make([]bool, w.Nuc.NumDims())
 	off := 0
 	for d := 0; d < w.Nuc.NumDims(); d++ {
 		r.dimBitOffset = append(r.dimBitOffset, off)
@@ -207,7 +216,7 @@ func (r *Runner[T]) RunPlaced(data []T, pass Pass, op BitOp[T]) ([]T, []int, Sta
 			// chunks write disjoint destinations.
 			r.parallelBlocks(g.N(), func(lo, hi int) {
 				for v := lo; v < hi; v++ {
-					nb := g.Neighbor(v, gi)
+					nb := r.ports.Port(v, gi)
 					tmpT[nb] = cur[v]
 					tmpA[nb] = vaddr[v]
 				}
@@ -267,17 +276,18 @@ func (r *Runner[T]) nodeOfAddr(a int) int {
 
 // dimSubgroups returns (building and caching on first use) the exchange
 // subgroups of nucleus dimension d: g.N() node ids in blocks of radix,
-// each block one subgroup ordered by dimension-d digit.
+// each block one subgroup ordered by dimension-d digit.  The result is a
+// view into dimension d's slab of the flat cache.
 func (r *Runner[T]) dimSubgroups(d int) ([]int32, error) {
-	if r.subgroups[d] != nil {
-		return r.subgroups[d], nil
-	}
 	g, w := r.G, r.W
+	flat := r.subgroups[d*g.N() : (d+1)*g.N()]
+	if r.subgroupsBuilt[d] {
+		return flat, nil
+	}
 	nuc := w.Nuc
 	m := w.SymbolLen()
 	radix := nuc.Dims[d].Radix
 	idx := make(map[string]int32, g.N()/radix)
-	flat := make([]int32, g.N())
 	for i := range flat {
 		flat[i] = -1
 	}
@@ -312,7 +322,7 @@ func (r *Runner[T]) dimSubgroups(d int) ([]int32, error) {
 			return nil, fmt.Errorf("ascend: dim %d subgroup block %d missing digit %d", d, i/radix, i%radix)
 		}
 	}
-	r.subgroups[d] = flat
+	r.subgroupsBuilt[d] = true
 	return flat, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"ipg/internal/ipg"
 	"ipg/internal/perm"
 	"ipg/internal/superipg"
+	"ipg/internal/topo"
 )
 
 // DimensionWord returns the generator word (global generator indices into
@@ -180,7 +181,10 @@ func MeasureDilation(w *superipg.Network, g *ipg.Graph, sample int) (DilationRes
 // for an HSN(l,Q_n) is max(2n, l): Theta(sqrt(log N)) when l = Theta(n),
 // "the smallest possible for a degree-Theta(sqrt(log N)) network to embed
 // a degree-log2(N) network".
-func TotalCongestion(w *superipg.Network, g *ipg.Graph) (int, error) {
+// The graph is consumed through the port-labelled topo.Ported view (port
+// gi = generator gi; a port returning the node itself is a self-loop), so
+// any Ported implementation of the family can be measured.
+func TotalCongestion(w *superipg.Network, g topo.Ported) (int, error) {
 	use := make(map[[2]int32]int)
 	for j := 1; j <= w.L*w.NumNucGens(); j++ {
 		word, err := DimensionWord(w, j)
@@ -188,14 +192,14 @@ func TotalCongestion(w *superipg.Network, g *ipg.Graph) (int, error) {
 			return 0, err
 		}
 		for v := 0; v < g.N(); v++ {
-			cur := v
+			//lint:ignore indextrunc node ids are < g.N(), bounded by the family builders
+			cur := int32(v)
 			for _, gi := range word {
-				next := g.Neighbor(cur, gi)
+				next := g.Port(int(cur), gi)
 				if next == cur {
 					continue
 				}
-				//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
-				a, b := int32(cur), int32(next)
+				a, b := cur, next
 				if a > b {
 					a, b = b, a
 				}
@@ -218,23 +222,23 @@ func TotalCongestion(w *superipg.Network, g *ipg.Graph) (int, error) {
 // of embedded HPN dimension-j edges whose emulation paths traverse any
 // single undirected link of the super-IPG (Corollary 3.3's discussion:
 // this is 2 for HSN, complete-CN, SFN).
-func CongestionPerDimension(w *superipg.Network, g *ipg.Graph, j int) (int, error) {
+func CongestionPerDimension(w *superipg.Network, g topo.Ported, j int) (int, error) {
 	word, err := DimensionWord(w, j)
 	if err != nil {
 		return 0, err
 	}
 	use := make(map[[2]int32]int)
 	for v := 0; v < g.N(); v++ {
-		cur := v
+		//lint:ignore indextrunc node ids are < g.N(), bounded by the family builders
+		cur := int32(v)
 		for _, gi := range word {
-			next := g.Neighbor(cur, gi)
+			next := g.Port(int(cur), gi)
 			if next == cur {
 				// The generator fixes this label (repeated symbols): no
 				// physical transmission happens on this step.
 				continue
 			}
-			//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
-			a, b := int32(cur), int32(next)
+			a, b := cur, next
 			if a > b {
 				a, b = b, a
 			}

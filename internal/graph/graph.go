@@ -2,28 +2,43 @@
 // structural algorithms used throughout the reproduction: breadth-first
 // search, distance statistics, degree statistics, connectivity, Cartesian
 // products, and bisection search.
+//
+// The adjacency lives in a single CSR arena (internal/topo): large family
+// graphs stream their edges straight into it via FromStream, while
+// incremental AddEdge construction buffers edges and finalizes to CSR on
+// the first read.  Either way, every algorithm below iterates the flat
+// arena, and Graph satisfies the topo.Topology interface.
 package graph
 
 import (
 	"fmt"
-	"math"
-	"sort"
+
+	"ipg/internal/topo"
 )
 
-//lint:file-ignore indextrunc vertex ids in this file are < len(g.adj), which NewChecked bounds to MaxVertices (math.MaxInt32) at construction
+//lint:file-ignore indextrunc vertex ids in this file are < g.n, which NewChecked bounds to MaxVertices (math.MaxInt32) at construction
 
-// Graph is a simple undirected graph on vertices 0..N-1 stored as sorted
-// adjacency lists.  Self-loops are not stored (IPG generator actions that
-// fix a node produce no edge); parallel edges are collapsed.
+// Graph is a simple undirected graph on vertices 0..N-1.  Self-loops are
+// not stored (IPG generator actions that fix a node produce no edge);
+// parallel edges are collapsed.  Neighbor lists are sorted ascending.
 type Graph struct {
-	adj [][]int32
-	m   int // number of edges
+	n int
+	m int // number of edges
+
+	// csr is the finalized adjacency; nil while AddEdge-buffered edges are
+	// pending in eu/ev.
+	csr *topo.CSR
+
+	// eu/ev buffer AddEdge endpoints (deduplicated via eset) until a read
+	// finalizes them into csr.
+	eu, ev []int32
+	eset   map[uint64]struct{}
 }
 
 // MaxVertices is the largest vertex count the int32 adjacency storage can
 // address.  Super-IPG configurations beyond this must be sharded before
 // materialization; silently wrapping ids would corrupt every metric.
-const MaxVertices = math.MaxInt32
+const MaxVertices = topo.MaxVertices
 
 // CheckVertexCount reports whether n vertices fit the int32 adjacency
 // representation, as an error suitable for propagation.
@@ -40,7 +55,7 @@ func NewChecked(n int) (*Graph, error) {
 	if err := CheckVertexCount(n); err != nil {
 		return nil, err
 	}
-	return &Graph{adj: make([][]int32, n)}, nil
+	return &Graph{n: n}, nil
 }
 
 // New returns an empty graph on n vertices.  It panics if n overflows the
@@ -54,8 +69,79 @@ func New(n int) *Graph {
 	return g
 }
 
+// FromStreamChecked builds a graph on n vertices directly in CSR form from
+// a replayable edge stream (see topo.Build): stream is invoked twice and
+// must emit the same edge multiset both times.  Self-loops are dropped and
+// duplicates collapse, so emitting each edge from both endpoints is fine.
+func FromStreamChecked(n int, stream func(edge func(u, v int))) (*Graph, error) {
+	if err := CheckVertexCount(n); err != nil {
+		return nil, err
+	}
+	csr, err := topo.Build(n, stream)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{n: n, m: csr.Arcs() / 2, csr: csr}, nil
+}
+
+// FromStream is FromStreamChecked that panics on error, for builders whose
+// parameters are already bounds-checked.
+func FromStream(n int, stream func(edge func(u, v int))) *Graph {
+	g, err := FromStreamChecked(n, stream)
+	if err != nil {
+		panic("graph.FromStream: " + err.Error())
+	}
+	return g
+}
+
+// ensure finalizes pending AddEdge edges into the CSR arena.  Every reader
+// entry point calls it before touching adjacency; the parallel algorithms
+// call it before spawning workers, so the finalized CSR is read-only and
+// race-free under concurrent BFS.
+func (g *Graph) ensure() *topo.CSR {
+	if g.csr == nil {
+		csr, err := topo.Build(g.n, func(edge func(u, v int)) {
+			for i := range g.eu {
+				edge(int(g.eu[i]), int(g.ev[i]))
+			}
+		})
+		if err != nil {
+			panic("graph: " + err.Error())
+		}
+		g.csr = csr
+	}
+	return g.csr
+}
+
+// edgeKey packs an ordered pair for the AddEdge dedup set.
+func edgeKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// thaw re-opens a stream-built graph for AddEdge mutation by spilling the
+// CSR edges back into the pending buffers.  Rarely hit: only when a caller
+// mutates a family graph after construction.
+func (g *Graph) thaw() {
+	if g.eset != nil || g.csr == nil {
+		return
+	}
+	g.eset = make(map[uint64]struct{}, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.csr.Row(u) {
+			if int(v) > u {
+				g.eu = append(g.eu, int32(u))
+				g.ev = append(g.ev, v)
+				g.eset[edgeKey(u, int(v))] = struct{}{}
+			}
+		}
+	}
+}
+
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.m }
@@ -66,50 +152,65 @@ func (g *Graph) AddEdge(u, v int) bool {
 	if u == v {
 		return false
 	}
-	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
-		panic(fmt.Sprintf("graph.AddEdge: vertex out of range: %d,%d (n=%d)", u, v, len(g.adj)))
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		panic(fmt.Sprintf("graph.AddEdge: vertex out of range: %d,%d (n=%d)", u, v, g.n))
 	}
-	if g.HasEdge(u, v) {
+	g.thaw()
+	if g.eset == nil {
+		g.eset = make(map[uint64]struct{})
+	}
+	key := edgeKey(u, v)
+	if _, dup := g.eset[key]; dup {
 		return false
 	}
-	g.insert(u, int32(v))
-	g.insert(v, int32(u))
+	g.eset[key] = struct{}{}
+	g.eu = append(g.eu, int32(u))
+	g.ev = append(g.ev, int32(v))
 	g.m++
+	g.csr = nil // invalidate the finalized view
 	return true
 }
 
-func (g *Graph) insert(u int, v int32) {
-	lst := g.adj[u]
-	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= v })
-	lst = append(lst, 0)
-	copy(lst[i+1:], lst[i:])
-	lst[i] = v
-	g.adj[u] = lst
-}
-
 // HasEdge reports whether {u,v} is an edge.  Vertices outside [0, N) have
-// no edges; checking the range here keeps the int32 comparison below exact
-// rather than comparing against a wrapped id.
+// no edges.
 func (g *Graph) HasEdge(u, v int) bool {
-	if v < 0 || v >= len(g.adj) {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return false
 	}
-	lst := g.adj[u]
-	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= int32(v) })
-	return i < len(lst) && lst[i] == int32(v)
+	if g.csr != nil {
+		return g.csr.HasArc(u, v)
+	}
+	_, ok := g.eset[edgeKey(u, v)]
+	return ok
 }
 
-// Neighbors returns the sorted adjacency list of u.  The returned slice is
-// owned by the graph and must not be modified.
-func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+// row returns u's sorted neighbor slice as a zero-copy view into the CSR
+// arena.
+func (g *Graph) row(u int) []int32 { return g.ensure().Row(u) }
+
+// Neighbors appends the sorted neighbors of u to buf[:0] and returns it
+// (the topo.Topology contract).  Passing a buffer with cap >= Degree(u)
+// makes the call allocation-free.
+func (g *Graph) Neighbors(u int, buf []int32) []int32 {
+	return append(buf[:0], g.row(u)...)
+}
 
 // Degree returns the degree of u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int { return g.ensure().Degree(u) }
+
+// CSR returns the finalized adjacency arena, finalizing pending edges
+// first.  The result is owned by the graph and must not be modified.
+func (g *Graph) CSR() *topo.CSR { return g.ensure() }
+
+// MemoryFootprint returns the adjacency storage size in bytes (offsets
+// plus arena), the quantity the representation benchmarks report.
+func (g *Graph) MemoryFootprint() int64 { return g.ensure().ByteSize() }
 
 // Edges calls f for every edge {u,v} with u < v.
 func (g *Graph) Edges(f func(u, v int)) {
-	for u := range g.adj {
-		for _, v := range g.adj[u] {
+	c := g.ensure()
+	for u := 0; u < g.n; u++ {
+		for _, v := range c.Row(u) {
 			if int(v) > u {
 				f(u, int(v))
 			}
@@ -119,13 +220,14 @@ func (g *Graph) Edges(f func(u, v int)) {
 
 // DegreeStats returns the minimum, maximum, and average vertex degree.
 func (g *Graph) DegreeStats() (min, max int, avg float64) {
-	if g.N() == 0 {
+	if g.n == 0 {
 		return 0, 0, 0
 	}
+	c := g.ensure()
 	min = int(^uint(0) >> 1)
 	total := 0
-	for u := range g.adj {
-		d := len(g.adj[u])
+	for u := 0; u < g.n; u++ {
+		d := c.Degree(u)
 		if d < min {
 			min = d
 		}
@@ -134,7 +236,7 @@ func (g *Graph) DegreeStats() (min, max int, avg float64) {
 		}
 		total += d
 	}
-	return min, max, float64(total) / float64(g.N())
+	return min, max, float64(total) / float64(g.n)
 }
 
 // IsRegular reports whether all vertices have the same degree, and that
@@ -146,68 +248,39 @@ func (g *Graph) IsRegular() (bool, int) {
 
 // BFS returns the distance from src to every vertex (-1 if unreachable).
 func (g *Graph) BFS(src int) []int32 {
-	dist := make([]int32, g.N())
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := make([]int32, 0, g.N())
-	queue = append(queue, int32(src))
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		du := dist[u]
-		for _, v := range g.adj[u] {
-			if dist[v] < 0 {
-				dist[v] = du + 1
-				queue = append(queue, v)
-			}
-		}
-	}
-	return dist
+	return topo.BFS(g.ensure(), src)
 }
 
 // Connected reports whether the graph is connected (true for N <= 1).
 func (g *Graph) Connected() bool {
-	if g.N() <= 1 {
+	if g.n <= 1 {
 		return true
 	}
-	dist := g.BFS(0)
-	for _, d := range dist {
-		if d < 0 {
-			return false
-		}
-	}
-	return true
+	ecc, _ := g.ensure().BFSInto(0, make([]int32, g.n), make([]int32, 0, g.n))
+	return ecc >= 0
 }
 
 // Eccentricity returns the maximum finite distance from src, or -1 if some
 // vertex is unreachable.
 func (g *Graph) Eccentricity(src int) int {
-	dist := g.BFS(src)
-	ecc := 0
-	for _, d := range dist {
-		if d < 0 {
-			return -1
-		}
-		if int(d) > ecc {
-			ecc = int(d)
-		}
-	}
-	return ecc
+	ecc, _ := g.ensure().BFSInto(src, make([]int32, g.n), make([]int32, 0, g.n))
+	return int(ecc)
 }
 
 // Diameter computes the exact diameter by running BFS from every vertex.
 // It returns -1 for disconnected graphs.  Cost is O(N*(N+M)).
 func (g *Graph) Diameter() int {
+	c := g.ensure()
+	dist := make([]int32, g.n)
+	queue := make([]int32, 0, g.n)
 	diam := 0
-	for u := 0; u < g.N(); u++ {
-		e := g.Eccentricity(u)
-		if e < 0 {
+	for u := 0; u < g.n; u++ {
+		ecc, _ := c.BFSInto(u, dist, queue)
+		if ecc < 0 {
 			return -1
 		}
-		if e > diam {
-			diam = e
+		if int(ecc) > diam {
+			diam = int(ecc)
 		}
 	}
 	return diam
@@ -218,15 +291,17 @@ func (g *Graph) Diameter() int {
 // the distances between a node X and all the network nodes (including node
 // X itself)").  It returns -1 for disconnected graphs.
 func (g *Graph) AverageDistance() float64 {
+	c := g.ensure()
+	n := g.n
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
 	var total int64
-	n := g.N()
 	for u := 0; u < n; u++ {
-		for _, d := range g.BFS(u) {
-			if d < 0 {
-				return -1
-			}
-			total += int64(d)
+		ecc, sum := c.BFSInto(u, dist, queue)
+		if ecc < 0 {
+			return -1
 		}
+		total += sum
 	}
 	return float64(total) / float64(n) / float64(n)
 }
@@ -252,20 +327,21 @@ func (g *Graph) DiameterFromSample(srcs []int) int {
 // (u,v) encoded as u*h.N()+v; (u,v)~(u',v') iff (u=u' and v~v') or
 // (v=v' and u~u').
 func CartesianProduct(g, h *Graph) *Graph {
+	gc, hc := g.ensure(), h.ensure()
 	nh := h.N()
-	p := New(g.N() * nh)
-	for u := 0; u < g.N(); u++ {
-		for v := 0; v < nh; v++ {
-			id := u*nh + v
-			for _, w := range h.adj[v] {
-				p.AddEdge(id, u*nh+int(w))
-			}
-			for _, w := range g.adj[u] {
-				p.AddEdge(id, int(w)*nh+v)
+	return FromStream(g.N()*nh, func(edge func(u, v int)) {
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < nh; v++ {
+				id := u*nh + v
+				for _, w := range hc.Row(v) {
+					edge(id, u*nh+int(w))
+				}
+				for _, w := range gc.Row(u) {
+					edge(id, int(w)*nh+v)
+				}
 			}
 		}
-	}
-	return p
+	})
 }
 
 // Power returns the p-th Cartesian power of g (the homogeneous product
@@ -284,15 +360,5 @@ func Equal(g, h *Graph) bool {
 	if g.N() != h.N() || g.M() != h.M() {
 		return false
 	}
-	for u := range g.adj {
-		if len(g.adj[u]) != len(h.adj[u]) {
-			return false
-		}
-		for i, v := range g.adj[u] {
-			if h.adj[u][i] != v {
-				return false
-			}
-		}
-	}
-	return true
+	return topo.Equal(g.ensure(), h.ensure())
 }

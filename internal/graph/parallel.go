@@ -12,8 +12,10 @@ import (
 // over a worker pool.
 
 // parallelSources runs fn(src, scratch) for every source in [0, n) on
-// GOMAXPROCS workers; each worker owns one scratch distance buffer.
+// GOMAXPROCS workers; each worker owns one scratch distance buffer.  The
+// CSR is finalized before workers spawn so they only ever read it.
 func (g *Graph) parallelSources(fn func(src int, dist []int32, queue []int32)) {
+	g.ensure()
 	n := g.N()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -48,35 +50,10 @@ func (g *Graph) parallelSources(fn func(src int, dist []int32, queue []int32)) {
 }
 
 // bfsInto runs BFS from src into the caller-owned buffers and returns the
-// eccentricity and the sum of distances, or ecc = -1 if disconnected.
+// eccentricity and the sum of distances, or ecc = -1 if disconnected.  It
+// is the shared CSR kernel in internal/topo.
 func (g *Graph) bfsInto(src int, dist []int32, queue []int32) (ecc int32, sum int64) {
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue = queue[:0]
-	//lint:ignore indextrunc src < g.N() <= MaxVertices, enforced by NewChecked
-	queue = append(queue, int32(src))
-	visited := 1
-	for qi := 0; qi < len(queue); qi++ {
-		u := queue[qi]
-		du := dist[u]
-		if du > ecc {
-			ecc = du
-		}
-		sum += int64(du)
-		for _, v := range g.adj[u] {
-			if dist[v] < 0 {
-				dist[v] = du + 1
-				queue = append(queue, v)
-				visited++
-			}
-		}
-	}
-	if visited != g.N() {
-		return -1, sum
-	}
-	return ecc, sum
+	return g.ensure().BFSInto(src, dist, queue)
 }
 
 // DiameterParallel computes the exact diameter with source-parallel BFS.

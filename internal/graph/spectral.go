@@ -16,8 +16,9 @@ import (
 // lapApply computes y = L x for the graph Laplacian L = D - A.
 func (g *Graph) lapApply(x, y []float64) {
 	for v := 0; v < g.N(); v++ {
-		sum := float64(len(g.adj[v])) * x[v]
-		for _, w := range g.adj[v] {
+		row := g.row(v)
+		sum := float64(len(row)) * x[v]
+		for _, w := range row {
 			sum -= x[w]
 		}
 		y[v] = sum

@@ -38,15 +38,16 @@ func (s Spec) Validate() error {
 }
 
 // Graph is a materialized IPG: the closure of the seed under the
-// generators, with per-generator adjacency.
+// generators, with per-generator adjacency.  It satisfies topo.Ported —
+// port gi of node v is the node reached by generator gi (possibly v
+// itself: a self-loop, which is not a link in the physical network).
 type Graph struct {
 	Spec
 	nodes []perm.Label
 	index map[string]int32
-	// adj[v][g] is the node reached from v by generator g.  It may equal v:
-	// generators can fix a label when symbols repeat (a self-loop, which is
-	// not a link in the physical network).
-	adj [][]int32
+	// adj holds the per-generator adjacency in one flat array: the node
+	// reached from v by generator gi is adj[v*len(Gens)+gi].
+	adj []int32
 }
 
 // MaxNodes caps IPG materialization as a guard against runaway closures
@@ -66,8 +67,7 @@ func Build(spec Spec) (*Graph, error) {
 	scratch := make(perm.Label, len(spec.Seed))
 	for head := 0; head < len(g.nodes); head++ {
 		cur := g.nodes[head]
-		row := make([]int32, len(spec.Gens))
-		for gi, gen := range spec.Gens {
+		for _, gen := range spec.Gens {
 			gen.P.ApplyInto(scratch, cur)
 			key := string(scratch)
 			id, ok := g.index[key]
@@ -77,9 +77,8 @@ func Build(spec Spec) (*Graph, error) {
 				}
 				id = g.addNode(scratch.Clone())
 			}
-			row[gi] = id
+			g.adj = append(g.adj, id)
 		}
-		g.adj = append(g.adj, row)
 	}
 	return g, nil
 }
@@ -101,12 +100,28 @@ func (g *Graph) addNode(l perm.Label) int32 {
 	return id
 }
 
+// row returns v's generator-indexed neighbor row as a view into the flat
+// adjacency.
+func (g *Graph) row(v int) []int32 {
+	ng := len(g.Gens)
+	return g.adj[v*ng : (v+1)*ng]
+}
+
 // N returns the number of nodes.
 func (g *Graph) N() int { return len(g.nodes) }
 
 // NumGens returns the number of generators (the directed out-degree
 // including self-loops).
 func (g *Graph) NumGens() int { return len(g.Gens) }
+
+// Arity returns the number of ports at every node: one per generator.  It
+// is part of the topo.Ported contract.
+func (g *Graph) Arity(v int) int { return len(g.Gens) }
+
+// Port returns the node behind port p of v: the node reached by generator
+// p.  A self-loop returns v itself — Ported consumers treat a port whose
+// target equals the node (or is negative) as carrying no traffic.
+func (g *Graph) Port(v, p int) int32 { return g.adj[v*len(g.Gens)+p] }
 
 // Label returns the label of node v.  The returned slice is owned by the
 // graph.
@@ -125,15 +140,16 @@ func (g *Graph) SeedID() int { return 0 }
 
 // Neighbor returns the node reached from v by generator gi.  The result
 // equals v when the generator fixes v's label (self-loop).
-func (g *Graph) Neighbor(v, gi int) int { return int(g.adj[v][gi]) }
+func (g *Graph) Neighbor(v, gi int) int { return int(g.adj[v*len(g.Gens)+gi]) }
 
 // IsLoop reports whether generator gi is a self-loop at v.
-func (g *Graph) IsLoop(v, gi int) bool { return int(g.adj[v][gi]) == v }
+func (g *Graph) IsLoop(v, gi int) bool { return int(g.adj[v*len(g.Gens)+gi]) == v }
 
 // EffectiveDegree returns the number of distinct non-self neighbors of v.
 func (g *Graph) EffectiveDegree(v int) int {
-	seen := make(map[int32]bool, len(g.adj[v]))
-	for _, w := range g.adj[v] {
+	row := g.row(v)
+	seen := make(map[int32]bool, len(row))
+	for _, w := range row {
 		if int(w) != v {
 			seen[w] = true
 		}
@@ -142,18 +158,20 @@ func (g *Graph) EffectiveDegree(v int) int {
 }
 
 // Undirected collapses the IPG into a simple undirected graph (self-loops
-// dropped, parallel edges merged).  For inverse-closed generator sets this
-// loses no connectivity information.
+// dropped, parallel edges merged), streaming the generator arcs straight
+// into the CSR arena.  For inverse-closed generator sets this loses no
+// connectivity information.
 func (g *Graph) Undirected() *graph.Graph {
-	u := graph.New(g.N())
-	for v := range g.adj {
-		for _, w := range g.adj[v] {
-			if int(w) != v {
-				u.AddEdge(v, int(w))
+	return graph.FromStream(g.N(), func(edge func(u, v int)) {
+		ng := len(g.Gens)
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.adj[v*ng : (v+1)*ng] {
+				if int(w) != v {
+					edge(v, int(w))
+				}
 			}
 		}
-	}
-	return u
+	})
 }
 
 // ApplyWord applies the generator sequence word (generator indices) to the
@@ -172,7 +190,7 @@ func (g *Graph) ApplyWord(x perm.Label, word []int) perm.Label {
 // node id.
 func (g *Graph) WalkWord(v int, word []int) int {
 	for _, gi := range word {
-		v = int(g.adj[v][gi])
+		v = int(g.adj[v*len(g.Gens)+gi])
 	}
 	return v
 }
@@ -180,9 +198,10 @@ func (g *Graph) WalkWord(v int, word []int) int {
 // GeneratorEdgeCount returns, for each generator, the number of non-loop
 // directed edges it contributes.
 func (g *Graph) GeneratorEdgeCount() []int {
-	counts := make([]int, len(g.Gens))
-	for v := range g.adj {
-		for gi, w := range g.adj[v] {
+	ng := len(g.Gens)
+	counts := make([]int, ng)
+	for v := 0; v < g.N(); v++ {
+		for gi, w := range g.adj[v*ng : (v+1)*ng] {
 			if int(w) != v {
 				counts[gi]++
 			}
@@ -194,9 +213,10 @@ func (g *Graph) GeneratorEdgeCount() []int {
 // SelfLoopCount returns the total number of (node, generator) pairs where
 // the generator fixes the node.
 func (g *Graph) SelfLoopCount() int {
+	ng := len(g.Gens)
 	loops := 0
-	for v := range g.adj {
-		for _, w := range g.adj[v] {
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.adj[v*ng : (v+1)*ng] {
 			if int(w) == v {
 				loops++
 			}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AdjBuild flags the `[][]int32` adjacency-list type spelled anywhere
+// outside the topology core (internal/graph and internal/topo).  The
+// repository keeps exactly one adjacency representation — the flat CSR
+// arena in internal/topo — and every per-row `[][]int32` that reappears in
+// a builder, simulator, or scheduler is a second copy of the graph: it
+// costs a slice header and an allocation per vertex, defeats the shared
+// BFS kernel, and reintroduces the representation drift this refactor
+// removed.  Build edge sets with graph.FromStream / topo.Build, port
+// tables with topo.PortMap, and per-dimension id caches as flat strided
+// []int32 slabs.
+//
+// The check is purely syntactic (any nested slice type with element int32
+// and no fixed lengths), so it catches make() calls, composite literals,
+// struct fields, parameters, and variable declarations alike.  Test files
+// and testdata fixtures are outside the loader's scope and therefore
+// exempt.
+var AdjBuild = &Analyzer{
+	Name: "adjbuild",
+	Doc:  "[][]int32 adjacency built outside the internal/graph + internal/topo core",
+	Run:  runAdjBuild,
+}
+
+// adjExemptSuffixes are the package paths allowed to spell [][]int32: the
+// topology core itself, where the conversions between row and flat form
+// live.  Pkg.Path() is the loaded directory path, so match by suffix with
+// normalized separators.
+var adjExemptSuffixes = []string{"internal/graph", "internal/topo"}
+
+func runAdjBuild(pass *Pass) {
+	path := strings.ReplaceAll(pass.Pkg.Path(), "\\", "/")
+	for _, suffix := range adjExemptSuffixes {
+		if strings.HasSuffix(path, suffix) {
+			return
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			outer, ok := n.(*ast.ArrayType)
+			if !ok || outer.Len != nil {
+				return true
+			}
+			inner, ok := outer.Elt.(*ast.ArrayType)
+			if !ok || inner.Len != nil {
+				return true
+			}
+			if id, ok := inner.Elt.(*ast.Ident); ok && id.Name == "int32" {
+				pass.Reportf(outer.Pos(),
+					"[][]int32 adjacency outside internal/graph + internal/topo; use the CSR/PortMap core or a flat strided []int32")
+				return false // don't re-report the inner []int32
+			}
+			return true
+		})
+	}
+}

@@ -16,6 +16,9 @@
 //     worker-pool idiom used by graph/netsim/ascend.
 //   - errdrop:       discarded error results from simulation entry points
 //     (Step / Run* / Route* methods).
+//   - adjbuild:      [][]int32 adjacency lists spelled outside the topology
+//     core (internal/graph, internal/topo), which must stay the single
+//     CSR-backed representation of the graph.
 //
 // Findings can be suppressed with an inline directive:
 //
@@ -83,7 +86,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{PermAlias, IndexTrunc, GoroutineLeak, ErrDrop}
+	return []*Analyzer{PermAlias, IndexTrunc, GoroutineLeak, ErrDrop, AdjBuild}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.

@@ -120,6 +120,10 @@ func TestErrDropFixture(t *testing.T) {
 	runFixture(t, "errdrop", []*Analyzer{ErrDrop})
 }
 
+func TestAdjBuildFixture(t *testing.T) {
+	runFixture(t, "adjbuild", []*Analyzer{AdjBuild})
+}
+
 // TestIgnoreFixture proves the //lint:ignore and //lint:file-ignore
 // directives suppress findings from the full suite, and that malformed
 // directives are reported instead of silently doing nothing.

@@ -1,0 +1,46 @@
+// Package adjbuild is a fixture for the adjbuild analyzer.  Lines
+// expecting a diagnostic carry a want comment with a message pattern.
+package adjbuild
+
+// Net models a simulator struct that regrew a per-row adjacency field.
+type Net struct {
+	Ports [][]int32 // want "adjacency outside"
+	Caps  [][]float64
+}
+
+// BuildRows allocates a per-row adjacency table.
+func BuildRows(n int) [][]int32 { // want "adjacency outside"
+	rows := make([][]int32, n) // want "adjacency outside"
+	for i := range rows {
+		rows[i] = append(rows[i], int32(0))
+	}
+	return rows
+}
+
+// Literal spells the type in a composite literal.
+func Literal() interface{} {
+	return [][]int32{{1, 2}, {3}} // want "adjacency outside"
+}
+
+// FlatOK is the sanctioned shape: one strided []int32 slab.
+func FlatOK(n, stride int) []int32 {
+	return make([]int32, n*stride)
+}
+
+// OtherNestingOK leaves non-int32 nested slices alone.
+func OtherNestingOK(n int) [][]int64 {
+	return make([][]int64, n)
+}
+
+// FixedLenOK leaves fixed-size arrays alone ([2]int32 is a pair key, not
+// an adjacency row).
+func FixedLenOK() [][2]int32 {
+	return [][2]int32{{1, 2}}
+}
+
+// Suppressed shows the escape hatch for a justified row table.
+func Suppressed(n int) [][]int32 { // want "adjacency outside"
+	//lint:ignore adjbuild per-row layout required by the external trace format
+	out := make([][]int32, n)
+	return out
+}

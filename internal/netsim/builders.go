@@ -5,6 +5,7 @@ import (
 
 	"ipg/internal/ipg"
 	"ipg/internal/superipg"
+	"ipg/internal/topo"
 )
 
 // This file assembles simulated networks under the unit chip capacity
@@ -16,10 +17,10 @@ import (
 // switching a network to the unit link capacity model of Section 3 (with
 // c = 1).  Cluster assignments are kept for off-chip accounting.
 func UniformCapacity(net *Network, c float64) {
-	for u := range net.Cap {
-		for p := range net.Cap[u] {
-			if net.Ports[u][p] >= 0 {
-				net.Cap[u][p] = c
+	for u := 0; u < net.N; u++ {
+		for p, v := range net.Ports.PortRow(u) {
+			if v >= 0 {
+				net.Ports.SetCap(u, p, c)
 			}
 		}
 	}
@@ -37,27 +38,26 @@ func BuildHypercube(d, logM int, chipCapacity float64) (*Network, error) {
 	}
 	offLinksPerChip := (1 << logM) * (d - logM) // M nodes x off-chip degree
 	offCap := chipCapacity / float64(offLinksPerChip)
-	ports := make([][]int32, n)
-	caps := make([][]float64, n)
+	pm, err := topo.NewUniformPortMap(n, d)
+	if err != nil {
+		return nil, err
+	}
 	clusterOf := make([]int32, n)
 	for v := 0; v < n; v++ {
 		clusterOf[v] = int32(v >> logM)
-		ports[v] = make([]int32, d)
-		caps[v] = make([]float64, d)
 		for b := 0; b < d; b++ {
-			ports[v][b] = int32(v ^ 1<<b)
+			pm.SetPort(v, b, int32(v^1<<b))
 			if b < logM {
-				caps[v][b] = OnChipCapacity
+				pm.SetCap(v, b, OnChipCapacity)
 			} else {
-				caps[v][b] = offCap
+				pm.SetCap(v, b, offCap)
 			}
 		}
 	}
 	return &Network{
 		Name:      fmt.Sprintf("Q%d/M=%d", d, 1<<logM),
 		N:         n,
-		Ports:     ports,
-		Cap:       caps,
+		Ports:     pm,
 		ClusterOf: clusterOf,
 		Router:    HypercubeRouter{D: d},
 	}, nil
@@ -77,8 +77,10 @@ func BuildTorus2D(k, side int, chipCapacity float64) (*Network, error) {
 	// Each chip has 4*side off-chip undirected links, i.e. 4*side outgoing
 	// off-chip arcs.
 	offCap := chipCapacity / float64(4*side)
-	ports := make([][]int32, n)
-	caps := make([][]float64, n)
+	pm, err := topo.NewUniformPortMap(n, 4)
+	if err != nil {
+		return nil, err
+	}
 	clusterOf := make([]int32, n)
 	chipOf := func(x, y int) int32 { return int32((y/side)*chipsPerRow + x/side) }
 	for v := 0; v < n; v++ {
@@ -88,22 +90,19 @@ func BuildTorus2D(k, side int, chipCapacity float64) (*Network, error) {
 			{(x + 1) % k, y}, {(x - 1 + k) % k, y},
 			{x, (y + 1) % k}, {x, (y - 1 + k) % k},
 		}
-		ports[v] = make([]int32, 4)
-		caps[v] = make([]float64, 4)
 		for p, xy := range nb {
-			ports[v][p] = int32(xy[1]*k + xy[0])
+			pm.SetPort(v, p, int32(xy[1]*k+xy[0]))
 			if chipOf(xy[0], xy[1]) == clusterOf[v] {
-				caps[v][p] = OnChipCapacity
+				pm.SetCap(v, p, OnChipCapacity)
 			} else {
-				caps[v][p] = offCap
+				pm.SetCap(v, p, offCap)
 			}
 		}
 	}
 	return &Network{
 		Name:      fmt.Sprintf("%d-ary 2-cube/M=%d", k, side*side),
 		N:         n,
-		Ports:     ports,
-		Cap:       caps,
+		Ports:     pm,
 		ClusterOf: clusterOf,
 		Router:    TorusRouter{K: k, Dims: 2},
 	}, nil
@@ -137,32 +136,31 @@ func BuildSuperIPG(w *superipg.Network, g *ipg.Graph, chipCapacity float64, rout
 	for chip, cnt := range arcs {
 		offCap[chip] = chipCapacity / float64(cnt)
 	}
-	ports := make([][]int32, g.N())
-	caps := make([][]float64, g.N())
+	ng := len(w.Gens())
+	pm, err := topo.NewUniformPortMap(g.N(), ng)
+	if err != nil {
+		return nil, err
+	}
 	for v := 0; v < g.N(); v++ {
-		ng := len(w.Gens())
-		ports[v] = make([]int32, ng)
-		caps[v] = make([]float64, ng)
 		for gi := 0; gi < ng; gi++ {
 			u := g.Neighbor(v, gi)
 			if u == v {
-				ports[v][gi] = -1
-				caps[v][gi] = 1
+				// Absent port (self-loop); capacity value is never consulted.
+				pm.SetCap(v, gi, 1)
 				continue
 			}
-			ports[v][gi] = int32(u)
+			pm.SetPort(v, gi, int32(u))
 			if clusterOf[u] == clusterOf[v] {
-				caps[v][gi] = OnChipCapacity
+				pm.SetCap(v, gi, OnChipCapacity)
 			} else {
-				caps[v][gi] = offCap[clusterOf[v]]
+				pm.SetCap(v, gi, offCap[clusterOf[v]])
 			}
 		}
 	}
 	net := &Network{
 		Name:      w.Name(),
 		N:         g.N(),
-		Ports:     ports,
-		Cap:       caps,
+		Ports:     pm,
 		ClusterOf: clusterOf,
 		Router:    router,
 	}

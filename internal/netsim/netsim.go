@@ -26,6 +26,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"ipg/internal/topo"
 )
 
 // OnChipCapacity is the per-round packet capacity assigned to on-chip
@@ -43,12 +45,11 @@ type Router interface {
 type Network struct {
 	Name string
 	N    int
-	// Ports[u][p] is the neighbor reached from u via port p, or -1 if the
-	// port is absent at u (e.g. an IPG generator that fixes u's label).
-	Ports [][]int32
-	// Cap[u][p] is the capacity of the directed link at (u,p) in packets
-	// per round.
-	Cap [][]float64
+	// Ports is the port-labelled topology: Ports.Port(u, p) is the neighbor
+	// reached from u via port p, or -1 if the port is absent at u (e.g. an
+	// IPG generator that fixes u's label), and Ports.Cap(u, p) is the
+	// capacity of the directed link at (u, p) in packets per round.
+	Ports *topo.PortMap
 	// ClusterOf assigns nodes to chips for off-chip accounting; nil means
 	// every node is its own chip.
 	ClusterOf []int32
@@ -61,15 +62,12 @@ type Network struct {
 
 // Validate checks structural consistency.
 func (n *Network) Validate() error {
-	if len(n.Ports) != n.N || len(n.Cap) != n.N {
-		return fmt.Errorf("netsim: %s: ports/cap length mismatch", n.Name)
+	if n.Ports == nil || n.Ports.N() != n.N {
+		return fmt.Errorf("netsim: %s: port map node count mismatch", n.Name)
 	}
-	for u := range n.Ports {
-		if len(n.Ports[u]) != len(n.Cap[u]) {
-			return fmt.Errorf("netsim: %s: node %d port/cap mismatch", n.Name, u)
-		}
-		for p, v := range n.Ports[u] {
-			if v >= 0 && (int(v) >= n.N || n.Cap[u][p] <= 0) {
+	for u := 0; u < n.N; u++ {
+		for p, v := range n.Ports.PortRow(u) {
+			if v >= 0 && (int(v) >= n.N || n.Ports.Cap(u, p) <= 0) {
 				return fmt.Errorf("netsim: %s: node %d port %d invalid", n.Name, u, p)
 			}
 		}
@@ -213,7 +211,7 @@ func New(net *Network, seed int64) (*Sim, error) {
 	s.perNode = make([]localStats, net.N)
 	s.rngs = make([]*rand.Rand, net.N)
 	for u := 0; u < net.N; u++ {
-		np := len(net.Ports[u])
+		np := net.Ports.Arity(u)
 		s.queues[u] = make([][]Packet, np)
 		s.qhead[u] = make([]int, np)
 		s.credits[u] = make([]float64, np)
@@ -222,10 +220,10 @@ func New(net *Network, seed int64) (*Sim, error) {
 	}
 	minCap := math.Inf(1)
 	for u := 0; u < net.N; u++ {
-		for p, v := range net.Ports[u] {
+		for p, v := range net.Ports.PortRow(u) {
 			if v >= 0 {
 				s.inLinks[v] = append(s.inLinks[v], inLink{src: int32(u), port: int16(p)})
-				if c := net.Cap[u][p]; c < minCap {
+				if c := net.Ports.Cap(u, p); c < minCap {
 					minCap = c
 				}
 			}
@@ -295,7 +293,7 @@ func (s *Sim) Enqueue(u int, dst int32) error {
 		return fmt.Errorf("netsim: packet to self at node %d", u)
 	}
 	p := s.routePort(u, dst)
-	if p < 0 || p >= len(s.queues[u]) || s.Net.Ports[u][p] < 0 {
+	if p < 0 || p >= len(s.queues[u]) || s.Net.Ports.Port(u, p) < 0 {
 		return fmt.Errorf("netsim: router returned invalid port %d at node %d for dst %d", p, u, dst)
 	}
 	s.queues[u][p] = append(s.queues[u][p], Packet{Dst: dst, Born: s.round})
@@ -346,7 +344,7 @@ func (s *Sim) Step() (int, error) {
 					s.outbox[u][p] = s.outbox[u][p][:0]
 					continue
 				}
-				cap := net.Cap[u][p]
+				cap := net.Ports.Cap(u, p)
 				var take int
 				if cap >= float64(avail) {
 					take = avail
@@ -462,7 +460,7 @@ func (s *Sim) singlePortPhaseA(u int) {
 		if len(q)-head == 0 {
 			continue
 		}
-		cap := s.Net.Cap[u][p]
+		cap := s.Net.Ports.Cap(u, p)
 		if cap < 1 {
 			s.credits[u][p] += cap
 			if limit := cap + 1; s.credits[u][p] > limit {

@@ -7,6 +7,7 @@ import (
 
 	"ipg/internal/nucleus"
 	"ipg/internal/superipg"
+	"ipg/internal/topo"
 )
 
 func mustHypercube(t *testing.T, d, logM int, cap float64) *Network {
@@ -251,7 +252,7 @@ func TestHSNRouterDeliversShortest(t *testing.T) {
 					t.Fatalf("route %d->%d too long", src, dst)
 				}
 				p := net.Router.NextPort(cur, dst)
-				next := int(net.Ports[cur][p])
+				next := int(net.Ports.Port(cur, p))
 				if next < 0 {
 					t.Fatalf("router chose absent port at %d", cur)
 				}
@@ -332,19 +333,19 @@ func TestTorusSimulatedNetwork(t *testing.T) {
 	}
 }
 
-func TestGraphPorts(t *testing.T) {
+func TestGraphPortMap(t *testing.T) {
 	w := superipg.HSN(2, nucleus.Hypercube(2))
 	u := w.MustBuild().Undirected()
-	ports, caps := GraphPorts(u, 2.5)
-	if len(ports) != u.N() || len(caps) != u.N() {
+	pm := topo.FromTopology(u, 2.5)
+	if pm.N() != u.N() {
 		t.Fatal("length mismatch")
 	}
 	for v := 0; v < u.N(); v++ {
-		if len(ports[v]) != u.Degree(v) {
-			t.Fatalf("node %d has %d ports, degree %d", v, len(ports[v]), u.Degree(v))
+		if pm.Arity(v) != u.Degree(v) {
+			t.Fatalf("node %d has %d ports, degree %d", v, pm.Arity(v), u.Degree(v))
 		}
-		for p := range caps[v] {
-			if caps[v][p] != 2.5 {
+		for p := 0; p < pm.Arity(v); p++ {
+			if pm.Cap(v, p) != 2.5 {
 				t.Fatal("capacity not applied")
 			}
 		}
@@ -389,8 +390,7 @@ func TestFractionalCapacity(t *testing.T) {
 	net := &Network{
 		Name:  "pair",
 		N:     2,
-		Ports: [][]int32{{1}, {0}},
-		Cap:   [][]float64{{0.5}, {0.5}},
+		Ports: topo.PortMapFromRows([][]int32{{1}, {0}}, [][]float64{{0.5}, {0.5}}),
 		Router: routeFunc(func(cur, dst int) int {
 			return 0
 		}),

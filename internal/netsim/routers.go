@@ -2,47 +2,40 @@ package netsim
 
 import (
 	"fmt"
-	"math/bits"
 
-	"ipg/internal/graph"
 	"ipg/internal/ipg"
 	"ipg/internal/superipg"
+	"ipg/internal/topo"
 )
 
 // HypercubeRouter routes dimension-order on a hypercube whose port b flips
 // address bit b (lowest differing bit first, so on-chip dimensions are
-// corrected before off-chip ones when chips are low-order subcubes).
+// corrected before off-chip ones when chips are low-order subcubes).  The
+// arithmetic lives in topo.HypercubeNextDim, shared with the graph-level
+// helpers in internal/topology.
 type HypercubeRouter struct{ D int }
 
 // NextPort implements Router.
 func (r HypercubeRouter) NextPort(cur, dst int) int {
-	diff := cur ^ dst
-	if diff == 0 {
-		return -1
-	}
-	return bits.TrailingZeros(uint(diff))
+	return topo.HypercubeNextDim(cur, dst)
 }
 
 // TorusRouter routes dimension-order with minimal wrap on a k-ary n-cube
 // whose ports are (2d) = +1 in dimension d, (2d+1) = -1 in dimension d.
+// The arithmetic lives in topo.TorusNextHop, shared with the graph-level
+// helpers in internal/topology.
 type TorusRouter struct{ K, Dims int }
 
 // NextPort implements Router.
 func (r TorusRouter) NextPort(cur, dst int) int {
-	weight := 1
-	for d := 0; d < r.Dims; d++ {
-		cd := (cur / weight) % r.K
-		dd := (dst / weight) % r.K
-		if cd != dd {
-			fwd := ((dd - cd) + r.K) % r.K
-			if fwd <= r.K-fwd {
-				return 2 * d
-			}
-			return 2*d + 1
-		}
-		weight *= r.K
+	dim, dir := topo.TorusNextHop(r.K, r.Dims, cur, dst)
+	if dim < 0 {
+		return -1
 	}
-	return -1
+	if dir > 0 {
+		return 2 * dim
+	}
+	return 2*dim + 1
 }
 
 // HSNRouter routes hierarchically on an HSN (or HCN/RCC skeleton): fix the
@@ -210,7 +203,7 @@ func NewTableRouter(net *Network) (*TableRouter, error) {
 	}
 	radj := make([][]rev, n)
 	for u := 0; u < n; u++ {
-		for p, v := range net.Ports[u] {
+		for p, v := range net.Ports.PortRow(u) {
 			if v >= 0 && int(v) != u {
 				radj[v] = append(radj[v], rev{src: int32(u), port: int16(p)})
 			}
@@ -246,19 +239,3 @@ func NewTableRouter(net *Network) (*TableRouter, error) {
 
 // NextPort implements Router.
 func (tr *TableRouter) NextPort(cur, dst int) int { return int(tr.table[cur*tr.n+dst]) }
-
-// GraphPorts converts an undirected graph into the port representation
-// (port p of u = u's p-th sorted neighbor) with uniform capacity.
-func GraphPorts(g *graph.Graph, capacity float64) ([][]int32, [][]float64) {
-	ports := make([][]int32, g.N())
-	caps := make([][]float64, g.N())
-	for u := 0; u < g.N(); u++ {
-		nbrs := g.Neighbors(u)
-		ports[u] = append([]int32(nil), nbrs...)
-		caps[u] = make([]float64, len(nbrs))
-		for p := range caps[u] {
-			caps[u][p] = capacity
-		}
-	}
-	return ports, caps
-}

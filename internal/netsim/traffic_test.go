@@ -3,6 +3,8 @@ package netsim
 import (
 	"math/rand"
 	"testing"
+
+	"ipg/internal/topo"
 )
 
 func TestBitComplementStressesBisection(t *testing.T) {
@@ -198,8 +200,7 @@ func TestSinglePortRoundRobinFairness(t *testing.T) {
 	net := &Network{
 		Name:  "fork",
 		N:     3,
-		Ports: [][]int32{{1, 2}, {}, {}},
-		Cap:   [][]float64{{1, 1}, {}, {}},
+		Ports: topo.PortMapFromRows([][]int32{{1, 2}, {}, {}}, [][]float64{{1, 1}, {}, {}}),
 		Router: routeFunc(func(cur, dst int) int {
 			return dst - 1
 		}),

@@ -20,21 +20,20 @@ func (s *Schedule) Execute(g *ipg.Graph) error {
 		return fmt.Errorf("schedule: empty graph")
 	}
 	nd := s.L * s.N
-	// pos[j][v] is the current node of the dimension-(j+1) packet that
-	// originated at node v.
-	pos := make([][]int32, nd)
-	for j := range pos {
-		pos[j] = make([]int32, g.N())
-		for v := range pos[j] {
+	n := g.N()
+	// pos[j*n+v] is the current node of the dimension-(j+1) packet that
+	// originated at node v; one flat array instead of a row per dimension.
+	pos := make([]int32, nd*n)
+	for j := 0; j < nd; j++ {
+		for v := 0; v < n; v++ {
 			//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
-			pos[j][v] = int32(v)
+			pos[j*n+v] = int32(v)
 		}
 	}
 	move := func(j, gen int) {
-		p := pos[j]
+		p := pos[j*n : (j+1)*n]
 		for v := range p {
-			//lint:ignore indextrunc Neighbor returns a node id < g.N() <= ipg.MaxNodes (1<<22)
-			p[v] = int32(g.Neighbor(int(p[v]), gen))
+			p[v] = g.Port(int(p[v]), gen)
 		}
 	}
 	for t := 1; t <= s.T; t++ {
@@ -59,9 +58,9 @@ func (s *Schedule) Execute(g *ipg.Graph) error {
 			if wantID < 0 {
 				return fmt.Errorf("schedule: HPN neighbor of node %d missing from graph", v)
 			}
-			if int(pos[j][v]) != wantID {
+			if int(pos[j*g.N()+v]) != wantID {
 				return fmt.Errorf("schedule: dim-%d packet from node %d landed on %d, want %d",
-					j+1, v, pos[j][v], wantID)
+					j+1, v, pos[j*g.N()+v], wantID)
 			}
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"ipg/internal/ipg"
 	"ipg/internal/nucleus"
 	"ipg/internal/perm"
+	"ipg/internal/topo"
 )
 
 // Network describes a super-IPG family instance before materialization.
@@ -331,15 +332,16 @@ func (w *Network) Clusters(g *ipg.Graph) ([]int32, int) {
 // between their clusters.
 func (w *Network) Quotient(g *ipg.Graph) (*graph.Graph, []int32) {
 	clusterOf, nc := w.Clusters(g)
-	q := graph.New(nc)
-	for v := 0; v < g.N(); v++ {
-		for gi := w.nNuc; gi < len(w.gens); gi++ {
-			u := g.Neighbor(v, gi)
-			if u != v && clusterOf[u] != clusterOf[v] {
-				q.AddEdge(int(clusterOf[v]), int(clusterOf[u]))
+	q := graph.FromStream(nc, func(edge func(u, v int)) {
+		for v := 0; v < g.N(); v++ {
+			for gi := w.nNuc; gi < len(w.gens); gi++ {
+				u := g.Neighbor(v, gi)
+				if u != v && clusterOf[u] != clusterOf[v] {
+					edge(int(clusterOf[v]), int(clusterOf[u]))
+				}
 			}
 		}
-	}
+	})
 	return q, clusterOf
 }
 
@@ -365,46 +367,29 @@ func (w *Network) AvgInterclusterDistance(g *ipg.Graph) float64 {
 // super-generator arc leads from a node of A to a node of B.
 func (w *Network) DirectedInterclusterDiameter(g *ipg.Graph) int {
 	clusterOf, nc := w.Clusters(g)
-	arcs := make([][]int32, nc)
-	seen := make(map[[2]int32]bool)
-	for v := 0; v < g.N(); v++ {
-		for gi := w.nNuc; gi < len(w.gens); gi++ {
-			u := g.Neighbor(v, gi)
-			if u == v || clusterOf[u] == clusterOf[v] {
-				continue
-			}
-			key := [2]int32{clusterOf[v], clusterOf[u]}
-			if !seen[key] {
-				seen[key] = true
-				arcs[key[0]] = append(arcs[key[0]], key[1])
-			}
-		}
-	}
-	diam := 0
-	dist := make([]int32, nc)
-	for src := 0; src < nc; src++ {
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[src] = 0
-		//lint:ignore indextrunc src < cluster count <= g.N() <= ipg.MaxNodes (1<<22)
-		queue := []int32{int32(src)}
-		for qi := 0; qi < len(queue); qi++ {
-			c := queue[qi]
-			for _, nb := range arcs[c] {
-				if dist[nb] < 0 {
-					dist[nb] = dist[c] + 1
-					queue = append(queue, nb)
+	arcs, err := topo.BuildArcs(nc, func(arc func(u, v int)) {
+		for v := 0; v < g.N(); v++ {
+			for gi := w.nNuc; gi < len(w.gens); gi++ {
+				u := g.Neighbor(v, gi)
+				if u != v && clusterOf[u] != clusterOf[v] {
+					arc(int(clusterOf[v]), int(clusterOf[u]))
 				}
 			}
 		}
-		for _, d := range dist {
-			if d < 0 {
-				return -1 // not strongly connected at the cluster level
-			}
-			if int(d) > diam {
-				diam = int(d)
-			}
+	})
+	if err != nil {
+		panic("superipg: " + err.Error())
+	}
+	diam := 0
+	dist := make([]int32, nc)
+	queue := make([]int32, 0, nc)
+	for src := 0; src < nc; src++ {
+		ecc, _ := arcs.BFSInto(src, dist, queue)
+		if ecc < 0 {
+			return -1 // not strongly connected at the cluster level
+		}
+		if int(ecc) > diam {
+			diam = int(ecc)
 		}
 	}
 	return diam

@@ -1,0 +1,73 @@
+package topo
+
+// This file holds the one BFS kernel every all-sources distance
+// computation in the repository runs: graph.Diameter/AverageDistance and
+// their parallel variants, and the directed cluster-quotient diameter in
+// internal/superipg all delegate here instead of hand-rolling the loop.
+
+// BFSInto runs BFS from src into the caller-owned buffers: dist (length
+// c.N(), fully overwritten; -1 marks unreachable) and queue (scratch;
+// cap >= c.N() makes the call allocation-free).  It returns the
+// eccentricity of src and the sum of finite distances; ecc is -1 when some
+// vertex is unreachable (the sum then covers the reached vertices only).
+func (c *CSR) BFSInto(src int, dist []int32, queue []int32) (ecc int32, sum int64) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = queue[:0]
+	//lint:ignore indextrunc src < c.N() <= MaxVertices (math.MaxInt32)
+	queue = append(queue, int32(src))
+	visited := 1
+	arena, off := c.arena, c.off
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		sum += int64(du)
+		for _, v := range arena[off[u]:off[u+1]] {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+				visited++
+			}
+		}
+	}
+	if visited != c.N() {
+		return -1, sum
+	}
+	return ecc, sum
+}
+
+// BFS returns the distance from src to every vertex of t (-1 if
+// unreachable).  CSR-backed topologies take the flat-arena fast path;
+// other implementations are walked through the interface.
+func BFS(t Topology, src int) []int32 {
+	n := t.N()
+	dist := make([]int32, n)
+	if c, ok := t.(*CSR); ok {
+		c.BFSInto(src, dist, make([]int32, 0, n))
+		return dist
+	}
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	//lint:ignore indextrunc src < t.N() <= MaxVertices (math.MaxInt32)
+	queue := append(make([]int32, 0, n), int32(src))
+	var buf []int32
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u]
+		buf = t.Neighbors(int(u), buf)
+		for _, v := range buf {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

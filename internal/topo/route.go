@@ -1,0 +1,59 @@
+package topo
+
+import "math/bits"
+
+// This file holds the shared dimension-order routing arithmetic.  The
+// hypercube and torus next-hop logic used to live twice — once as graph
+// helpers in internal/topology and once as simulator routers in
+// internal/netsim — and the two copies could drift apart; both layers now
+// delegate here.
+
+// HammingDistance returns the number of differing address bits between a
+// and b: the hypercube distance.
+func HammingDistance(a, b int) int {
+	return bits.OnesCount(uint(a ^ b))
+}
+
+// HypercubeNextDim returns the dimension a dimension-order hypercube route
+// corrects next (the lowest differing bit of cur and dst), or -1 when
+// cur == dst.  On a hypercube whose port b flips bit b this is also the
+// forwarding port.
+func HypercubeNextDim(cur, dst int) int {
+	diff := cur ^ dst
+	if diff == 0 {
+		return -1
+	}
+	return bits.TrailingZeros(uint(diff))
+}
+
+// TorusNextHop returns the (dimension, direction) of the next hop on a
+// dimension-order minimal route over a k-ary cube with dims dimensions
+// (shortest way around each ring, ties broken toward +1).  dir is +1 or
+// -1; at the destination it returns (-1, 0).
+func TorusNextHop(k, dims, cur, dst int) (dim, dir int) {
+	weight := 1
+	for d := 0; d < dims; d++ {
+		cd := (cur / weight) % k
+		dd := (dst / weight) % k
+		if cd != dd {
+			fwd := ((dd - cd) + k) % k
+			if fwd <= k-fwd {
+				return d, 1
+			}
+			return d, -1
+		}
+		weight *= k
+	}
+	return -1, 0
+}
+
+// TorusNeighbor returns the node reached from cur by moving dir (+1 or -1)
+// along dimension dim of a k-ary cube.
+func TorusNeighbor(k, cur, dim, dir int) int {
+	weight := 1
+	for d := 0; d < dim; d++ {
+		weight *= k
+	}
+	digit := (cur / weight) % k
+	return cur - digit*weight + ((digit+dir+k)%k)*weight
+}

@@ -1,0 +1,124 @@
+// Package topo is the single adjacency substrate of the repository: a
+// compressed-sparse-row (CSR) representation with one flat []int32
+// neighbor arena, the streaming count-then-fill builders that produce it,
+// and the port-labelled view consumed by routers and schedules.
+//
+// Every layer — the graph metrics, the family builders in
+// internal/topology and internal/superipg, the emulation engines, and the
+// packet simulator — iterates this arena instead of re-materializing its
+// own [][]int32 copy.  The per-vertex slice headers of the old
+// representation cost 24 bytes each plus allocator slack; CSR costs 4
+// bytes of offset per vertex plus 4 per arc, roughly halving steady-state
+// memory for the materialized families and keeping neighbor scans on one
+// contiguous cache-friendly array.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Topology is the neighbor-enumeration view every metric consumer needs:
+// vertex count, degrees, and neighbor lists.  Implementations must return
+// each vertex's neighbors in ascending order so downstream iteration
+// (bisection refinement, DOT output, equality) is deterministic.
+type Topology interface {
+	N() int
+	Degree(v int) int
+	// Neighbors appends v's sorted neighbors to buf[:0] and returns it.
+	// Passing a buffer with cap >= Degree(v) makes the call allocation-free.
+	Neighbors(v int, buf []int32) []int32
+}
+
+// Ported is the port-labelled view consumed by routers, schedules, and the
+// emulation engines: every vertex exposes Arity(v) ports, and Port(v, p)
+// is the neighbor behind port p.  Implementations may mark a dead port
+// with the vertex's own id (an IPG generator that fixes the label) or
+// with -1 (an absent simulator port); consumers must treat both as
+// "no transmission".
+type Ported interface {
+	N() int
+	Arity(v int) int
+	Port(v, p int) int32
+}
+
+// MaxVertices is the largest vertex count the int32 arena can address.
+const MaxVertices = math.MaxInt32
+
+// maxArcs bounds the arena length so uint32 row offsets cannot wrap.
+const maxArcs = math.MaxUint32
+
+// CheckVertexCount reports whether n vertices fit the int32 arena
+// representation, as an error suitable for propagation.
+func CheckVertexCount(n int) error {
+	if n < 0 || n > MaxVertices {
+		return fmt.Errorf("topo: vertex count %d outside [0, %d]", n, MaxVertices)
+	}
+	return nil
+}
+
+// CSR is the compressed-sparse-row adjacency: the neighbors of vertex v
+// are arena[off[v]:off[v+1]], sorted ascending with duplicates collapsed.
+// A CSR is immutable after construction and safe for concurrent readers.
+type CSR struct {
+	off   []uint32
+	arena []int32
+}
+
+// N returns the vertex count.
+func (c *CSR) N() int { return len(c.off) - 1 }
+
+// Arcs returns the arena length: directed arc count (twice the edge count
+// for a symmetric CSR).
+func (c *CSR) Arcs() int { return len(c.arena) }
+
+// Degree returns the number of neighbors of v.
+func (c *CSR) Degree(v int) int { return int(c.off[v+1] - c.off[v]) }
+
+// Row returns v's sorted neighbor slice as a zero-copy view into the
+// arena.  The returned slice is owned by the CSR and must not be modified.
+func (c *CSR) Row(v int) []int32 { return c.arena[c.off[v]:c.off[v+1]] }
+
+// Neighbors implements Topology by appending Row(v) to buf[:0].
+func (c *CSR) Neighbors(v int, buf []int32) []int32 {
+	return append(buf[:0], c.Row(v)...)
+}
+
+// HasArc reports whether the arc u->v is present, by binary search on u's
+// sorted row.
+func (c *CSR) HasArc(u, v int) bool {
+	if v < 0 || v > MaxVertices {
+		return false
+	}
+	//lint:ignore indextrunc v is bounded to MaxVertices (math.MaxInt32) above
+	target := int32(v)
+	row := c.Row(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= target })
+	return i < len(row) && row[i] == target
+}
+
+// ByteSize returns the adjacency storage footprint in bytes: the offset
+// array plus the arena.  Struct headers are excluded (constant overhead).
+func (c *CSR) ByteSize() int64 {
+	return int64(cap(c.off))*4 + int64(cap(c.arena))*4
+}
+
+// Equal reports whether two CSRs have identical vertex and arc sets
+// (labels matter; this is not isomorphism).
+func Equal(a, b *CSR) bool {
+	if a.N() != b.N() || len(a.arena) != len(b.arena) {
+		return false
+	}
+	for i, o := range a.off {
+		if b.off[i] != o {
+			return false
+		}
+	}
+	for i, v := range a.arena {
+		if b.arena[i] != v {
+			return false
+		}
+	}
+	return true
+}

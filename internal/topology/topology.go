@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ipg/internal/graph"
+	"ipg/internal/topo"
 )
 
 // Hypercube is the binary d-cube; node id = address, edges flip one bit.
@@ -24,12 +25,13 @@ func NewHypercube(d int) *Hypercube {
 		panic("topology.NewHypercube: d out of range [1,24]")
 	}
 	n := 1 << d
-	g := graph.New(n)
-	for v := 0; v < n; v++ {
-		for b := 0; b < d; b++ {
-			g.AddEdge(v, v^(1<<b))
+	g := graph.FromStream(n, func(edge func(u, v int)) {
+		for v := 0; v < n; v++ {
+			for b := 0; b < d; b++ {
+				edge(v, v^(1<<b))
+			}
 		}
-	}
+	})
 	return &Hypercube{D: d, G: g}
 }
 
@@ -40,28 +42,18 @@ func (h *Hypercube) N() int { return 1 << h.D }
 func (h *Hypercube) Name() string { return fmt.Sprintf("Q%d", h.D) }
 
 // NextHop returns the neighbor on a dimension-order route from cur to dst
-// (lowest differing bit first), or cur if already there.
+// (lowest differing bit first), or cur if already there.  The arithmetic
+// is shared with the netsim HypercubeRouter via internal/topo.
 func (h *Hypercube) NextHop(cur, dst int) int {
-	diff := cur ^ dst
-	if diff == 0 {
+	b := topo.HypercubeNextDim(cur, dst)
+	if b < 0 {
 		return cur
-	}
-	b := 0
-	for diff&1 == 0 {
-		diff >>= 1
-		b++
 	}
 	return cur ^ (1 << b)
 }
 
 // Distance returns the Hamming distance between two nodes.
-func (h *Hypercube) Distance(a, b int) int {
-	d := 0
-	for x := a ^ b; x != 0; x &= x - 1 {
-		d++
-	}
-	return d
-}
+func (h *Hypercube) Distance(a, b int) int { return topo.HammingDistance(a, b) }
 
 // Torus is the k-ary n-cube: n dimensions of radix k with wraparound.
 // Node id encodes the digit vector in base k (dimension 0 least
@@ -88,16 +80,16 @@ func NewTorusChecked(k, dims int) (*Torus, error) {
 		}
 		n *= k
 	}
-	g := graph.New(n)
-	for v := 0; v < n; v++ {
-		weight := 1
-		for d := 0; d < dims; d++ {
-			digit := (v / weight) % k
-			up := v - digit*weight + ((digit+1)%k)*weight
-			g.AddEdge(v, up)
-			weight *= k
+	g := graph.FromStream(n, func(edge func(u, v int)) {
+		for v := 0; v < n; v++ {
+			weight := 1
+			for d := 0; d < dims; d++ {
+				digit := (v / weight) % k
+				edge(v, v-digit*weight+((digit+1)%k)*weight)
+				weight *= k
+			}
 		}
-	}
+	})
 	return &Torus{K: k, Dims: dims, G: g}, nil
 }
 
@@ -126,25 +118,14 @@ func (t *Torus) Digit(v, d int) int {
 }
 
 // NextHop returns the neighbor on a dimension-order minimal route
-// (shortest way around each ring), or cur when cur == dst.
+// (shortest way around each ring), or cur when cur == dst.  The
+// arithmetic is shared with the netsim TorusRouter via internal/topo.
 func (t *Torus) NextHop(cur, dst int) int {
-	weight := 1
-	for d := 0; d < t.Dims; d++ {
-		cd := (cur / weight) % t.K
-		dd := (dst / weight) % t.K
-		if cd != dd {
-			fwd := ((dd - cd) + t.K) % t.K
-			var next int
-			if fwd <= t.K-fwd {
-				next = cur - cd*weight + ((cd+1)%t.K)*weight
-			} else {
-				next = cur - cd*weight + ((cd-1+t.K)%t.K)*weight
-			}
-			return next
-		}
-		weight *= t.K
+	dim, dir := topo.TorusNextHop(t.K, t.Dims, cur, dst)
+	if dim < 0 {
+		return cur
 	}
-	return cur
+	return topo.TorusNeighbor(t.K, cur, dim, dir)
 }
 
 // GHCGraph is the generalized hypercube as a plain graph: the Cartesian
@@ -169,19 +150,20 @@ func NewGHCGraphChecked(radices ...int) (*GHCGraph, error) {
 		}
 		n *= m
 	}
-	g := graph.New(n)
-	for v := 0; v < n; v++ {
-		weight := 1
-		for _, m := range radices {
-			digit := (v / weight) % m
-			for other := 0; other < m; other++ {
-				if other != digit {
-					g.AddEdge(v, v+(other-digit)*weight)
+	g := graph.FromStream(n, func(edge func(u, v int)) {
+		for v := 0; v < n; v++ {
+			weight := 1
+			for _, m := range radices {
+				digit := (v / weight) % m
+				for other := 0; other < m; other++ {
+					if other != digit {
+						edge(v, v+(other-digit)*weight)
+					}
 				}
+				weight *= m
 			}
-			weight *= m
 		}
-	}
+	})
 	return &GHCGraph{Radices: append([]int(nil), radices...), G: g}, nil
 }
 
@@ -212,14 +194,15 @@ func NewCCC(d int) *CCC {
 		panic("topology.NewCCC: d out of range [3,18]")
 	}
 	n := d * (1 << d)
-	g := graph.New(n)
-	for x := 0; x < 1<<d; x++ {
-		for i := 0; i < d; i++ {
-			v := x*d + i
-			g.AddEdge(v, x*d+(i+1)%d)    // cycle link
-			g.AddEdge(v, (x^(1<<i))*d+i) // cube link at position i
+	g := graph.FromStream(n, func(edge func(u, v int)) {
+		for x := 0; x < 1<<d; x++ {
+			for i := 0; i < d; i++ {
+				v := x*d + i
+				edge(v, x*d+(i+1)%d)    // cycle link
+				edge(v, (x^(1<<i))*d+i) // cube link at position i
+			}
 		}
-	}
+	})
 	return &CCC{D: d, G: g}
 }
 
@@ -247,15 +230,16 @@ func NewButterfly(d int) *Butterfly {
 		panic("topology.NewButterfly: d out of range [2,18]")
 	}
 	n := d * (1 << d)
-	g := graph.New(n)
-	for row := 0; row < 1<<d; row++ {
-		for lev := 0; lev < d; lev++ {
-			v := row*d + lev
-			next := (lev + 1) % d
-			g.AddEdge(v, row*d+next)            // straight
-			g.AddEdge(v, (row^(1<<lev))*d+next) // cross
+	g := graph.FromStream(n, func(edge func(u, v int)) {
+		for row := 0; row < 1<<d; row++ {
+			for lev := 0; lev < d; lev++ {
+				v := row*d + lev
+				next := (lev + 1) % d
+				edge(v, row*d+next)            // straight
+				edge(v, (row^(1<<lev))*d+next) // cross
+			}
 		}
-	}
+	})
 	return &Butterfly{D: d, G: g}
 }
 
@@ -281,12 +265,13 @@ func NewShuffleExchange(d int) *ShuffleExchange {
 		panic("topology.NewShuffleExchange: d out of range [2,22]")
 	}
 	n := 1 << d
-	g := graph.New(n)
 	mask := n - 1
-	for v := 0; v < n; v++ {
-		g.AddEdge(v, v^1)                      // exchange
-		g.AddEdge(v, ((v<<1)|(v>>(d-1)))&mask) // shuffle
-	}
+	g := graph.FromStream(n, func(edge func(u, v int)) {
+		for v := 0; v < n; v++ {
+			edge(v, v^1)                      // exchange
+			edge(v, ((v<<1)|(v>>(d-1)))&mask) // shuffle
+		}
+	})
 	return &ShuffleExchange{D: d, G: g}
 }
 
@@ -306,12 +291,13 @@ func NewDeBruijn(d int) *DeBruijn {
 		panic("topology.NewDeBruijn: d out of range [2,22]")
 	}
 	n := 1 << d
-	g := graph.New(n)
 	mask := n - 1
-	for v := 0; v < n; v++ {
-		g.AddEdge(v, (v<<1)&mask)
-		g.AddEdge(v, ((v<<1)|1)&mask)
-	}
+	g := graph.FromStream(n, func(edge func(u, v int)) {
+		for v := 0; v < n; v++ {
+			edge(v, (v<<1)&mask)
+			edge(v, ((v<<1)|1)&mask)
+		}
+	})
 	return &DeBruijn{D: d, G: g}
 }
 

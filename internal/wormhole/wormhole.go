@@ -22,8 +22,8 @@ import (
 	"sort"
 
 	"ipg/internal/emul"
-	"ipg/internal/ipg"
 	"ipg/internal/superipg"
+	"ipg/internal/topo"
 )
 
 // Message is one unicast of F flits along a fixed node path.
@@ -32,22 +32,22 @@ type Message struct {
 }
 
 // EmulationPaths returns, for HPN dimension j, the per-node emulation
-// paths (self-loop hops compressed away).
-func EmulationPaths(w *superipg.Network, g *ipg.Graph, j int) ([]Message, error) {
+// paths (self-loop hops compressed away).  The family graph is consumed
+// through its port-labelled topo.Ported view (port gi = generator gi).
+func EmulationPaths(w *superipg.Network, g topo.Ported, j int) ([]Message, error) {
 	word, err := emul.DimensionWord(w, j)
 	if err != nil {
 		return nil, err
 	}
 	msgs := make([]Message, 0, g.N())
 	for v := 0; v < g.N(); v++ {
-		//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
-		path := []int32{int32(v)}
-		cur := v
+		//lint:ignore indextrunc node ids are < g.N(), bounded by the family builders
+		cur := int32(v)
+		path := []int32{cur}
 		for _, gi := range word {
-			next := g.Neighbor(cur, gi)
+			next := g.Port(int(cur), gi)
 			if next != cur {
-				//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
-				path = append(path, int32(next))
+				path = append(path, next)
 				cur = next
 			}
 		}
@@ -177,7 +177,7 @@ func StoreAndForwardMakespan(msgs []Message, flits int) int {
 // Slowdown runs the cut-through simulation for dimension j and returns
 // makespan/F, the wormhole/VCT slowdown relative to the HPN's direct
 // transmission.
-func Slowdown(w *superipg.Network, g *ipg.Graph, j, flits int) (float64, error) {
+func Slowdown(w *superipg.Network, g topo.Ported, j, flits int) (float64, error) {
 	msgs, err := EmulationPaths(w, g, j)
 	if err != nil {
 		return 0, err
