@@ -1,0 +1,102 @@
+// Command ipgd is the topology-serving daemon: it builds the paper's
+// network families on demand behind an in-memory artifact cache and
+// serves structural metrics, shortest routes, and packet-level
+// simulations over HTTP.
+//
+//	ipgd -addr :8080
+//	curl 'localhost:8080/v1/build?net=hsn&l=3&nucleus=q4'
+//	curl 'localhost:8080/v1/metrics?net=hsn&l=3&nucleus=q4&diameter=1'
+//	curl 'localhost:8080/metrics'          # Prometheus text
+//
+// See docs/serving.md for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipg/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		cacheMB     = flag.Int("cache-mb", 256, "artifact cache budget, MiB")
+		shards      = flag.Int("shards", 16, "cache shard count (rounded up to a power of two)")
+		workers     = flag.Int("workers", 0, "max concurrent builds/simulations (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "requests allowed to wait for a worker before 503 (0 = 4x workers, -1 = none)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		maxNodes    = flag.Int("max-nodes", 1<<16, "topology materialization cap")
+		simMaxNodes = flag.Int("sim-max-nodes", 1<<13, "simulation size cap")
+		enablePprof = flag.Bool("pprof", false, "mount /debug/pprof/")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ipgd: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := serve.NewServer(serve.Config{
+		CacheBytes:     int64(*cacheMB) << 20,
+		CacheShards:    *shards,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxNodes:       *maxNodes,
+		SimMaxNodes:    *simMaxNodes,
+		EnablePprof:    *enablePprof,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ipgd: %v", err)
+	}
+	// The resolved address matters when -addr :0 picked an ephemeral
+	// port; scripts (scripts/ipgd_smoke.sh) parse this line.
+	log.Printf("ipgd: listening on %s", ln.Addr())
+
+	hs := &http.Server{
+		Handler: srv,
+		// Network builds can legitimately take the full request timeout;
+		// pad the server-side write deadline beyond it.
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *timeout + 10*time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve only returns on listener failure here (Shutdown was not
+		// called yet).
+		log.Fatalf("ipgd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("ipgd: shutting down, draining in-flight requests (up to %v)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("ipgd: drain incomplete: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("ipgd: %v", err)
+	}
+	st := srv.Cache().Stats()
+	log.Printf("ipgd: exit; cache served %d hits / %d misses, %d evictions", st.Hits, st.Misses, st.Evictions)
+}

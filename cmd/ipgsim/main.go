@@ -38,6 +38,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "PRNG seed")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usageError("unexpected arguments: %v", flag.Args())
+	}
+	validateFlags(*netName, *nucName, *workload, *rate, *chipCap, *warm, *measure)
 
 	net, logN, addrToNode, nodeToAddr := buildNet(*netName, *l, *nucName, *dim, *logm, *k, *side, *chipCap)
 	fmt.Printf("network: %s (%d nodes)\n", net.Name, net.N)
@@ -90,6 +94,53 @@ func main() {
 	}
 }
 
+// simFamilyParams maps each simulable family to the parameter flags it
+// consumes; providing a flag the family ignores (e.g. `-net hypercube
+// -nucleus q4`) is a usage error rather than a silent no-op.
+var simFamilyParams = map[string]map[string]bool{
+	"hsn":       {"l": true, "nucleus": true},
+	"hypercube": {"dim": true, "logm": true},
+	"torus":     {"k": true, "side": true},
+}
+
+// validateFlags rejects invalid flag combinations with a usage error and
+// exit code 2 before any network is built.
+func validateFlags(netName, nucName, workload string, rate, chipCap float64, warm, measure int) {
+	allowed, ok := simFamilyParams[netName]
+	if !ok {
+		usageError("unknown network %q (known: hsn, hypercube, torus)", netName)
+	}
+	paramFlags := map[string]bool{
+		"l": true, "nucleus": true, "dim": true, "logm": true, "k": true, "side": true,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if paramFlags[f.Name] && !allowed[f.Name] {
+			usageError("flag -%s does not apply to net %q", f.Name, netName)
+		}
+	})
+	if netName == "hsn" {
+		// The simulator's HSN router needs a hypercube nucleus.
+		kk, err := strconv.Atoi(strings.TrimPrefix(nucName, "q"))
+		if !strings.HasPrefix(nucName, "q") || err != nil || kk < 1 {
+			usageError("ipgsim supports only hypercube nuclei (qK), got %q", nucName)
+		}
+	}
+	switch workload {
+	case "random", "sweep", "te", "transpose":
+	default:
+		usageError("unknown workload %q (random|sweep|te|transpose)", workload)
+	}
+	if rate <= 0 {
+		usageError("-rate must be positive, got %v", rate)
+	}
+	if chipCap <= 0 {
+		usageError("-chipcap must be positive, got %v", chipCap)
+	}
+	if warm < 0 || measure <= 0 {
+		usageError("-warmup must be >= 0 and -measure > 0, got %d/%d", warm, measure)
+	}
+}
+
 // buildNet returns the simulated network, its address-bit count, and (for
 // networks whose node ids are not addresses) the address<->node maps.
 func buildNet(name string, l int, nucName string, dim, logm, k, side int, chipCap float64) (*netsim.Network, int, []int32, []int32) {
@@ -128,6 +179,12 @@ func buildNet(name string, l int, nucName string, dim, logm, k, side int, chipCa
 	}
 	fail(fmt.Errorf("unknown network %q", name))
 	return nil, 0, nil, nil
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ipgsim: "+format+"\n", args...)
+	fmt.Fprintf(os.Stderr, "run `ipgsim -h` for usage\n")
+	os.Exit(2)
 }
 
 func fail(err error) {

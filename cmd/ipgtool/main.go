@@ -5,27 +5,36 @@
 //
 //	ipgtool -net hsn -l 3 -nucleus q4          # HSN(3,Q4)
 //	ipgtool -net complete-cn -l 4 -nucleus q2  # complete-CN(4,Q2)
-//	ipgtool -net hcn -l 2 -nucleus q5          # HCN(5,5)
+//	ipgtool -net hcn -nucleus q5               # HCN(5,5)
 //	ipgtool -net hypercube -dim 10 -logm 2     # 10-cube, 4-node chips
 //	ipgtool -net torus -k 16 -side 4           # 16-ary 2-cube, 16-node chips
 //	ipgtool -net hsn -l 4 -nucleus ghc:4,4     # HSN over GHC(4,4)
 //	ipgtool -net hsn -l 4 -nucleus q3 -schedule  # print the Thm 3.8 schedule
+//	ipgtool -net hsn -l 3 -nucleus q4 -json    # machine-readable metrics
+//
+// With -json the output is the same metrics document the ipgd daemon
+// serves on /v1/metrics (see docs/serving.md), produced by the same
+// encoder.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"ipg/internal/analysis"
 	"ipg/internal/mcmp"
 	"ipg/internal/nucleus"
 	"ipg/internal/schedule"
+	"ipg/internal/serve"
 	"ipg/internal/superipg"
 	"ipg/internal/topology"
 )
+
+// materializeCap matches the ipgd default: larger instances are served
+// with label-level metrics only.
+const materializeCap = 1 << 16
 
 func main() {
 	var (
@@ -37,15 +46,54 @@ func main() {
 		k        = flag.Int("k", 8, "radix (torus)")
 		side     = flag.Int("side", 2, "chip side (torus)")
 		band     = flag.Int("band", 2, "level band width (butterfly)")
-		sched    = flag.Bool("schedule", false, "print the all-port emulation schedule (Theorem 3.8)")
+		sched    = flag.Bool("schedule", false, "print the all-port emulation schedule (Theorem 3.8; super-IPG families)")
 		diameter = flag.Bool("diameter", false, "compute the exact graph diameter (O(N^2), slow for large N)")
-		dotFile  = flag.String("dot", "", "write the network (chips as clusters, off-chip links red) as Graphviz DOT to this file")
+		dotFile  = flag.String("dot", "", "write the network (chips as clusters, off-chip links red) as Graphviz DOT to this file (super-IPG families)")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable metrics document (same shape as ipgd's /v1/metrics)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usageError("unexpected arguments: %v", flag.Args())
+	}
 
-	switch *netName {
+	// Reject parameters the chosen family does not consume (e.g.
+	// `-net hypercube -nucleus q4`) instead of silently ignoring them.
+	flagToParam := map[string]string{
+		"l": "l", "nucleus": "nucleus", "dim": "dim", "logm": "logm",
+		"k": "k", "side": "side", "band": "band",
+	}
+	provided := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) {
+		if p, ok := flagToParam[f.Name]; ok {
+			provided[p] = true
+		}
+	})
+	p := serve.Params{
+		Net: *netName, L: *l, Nucleus: *nucName,
+		Dim: *dim, LogM: *logm, K: *k, Side: *side, Band: *band,
+	}
+	if err := p.Check(provided); err != nil {
+		usageError("%v", err)
+	}
+	if (*sched || *dotFile != "") && !serve.IsSuperFamily(p.Net) {
+		usageError("-schedule and -dot apply only to super-IPG families, not %q", p.Net)
+	}
+
+	if *jsonOut {
+		if *sched || *dotFile != "" {
+			usageError("-json cannot be combined with -schedule or -dot")
+		}
+		a, err := serve.BuildArtifact(context.Background(), p, materializeCap)
+		fail(err)
+		doc, err := serve.ComputeMetrics(context.Background(), a, *diameter)
+		fail(err)
+		fail(doc.WriteJSON(os.Stdout))
+		return
+	}
+
+	switch p.Net {
 	case "hsn", "ring-cn", "complete-cn", "sfn", "hcn", "rcc":
-		runSuperIPG(*netName, *l, *nucName, *sched, *diameter, *dotFile)
+		runSuperIPG(p.Net, *l, *nucName, *sched, *diameter, *dotFile)
 	case "hypercube":
 		h := topology.NewHypercube(*dim)
 		c, err := mcmp.ClusterHypercube(h, *logm)
@@ -76,14 +124,11 @@ func main() {
 		a, err := mcmp.Analyze(c, sideB, float64(c.M))
 		fail(err)
 		printAnalysis(a, bf.G.Diameter())
-	default:
-		fmt.Fprintf(os.Stderr, "ipgtool: unknown network %q\n", *netName)
-		os.Exit(2)
 	}
 }
 
 func runSuperIPG(family string, l int, nucName string, sched, diameter bool, dotFile string) {
-	nuc, err := parseNucleus(nucName)
+	nuc, err := nucleus.Parse(nucName)
 	fail(err)
 	var w *superipg.Network
 	switch family {
@@ -111,7 +156,7 @@ func runSuperIPG(family string, l int, nucName string, sched, diameter bool, dot
 	if ts, err := w.SymmetricTS(); err == nil {
 		fmt.Printf("symmetric t_S (Thm 4.3):           %d\n", ts)
 	}
-	if w.N() <= 1<<16 {
+	if w.N() <= materializeCap {
 		g, err := w.Build()
 		fail(err)
 		u := g.Undirected()
@@ -149,57 +194,6 @@ func runSuperIPG(family string, l int, nucName string, sched, diameter bool, dot
 	}
 }
 
-func parseNucleus(s string) (*nucleus.Nucleus, error) {
-	if rest, ok := strings.CutPrefix(s, "ghc:"); ok {
-		var radices []int
-		for _, part := range strings.Split(rest, ",") {
-			m, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				return nil, fmt.Errorf("bad radix %q", part)
-			}
-			radices = append(radices, m)
-		}
-		return nucleus.GeneralizedHypercube(radices...), nil
-	}
-	if len(s) < 2 {
-		return nil, fmt.Errorf("bad nucleus %q", s)
-	}
-	num := func(tail string) (int, error) { return strconv.Atoi(tail) }
-	switch {
-	case strings.HasPrefix(s, "fq"):
-		n, err := num(s[2:])
-		if err != nil {
-			return nil, err
-		}
-		return nucleus.FoldedHypercube(n), nil
-	case s[0] == 'q':
-		n, err := num(s[1:])
-		if err != nil {
-			return nil, err
-		}
-		return nucleus.Hypercube(n), nil
-	case s[0] == 'k':
-		n, err := num(s[1:])
-		if err != nil {
-			return nil, err
-		}
-		return nucleus.Complete(n), nil
-	case s[0] == 'c':
-		n, err := num(s[1:])
-		if err != nil {
-			return nil, err
-		}
-		return nucleus.Ring(n), nil
-	case s[0] == 's':
-		n, err := num(s[1:])
-		if err != nil {
-			return nil, err
-		}
-		return nucleus.Star(n), nil
-	}
-	return nil, fmt.Errorf("unknown nucleus %q", s)
-}
-
 func printAnalysis(a mcmp.Analysis, diameter int) {
 	tb := analysis.NewTable("MCMP profile (unit chip capacity, w=1)",
 		"metric", "value")
@@ -217,6 +211,12 @@ func printAnalysis(a mcmp.Analysis, diameter int) {
 	tb.AddRow("bisection width", a.BisectionWidth)
 	tb.AddRow("bisection bandwidth", a.BisectionBandwidth)
 	fmt.Print(tb)
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ipgtool: "+format+"\n", args...)
+	fmt.Fprintf(os.Stderr, "run `ipgtool -h` for usage\n")
+	os.Exit(2)
 }
 
 func fail(err error) {

@@ -1,0 +1,363 @@
+// Package cache is a sharded, byte-budgeted, in-memory LRU cache with
+// singleflight build deduplication, built for the topology-serving daemon
+// (internal/serve): built topologies are immutable CSR arenas (PR 2), so a
+// cached value can be handed to any number of concurrent readers, and the
+// small family parameter space is queried repeatedly, so N concurrent
+// requests for the same key should trigger exactly one build.
+//
+// Concurrency model: the key space is split over power-of-two shards, each
+// guarded by one mutex that is only ever held for map/list surgery — never
+// across a build.  A build runs in its own goroutine under a context that
+// is detached from any single caller's cancellation; each waiter blocks on
+// the flight's done channel or its own context, and the build context is
+// cancelled only when the last waiter abandons the flight, so one
+// impatient client cannot kill a build other clients still want.
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Value is a cacheable artifact.  SizeBytes must be constant for the
+// lifetime of the value (built topologies are immutable, so this holds by
+// construction).
+type Value interface {
+	SizeBytes() int64
+}
+
+// BuildFunc constructs the value for a key.  The context is cancelled when
+// every waiter for the key has abandoned the flight; long builds should
+// check it periodically.
+type BuildFunc func(ctx context.Context) (Value, error)
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 // served from cache or joined an in-flight build
+	Misses    int64 // initiated a build
+	Evictions int64 // entries removed to fit the byte budget
+	Oversize  int64 // values larger than a shard budget, served uncached
+	InFlight  int64 // builds currently running
+	Entries   int64 // cached entries
+	Bytes     int64 // bytes held by cached entries
+	MaxBytes  int64 // configured total budget (0 = unbounded)
+}
+
+// Config sizes a Cache.
+type Config struct {
+	// MaxBytes is the total byte budget across all shards; 0 or negative
+	// means unbounded.  The budget is split evenly over the shards, so
+	// per-shard eviction order is exact LRU while cross-shard totals are
+	// approximate (the standard sharded-LRU trade).
+	MaxBytes int64
+	// Shards is rounded up to a power of two; 0 means 16.  Use 1 in tests
+	// that assert global LRU order.
+	Shards int
+}
+
+// Cache is the sharded singleflight LRU.  The zero value is not usable;
+// call New.
+type Cache struct {
+	shards []shard
+	mask   uint32
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	oversize  atomic.Int64
+	inFlight  atomic.Int64
+	maxBytes  int64
+}
+
+type entry struct {
+	key        string
+	val        Value
+	size       int64
+	prev, next *entry // LRU list; head = most recently used
+}
+
+// flight is one in-progress build.  waiters is guarded by the shard mutex.
+type flight struct {
+	done    chan struct{}
+	val     Value
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+type shard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*entry
+	flights  map[string]*flight
+	head     *entry
+	tail     *entry
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard selection is a mask, capping
+	// the count well inside uint32 (more shards than that is a config
+	// typo, not a workload).
+	pow := 1
+	for pow < n && pow < 1<<16 {
+		pow <<= 1
+	}
+	//lint:ignore indextrunc pow is capped at 1<<16 by the loop above
+	c := &Cache{shards: make([]shard, pow), mask: uint32(pow - 1)}
+	if cfg.MaxBytes > 0 {
+		c.maxBytes = cfg.MaxBytes
+	}
+	per := int64(0)
+	if c.maxBytes > 0 {
+		per = c.maxBytes / int64(pow)
+		if per <= 0 {
+			per = 1
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].maxBytes = per
+		c.shards[i].entries = make(map[string]*entry)
+		c.shards[i].flights = make(map[string]*flight)
+	}
+	return c
+}
+
+// shardFor hashes the key (FNV-1a) onto a shard.
+func (c *Cache) shardFor(key string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &c.shards[h&c.mask]
+}
+
+// GetOrBuild returns the cached value for key, joining an in-flight build
+// for it if one exists, or starting one via build otherwise.  hit reports
+// whether the caller avoided initiating a build (cache hit or joined
+// flight).  If ctx is cancelled while waiting, GetOrBuild returns
+// promptly with ctx's error; the build keeps running for the remaining
+// waiters and is cancelled only when the last one leaves.
+func (c *Cache) GetOrBuild(ctx context.Context, key string, build BuildFunc) (val Value, hit bool, err error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e := s.entries[key]; e != nil {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.val, true, nil
+	}
+	f := s.flights[key]
+	if f != nil {
+		f.waiters++
+		c.hits.Add(1)
+		hit = true
+	} else {
+		c.misses.Add(1)
+		// Detach the build from this caller's cancellation: waiters with
+		// longer deadlines must still get the value.  The flight is
+		// cancelled via refcount when the last waiter abandons it.
+		bctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		s.flights[key] = f
+		c.inFlight.Add(1)
+		go c.runBuild(bctx, s, key, f, build)
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.val, hit, f.err
+	case <-ctx.Done():
+		s.abandon(f)
+		return nil, hit, ctx.Err()
+	}
+}
+
+// Get peeks at the cache without building, joining flights, counting a
+// hit or miss, or updating LRU recency.
+func (c *Cache) Get(key string) (Value, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.entries[key]; e != nil {
+		return e.val, true
+	}
+	return nil, false
+}
+
+// runBuild executes one flight and publishes its result.  It is joined by
+// every waiter through f.done (see the select in GetOrBuild).
+func (c *Cache) runBuild(ctx context.Context, s *shard, key string, f *flight, build BuildFunc) {
+	v, err := build(ctx)
+	if err == nil && v == nil {
+		err = errors.New("cache: build returned a nil value")
+	}
+	s.mu.Lock()
+	delete(s.flights, key)
+	f.val, f.err = v, err
+	if err == nil {
+		s.insert(c, key, v)
+	}
+	s.mu.Unlock()
+	f.cancel() // release the flight context; no-op if abandon already fired it
+	close(f.done)
+	c.inFlight.Add(-1)
+}
+
+// abandon is called by a waiter whose context was cancelled; when the last
+// waiter leaves, the flight's build context is cancelled so a slow build
+// for a key nobody wants anymore stops promptly.
+func (s *shard) abandon(f *flight) {
+	s.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	s.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// insert adds a freshly built value and evicts from the LRU tail until the
+// shard fits its budget.  Caller holds s.mu.
+func (s *shard) insert(c *Cache, key string, v Value) {
+	size := v.SizeBytes()
+	if size < 0 {
+		size = 0
+	}
+	if s.maxBytes > 0 && size > s.maxBytes {
+		// The value alone exceeds the shard budget: hand it to the waiters
+		// but do not cache it, so one giant topology cannot flush the
+		// whole shard.
+		c.oversize.Add(1)
+		return
+	}
+	if old := s.entries[key]; old != nil {
+		// A racing insert for the same key (possible only via future APIs;
+		// flights prevent it today) — replace in place.
+		s.bytes -= old.size
+		s.unlink(old)
+		delete(s.entries, key)
+	}
+	e := &entry{key: key, val: v, size: size}
+	s.entries[key] = e
+	s.pushFront(e)
+	s.bytes += size
+	for s.maxBytes > 0 && s.bytes > s.maxBytes && s.tail != nil && s.tail != e {
+		c.evictions.Add(1)
+		s.evict(s.tail)
+	}
+}
+
+func (s *shard) evict(e *entry) {
+	s.unlink(e)
+	delete(s.entries, e.key)
+	s.bytes -= e.size
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// Stats snapshots the counters.  Entries and Bytes take every shard lock
+// briefly, so the snapshot is consistent per shard but not across shards.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Oversize:  c.oversize.Load(),
+		InFlight:  c.inFlight.Load(),
+		MaxBytes:  c.maxBytes,
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += int64(len(s.entries))
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return int(c.Stats().Entries) }
+
+// Keys returns the cached keys of every shard in LRU order (most recently
+// used first within a shard), for tests and debugging.
+func (c *Cache) Keys() []string {
+	var keys []string
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := s.head; e != nil; e = e.next {
+			keys = append(keys, e.key)
+		}
+		s.mu.Unlock()
+	}
+	return keys
+}
+
+// Remove drops a key from the cache if present (in-flight builds are
+// unaffected).  It reports whether an entry was removed.
+func (c *Cache) Remove(key string) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[key]
+	if e == nil {
+		return false
+	}
+	s.evict(e)
+	return true
+}
+
+// String summarizes the cache state.
+func (c *Cache) String() string {
+	st := c.Stats()
+	return fmt.Sprintf("cache{entries=%d bytes=%d/%d hits=%d misses=%d evictions=%d inflight=%d}",
+		st.Entries, st.Bytes, st.MaxBytes, st.Hits, st.Misses, st.Evictions, st.InFlight)
+}

@@ -1,0 +1,365 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blob is a test value with a fixed size.
+type blob struct {
+	id   int
+	size int64
+}
+
+func (b blob) SizeBytes() int64 { return b.size }
+
+func constBuild(counter *atomic.Int64, id int, size int64) BuildFunc {
+	return func(context.Context) (Value, error) {
+		counter.Add(1)
+		return blob{id: id, size: size}, nil
+	}
+}
+
+// TestSingleflight hammers one key from many goroutines and asserts the
+// build ran exactly once and every caller observed the same value.  Run
+// under -race this also exercises the shard locking.
+func TestSingleflight(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 4})
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	build := func(context.Context) (Value, error) {
+		builds.Add(1)
+		<-gate // hold the flight open until every goroutine has joined
+		return blob{id: 7, size: 100}, nil
+	}
+
+	const goroutines = 128
+	var started, wg sync.WaitGroup
+	started.Add(goroutines)
+	wg.Add(goroutines)
+	var hits atomic.Int64
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			started.Done()
+			v, hit, err := c.GetOrBuild(context.Background(), "k", build)
+			if err != nil {
+				t.Errorf("GetOrBuild: %v", err)
+				return
+			}
+			if v.(blob).id != 7 {
+				t.Errorf("got %v", v)
+			}
+			if hit {
+				hits.Add(1)
+			}
+		}()
+	}
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let the stragglers reach the flight
+	close(gate)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want 1", n)
+	}
+	if n := hits.Load(); n != goroutines-1 {
+		t.Errorf("%d hits, want %d (all but the flight initiator)", n, goroutines-1)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Errorf("stats hits=%d misses=%d, want %d/1", st.Hits, st.Misses, goroutines-1)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight %d after drain, want 0", st.InFlight)
+	}
+}
+
+// TestSingleflightDistinctKeys checks that distinct keys build
+// independently, once each, under concurrency.
+func TestSingleflightDistinctKeys(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 8})
+	const keys = 16
+	const per = 8
+	counters := make([]atomic.Int64, keys)
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		build := constBuild(&counters[k], k, 64)
+		key := fmt.Sprintf("key-%d", k)
+		for i := 0; i < per; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, _, err := c.GetOrBuild(context.Background(), key, build)
+				if err != nil {
+					t.Errorf("%s: %v", key, err)
+					return
+				}
+				if v.(blob).id != k {
+					t.Errorf("%s: wrong value %v", key, v)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	for k := range counters {
+		if n := counters[k].Load(); n != 1 {
+			t.Errorf("key %d built %d times, want 1", k, n)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != keys {
+		t.Errorf("misses = %d, want %d", st.Misses, keys)
+	}
+	if st.Hits+st.Misses != keys*per {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, keys*per)
+	}
+}
+
+// TestLRUEvictionOrder uses a single shard and a budget of three entries
+// and asserts exact least-recently-used eviction order, with a re-build
+// counting as a fresh miss.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(Config{MaxBytes: 300, Shards: 1})
+	var builds [4]atomic.Int64
+	get := func(name string, i int) {
+		t.Helper()
+		if _, _, err := c.GetOrBuild(context.Background(), name, constBuild(&builds[i], i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a", 0)
+	get("b", 1)
+	get("c", 2)
+	get("a", 0) // a is now MRU; b is LRU
+	get("d", 3) // over budget: must evict b
+
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 3 || st.Bytes != 300 {
+		t.Fatalf("entries=%d bytes=%d, want 3/300", st.Entries, st.Bytes)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should still be cached", k)
+		}
+	}
+	// Re-fetching b rebuilds it (miss) and evicts the next LRU entry, c.
+	get("b", 1)
+	if n := builds[1].Load(); n != 2 {
+		t.Fatalf("b built %d times, want 2", n)
+	}
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("c should have been evicted after b's rebuild")
+	}
+}
+
+// TestOversizeValueNotCached checks that a value bigger than the shard
+// budget is returned to callers but never stored.
+func TestOversizeValueNotCached(t *testing.T) {
+	c := New(Config{MaxBytes: 100, Shards: 1})
+	var builds atomic.Int64
+	for i := 0; i < 2; i++ {
+		v, _, err := c.GetOrBuild(context.Background(), "big", constBuild(&builds, 1, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(blob).size != 1000 {
+			t.Fatalf("wrong value %v", v)
+		}
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("oversize value built %d times, want 2 (never cached)", n)
+	}
+	st := c.Stats()
+	if st.Oversize != 2 || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversize=%d entries=%d bytes=%d, want 2/0/0", st.Oversize, st.Entries, st.Bytes)
+	}
+}
+
+// TestContextCancellation checks that a waiter whose context is cancelled
+// returns promptly from a deliberately slow build, and that the build's
+// own context is cancelled once the last waiter abandons the flight.
+func TestContextCancellation(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	buildCtxDone := make(chan struct{})
+	entered := make(chan struct{})
+	build := func(ctx context.Context) (Value, error) {
+		close(entered)
+		select {
+		case <-ctx.Done(): // the only way out: waiter-refcount cancellation
+			close(buildCtxDone)
+			return nil, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return blob{id: 1, size: 1}, nil
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrBuild(ctx, "slow", build)
+		errCh <- err
+	}()
+	<-entered
+	cancel()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("GetOrBuild did not return promptly after cancellation")
+	}
+	select {
+	case <-buildCtxDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("build context was not cancelled after the last waiter left")
+	}
+	// The failed flight must not be cached and in-flight must drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight build never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := c.Get("slow"); ok {
+		t.Fatal("cancelled build must not be cached")
+	}
+}
+
+// TestCancelledWaiterDoesNotKillOthers: two waiters on one flight; the
+// first cancels, the second must still receive the built value.
+func TestCancelledWaiterDoesNotKillOthers(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	build := func(ctx context.Context) (Value, error) {
+		close(entered)
+		select {
+		case <-gate:
+			return blob{id: 9, size: 10}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	err1 := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrBuild(ctx1, "k", build)
+		err1 <- err
+	}()
+	<-entered
+
+	val2 := make(chan Value, 1)
+	err2 := make(chan error, 1)
+	go func() {
+		v, _, err := c.GetOrBuild(context.Background(), "k", build)
+		val2 <- v
+		err2 <- err
+	}()
+	// Wait until the second caller has joined the flight (waiters == 2).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s := c.shardFor("k")
+		s.mu.Lock()
+		w := 0
+		if f := s.flights["k"]; f != nil {
+			w = f.waiters
+		}
+		s.mu.Unlock()
+		if w == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel1()
+	if err := <-err1; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter 1 err = %v, want context.Canceled", err)
+	}
+	close(gate) // let the build finish for waiter 2
+	if err := <-err2; err != nil {
+		t.Fatalf("waiter 2 err = %v, want nil", err)
+	}
+	if v := <-val2; v.(blob).id != 9 {
+		t.Fatalf("waiter 2 got %v", v)
+	}
+}
+
+// TestBuildErrorNotCached: a failed build propagates its error to all
+// waiters and leaves nothing cached, so the next call retries.
+func TestBuildErrorNotCached(t *testing.T) {
+	c := New(Config{Shards: 1})
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	failing := func(context.Context) (Value, error) {
+		calls.Add(1)
+		return nil, boom
+	}
+	if _, _, err := c.GetOrBuild(context.Background(), "k", failing); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, _, err := c.GetOrBuild(context.Background(), "k", failing); !errors.Is(err, boom) {
+		t.Fatalf("retry err = %v, want boom", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("failing build called %d times, want 2 (errors are not cached)", n)
+	}
+}
+
+// TestConcurrentHammer mixes hot keys, cold keys, evictions, and
+// cancellations under -race.
+func TestConcurrentHammer(t *testing.T) {
+	c := New(Config{MaxBytes: 64 * 10, Shards: 4}) // tight: forces evictions
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key-%d", (g+i)%13)
+				ctx := context.Background()
+				if i%7 == 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Microsecond)
+					defer cancel()
+				}
+				v, _, err := c.GetOrBuild(ctx, key, func(context.Context) (Value, error) {
+					return blob{id: 1, size: 64}, nil
+				})
+				if err == nil && v == nil {
+					t.Error("nil value with nil error")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d exceed budget %d", st.Bytes, st.MaxBytes)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight builds never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// ringGraph builds a cycle on n vertices.
+func ringGraph(n int) *Graph {
+	return FromStream(n, func(edge func(u, v int)) {
+		for v := 0; v < n; v++ {
+			edge(v, (v+1)%n)
+		}
+	})
+}
+
+func TestDiameterParallelCtxMatchesSerial(t *testing.T) {
+	g := ringGraph(64)
+	d, err := g.DiameterParallelCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.Diameter(); d != want {
+		t.Fatalf("DiameterParallelCtx = %d, want %d", d, want)
+	}
+	avg, err := g.AverageDistanceParallelCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.AverageDistance(); avg != want {
+		t.Fatalf("AverageDistanceParallelCtx = %v, want %v", avg, want)
+	}
+}
+
+func TestDiameterParallelCtxCancelled(t *testing.T) {
+	g := ringGraph(4096) // big enough that the source loop is still running
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.DiameterParallelCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := g.AverageDistanceParallelCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("avg err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDiameterParallelCtxDeadlinePrompt(t *testing.T) {
+	g := ringGraph(1 << 15) // ring: all-pairs BFS is O(n^2), slow enough to trip a tiny deadline
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := g.DiameterParallelCtx(ctx)
+	if err == nil {
+		t.Skip("machine finished the all-pairs BFS inside the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// Cancellation is checked between sources, so the return must be far
+	// faster than the full computation (seconds on this size).
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -10,11 +11,26 @@ import (
 // average distance) that dominate the metric experiments: BFS from
 // different sources is embarrassingly parallel, so sources are distributed
 // over a worker pool.
+//
+// Every entry point has a context-aware variant (DiameterParallelCtx,
+// AverageDistanceParallelCtx) used by the serving layer to enforce
+// per-request deadlines: each worker re-checks the context between BFS
+// sources, i.e. after every N vertices of traversal work, so cancellation
+// latency is bounded by one BFS rather than the whole all-pairs loop.
 
 // parallelSources runs fn(src, scratch) for every source in [0, n) on
 // GOMAXPROCS workers; each worker owns one scratch distance buffer.  The
 // CSR is finalized before workers spawn so they only ever read it.
 func (g *Graph) parallelSources(fn func(src int, dist []int32, queue []int32)) {
+	// Background is never cancelled, so the error can be ignored.
+	_ = g.parallelSourcesCtx(context.Background(), fn)
+}
+
+// parallelSourcesCtx is parallelSources with cooperative cancellation: the
+// source-dispensing loop in every worker checks ctx between sources and
+// stops early when it is done.  Sources already dispatched finish their
+// BFS; the function then returns ctx's error.
+func (g *Graph) parallelSourcesCtx(ctx context.Context, fn func(src int, dist []int32, queue []int32)) error {
 	g.ensure()
 	n := g.N()
 	workers := runtime.GOMAXPROCS(0)
@@ -25,9 +41,12 @@ func (g *Graph) parallelSources(fn func(src int, dist []int32, queue []int32)) {
 		dist := make([]int32, n)
 		queue := make([]int32, 0, n)
 		for src := 0; src < n; src++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(src, dist, queue)
 		}
-		return
+		return nil
 	}
 	var next int64 = -1
 	var wg sync.WaitGroup
@@ -37,7 +56,7 @@ func (g *Graph) parallelSources(fn func(src int, dist []int32, queue []int32)) {
 			defer wg.Done()
 			dist := make([]int32, n)
 			queue := make([]int32, 0, n)
-			for {
+			for ctx.Err() == nil {
 				src := int(atomic.AddInt64(&next, 1))
 				if src >= n {
 					return
@@ -47,6 +66,7 @@ func (g *Graph) parallelSources(fn func(src int, dist []int32, queue []int32)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // bfsInto runs BFS from src into the caller-owned buffers and returns the
@@ -59,12 +79,20 @@ func (g *Graph) bfsInto(src int, dist []int32, queue []int32) (ecc int32, sum in
 // DiameterParallel computes the exact diameter with source-parallel BFS.
 // It returns -1 for disconnected graphs.
 func (g *Graph) DiameterParallel() int {
+	d, _ := g.DiameterParallelCtx(context.Background())
+	return d
+}
+
+// DiameterParallelCtx is DiameterParallel under a context deadline: it
+// returns ctx's error if cancelled before all sources complete, checking
+// between BFS sources (every N vertices of work).
+func (g *Graph) DiameterParallelCtx(ctx context.Context) (int, error) {
 	if g.N() == 0 {
-		return 0
+		return 0, nil
 	}
 	var diam int64
 	var disconnected int64
-	g.parallelSources(func(src int, dist []int32, queue []int32) {
+	err := g.parallelSourcesCtx(ctx, func(src int, dist []int32, queue []int32) {
 		ecc, _ := g.bfsInto(src, dist, queue)
 		if ecc < 0 {
 			atomic.StoreInt64(&disconnected, 1)
@@ -77,23 +105,34 @@ func (g *Graph) DiameterParallel() int {
 			}
 		}
 	})
-	if disconnected != 0 {
-		return -1
+	if err != nil {
+		return 0, err
 	}
-	return int(diam)
+	if disconnected != 0 {
+		return -1, nil
+	}
+	return int(diam), nil
 }
 
 // AverageDistanceParallel computes the mean distance over all ordered
 // pairs (including self pairs) with source-parallel BFS; -1 if
 // disconnected.
 func (g *Graph) AverageDistanceParallel() float64 {
+	avg, _ := g.AverageDistanceParallelCtx(context.Background())
+	return avg
+}
+
+// AverageDistanceParallelCtx is AverageDistanceParallel under a context
+// deadline, with the same cancellation granularity as
+// DiameterParallelCtx.
+func (g *Graph) AverageDistanceParallelCtx(ctx context.Context) (float64, error) {
 	n := g.N()
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	var total int64
 	var disconnected int64
-	g.parallelSources(func(src int, dist []int32, queue []int32) {
+	err := g.parallelSourcesCtx(ctx, func(src int, dist []int32, queue []int32) {
 		ecc, sum := g.bfsInto(src, dist, queue)
 		if ecc < 0 {
 			atomic.StoreInt64(&disconnected, 1)
@@ -101,8 +140,11 @@ func (g *Graph) AverageDistanceParallel() float64 {
 		}
 		atomic.AddInt64(&total, sum)
 	})
-	if disconnected != 0 {
-		return -1
+	if err != nil {
+		return 0, err
 	}
-	return float64(total) / float64(n) / float64(n)
+	if disconnected != 0 {
+		return -1, nil
+	}
+	return float64(total) / float64(n) / float64(n), nil
 }

@@ -100,6 +100,20 @@ func (g *Graph) addNode(l perm.Label) int32 {
 	return id
 }
 
+// MemoryFootprint approximates the materialized IPG's resident bytes: the
+// flat per-generator adjacency, the label storage, and the label index
+// (one string key copy plus ~48 bytes of bucket overhead per entry).
+// The serving cache (internal/serve) charges artifacts against its byte
+// budget with this accounting, alongside graph.Graph.MemoryFootprint for
+// the CSR side.
+func (g *Graph) MemoryFootprint() int64 {
+	bytes := int64(len(g.adj)) * 4
+	for _, l := range g.nodes {
+		bytes += int64(len(l))*2 + 24 + 48
+	}
+	return bytes
+}
+
 // row returns v's generator-indexed neighbor row as a view into the flat
 // adjacency.
 func (g *Graph) row(v int) []int32 {

@@ -67,3 +67,64 @@ func NestedLeak(done chan struct{}) {
 }
 
 func sideEffect() {}
+
+// PoolJoined is the bounded worker-pool shape the serving layer uses: a
+// semaphore channel caps concurrency and a select joins the detached
+// build.  The spawning function contains both the `go` and a select that
+// receives the completion signal: clean.
+func PoolJoined(sem chan struct{}, abort chan struct{}, xs []int) int {
+	done := make(chan int, 1)
+	sem <- struct{}{}
+	go func() {
+		defer func() { <-sem }()
+		sum := 0
+		for _, x := range xs {
+			sum += x
+		}
+		done <- sum
+	}()
+	select {
+	case v := <-done:
+		return v
+	case <-abort:
+		return 0
+	}
+}
+
+// SemaphoreLeak acquires a slot and spawns the worker, but every join
+// lives inside the spawned literal itself — the spawning function never
+// receives, so an abandoned request leaks the goroutine.
+func SemaphoreLeak(sem chan struct{}, xs []int) {
+	results := make(chan int, 1)
+	sem <- struct{}{}
+	go func() { // want "never joins"
+		defer func() { <-sem }()
+		sum := 0
+		for _, x := range xs {
+			sum += x
+		}
+		select {
+		case results <- sum:
+		default:
+		}
+	}()
+}
+
+// DoubleDispatchJoined fans two workers out over the pool and joins both
+// through one result channel: clean.
+func DoubleDispatchJoined(sem chan struct{}, xs, ys []int) int {
+	done := make(chan int, 2)
+	for _, s := range [][]int{xs, ys} {
+		s := s
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			sum := 0
+			for _, x := range s {
+				sum += x
+			}
+			done <- sum
+		}()
+	}
+	return <-done + <-done
+}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
@@ -9,6 +10,12 @@ import (
 // uniform routing (Section 4's throughput comparisons), total exchange
 // (Corollary 3.11 and the Section 4.1 off-chip-transmission claims), and
 // permutation traffic such as matrix transposition.
+//
+// Every runner has a context-aware variant (the ...Ctx functions) used by
+// the serving layer: the round loop checks the context once per simulated
+// round — each round touches every node, so cancellation is observed
+// after at most O(N) work — and returns the context's error with the
+// partial round count.
 
 // RandomResult reports a random-routing run.
 type RandomResult struct {
@@ -23,6 +30,12 @@ type RandomResult struct {
 // uniformly random destinations for warmup+measure rounds, measuring over
 // the final `measure` rounds.
 func RunRandomUniform(net *Network, seed int64, rate float64, warmup, measure int) (RandomResult, error) {
+	return RunRandomUniformCtx(context.Background(), net, seed, rate, warmup, measure)
+}
+
+// RunRandomUniformCtx is RunRandomUniform under a context deadline,
+// checked once per simulated round.
+func RunRandomUniformCtx(ctx context.Context, net *Network, seed int64, rate float64, warmup, measure int) (RandomResult, error) {
 	if err := checkNodeCount(net.N); err != nil {
 		return RandomResult{}, err
 	}
@@ -44,6 +57,9 @@ func RunRandomUniform(net *Network, seed int64, rate float64, warmup, measure in
 		}
 	})
 	for i := 0; i < warmup; i++ {
+		if err := ctx.Err(); err != nil {
+			return RandomResult{}, err
+		}
 		if _, err := s.Step(); err != nil {
 			return RandomResult{}, err
 		}
@@ -51,6 +67,9 @@ func RunRandomUniform(net *Network, seed int64, rate float64, warmup, measure in
 	s.ResetStats()
 	inFlightBefore := s.InFlight()
 	for i := 0; i < measure; i++ {
+		if err := ctx.Err(); err != nil {
+			return RandomResult{}, err
+		}
 		if _, err := s.Step(); err != nil {
 			return RandomResult{}, err
 		}
@@ -103,10 +122,13 @@ type DrainResult struct {
 	Stats
 }
 
-// runToCompletion steps until all packets are delivered or maxRounds is
-// hit.
-func runToCompletion(s *Sim, total int64, maxRounds int) (DrainResult, error) {
+// runToCompletion steps until all packets are delivered, maxRounds is
+// hit, or ctx is cancelled (checked once per round).
+func runToCompletion(ctx context.Context, s *Sim, total int64, maxRounds int) (DrainResult, error) {
 	for r := 0; r < maxRounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return DrainResult{Rounds: r, Stats: s.Stats()}, err
+		}
 		if _, err := s.Step(); err != nil {
 			return DrainResult{}, err
 		}
@@ -124,6 +146,12 @@ func runToCompletion(s *Sim, total int64, maxRounds int) (DrainResult, error) {
 // RunPermutation sends one packet from every node u to perm[u] (nodes with
 // perm[u] == u send nothing) and drains.
 func RunPermutation(net *Network, seed int64, perm []int32, maxRounds int) (DrainResult, error) {
+	return RunPermutationCtx(context.Background(), net, seed, perm, maxRounds)
+}
+
+// RunPermutationCtx is RunPermutation under a context deadline, checked
+// once per simulated round.
+func RunPermutationCtx(ctx context.Context, net *Network, seed int64, perm []int32, maxRounds int) (DrainResult, error) {
 	if len(perm) != net.N {
 		return DrainResult{}, fmt.Errorf("netsim: permutation length %d != %d", len(perm), net.N)
 	}
@@ -141,7 +169,7 @@ func RunPermutation(net *Network, seed int64, perm []int32, maxRounds int) (Drai
 		}
 		total++
 	}
-	return runToCompletion(s, total, maxRounds)
+	return runToCompletion(ctx, s, total, maxRounds)
 }
 
 // Transpose returns the matrix-transposition permutation on 2^(2h) nodes:
@@ -185,6 +213,12 @@ func BitReversePerm(logN int) []int32 {
 // other node, injected in waves to bound memory, and drains.  It returns
 // the completion time and the off-chip transmission census of Section 4.1.
 func RunTotalExchange(net *Network, seed int64, maxRounds int) (DrainResult, error) {
+	return RunTotalExchangeCtx(context.Background(), net, seed, maxRounds)
+}
+
+// RunTotalExchangeCtx is RunTotalExchange under a context deadline,
+// checked once per simulated round.
+func RunTotalExchangeCtx(ctx context.Context, net *Network, seed int64, maxRounds int) (DrainResult, error) {
 	if err := checkNodeCount(net.N); err != nil {
 		return DrainResult{}, err
 	}
@@ -201,7 +235,7 @@ func RunTotalExchange(net *Network, seed int64, maxRounds int) (DrainResult, err
 			emit((int32(u) + round) % n)
 		}
 	})
-	res, err := runToCompletion(s, total, maxRounds)
+	res, err := runToCompletion(ctx, s, total, maxRounds)
 	if err != nil {
 		return res, err
 	}

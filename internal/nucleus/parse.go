@@ -1,0 +1,99 @@
+package nucleus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse decodes the compact nucleus syntax shared by the CLIs and the
+// topology-serving daemon:
+//
+//	qK        hypercube Q_K
+//	fqK       folded hypercube FQ_K
+//	kM        complete graph K_M
+//	cM        ring (cycle) C_M
+//	sN        star graph S_N (N! nodes)
+//	ghc:a,b,c generalized hypercube GHC(a,b,c)
+//
+// Arguments are bounds-checked before any constructor runs, so an absurd
+// spec (q500, s40) is rejected with an error instead of overflowing the
+// int node count or allocating unboundedly.  The caps are far above
+// anything materializable (ipg.MaxNodes is 1<<22) — they only exclude
+// inputs whose mere description would misbehave.
+func Parse(s string) (*Nucleus, error) {
+	if rest, ok := strings.CutPrefix(s, "ghc:"); ok {
+		var radices []int
+		product := 1
+		for _, part := range strings.Split(rest, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("nucleus: bad GHC radix %q", part)
+			}
+			// The constructor materializes radix-1 generators per
+			// dimension, so the radix cap also bounds construction cost.
+			if m < 2 || m > 1024 {
+				return nil, fmt.Errorf("nucleus: GHC radix %d outside [2, 1024]", m)
+			}
+			if product > (1<<30)/m {
+				return nil, fmt.Errorf("nucleus: GHC%v has more than %d nodes", radices, 1<<30)
+			}
+			product *= m
+			radices = append(radices, m)
+		}
+		if len(radices) == 0 {
+			return nil, fmt.Errorf("nucleus: empty GHC radix list %q", s)
+		}
+		return GeneralizedHypercube(radices...), nil
+	}
+	if len(s) < 2 {
+		return nil, fmt.Errorf("nucleus: bad spec %q", s)
+	}
+	num := func(tail string, min, max int, what string) (int, error) {
+		n, err := strconv.Atoi(tail)
+		if err != nil {
+			return 0, fmt.Errorf("nucleus: bad %s %q", what, tail)
+		}
+		if n < min || n > max {
+			return 0, fmt.Errorf("nucleus: %s %d outside [%d, %d]", what, n, min, max)
+		}
+		return n, nil
+	}
+	switch {
+	case strings.HasPrefix(s, "fq"):
+		n, err := num(s[2:], 2, 30, "folded-hypercube dimension")
+		if err != nil {
+			return nil, err
+		}
+		return FoldedHypercube(n), nil
+	case s[0] == 'q':
+		n, err := num(s[1:], 1, 30, "hypercube dimension")
+		if err != nil {
+			return nil, err
+		}
+		return Hypercube(n), nil
+	case s[0] == 'k':
+		// K_M's constructor materializes M-1 rotation generators of
+		// length M, so the cap bounds an O(M^2) allocation.
+		n, err := num(s[1:], 2, 1024, "complete-graph size")
+		if err != nil {
+			return nil, err
+		}
+		return Complete(n), nil
+	case s[0] == 'c':
+		n, err := num(s[1:], 3, 1<<20, "ring size")
+		if err != nil {
+			return nil, err
+		}
+		return Ring(n), nil
+	case s[0] == 's':
+		// 12! is already ~479M nodes; beyond that n! overflows any
+		// plausible use.
+		n, err := num(s[1:], 2, 12, "star-graph order")
+		if err != nil {
+			return nil, err
+		}
+		return Star(n), nil
+	}
+	return nil, fmt.Errorf("nucleus: unknown spec %q", s)
+}

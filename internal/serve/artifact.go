@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ipg/internal/graph"
+	"ipg/internal/ipg"
+	"ipg/internal/mcmp"
+	"ipg/internal/netsim"
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+	"ipg/internal/topology"
+)
+
+// Artifact is one built topology: the immutable value the cache stores
+// and every handler reads.  All fields are written once by BuildArtifact
+// and only read afterwards (the CSR arenas are goroutine-safe by PR 2's
+// construction); the one mutable member, the memoized diameter, has its
+// own lock.
+type Artifact struct {
+	Params Params
+	Name   string // descriptive instance name, e.g. "HSN(3,Q4)"
+	N      int    // node count (known even when not materialized)
+
+	// Super-IPG families.
+	W *superipg.Network
+	G *ipg.Graph // nil when the instance is too large to materialize
+
+	// U is the undirected structural graph: the super-IPG's undirected
+	// view, or the baseline family's graph.  nil only for an
+	// unmaterialized super-IPG.
+	U *graph.Graph
+
+	// Baseline families.
+	Clustered *mcmp.Clustered
+	Analysis  *mcmp.Analysis
+
+	bytes int64
+
+	mu     sync.Mutex
+	diam   *int          // memoized exact diameter (successful computations only)
+	superM *SuperMetrics // memoized super-IPG metrics block
+
+	simNet    *netsim.Network // memoized simulation network (see SimNetwork)
+	simCapVal float64
+}
+
+// SizeBytes implements cache.Value with the CSR bytes-per-vertex
+// accounting from the representation benchmarks.
+func (a *Artifact) SizeBytes() int64 { return a.bytes }
+
+// Materialized reports whether the instance's graph was built (small
+// enough under the server's node cap).  Route and simulate need it;
+// label-level metrics do not.
+func (a *Artifact) Materialized() bool { return a.U != nil }
+
+// Super reports whether this is a super-IPG family artifact.
+func (a *Artifact) Super() bool { return a.W != nil }
+
+// BuildArtifact constructs the topology named by p.  maxNodes caps
+// materialization: a super-IPG above it is still served (label-level
+// metrics only), a baseline family above it is an error since baselines
+// have no label-level form.  The context is checked between the build
+// stages; the construction kernels themselves are uninterruptible but
+// bounded by maxNodes.
+func BuildArtifact(ctx context.Context, p Params, maxNodes int) (*Artifact, error) {
+	if err := p.Check(nil); err != nil {
+		return nil, err
+	}
+	if maxNodes <= 0 || maxNodes > topology.MaxNodes {
+		maxNodes = topology.MaxNodes
+	}
+	if IsSuperFamily(p.Net) {
+		return buildSuper(ctx, p, maxNodes)
+	}
+	return buildBaseline(ctx, p, maxNodes)
+}
+
+func buildSuper(ctx context.Context, p Params, maxNodes int) (*Artifact, error) {
+	nuc, err := nucleus.Parse(p.Nucleus)
+	if err != nil {
+		return nil, err
+	}
+	var w *superipg.Network
+	switch p.Net {
+	case "hsn":
+		w = superipg.HSN(p.L, nuc)
+	case "ring-cn":
+		w = superipg.RingCN(p.L, nuc)
+	case "complete-cn":
+		w = superipg.CompleteCN(p.L, nuc)
+	case "sfn":
+		w = superipg.SFN(p.L, nuc)
+	case "hcn":
+		w = superipg.HSN(2, nuc)
+		w.Family = "HCN"
+	case "rcc":
+		w = superipg.RCC(p.L, nuc)
+	default:
+		return nil, fmt.Errorf("serve: %q is not a super-IPG family", p.Net)
+	}
+	a := &Artifact{Params: p, W: w, Name: w.Name(), N: w.N()}
+	if a.N > maxNodes {
+		a.bytes = 256 // the label-level skeleton is effectively free
+		return a, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a.G = g
+	a.U = g.Undirected()
+	a.bytes = g.MemoryFootprint() + a.U.MemoryFootprint()
+	return a, nil
+}
+
+func buildBaseline(ctx context.Context, p Params, maxNodes int) (*Artifact, error) {
+	var (
+		c    *mcmp.Clustered
+		an   mcmp.Analysis
+		err  error
+		side []int8
+	)
+	switch p.Net {
+	case "hypercube":
+		if 1<<p.Dim > maxNodes {
+			return nil, fmt.Errorf("serve: Q%d has %d nodes, above the serving cap %d", p.Dim, 1<<p.Dim, maxNodes)
+		}
+		h := topology.NewHypercube(p.Dim)
+		c, err = mcmp.ClusterHypercube(h, p.LogM)
+		if err != nil {
+			return nil, err
+		}
+		side = mcmp.HypercubeBisection(c)
+	case "torus":
+		if p.K*p.K > maxNodes {
+			return nil, fmt.Errorf("serve: %d-ary 2-cube has %d nodes, above the serving cap %d", p.K, p.K*p.K, maxNodes)
+		}
+		tr := topology.NewTorus(p.K, 2)
+		c, err = mcmp.ClusterTorus2D(tr, p.Side)
+		if err != nil {
+			return nil, err
+		}
+		side = mcmp.Torus2DBisection(tr, c, p.Side)
+	case "ccc":
+		cc := topology.NewCCC(p.Dim)
+		if cc.N() > maxNodes {
+			return nil, fmt.Errorf("serve: CCC(%d) has %d nodes, above the serving cap %d", p.Dim, cc.N(), maxNodes)
+		}
+		c, err = mcmp.ClusterCCC(cc)
+		if err != nil {
+			return nil, err
+		}
+		side = mcmp.CCCBisection(cc, c)
+	case "butterfly":
+		bf := topology.NewButterfly(p.Dim)
+		if bf.N() > maxNodes {
+			return nil, fmt.Errorf("serve: WBF(%d) has %d nodes, above the serving cap %d", p.Dim, bf.N(), maxNodes)
+		}
+		c, err = mcmp.ClusterButterfly(bf, p.Band)
+		if err != nil {
+			return nil, err
+		}
+		side, err = mcmp.ButterflyBisection(bf, c, p.Band)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown baseline family %q", p.Net)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The MCMP profile (including the quotient-graph BFS metrics) is the
+	// expensive part of a baseline build; computing it here means cached
+	// metric requests are pure reads.
+	an, err = mcmp.Analyze(c, side, float64(c.M))
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		Params:    p,
+		Name:      c.Name,
+		N:         c.G.N(),
+		U:         c.G,
+		Clustered: c,
+		Analysis:  &an,
+		bytes:     c.G.MemoryFootprint() + int64(len(c.ClusterOf))*4,
+	}, nil
+}
+
+// simCap remembers which chip capacity the memoized simulation network
+// was built with; a request with a different capacity rebuilds it (only
+// one network is retained per artifact, bounding resident memory).
+type simCap struct {
+	cap float64
+	net *netsim.Network
+}
+
+// SimNetwork returns the packet-level simulated network for this
+// artifact, memoized per chip capacity.  The netsim.Network is immutable
+// during runs (each run creates its own Sim), so sharing it between
+// concurrent /v1/simulate requests is safe.
+func (a *Artifact) SimNetwork(chipCapacity float64) (*netsim.Network, error) {
+	if !a.Materialized() {
+		return nil, fmt.Errorf("serve: %s is not materialized; cannot simulate", a.Name)
+	}
+	a.mu.Lock()
+	if a.simNet != nil && a.simCapVal == chipCapacity {
+		n := a.simNet
+		a.mu.Unlock()
+		return n, nil
+	}
+	a.mu.Unlock()
+
+	var (
+		net *netsim.Network
+		err error
+	)
+	switch a.Params.Net {
+	case "hsn", "hcn", "rcc":
+		// Swap families route with the word-based HSN router.
+		net, err = netsim.BuildSuperIPG(a.W, a.G, chipCapacity, nil)
+	case "ring-cn", "complete-cn", "sfn":
+		// CN families need the all-pairs table router; build with a
+		// placeholder router first since the table is derived from the
+		// finished port map.
+		net, err = netsim.BuildSuperIPG(a.W, a.G, chipCapacity, netsim.HypercubeRouter{D: 1})
+		if err == nil {
+			var tr *netsim.TableRouter
+			tr, err = netsim.NewTableRouter(net)
+			if err == nil {
+				net.Router = tr
+			}
+		}
+	case "hypercube":
+		net, err = netsim.BuildHypercube(a.Params.Dim, a.Params.LogM, chipCapacity)
+	case "torus":
+		net, err = netsim.BuildTorus2D(a.Params.K, a.Params.Side, chipCapacity)
+	default:
+		return nil, fmt.Errorf("serve: no packet-level simulator for family %q", a.Params.Net)
+	}
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	a.simNet = net
+	a.simCapVal = chipCapacity
+	a.mu.Unlock()
+	return net, nil
+}
+
+// Diameter returns the exact graph diameter, computing it at most once
+// per artifact under the caller's deadline.  A cancelled computation is
+// not memoized, so a later request with a longer deadline can succeed.
+func (a *Artifact) Diameter(ctx context.Context) (int, error) {
+	if !a.Materialized() {
+		return 0, fmt.Errorf("serve: %s is not materialized; no exact diameter", a.Name)
+	}
+	a.mu.Lock()
+	if a.diam != nil {
+		d := *a.diam
+		a.mu.Unlock()
+		return d, nil
+	}
+	a.mu.Unlock()
+	d, err := a.U.DiameterParallelCtx(ctx)
+	if err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	a.diam = &d
+	a.mu.Unlock()
+	return d, nil
+}

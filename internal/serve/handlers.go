@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ipg/internal/netsim"
+)
+
+// API handlers.  Each returns an error instead of writing its own failure
+// body; instrument() maps the error to a JSON {"error": ...} response and
+// the right status code.  A handler must not write anything before it is
+// certain it will not return an error.
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteProm(w, s.cache.Stats())
+}
+
+// requestParams decodes and validates family parameters for one request.
+func requestParams(r *http.Request) (Params, error) {
+	p, provided, err := ParamsFromQuery(r.URL.Query())
+	if err != nil {
+		return p, badRequest("%v", err)
+	}
+	if err := p.Check(provided); err != nil {
+		return p, badRequest("%v", err)
+	}
+	return p, nil
+}
+
+// BuildResponse is the /v1/build reply.
+type BuildResponse struct {
+	Network      string `json:"network"`
+	Key          string `json:"key"`
+	Nodes        int    `json:"nodes"`
+	Links        *int   `json:"links,omitempty"`
+	Materialized bool   `json:"materialized"`
+	Cached       bool   `json:"cached"`
+	SizeBytes    int64  `json:"size_bytes"`
+	BuildMillis  int64  `json:"build_ms"`
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) error {
+	p, err := requestParams(r)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	a, hit, err := s.getArtifact(r.Context(), p)
+	if err != nil {
+		return err
+	}
+	resp := BuildResponse{
+		Network:      a.Name,
+		Key:          p.Key(),
+		Nodes:        a.N,
+		Materialized: a.Materialized(),
+		Cached:       hit,
+		SizeBytes:    a.SizeBytes(),
+		BuildMillis:  time.Since(start).Milliseconds(),
+	}
+	if a.Materialized() {
+		links := a.U.M()
+		resp.Links = &links
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	p, err := requestParams(r)
+	if err != nil {
+		return err
+	}
+	withDiameter := queryBool(r, "diameter")
+	a, _, err := s.getArtifact(r.Context(), p)
+	if err != nil {
+		return err
+	}
+	doc, err := ComputeMetrics(r.Context(), a, withDiameter)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return doc.WriteJSON(w)
+}
+
+// RouteResponse is the /v1/route reply: a shortest path in the
+// materialized undirected network.
+type RouteResponse struct {
+	Network string   `json:"network"`
+	Src     int      `json:"src"`
+	Dst     int      `json:"dst"`
+	Hops    int      `json:"hops"`
+	Path    []int    `json:"path"`
+	Labels  []string `json:"labels,omitempty"` // node labels along the path (super-IPG families)
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
+	p, err := requestParams(r)
+	if err != nil {
+		return err
+	}
+	src, err := queryInt(r, "src", 0)
+	if err != nil {
+		return err
+	}
+	dst, err := queryInt(r, "dst", 0)
+	if err != nil {
+		return err
+	}
+	a, _, err := s.getArtifact(r.Context(), p)
+	if err != nil {
+		return err
+	}
+	if !a.Materialized() {
+		return badRequest("%s is not materialized (N = %d above the serving cap); no concrete routes", a.Name, a.N)
+	}
+	if src < 0 || src >= a.N || dst < 0 || dst >= a.N {
+		return badRequest("src/dst must be in [0, %d)", a.N)
+	}
+	path, err := shortestPath(a, src, dst)
+	if err != nil {
+		return err
+	}
+	resp := RouteResponse{
+		Network: a.Name,
+		Src:     src,
+		Dst:     dst,
+		Hops:    len(path) - 1,
+		Path:    path,
+	}
+	if a.Super() {
+		resp.Labels = make([]string, len(path))
+		for i, v := range path {
+			resp.Labels[i] = a.G.Label(v).GroupedString(a.W.SymbolLen())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(resp)
+}
+
+// shortestPath reconstructs one BFS shortest path src -> dst by walking
+// back from dst along strictly decreasing distances.
+func shortestPath(a *Artifact, src, dst int) ([]int, error) {
+	dist := a.U.BFS(src)
+	if dist[dst] < 0 {
+		return nil, badRequest("no path from %d to %d (disconnected?)", src, dst)
+	}
+	path := make([]int, dist[dst]+1)
+	path[len(path)-1] = dst
+	var buf []int32
+	cur := dst
+	for d := int(dist[dst]); d > 0; d-- {
+		found := false
+		for _, nb := range a.U.Neighbors(cur, buf) {
+			if int(dist[nb]) == d-1 {
+				cur = int(nb)
+				path[d-1] = cur
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("serve: BFS distance array inconsistent at node %d", cur)
+		}
+	}
+	return path, nil
+}
+
+// SimulateResponse is the /v1/simulate reply.
+type SimulateResponse struct {
+	Network   string  `json:"network"`
+	Workload  string  `json:"workload"`
+	Nodes     int     `json:"nodes"`
+	Rounds    int     `json:"rounds"`
+	Injected  int64   `json:"injected"`
+	Delivered int64   `json:"delivered"`
+	Latency   float64 `json:"latency_rounds"`
+	OffChip   float64 `json:"off_chip_per_packet"`
+	Accepted  float64 `json:"accepted,omitempty"`  // random workload only
+	Saturated *bool   `json:"saturated,omitempty"` // random workload only
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	p, err := requestParams(r)
+	if err != nil {
+		return err
+	}
+	workload := r.URL.Query().Get("workload")
+	if workload == "" {
+		workload = "random"
+	}
+	rate, err := queryFloat(r, "rate", 0.2)
+	if err != nil {
+		return err
+	}
+	chipCap, err := queryFloat(r, "chipcap", 8.0)
+	if err != nil {
+		return err
+	}
+	seed, err := queryInt(r, "seed", 1)
+	if err != nil {
+		return err
+	}
+	warmup, err := queryInt(r, "warmup", 150)
+	if err != nil {
+		return err
+	}
+	measure, err := queryInt(r, "measure", 300)
+	if err != nil {
+		return err
+	}
+	if rate <= 0 || chipCap <= 0 || warmup < 0 || measure <= 0 {
+		return badRequest("rate and chipcap must be positive, warmup >= 0, measure > 0")
+	}
+
+	a, _, err := s.getArtifact(r.Context(), p)
+	if err != nil {
+		return err
+	}
+	if !a.Materialized() {
+		return badRequest("%s is not materialized; cannot simulate", a.Name)
+	}
+	if a.N > s.cfg.SimMaxNodes {
+		return badRequest("%s has %d nodes, above the simulation cap %d", a.Name, a.N, s.cfg.SimMaxNodes)
+	}
+
+	// Simulation runs are CPU-bound like builds, so they hold a worker
+	// slot (and see the same 503 backpressure when the pool is full).
+	release, err := s.acquireSlot(r.Context())
+	if err != nil {
+		return err
+	}
+	defer release()
+
+	net, err := a.SimNetwork(chipCap)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+
+	const maxDrainRounds = 1 << 20
+	resp := SimulateResponse{Network: a.Name, Workload: workload, Nodes: a.N}
+	switch workload {
+	case "random":
+		res, err := netsim.RunRandomUniformCtx(r.Context(), net, int64(seed), rate, warmup, measure)
+		if err != nil {
+			return err
+		}
+		resp.Rounds = res.Stats.Rounds
+		resp.Injected = res.Stats.Injected
+		resp.Delivered = res.Stats.Delivered
+		resp.Latency = res.Latency
+		resp.OffChip = res.Stats.OffChipPerPacket()
+		resp.Accepted = res.Accepted
+		resp.Saturated = &res.Saturated
+	case "te":
+		res, err := netsim.RunTotalExchangeCtx(r.Context(), net, int64(seed), maxDrainRounds)
+		if err != nil {
+			return err
+		}
+		resp.Rounds = res.Rounds
+		resp.Injected = res.Stats.Injected
+		resp.Delivered = res.Stats.Delivered
+		resp.Latency = res.Stats.AvgLatency()
+		resp.OffChip = res.Stats.OffChipPerPacket()
+	case "transpose":
+		logN := 0
+		for 1<<logN < a.N {
+			logN++
+		}
+		if 1<<logN != a.N || logN%2 != 0 {
+			return badRequest("transpose needs a power-of-two node count with an even number of address bits; %s has %d nodes", a.Name, a.N)
+		}
+		perm, err := netsim.Transpose(logN)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		if a.Super() {
+			// Map the address-space permutation onto simulator node ids.
+			mapped := make([]int32, a.N)
+			for v := 0; v < a.N; v++ {
+				addr, err := a.W.AddressOf(a.G.Label(v))
+				if err != nil {
+					return err
+				}
+				dstAddr := perm[addr]
+				dstLabel, err := a.W.LabelOf(int(dstAddr))
+				if err != nil {
+					return err
+				}
+				dv := a.G.NodeID(dstLabel)
+				if dv < 0 {
+					return fmt.Errorf("serve: address %d maps to an unknown label", dstAddr)
+				}
+				//lint:ignore indextrunc node ids are < g.N() <= ipg.MaxNodes (1<<22)
+				mapped[v] = int32(dv)
+			}
+			perm = mapped
+		}
+		res, err := netsim.RunPermutationCtx(r.Context(), net, int64(seed), perm, maxDrainRounds)
+		if err != nil {
+			return err
+		}
+		resp.Rounds = res.Rounds
+		resp.Injected = res.Stats.Injected
+		resp.Delivered = res.Stats.Delivered
+		resp.Latency = res.Stats.AvgLatency()
+		resp.OffChip = res.Stats.OffChipPerPacket()
+	default:
+		return badRequest("unknown workload %q (random|te|transpose)", workload)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(resp)
+}
+
+// queryInt reads an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badRequest("parameter %q: bad integer %q", name, v)
+	}
+	return n, nil
+}
+
+// queryFloat reads a float query parameter with a default.
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, badRequest("parameter %q: bad number %q", name, v)
+	}
+	return f, nil
+}
+
+// queryBool reports whether a query parameter is set to a truthy value.
+func queryBool(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipg/internal/cache"
+)
+
+// serverMetrics holds the daemon's operational counters, exported in
+// Prometheus text exposition format by WriteProm.  Cache counters live in
+// the cache itself; this struct tracks the HTTP and build-latency side.
+type serverMetrics struct {
+	requestsInFlight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[reqKey]int64 // requests_total{endpoint, code}
+
+	// Build latency histogram (seconds).  Builds complete at most a few
+	// per second, so a mutex is cheaper than lock-free machinery here.
+	histBuckets []float64 // upper bounds, ascending
+	histCounts  []int64   // observations <= bound (non-cumulative per bucket)
+	histSum     float64
+	histCount   int64
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+// defaultBuckets span sub-millisecond cache hits through multi-second
+// diameter computations.
+var defaultBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		requests:    make(map[reqKey]int64),
+		histBuckets: defaultBuckets,
+		histCounts:  make([]int64, len(defaultBuckets)),
+	}
+}
+
+// countRequest records one finished request.
+func (m *serverMetrics) countRequest(endpoint string, code int) {
+	m.mu.Lock()
+	m.requests[reqKey{endpoint, code}]++
+	m.mu.Unlock()
+}
+
+// observeBuild records one artifact build duration.
+func (m *serverMetrics) observeBuild(d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	for i, ub := range m.histBuckets {
+		if secs <= ub {
+			m.histCounts[i]++
+			break
+		}
+	}
+	m.histSum += secs
+	m.histCount++
+	m.mu.Unlock()
+}
+
+// WriteProm writes the full metrics page: cache counters, request
+// counters, the in-flight gauges, and the build-latency histogram.
+func (m *serverMetrics) WriteProm(w io.Writer, cs cache.Stats) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("ipgd_cache_hits_total", "Requests served from cache or joined to an in-flight build.", cs.Hits)
+	counter("ipgd_cache_misses_total", "Requests that initiated an artifact build.", cs.Misses)
+	counter("ipgd_cache_evictions_total", "Entries evicted to fit the byte budget.", cs.Evictions)
+	counter("ipgd_cache_oversize_total", "Artifacts served uncached because they exceed a shard budget.", cs.Oversize)
+	gauge("ipgd_cache_entries", "Artifacts currently cached.", cs.Entries)
+	gauge("ipgd_cache_bytes", "Bytes held by cached artifacts.", cs.Bytes)
+	gauge("ipgd_cache_max_bytes", "Configured cache byte budget (0 = unbounded).", cs.MaxBytes)
+	gauge("ipgd_builds_in_flight", "Artifact builds currently running.", cs.InFlight)
+	gauge("ipgd_requests_in_flight", "HTTP requests currently being served.", m.requestsInFlight.Load())
+
+	m.mu.Lock()
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP ipgd_requests_total Finished HTTP requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE ipgd_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "ipgd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP ipgd_build_duration_seconds Artifact build latency.\n")
+	fmt.Fprintf(w, "# TYPE ipgd_build_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range m.histBuckets {
+		cum += m.histCounts[i]
+		fmt.Fprintf(w, "ipgd_build_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	fmt.Fprintf(w, "ipgd_build_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.histCount)
+	fmt.Fprintf(w, "ipgd_build_duration_seconds_sum %g\n", m.histSum)
+	fmt.Fprintf(w, "ipgd_build_duration_seconds_count %d\n", m.histCount)
+	m.mu.Unlock()
+}

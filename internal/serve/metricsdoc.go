@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+)
+
+// MetricsDoc is the machine-readable metrics document for one network
+// instance.  It is the single JSON shape shared by the daemon's
+// /v1/metrics endpoint and `ipgtool -json`, so scripts can swap between
+// the CLI and the service without a second parser.
+type MetricsDoc struct {
+	Network      string `json:"network"` // instance name, e.g. "HSN(3,Q4)"
+	Key          string `json:"key"`     // canonical cache key
+	Family       string `json:"family"`  // family name, e.g. "hsn"
+	Nodes        int    `json:"nodes"`
+	Materialized bool   `json:"materialized"`
+	SizeBytes    int64  `json:"size_bytes"`
+
+	Super     *SuperMetrics     `json:"super,omitempty"`
+	Structure *StructureMetrics `json:"structure,omitempty"`
+	MCMP      *MCMPMetrics      `json:"mcmp,omitempty"`
+
+	// Diameter is the exact graph diameter, present only when requested
+	// (it is an all-pairs BFS and therefore the one optional slow field).
+	Diameter *int `json:"diameter,omitempty"`
+}
+
+// SuperMetrics carries the label-level quantities of super-IPG families.
+// The measured fields are present only for materialized instances.
+type SuperMetrics struct {
+	L           int    `json:"l"`
+	M           int    `json:"m"` // nucleus order
+	Seed        string `json:"seed"`
+	NucleusGens int    `json:"nucleus_gens"`
+	SuperGens   int    `json:"super_gens"`
+
+	// Theorem 4.1 / 4.3 quantities from the arrangement BFS, computed
+	// when l <= maxArrangementL; the closed-form corollary values are
+	// always present (TheoreticalTS is -1 when Corollary 4.4 gives no
+	// formula for the family).
+	InterclusterT *int `json:"intercluster_t,omitempty"`
+	SymmetricTS   *int `json:"symmetric_ts,omitempty"`
+	TheoreticalT  int  `json:"theoretical_t"`
+	TheoreticalTS int  `json:"theoretical_ts"`
+
+	InterclusterLinks    *int     `json:"intercluster_links,omitempty"`
+	InterclusterDegree   *float64 `json:"intercluster_degree,omitempty"`
+	InterclusterDiameter *int     `json:"intercluster_diameter,omitempty"`
+	AvgInterclusterDist  *float64 `json:"avg_intercluster_distance,omitempty"`
+}
+
+// StructureMetrics describes the materialized undirected graph.
+type StructureMetrics struct {
+	Links     int     `json:"links"`
+	DegreeMin int     `json:"degree_min"`
+	DegreeMax int     `json:"degree_max"`
+	DegreeAvg float64 `json:"degree_avg"`
+}
+
+// MCMPMetrics is the MCMP profile (unit chip capacity, w=1) of a
+// clustered baseline network, mirroring mcmp.Analysis.
+type MCMPMetrics struct {
+	Chips                int     `json:"chips"`
+	NodesPerChip         int     `json:"nodes_per_chip"`
+	OffChipLinks         int     `json:"off_chip_links"`
+	LinksPerChip         int     `json:"links_per_chip"`
+	InterclusterDegree   float64 `json:"intercluster_degree"`
+	InterclusterDiameter int     `json:"intercluster_diameter"`
+	AvgInterclusterDist  float64 `json:"avg_intercluster_distance"`
+	PerLinkBandwidth     float64 `json:"per_link_bandwidth"`
+	BisectionWidth       int     `json:"bisection_width"`
+	BisectionBandwidth   float64 `json:"bisection_bandwidth"`
+}
+
+// maxArrangementL bounds the Theorem 4.1/4.3 arrangement BFS inside the
+// serving layer.  The state space is up to l! * 2^l for complete-CN; at
+// l = 8 that is ~10M states, which a request can afford — beyond it the
+// document carries only the closed-form corollary values.
+const maxArrangementL = 8
+
+// ComputeMetrics assembles the metrics document for a built artifact.
+// The expensive pieces (quotient BFS, arrangement BFS) are memoized on
+// the artifact, so repeated metric requests against a cached artifact
+// are pure reads.  withDiameter additionally runs the all-pairs BFS
+// under ctx.
+func ComputeMetrics(ctx context.Context, a *Artifact, withDiameter bool) (*MetricsDoc, error) {
+	doc := &MetricsDoc{
+		Network:      a.Name,
+		Key:          a.Params.Key(),
+		Family:       a.Params.Net,
+		Nodes:        a.N,
+		Materialized: a.Materialized(),
+		SizeBytes:    a.SizeBytes(),
+	}
+	if a.Super() {
+		sm, err := a.superMetrics(ctx)
+		if err != nil {
+			return nil, err
+		}
+		doc.Super = sm
+	}
+	if a.Materialized() {
+		min, max, avg := a.U.DegreeStats()
+		doc.Structure = &StructureMetrics{
+			Links:     a.U.M(),
+			DegreeMin: min,
+			DegreeMax: max,
+			DegreeAvg: avg,
+		}
+	}
+	if a.Analysis != nil {
+		an := a.Analysis
+		doc.MCMP = &MCMPMetrics{
+			Chips:                an.Chips,
+			NodesPerChip:         an.M,
+			OffChipLinks:         an.OffChipLinks,
+			LinksPerChip:         an.LinksPerChip,
+			InterclusterDegree:   an.InterclusterDeg,
+			InterclusterDiameter: an.InterclusterDiam,
+			AvgInterclusterDist:  an.AvgInterclusterDst,
+			PerLinkBandwidth:     an.PerLinkBW,
+			BisectionWidth:       an.BisectionWidth,
+			BisectionBandwidth:   an.BisectionBandwidth,
+		}
+	}
+	if withDiameter {
+		d, err := a.Diameter(ctx)
+		if err != nil {
+			return nil, err
+		}
+		doc.Diameter = &d
+	}
+	return doc, nil
+}
+
+// superMetrics computes (once) the super-IPG block of the document.  A
+// ctx error mid-computation is returned without memoizing, so a later
+// request with a longer deadline can still succeed.
+func (a *Artifact) superMetrics(ctx context.Context) (*SuperMetrics, error) {
+	a.mu.Lock()
+	if a.superM != nil {
+		sm := a.superM
+		a.mu.Unlock()
+		return sm, nil
+	}
+	a.mu.Unlock()
+
+	w := a.W
+	sm := &SuperMetrics{
+		L:             w.L,
+		M:             w.M(),
+		Seed:          w.Seed().GroupedString(w.SymbolLen()),
+		NucleusGens:   w.NumNucGens(),
+		SuperGens:     w.NumSupers(),
+		TheoreticalT:  w.TheoreticalInterclusterDiameter(),
+		TheoreticalTS: w.TheoreticalSymmetricDiameter(),
+	}
+	if w.L <= maxArrangementL {
+		if t, err := w.InterclusterT(); err == nil {
+			sm.InterclusterT = &t
+		}
+		if ts, err := w.SymmetricTS(); err == nil {
+			sm.SymmetricTS = &ts
+		}
+	}
+	if a.Materialized() {
+		links := w.InterclusterLinks(a.G)
+		deg := w.InterclusterDegree(a.G)
+		sm.InterclusterLinks = &links
+		sm.InterclusterDegree = &deg
+		d, err := w.InterclusterDiameterCtx(ctx, a.G)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := w.AvgInterclusterDistanceCtx(ctx, a.G)
+		if err != nil {
+			return nil, err
+		}
+		sm.InterclusterDiameter = &d
+		sm.AvgInterclusterDist = &avg
+	}
+
+	a.mu.Lock()
+	if a.superM == nil {
+		a.superM = sm
+	} else {
+		sm = a.superM
+	}
+	a.mu.Unlock()
+	return sm, nil
+}
+
+// WriteJSON writes the document as indented JSON.  Both `ipgtool -json`
+// and the daemon funnel through this one encoder, keeping the two
+// surfaces byte-identical for identical inputs.
+func (d *MetricsDoc) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

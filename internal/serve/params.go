@@ -1,0 +1,211 @@
+// Package serve is the topology-as-a-service layer: canonicalized family
+// parameters, cached topology artifacts (internal/cache), the shared
+// machine-readable metrics document used by both the daemon's /v1/metrics
+// handler and `ipgtool -json`, and the HTTP server behind cmd/ipgd.
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ipg/internal/nucleus"
+	"ipg/internal/topology"
+)
+
+// Params identifies one network family instance.  Only the fields listed
+// in familyParams for the chosen Net are meaningful; Key() canonicalizes
+// exactly those, so HSN(3,Q4) requested with a stray default dim and
+// HSN(3,Q4) requested bare hash to the same cache entry.
+type Params struct {
+	Net     string // family name, lowercase
+	L       int    // super-symbols (super-IPG families)
+	Nucleus string // nucleus spec, e.g. "q4" or "ghc:4,4"
+	Dim     int    // dimension (hypercube/ccc/butterfly)
+	LogM    int    // log2 nodes per chip (hypercube)
+	K       int    // radix (torus)
+	Side    int    // chip side (torus)
+	Band    int    // level band width (butterfly)
+}
+
+// Defaults mirror the ipgtool flag defaults, so the daemon and the CLI
+// agree on what an unspecified parameter means.
+func Defaults() Params {
+	return Params{Net: "hsn", L: 3, Nucleus: "q2", Dim: 8, LogM: 2, K: 8, Side: 2, Band: 2}
+}
+
+// superFamilies are the super-IPG families materialized via
+// internal/superipg; the rest are baseline MCMP networks.
+var superFamilies = map[string]bool{
+	"hsn": true, "ring-cn": true, "complete-cn": true, "sfn": true,
+	"hcn": true, "rcc": true,
+}
+
+// familyParams maps each family to the parameter names it consumes.  A
+// request that sets a parameter its family ignores is rejected rather
+// than silently building a different network than the caller imagined.
+var familyParams = map[string]map[string]bool{
+	"hsn":         {"l": true, "nucleus": true},
+	"ring-cn":     {"l": true, "nucleus": true},
+	"complete-cn": {"l": true, "nucleus": true},
+	"sfn":         {"l": true, "nucleus": true},
+	"rcc":         {"l": true, "nucleus": true},
+	"hcn":         {"nucleus": true},
+	"hypercube":   {"dim": true, "logm": true},
+	"torus":       {"k": true, "side": true},
+	"ccc":         {"dim": true},
+	"butterfly":   {"dim": true, "band": true},
+}
+
+// Families returns the known family names, sorted.
+func Families() []string {
+	out := make([]string, 0, len(familyParams))
+	for f := range familyParams {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsSuperFamily reports whether net names a super-IPG family.
+func IsSuperFamily(net string) bool { return superFamilies[net] }
+
+// Check validates p.  provided names the parameters the caller explicitly
+// set ("l", "nucleus", "dim", "logm", "k", "side", "band"); a provided
+// parameter the family does not consume is an error.  Pass nil to skip
+// the applicability check and validate ranges only.
+func (p Params) Check(provided map[string]bool) error {
+	allowed, ok := familyParams[p.Net]
+	if !ok {
+		return fmt.Errorf("unknown network %q (known: %s)", p.Net, strings.Join(Families(), ", "))
+	}
+	for name := range provided {
+		if !allowed[name] {
+			return fmt.Errorf("parameter %q does not apply to net %q", name, p.Net)
+		}
+	}
+	switch {
+	case superFamilies[p.Net]:
+		l := p.effectiveL()
+		if l < 2 || l > 20 {
+			// The Theorem 4.1/4.3 arrangement BFS is bounded to l <= 20.
+			return fmt.Errorf("l = %d outside [2, 20]", p.L)
+		}
+		nuc, err := nucleus.Parse(p.Nucleus)
+		if err != nil {
+			return err
+		}
+		// Overflow-guard the M^l node count; label-level metrics work at
+		// any size, but the count itself must stay a sane int.
+		n := 1
+		for i := 0; i < l; i++ {
+			if nuc.M <= 0 || n > (1<<40)/nuc.M {
+				return fmt.Errorf("%s(%d,%s) has more than 2^40 nodes", p.Net, l, p.Nucleus)
+			}
+			n *= nuc.M
+		}
+	case p.Net == "hypercube":
+		if p.Dim < 1 || p.Dim > 22 {
+			// 1<<22 is topology.MaxNodes.
+			return fmt.Errorf("hypercube dim %d outside [1, 22]", p.Dim)
+		}
+		if p.LogM < 0 || p.LogM >= p.Dim {
+			return fmt.Errorf("logm %d outside [0, dim) for Q%d: nodes per chip must be a power of two dividing the network", p.LogM, p.Dim)
+		}
+	case p.Net == "torus":
+		if p.K < 2 || p.K > 2048 {
+			// 2048^2 = 1<<22 = topology.MaxNodes.
+			return fmt.Errorf("torus radix k = %d outside [2, 2048]", p.K)
+		}
+		if p.Side < 1 || p.Side > p.K || p.K%p.Side != 0 {
+			return fmt.Errorf("chip side %d must be in [1, k] and divide k = %d", p.Side, p.K)
+		}
+	case p.Net == "ccc":
+		if p.Dim < 2 || p.Dim > 17 {
+			// CCC(d) has d*2^d nodes; 17*2^17 < MaxNodes < 18*2^18.
+			return fmt.Errorf("ccc dim %d outside [2, 17]", p.Dim)
+		}
+	case p.Net == "butterfly":
+		if p.Dim < 2 || p.Dim > 17 {
+			return fmt.Errorf("butterfly dim %d outside [2, 17]", p.Dim)
+		}
+		if p.Band < 1 || p.Band > p.Dim || p.Dim%p.Band != 0 {
+			return fmt.Errorf("band %d must be in [1, dim] and divide dim = %d", p.Band, p.Dim)
+		}
+	}
+	return nil
+}
+
+// effectiveL is the super-symbol count actually used: HCN is HSN(2, G) by
+// definition, so its l is pinned at 2.
+func (p Params) effectiveL() int {
+	if p.Net == "hcn" {
+		return 2
+	}
+	return p.L
+}
+
+// Key returns the canonical cache key: the family plus exactly the
+// parameters it consumes, in fixed order.
+func (p Params) Key() string {
+	var b strings.Builder
+	b.WriteString(p.Net)
+	allowed := familyParams[p.Net]
+	add := func(name string, v int) {
+		if allowed[name] {
+			fmt.Fprintf(&b, "|%s=%d", name, v)
+		}
+	}
+	add("l", p.effectiveL())
+	if allowed["nucleus"] {
+		fmt.Fprintf(&b, "|nucleus=%s", strings.ToLower(strings.TrimSpace(p.Nucleus)))
+	}
+	add("dim", p.Dim)
+	add("logm", p.LogM)
+	add("k", p.K)
+	add("side", p.Side)
+	add("band", p.Band)
+	return b.String()
+}
+
+// MaxBaselineNodes is the materialization cap for baseline families,
+// re-exported for range documentation.
+const MaxBaselineNodes = topology.MaxNodes
+
+// ParamsFromQuery decodes family parameters from an HTTP query, applying
+// the shared defaults, and returns the set of explicitly provided names
+// for Check.  Unknown query keys are left to the caller (handlers accept
+// extra per-endpoint keys).
+func ParamsFromQuery(q url.Values) (Params, map[string]bool, error) {
+	p := Defaults()
+	provided := map[string]bool{}
+	if v := q.Get("net"); v != "" {
+		p.Net = strings.ToLower(strings.TrimSpace(v))
+	}
+	if v := q.Get("nucleus"); v != "" {
+		p.Nucleus = strings.ToLower(strings.TrimSpace(v))
+		provided["nucleus"] = true
+	}
+	ints := []struct {
+		name string
+		dst  *int
+	}{
+		{"l", &p.L}, {"dim", &p.Dim}, {"logm", &p.LogM},
+		{"k", &p.K}, {"side", &p.Side}, {"band", &p.Band},
+	}
+	for _, f := range ints {
+		v := q.Get(f.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return p, provided, fmt.Errorf("parameter %q: bad integer %q", f.name, v)
+		}
+		*f.dst = n
+		provided[f.name] = true
+	}
+	return p, provided, nil
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"ipg/internal/cache"
+)
+
+// ErrSaturated is returned by the worker pool when every slot is busy and
+// the waiting queue is full; handlers translate it to 503 + Retry-After.
+var ErrSaturated = errors.New("serve: worker pool saturated")
+
+// Config sizes the daemon.
+type Config struct {
+	// CacheBytes is the artifact cache budget; 0 means 256 MiB.
+	CacheBytes int64
+	// CacheShards is the cache shard count; 0 means 16.
+	CacheShards int
+	// Workers bounds concurrent artifact builds and simulation runs; 0
+	// means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many requests may wait for a free worker
+	// before new arrivals are rejected with 503.  0 means 4x Workers; use
+	// a negative value for "no waiting" (reject immediately when busy).
+	QueueDepth int
+	// RequestTimeout is the per-request deadline threaded into builds,
+	// metric computations, and simulations; 0 means 60s.
+	RequestTimeout time.Duration
+	// MaxNodes caps topology materialization; 0 means 1<<16 (the same
+	// threshold ipgtool uses).
+	MaxNodes int
+	// SimMaxNodes caps /v1/simulate network sizes; 0 means 1<<13.
+	SimMaxNodes int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Builder overrides artifact construction (tests use it to count and
+	// gate builds); nil means BuildArtifact.
+	Builder func(ctx context.Context, p Params, maxNodes int) (*Artifact, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 1 << 16
+	}
+	if c.SimMaxNodes <= 0 {
+		c.SimMaxNodes = 1 << 13
+	}
+	if c.Builder == nil {
+		c.Builder = BuildArtifact
+	}
+	return c
+}
+
+// Server is the topology-serving HTTP handler set.  It is an
+// http.Handler; cmd/ipgd wraps it in an http.Server for lifecycle
+// management.
+type Server struct {
+	cfg     Config
+	cache   *cache.Cache
+	sem     chan struct{} // worker slots
+	queued  chan struct{} // tokens for requests waiting on a slot
+	metrics *serverMetrics
+	mux     *http.ServeMux
+}
+
+// NewServer builds the handler set.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache.New(cache.Config{MaxBytes: cfg.CacheBytes, Shards: cfg.CacheShards}),
+		sem:     make(chan struct{}, cfg.Workers),
+		queued:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		metrics: newServerMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/build", s.instrument("/v1/build", s.handleBuild))
+	s.mux.HandleFunc("/v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
+	s.mux.HandleFunc("/v1/route", s.instrument("/v1/route", s.handleRoute))
+	s.mux.HandleFunc("/v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("/metrics", s.handleProm)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Cache exposes the artifact cache (tests and cmd/ipgd logging).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// acquireSlot claims a worker slot, waiting only while the bounded queue
+// has room.  It returns ErrSaturated when Workers slots are busy and
+// QueueDepth requests are already waiting.
+func (s *Server) acquireSlot(ctx context.Context) (release func(), err error) {
+	// The queued channel holds Workers+QueueDepth tokens: every request
+	// that is either running or waiting holds one, so a failed non-blocking
+	// take means the pool plus queue are full.
+	select {
+	case s.queued <- struct{}{}:
+	default:
+		return nil, ErrSaturated
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem; <-s.queued }, nil
+	case <-ctx.Done():
+		<-s.queued
+		return nil, ctx.Err()
+	}
+}
+
+// getArtifact is the shared request path: canonicalize, consult the
+// cache, and build under a worker slot on miss.  The build itself runs
+// on the cache's singleflight goroutine; the slot is held by the build
+// function, so cache hits never touch the pool.
+func (s *Server) getArtifact(ctx context.Context, p Params) (*Artifact, bool, error) {
+	v, hit, err := s.cache.GetOrBuild(ctx, p.Key(), func(bctx context.Context) (cache.Value, error) {
+		release, err := s.acquireSlot(bctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		start := time.Now()
+		a, err := s.cfg.Builder(bctx, p, s.cfg.MaxNodes)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.observeBuild(time.Since(start))
+		return a, nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*Artifact), hit, nil
+}
+
+// httpError is an error with a dedicated HTTP status.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError maps an error to a JSON error body with the right status:
+// pool saturation becomes 503 + Retry-After, a blown request deadline
+// becomes 504, cancellations become 499 (client gone), everything else
+// 400/500 by type.
+func (s *Server) writeError(w http.ResponseWriter, err error) int {
+	code := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.Is(err, ErrSaturated):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = 499 // nginx's "client closed request"; never seen by a live client
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// An encode failure here means the client is gone; nothing to do.
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	return code
+}
+
+// statusRecorder captures the response code for requests_total.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an API handler with the request gauge/counters and the
+// per-request deadline.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requestsInFlight.Add(1)
+		defer s.metrics.requestsInFlight.Add(-1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		if err := h(rec, r.WithContext(ctx)); err != nil {
+			rec.code = s.writeError(rec.ResponseWriter, err)
+		}
+		s.metrics.countRequest(endpoint, rec.code)
+	}
+}

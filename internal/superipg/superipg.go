@@ -16,6 +16,7 @@
 package superipg
 
 import (
+	"context"
 	"fmt"
 
 	"ipg/internal/graph"
@@ -359,6 +360,20 @@ func (w *Network) InterclusterDiameter(g *ipg.Graph) int {
 func (w *Network) AvgInterclusterDistance(g *ipg.Graph) float64 {
 	q, _ := w.Quotient(g)
 	return q.AverageDistanceParallel()
+}
+
+// InterclusterDiameterCtx is InterclusterDiameter under a context
+// deadline, for the serving layer's per-request cancellation.
+func (w *Network) InterclusterDiameterCtx(ctx context.Context, g *ipg.Graph) (int, error) {
+	q, _ := w.Quotient(g)
+	return q.DiameterParallelCtx(ctx)
+}
+
+// AvgInterclusterDistanceCtx is AvgInterclusterDistance under a context
+// deadline.
+func (w *Network) AvgInterclusterDistanceCtx(ctx context.Context, g *ipg.Graph) (float64, error) {
+	q, _ := w.Quotient(g)
+	return q.AverageDistanceParallelCtx(ctx)
 }
 
 // DirectedInterclusterDiameter computes the intercluster diameter of a

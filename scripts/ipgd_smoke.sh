@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Smoke-test the ipgd daemon: start it on an ephemeral port, hit the
+# core endpoints, validate the JSON, and check it exits cleanly on
+# SIGTERM.  Used by CI; runnable locally from the repo root.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+log="$workdir/ipgd.log"
+bin="$workdir/ipgd"
+pid=""
+
+cleanup() {
+  if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+    kill -9 "$pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "ipgd_smoke: FAIL: $*" >&2
+  echo "--- daemon log ---" >&2
+  cat "$log" >&2 || true
+  exit 1
+}
+
+# JSON validation: jq if present, python3 fallback.
+check_json() {
+  if command -v jq >/dev/null 2>&1; then
+    jq -e . >/dev/null
+  else
+    python3 -c 'import json,sys; json.load(sys.stdin)'
+  fi
+}
+
+go build -o "$bin" ./cmd/ipgd
+
+"$bin" -addr 127.0.0.1:0 >"$log" 2>&1 &
+pid=$!
+
+# Wait for the listening line and parse the resolved address.
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(grep -oE 'listening on [0-9.:]+' "$log" 2>/dev/null | awk '{print $3}' || true)
+  [[ -n "$addr" ]] && break
+  kill -0 "$pid" 2>/dev/null || fail "daemon exited before listening"
+  sleep 0.1
+done
+[[ -n "$addr" ]] && echo "ipgd_smoke: daemon at $addr" || fail "never saw the listening line"
+
+curl_ok() { # curl_ok <path> -> body on stdout, fails on non-200
+  local path=$1 body code
+  body=$(curl -sS -w '\n%{http_code}' "http://$addr$path") || fail "curl $path"
+  code=${body##*$'\n'}
+  body=${body%$'\n'*}
+  [[ "$code" == "200" ]] || fail "$path returned HTTP $code: $body"
+  printf '%s' "$body"
+}
+
+curl_ok /healthz | check_json || fail "/healthz body is not JSON"
+
+build=$(curl_ok '/v1/build?net=hsn&l=3&nucleus=q2')
+printf '%s' "$build" | check_json || fail "/v1/build body is not JSON"
+printf '%s' "$build" | grep -q '"network":"HSN(3,Q2)"' || fail "/v1/build missing network name: $build"
+
+# A second request must be served from cache.
+curl_ok '/v1/build?net=hsn&l=3&nucleus=q2' | grep -q '"cached":true' \
+  || fail "second /v1/build was not a cache hit"
+
+curl_ok '/v1/metrics?net=hsn&l=3&nucleus=q2' | check_json || fail "/v1/metrics body is not JSON"
+
+metrics=$(curl_ok /metrics)
+printf '%s\n' "$metrics" | grep -q '^ipgd_cache_hits_total 2$' || fail "expected 2 cache hits, got: $(printf '%s\n' "$metrics" | grep ipgd_cache_hits_total)"
+printf '%s\n' "$metrics" | grep -q '^ipgd_cache_misses_total 1$' || fail "expected 1 cache miss"
+
+# An invalid parameter combination must be a 400.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/build?net=hypercube&nucleus=q4")
+[[ "$code" == "400" ]] || fail "invalid param combination returned HTTP $code, want 400"
+
+# Clean SIGTERM shutdown.
+kill -TERM "$pid"
+for _ in $(seq 1 50); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  fail "daemon still running 5s after SIGTERM"
+fi
+wait "$pid" 2>/dev/null || true
+pid=""
+grep -q 'shutting down, draining' "$log" || fail "no graceful-drain log line"
+
+echo "ipgd_smoke: OK"
