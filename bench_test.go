@@ -17,10 +17,13 @@ import (
 	"ipg/internal/ascend"
 	"ipg/internal/emul"
 	"ipg/internal/experiments"
+	"ipg/internal/graph"
 	"ipg/internal/netsim"
 	"ipg/internal/nucleus"
 	"ipg/internal/schedule"
 	"ipg/internal/superipg"
+	"ipg/internal/topo"
+	"ipg/internal/topology"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -407,6 +410,152 @@ func BenchmarkBFSMemoryFootprint(b *testing.B) {
 		}
 		b.ReportMetric(float64(bytes)/n, "bytes/vertex")
 	})
+}
+
+// benchFamilies4096 materializes the eight golden families at serving
+// scale (~4096 nodes) for the all-sources BFS benchmarks.
+func benchFamilies4096() []struct {
+	name string
+	g    *graph.Graph
+} {
+	q4 := func() *nucleus.Nucleus { return nucleus.Hypercube(4) }
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"HSN3Q4", superipg.HSN(3, q4()).MustBuild().Undirected()},
+		{"ringCN3Q4", superipg.RingCN(3, q4()).MustBuild().Undirected()},
+		{"completeCN3Q4", superipg.CompleteCN(3, q4()).MustBuild().Undirected()},
+		{"SFN3Q4", superipg.SFN(3, q4()).MustBuild().Undirected()},
+		{"Q12", topology.NewHypercube(12).G},
+		{"64ary2cube", topology.NewTorus(64, 2).G},
+		{"CCC9", topology.NewCCC(9).G},
+		{"WBF9", topology.NewButterfly(9).G},
+	}
+}
+
+// BenchmarkAllSourcesBFS measures one full all-sources distance sweep per
+// family three ways, all single-threaded so the numbers isolate kernel
+// effects from worker-pool parallelism:
+//
+//   - scalar: one BFSInto per source (the pre-PR kernel),
+//   - msbfs: 64-source batches through the bit-parallel kernel,
+//   - symmetry: a single source, valid only for the vertex-transitive
+//     families, where it already yields the exact diameter and average
+//     distance.
+//
+// scripts/bench_compare.sh turns these into the speedup ratios committed
+// in BENCH_PR4.json.
+func BenchmarkAllSourcesBFS(b *testing.B) {
+	for _, f := range benchFamilies4096() {
+		c := f.g.CSR()
+		n := c.N()
+		b.Run(f.name+"/scalar", func(b *testing.B) {
+			dist := make([]int32, n)
+			queue := make([]int32, 0, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var diam int32
+				for src := 0; src < n; src++ {
+					ecc, _ := c.BFSInto(src, dist, queue)
+					if ecc > diam {
+						diam = ecc
+					}
+				}
+				if diam <= 0 {
+					b.Fatal("bad diameter")
+				}
+			}
+		})
+		b.Run(f.name+"/msbfs", func(b *testing.B) {
+			s := topo.NewMSBFSScratch(n)
+			ecc := make([]int32, 64)
+			sum := make([]int64, 64)
+			srcs := make([]int32, 0, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var diam int32
+				for lo := 0; lo < n; lo += 64 {
+					hi := lo + 64
+					if hi > n {
+						hi = n
+					}
+					srcs = srcs[:0]
+					for v := lo; v < hi; v++ {
+						srcs = append(srcs, int32(v))
+					}
+					c.MSBFSInto(srcs, s, ecc, sum, nil)
+					for _, e := range ecc[:len(srcs)] {
+						if e > diam {
+							diam = e
+						}
+					}
+				}
+				if diam <= 0 {
+					b.Fatal("bad diameter")
+				}
+			}
+		})
+		if !f.g.VertexTransitive() {
+			continue
+		}
+		b.Run(f.name+"/symmetry", func(b *testing.B) {
+			dist := make([]int32, n)
+			queue := make([]int32, 0, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ecc, _ := c.BFSInto(0, dist, queue); ecc <= 0 {
+					b.Fatal("bad eccentricity")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetsimStepAllocs measures steady-state rounds of the packet
+// simulator under random uniform traffic on HSN(3,Q3); run with -benchmem
+// to see the per-round allocation budget the persistent phase and emit
+// closures buy.
+func BenchmarkNetsimStepAllocs(b *testing.B) {
+	w := superipg.HSN(3, nucleus.Hypercube(3))
+	g, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := netsim.BuildSuperIPG(w, g, 8.0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := netsim.New(net, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rngs := make([]*rand.Rand, net.N)
+	for u := range rngs {
+		rngs[u] = rand.New(rand.NewSource(1 + int64(u)*1_000_003))
+	}
+	sim.SetInjector(func(u int, _ int32, emit func(dst int32)) {
+		rng := rngs[u]
+		if rng.Float64() < 0.2 {
+			dst := int32(rng.Intn(net.N - 1))
+			if int(dst) >= u {
+				dst++
+			}
+			emit(dst)
+		}
+	})
+	for i := 0; i < 50; i++ { // fill the pipeline before measuring
+		if _, err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkTotalExchange512 runs a full total exchange on HSN(3,Q3).

@@ -1,0 +1,214 @@
+// Command benchratio turns `go test -bench` output for
+// BenchmarkAllSourcesBFS into the machine-independent speedup ratios
+// tracked in BENCH_PR4.json, and optionally gates them against a
+// checked-in baseline.
+//
+// Raw ns/op numbers vary by machine, so CI cannot compare them against a
+// committed file.  The *ratios* between kernels on the same machine and
+// graph — scalar/msbfs and scalar/symmetry — measure the algorithmic
+// speedup itself and are stable enough to gate on: a change that slows
+// the MSBFS kernel relative to the scalar one shrinks the ratio no matter
+// the hardware.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=AllSourcesBFS -benchtime=3x . | benchratio -out BENCH_PR4.json [-baseline scripts/bench_baseline_pr4.json]
+//
+// With -baseline the tool exits nonzero when any family's speedup falls
+// below the baseline's by more than the tolerance (default 15%).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FamilyRatios is one family's measured kernels and derived speedups.
+// Ns fields are informational (machine-dependent); Speedup fields are
+// what the baseline comparison gates on.
+type FamilyRatios struct {
+	ScalarNs      float64 `json:"scalar_ns"`
+	MSBFSNs       float64 `json:"msbfs_ns"`
+	MSBFSSpeedup  float64 `json:"msbfs_speedup"`
+	SymmetryNs    float64 `json:"symmetry_ns,omitempty"`
+	SymmetrySpeed float64 `json:"symmetry_speedup,omitempty"`
+}
+
+// Report is the top-level BENCH_PR4.json document.
+type Report struct {
+	Benchmark string                  `json:"benchmark"`
+	Note      string                  `json:"note"`
+	Families  map[string]FamilyRatios `json:"families"`
+}
+
+// parseBench extracts per-(family, kernel) ns/op from go-test bench
+// output lines of the form
+//
+//	BenchmarkAllSourcesBFS/HSN3Q4/scalar-8  3  325575935 ns/op
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		const prefix = "BenchmarkAllSourcesBFS/"
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		parts := strings.Split(strings.TrimPrefix(name, prefix), "/")
+		if len(parts) != 2 {
+			continue
+		}
+		family := parts[0]
+		kernel := parts[1]
+		// Strip the -GOMAXPROCS suffix go test appends.
+		if i := strings.LastIndex(kernel, "-"); i > 0 {
+			kernel = kernel[:i]
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchratio: bad ns/op %q in %q", fields[2], sc.Text())
+		}
+		if out[family] == nil {
+			out[family] = make(map[string]float64)
+		}
+		out[family][kernel] = ns
+	}
+	return out, sc.Err()
+}
+
+// buildReport derives speedup ratios from the parsed samples.
+func buildReport(samples map[string]map[string]float64) (*Report, error) {
+	rep := &Report{
+		Benchmark: "BenchmarkAllSourcesBFS",
+		Note:      "speedup fields are scalar_ns/<kernel>_ns on one machine and are the gated quantities; raw ns fields are informational",
+		Families:  make(map[string]FamilyRatios),
+	}
+	for family, kernels := range samples {
+		scalar, ok := kernels["scalar"]
+		if !ok || scalar <= 0 {
+			return nil, fmt.Errorf("benchratio: family %s has no scalar sample", family)
+		}
+		msbfs, ok := kernels["msbfs"]
+		if !ok || msbfs <= 0 {
+			return nil, fmt.Errorf("benchratio: family %s has no msbfs sample", family)
+		}
+		fr := FamilyRatios{
+			ScalarNs:     scalar,
+			MSBFSNs:      msbfs,
+			MSBFSSpeedup: round2(scalar / msbfs),
+		}
+		if sym, ok := kernels["symmetry"]; ok && sym > 0 {
+			fr.SymmetryNs = sym
+			fr.SymmetrySpeed = round2(scalar / sym)
+		}
+		rep.Families[family] = fr
+	}
+	if len(rep.Families) == 0 {
+		return nil, fmt.Errorf("benchratio: no BenchmarkAllSourcesBFS samples on stdin")
+	}
+	return rep, nil
+}
+
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}
+
+// compare gates rep against base: any family present in the baseline must
+// keep its speedups within tol of the baseline values.  Families new to
+// rep pass (the next baseline refresh picks them up); families missing
+// from rep fail, since a silently dropped benchmark must not pass CI.
+func compare(rep, base *Report, tol float64) []string {
+	var problems []string
+	names := make([]string, 0, len(base.Families))
+	for name := range base.Families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Families[name]
+		cur, ok := rep.Families[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("family %s is in the baseline but was not measured", name))
+			continue
+		}
+		if floor := b.MSBFSSpeedup * (1 - tol); cur.MSBFSSpeedup < floor {
+			problems = append(problems, fmt.Sprintf(
+				"family %s msbfs speedup %.2fx is below baseline %.2fx - %.0f%% = %.2fx",
+				name, cur.MSBFSSpeedup, b.MSBFSSpeedup, tol*100, floor))
+		}
+		if b.SymmetrySpeed > 0 {
+			if cur.SymmetrySpeed == 0 {
+				problems = append(problems, fmt.Sprintf("family %s lost its symmetry benchmark", name))
+			} else if floor := b.SymmetrySpeed * (1 - tol); cur.SymmetrySpeed < floor {
+				problems = append(problems, fmt.Sprintf(
+					"family %s symmetry speedup %.0fx is below baseline %.0fx - %.0f%% = %.0fx",
+					name, cur.SymmetrySpeed, b.SymmetrySpeed, tol*100, floor))
+			}
+		}
+	}
+	return problems
+}
+
+func run(in io.Reader, outPath, baselinePath string, tol float64) error {
+	samples, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	rep, err := buildReport(samples)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchratio: bad baseline %s: %w", baselinePath, err)
+	}
+	if problems := compare(rep, &base, tol); len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchratio: FAIL:", p)
+		}
+		return fmt.Errorf("benchratio: %d speedup regression(s) vs %s", len(problems), baselinePath)
+	}
+	fmt.Fprintf(os.Stderr, "benchratio: %d families within %.0f%% of baseline speedups\n", len(base.Families), tol*100)
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "", "write the ratio report JSON here (default stdout)")
+	baseline := flag.String("baseline", "", "baseline report to gate speedups against")
+	tol := flag.Float64("tol", 0.15, "allowed fractional speedup regression vs baseline")
+	flag.Parse()
+	if err := run(os.Stdin, *out, *baseline, *tol); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

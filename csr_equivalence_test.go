@@ -7,6 +7,7 @@ import (
 	"ipg/internal/graph"
 	"ipg/internal/nucleus"
 	"ipg/internal/superipg"
+	"ipg/internal/topo"
 	"ipg/internal/topology"
 )
 
@@ -115,6 +116,52 @@ func TestCSREquivalenceGoldens(t *testing.T) {
 			_, cut := g.BestBisection(rand.New(rand.NewSource(7)), 3, 50)
 			if cut != tc.bisectionCut {
 				t.Errorf("BestBisection cut = %d, want %d", cut, tc.bisectionCut)
+			}
+		})
+	}
+}
+
+// TestMSBFSMatchesScalarGoldens runs the bit-parallel multi-source BFS
+// over every source of all eight golden families and checks each lane's
+// eccentricity, distance sum, and full distance vector against the scalar
+// kernel, bit for bit.  Together with the random-graph property test in
+// internal/topo this pins the batched kernel to the scalar contract on
+// the exact graphs the reproduction serves.
+func TestMSBFSMatchesScalarGoldens(t *testing.T) {
+	for _, tc := range csrGoldens() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.build().CSR()
+			n := c.N()
+			s := topo.NewMSBFSScratch(n)
+			scalarDist := make([]int32, n)
+			queue := make([]int32, 0, n)
+			ecc := make([]int32, 64)
+			sum := make([]int64, 64)
+			dist := make([]int32, 64*n)
+			srcs := make([]int32, 0, 64)
+			for lo := 0; lo < n; lo += 64 {
+				hi := lo + 64
+				if hi > n {
+					hi = n
+				}
+				srcs = srcs[:0]
+				for v := lo; v < hi; v++ {
+					srcs = append(srcs, int32(v))
+				}
+				c.MSBFSInto(srcs, s, ecc, sum, dist)
+				for i, src := range srcs {
+					wantEcc, wantSum := c.BFSInto(int(src), scalarDist, queue)
+					if ecc[i] != wantEcc || sum[i] != wantSum {
+						t.Fatalf("src %d: msbfs ecc=%d sum=%d, scalar ecc=%d sum=%d",
+							src, ecc[i], sum[i], wantEcc, wantSum)
+					}
+					for v := 0; v < n; v++ {
+						if dist[i*n+v] != scalarDist[v] {
+							t.Fatalf("src %d: dist[%d] = %d, scalar %d", src, v, dist[i*n+v], scalarDist[v])
+						}
+					}
+				}
 			}
 		})
 	}

@@ -33,7 +33,24 @@ type Graph struct {
 	// finalizes them into csr.
 	eu, ev []int32
 	eset   map[uint64]struct{}
+
+	// vt records that the construction proved vertex-transitivity (see
+	// MarkVertexTransitive); any mutation clears it.
+	vt bool
 }
+
+// MarkVertexTransitive records that the graph is vertex-transitive — its
+// automorphism group acts transitively on vertices, so every vertex has
+// the same eccentricity and distance multiset.  Only family builders whose
+// construction proves transitivity (the Cayley families: hypercubes, tori,
+// generalized hypercubes, CCC, wrapped butterflies, and their Cartesian
+// products) may call this; the parallel metric entry points then collapse
+// the all-sources sweep to a single BFS.  AddEdge clears the mark.
+func (g *Graph) MarkVertexTransitive() { g.vt = true }
+
+// VertexTransitive reports whether the graph was marked vertex-transitive
+// by its builder (the topo.Symmetric capability).
+func (g *Graph) VertexTransitive() bool { return g.vt }
 
 // MaxVertices is the largest vertex count the int32 adjacency storage can
 // address.  Super-IPG configurations beyond this must be sharded before
@@ -167,7 +184,8 @@ func (g *Graph) AddEdge(u, v int) bool {
 	g.eu = append(g.eu, int32(u))
 	g.ev = append(g.ev, int32(v))
 	g.m++
-	g.csr = nil // invalidate the finalized view
+	g.csr = nil  // invalidate the finalized view
+	g.vt = false // transitivity was proven for the unmutated construction
 	return true
 }
 
@@ -329,7 +347,7 @@ func (g *Graph) DiameterFromSample(srcs []int) int {
 func CartesianProduct(g, h *Graph) *Graph {
 	gc, hc := g.ensure(), h.ensure()
 	nh := h.N()
-	return FromStream(g.N()*nh, func(edge func(u, v int)) {
+	out := FromStream(g.N()*nh, func(edge func(u, v int)) {
 		for u := 0; u < g.N(); u++ {
 			for v := 0; v < nh; v++ {
 				id := u*nh + v
@@ -342,12 +360,19 @@ func CartesianProduct(g, h *Graph) *Graph {
 			}
 		}
 	})
+	// The product of vertex-transitive graphs is vertex-transitive: the
+	// automorphism groups act independently on the coordinates.
+	if g.vt && h.vt {
+		out.MarkVertexTransitive()
+	}
+	return out
 }
 
 // Power returns the p-th Cartesian power of g (the homogeneous product
 // network HPN(p, g) of Efe & Fernandez).  Power(0) is a single vertex.
 func Power(g *Graph, p int) *Graph {
 	out := New(1)
+	out.MarkVertexTransitive() // K1 is trivially vertex-transitive
 	for i := 0; i < p; i++ {
 		out = CartesianProduct(out, g)
 	}

@@ -5,46 +5,74 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"ipg/internal/topo"
 )
 
 // This file parallelizes the all-sources distance computations (diameter,
-// average distance) that dominate the metric experiments: BFS from
-// different sources is embarrassingly parallel, so sources are distributed
-// over a worker pool.
+// average distance) that dominate the metric experiments.  Sources are
+// processed 64 at a time by the bit-parallel multi-source BFS kernel
+// (topo.MSBFSInto), and the batches are distributed over a worker pool:
+// compared with one scalar BFS per source this shares every arena scan
+// across the whole batch, which is where the per-family speedups reported
+// in EXPERIMENTS.md come from.
+//
+// Vertex-transitive graphs (marked by the family builders through
+// MarkVertexTransitive) collapse further: every vertex has the same
+// eccentricity and distance sum, so one scalar BFS from vertex 0 yields
+// the exact diameter and average distance.  The serial Diameter and
+// AverageDistance deliberately keep the full all-sources sweep, so the
+// existing parallel-equals-serial tests double as a symmetry cross-check.
 //
 // Every entry point has a context-aware variant (DiameterParallelCtx,
 // AverageDistanceParallelCtx) used by the serving layer to enforce
-// per-request deadlines: each worker re-checks the context between BFS
-// sources, i.e. after every N vertices of traversal work, so cancellation
-// latency is bounded by one BFS rather than the whole all-pairs loop.
+// per-request deadlines: each worker re-checks the context between
+// batches, so cancellation latency is bounded by one 64-source batch
+// rather than the whole all-pairs loop.
 
-// parallelSources runs fn(src, scratch) for every source in [0, n) on
-// GOMAXPROCS workers; each worker owns one scratch distance buffer.  The
-// CSR is finalized before workers spawn so they only ever read it.
-func (g *Graph) parallelSources(fn func(src int, dist []int32, queue []int32)) {
-	// Background is never cancelled, so the error can be ignored.
-	_ = g.parallelSourcesCtx(context.Background(), fn)
-}
+// batchSize is the MSBFS lane width: one bit per source in a uint64 word.
+const batchSize = 64
 
-// parallelSourcesCtx is parallelSources with cooperative cancellation: the
-// source-dispensing loop in every worker checks ctx between sources and
-// stops early when it is done.  Sources already dispatched finish their
-// BFS; the function then returns ctx's error.
-func (g *Graph) parallelSourcesCtx(ctx context.Context, fn func(src int, dist []int32, queue []int32)) error {
-	g.ensure()
+// parallelBatchesCtx partitions [0, n) into 64-source batches, runs the
+// multi-source BFS kernel on each over a GOMAXPROCS worker pool, and
+// hands every batch's eccentricities and distance sums to merge.  Workers
+// check ctx between batches and stop early when it is cancelled; batches
+// already dispatched finish, and the function returns ctx's error.
+// Traversal scratch comes from the shared topo pool, so repeated metric
+// builds allocate O(1) at steady state.
+func (g *Graph) parallelBatchesCtx(ctx context.Context, merge func(srcs []int32, ecc []int32, sum []int64)) error {
+	c := g.ensure()
 	n := g.N()
+	batches := (n + batchSize - 1) / batchSize
+	run := func(b int, srcs []int32, s *topo.Scratch, ecc []int32, sum []int64) {
+		lo := b * batchSize
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		srcs = srcs[:0]
+		for v := lo; v < hi; v++ {
+			//lint:ignore indextrunc v < n, which NewChecked bounds to MaxVertices (math.MaxInt32)
+			srcs = append(srcs, int32(v))
+		}
+		c.MSBFSInto(srcs, s.MS(n), ecc[:len(srcs)], sum[:len(srcs)], nil)
+		merge(srcs, ecc[:len(srcs)], sum[:len(srcs)])
+	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if workers > batches {
+		workers = batches
 	}
 	if workers <= 1 {
-		dist := make([]int32, n)
-		queue := make([]int32, 0, n)
-		for src := 0; src < n; src++ {
+		s := topo.GetScratch(n)
+		defer topo.PutScratch(s)
+		srcs := make([]int32, 0, batchSize)
+		ecc := make([]int32, batchSize)
+		sum := make([]int64, batchSize)
+		for b := 0; b < batches; b++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(src, dist, queue)
+			run(b, srcs, s, ecc, sum)
 		}
 		return nil
 	}
@@ -54,14 +82,17 @@ func (g *Graph) parallelSourcesCtx(ctx context.Context, fn func(src int, dist []
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			dist := make([]int32, n)
-			queue := make([]int32, 0, n)
+			s := topo.GetScratch(n)
+			defer topo.PutScratch(s)
+			srcs := make([]int32, 0, batchSize)
+			ecc := make([]int32, batchSize)
+			sum := make([]int64, batchSize)
 			for ctx.Err() == nil {
-				src := int(atomic.AddInt64(&next, 1))
-				if src >= n {
+				b := int(atomic.AddInt64(&next, 1))
+				if b >= batches {
 					return
 				}
-				fn(src, dist, queue)
+				run(b, srcs, s, ecc, sum)
 			}
 		}()
 	}
@@ -69,41 +100,56 @@ func (g *Graph) parallelSourcesCtx(ctx context.Context, fn func(src int, dist []
 	return ctx.Err()
 }
 
-// bfsInto runs BFS from src into the caller-owned buffers and returns the
-// eccentricity and the sum of distances, or ecc = -1 if disconnected.  It
-// is the shared CSR kernel in internal/topo.
-func (g *Graph) bfsInto(src int, dist []int32, queue []int32) (ecc int32, sum int64) {
-	return g.ensure().BFSInto(src, dist, queue)
+// singleSourceCtx runs one pooled scalar BFS from vertex 0 — the
+// vertex-transitive shortcut shared by both metric entry points.
+func (g *Graph) singleSourceCtx(ctx context.Context) (ecc int32, sum int64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	c := g.ensure()
+	s := topo.GetScratch(g.N())
+	defer topo.PutScratch(s)
+	ecc, sum = c.BFSInto(0, s.Dist, s.Queue)
+	return ecc, sum, nil
 }
 
-// DiameterParallel computes the exact diameter with source-parallel BFS.
-// It returns -1 for disconnected graphs.
+// DiameterParallel computes the exact diameter with batched
+// source-parallel BFS.  It returns -1 for disconnected graphs.
 func (g *Graph) DiameterParallel() int {
 	d, _ := g.DiameterParallelCtx(context.Background())
 	return d
 }
 
 // DiameterParallelCtx is DiameterParallel under a context deadline: it
-// returns ctx's error if cancelled before all sources complete, checking
-// between BFS sources (every N vertices of work).
+// returns ctx's error if cancelled before all batches complete, checking
+// between 64-source batches.  Vertex-transitive graphs take the
+// single-source shortcut (every eccentricity is equal, so ecc(0) is the
+// diameter).
 func (g *Graph) DiameterParallelCtx(ctx context.Context) (int, error) {
 	if g.N() == 0 {
 		return 0, nil
 	}
+	if g.vt {
+		ecc, _, err := g.singleSourceCtx(ctx)
+		if err != nil {
+			return 0, err
+		}
+		return int(ecc), nil
+	}
 	var diam int64
 	var disconnected int64
-	err := g.parallelSourcesCtx(ctx, func(src int, dist []int32, queue []int32) {
-		ecc, _ := g.bfsInto(src, dist, queue)
-		if ecc < 0 {
-			atomic.StoreInt64(&disconnected, 1)
-			return
-		}
-		for {
-			cur := atomic.LoadInt64(&diam)
-			if int64(ecc) <= cur || atomic.CompareAndSwapInt64(&diam, cur, int64(ecc)) {
+	err := g.parallelBatchesCtx(ctx, func(_ []int32, ecc []int32, _ []int64) {
+		var batchMax int64
+		for _, e := range ecc {
+			if e < 0 {
+				atomic.StoreInt64(&disconnected, 1)
 				return
 			}
+			if int64(e) > batchMax {
+				batchMax = int64(e)
+			}
 		}
+		topo.AtomicMaxInt64(&diam, batchMax)
 	})
 	if err != nil {
 		return 0, err
@@ -115,7 +161,7 @@ func (g *Graph) DiameterParallelCtx(ctx context.Context) (int, error) {
 }
 
 // AverageDistanceParallel computes the mean distance over all ordered
-// pairs (including self pairs) with source-parallel BFS; -1 if
+// pairs (including self pairs) with batched source-parallel BFS; -1 if
 // disconnected.
 func (g *Graph) AverageDistanceParallel() float64 {
 	avg, _ := g.AverageDistanceParallelCtx(context.Background())
@@ -124,21 +170,38 @@ func (g *Graph) AverageDistanceParallel() float64 {
 
 // AverageDistanceParallelCtx is AverageDistanceParallel under a context
 // deadline, with the same cancellation granularity as
-// DiameterParallelCtx.
+// DiameterParallelCtx.  Vertex-transitive graphs take the single-source
+// shortcut: every per-source distance sum is equal, so n * sum(0) is the
+// all-pairs total — the same int64 value the full sweep accumulates, so
+// the final division is bit-identical to the serial result.
 func (g *Graph) AverageDistanceParallelCtx(ctx context.Context) (float64, error) {
 	n := g.N()
 	if n == 0 {
 		return 0, nil
 	}
+	if g.vt {
+		ecc, sum, err := g.singleSourceCtx(ctx)
+		if err != nil {
+			return 0, err
+		}
+		if ecc < 0 {
+			return -1, nil
+		}
+		total := sum * int64(n)
+		return float64(total) / float64(n) / float64(n), nil
+	}
 	var total int64
 	var disconnected int64
-	err := g.parallelSourcesCtx(ctx, func(src int, dist []int32, queue []int32) {
-		ecc, sum := g.bfsInto(src, dist, queue)
-		if ecc < 0 {
-			atomic.StoreInt64(&disconnected, 1)
-			return
+	err := g.parallelBatchesCtx(ctx, func(_ []int32, ecc []int32, sum []int64) {
+		var batchTotal int64
+		for i, e := range ecc {
+			if e < 0 {
+				atomic.StoreInt64(&disconnected, 1)
+				return
+			}
+			batchTotal += sum[i]
 		}
-		atomic.AddInt64(&total, sum)
+		atomic.AddInt64(&total, batchTotal)
 	})
 	if err != nil {
 		return 0, err

@@ -19,6 +19,9 @@
 //   - adjbuild:      [][]int32 adjacency lists spelled outside the topology
 //     core (internal/graph, internal/topo), which must stay the single
 //     CSR-backed representation of the graph.
+//   - scratchalloc:  per-request []int32/[]uint64 traversal scratch
+//     allocated inside serve handlers instead of drawing on the shared
+//     topo.GetScratch / PutScratch buffer pool.
 //
 // Findings can be suppressed with an inline directive:
 //
@@ -86,7 +89,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{PermAlias, IndexTrunc, GoroutineLeak, ErrDrop, AdjBuild}
+	return []*Analyzer{PermAlias, IndexTrunc, GoroutineLeak, ErrDrop, AdjBuild, ScratchAlloc}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.

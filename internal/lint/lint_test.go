@@ -124,6 +124,10 @@ func TestAdjBuildFixture(t *testing.T) {
 	runFixture(t, "adjbuild", []*Analyzer{AdjBuild})
 }
 
+func TestScratchAllocFixture(t *testing.T) {
+	runFixture(t, "scratchalloc", []*Analyzer{ScratchAlloc})
+}
+
 // TestIgnoreFixture proves the //lint:ignore and //lint:file-ignore
 // directives suppress findings from the full suite, and that malformed
 // directives are reported instead of silently doing nothing.

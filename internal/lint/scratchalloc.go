@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ScratchAlloc flags per-request traversal-scratch allocations in serving
+// handlers: a `make([]int32, ...)` or `make([]uint64, ...)` inside a
+// request handler allocates a distance vector, queue, or frontier bitmap
+// on every request, which is exactly the allocation class the shared
+// topo.GetScratch / PutScratch pool exists to absorb.  At serving
+// concurrency these per-request O(N) buffers dominate the allocation
+// profile and put the GC on the request path.
+//
+// A function counts as a request handler when its name starts with
+// "handle"/"Handle" or when it takes an *http.Request or
+// http.ResponseWriter parameter.  Allocations that genuinely must be
+// fresh per request (e.g. a response-owned slice that outlives the
+// handler) are suppressed with a lint:ignore directive and a reason.
+var ScratchAlloc = &Analyzer{
+	Name: "scratchalloc",
+	Doc:  "per-request []int32/[]uint64 scratch allocated in a serve handler instead of the topo buffer pool",
+	Run:  runScratchAlloc,
+}
+
+// isRequestHandler reports whether fd is a request-serving entry point by
+// name or by signature.
+func isRequestHandler(fd *ast.FuncDecl) bool {
+	if strings.HasPrefix(fd.Name.Name, "handle") || strings.HasPrefix(fd.Name.Name, "Handle") {
+		return true
+	}
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := field.Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		sel, ok := t.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if x, ok := sel.X.(*ast.Ident); ok && x.Name == "http" &&
+			(sel.Sel.Name == "Request" || sel.Sel.Name == "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}
+
+func runScratchAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isRequestHandler(fd) {
+				continue
+			}
+			// Closures nested in the handler body still run per request,
+			// so the walk deliberately descends into FuncLits.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "make" || len(call.Args) < 2 {
+					return true
+				}
+				at, ok := call.Args[0].(*ast.ArrayType)
+				if !ok || at.Len != nil {
+					return true
+				}
+				elt, ok := at.Elt.(*ast.Ident)
+				if !ok || (elt.Name != "int32" && elt.Name != "uint64") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"per-request make([]%s, ...) in handler %s; traversal scratch belongs in the topo.GetScratch/PutScratch pool",
+					elt.Name, fd.Name.Name)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package scratchalloc is a fixture for the scratchalloc analyzer.  Lines
+// expecting a diagnostic carry a want comment with a message pattern.
+package scratchalloc
+
+import "net/http"
+
+// handleRoute is a handler by name: its distance vector and frontier
+// bitmap belong in the shared buffer pool.
+func handleRoute(n int) []int32 {
+	dist := make([]int32, n)      // want "topo.GetScratch"
+	_ = make([]uint64, (n+63)/64) // want "topo.GetScratch"
+	queue := make([]int32, 0, n)  // want "topo.GetScratch"
+	_ = queue
+	return dist
+}
+
+// ServeMetrics is a handler by signature (http params), regardless of name.
+func ServeMetrics(w http.ResponseWriter, r *http.Request, n int) {
+	_ = make([]int32, n) // want "topo.GetScratch"
+}
+
+// handlerClosure shows that closures inside a handler body are still on
+// the request path.
+func handleSim(n int) func() []int32 {
+	return func() []int32 {
+		return make([]int32, n) // want "topo.GetScratch"
+	}
+}
+
+// buildTable is NOT a handler: construction-time allocation is fine.
+func buildTable(n int) []int32 {
+	return make([]int32, n)
+}
+
+// handleOtherTypes leaves non-scratch element types alone ([]byte response
+// bodies, []int index sets).
+func handleOtherTypes(n int) {
+	_ = make([]byte, n)
+	_ = make([]int, n)
+	_ = make([]int64, n)
+}
+
+// handleFixedOK leaves non-slice makes and fixed arrays alone.
+func handleFixedOK() {
+	_ = make(map[int32]int32)
+	_ = make(chan int32, 4)
+}
+
+// handleSuppressed shows the escape hatch for a response-owned slice.
+func handleSuppressed(n int) []int32 {
+	//lint:ignore scratchalloc the mapped ids are the response payload, not scratch
+	out := make([]int32, n)
+	return out
+}

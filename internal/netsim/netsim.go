@@ -143,6 +143,22 @@ type Sim struct {
 	stats   Stats
 	workers int
 
+	// Persistent parallelism state: the node ranges are fixed at New, and
+	// the per-range worker closures plus the two phase closures are
+	// created once, so Step allocates nothing for its fan-out.  curPhase
+	// is written between phases (single-threaded points) and only read by
+	// the workers.
+	ranges    [][2]int
+	workerFns []func()
+	phaseAFn  func(lo, hi int)
+	phaseBFn  func(lo, hi int)
+	curPhase  func(lo, hi int)
+	wg        sync.WaitGroup
+
+	// emitFns holds one persistent injection closure per node, replacing
+	// the per-node-per-round closure the injector used to receive.
+	emitFns []func(dst int32)
+
 	// Livelock detection: with fractional link capacities, rounds where
 	// nothing moves are legitimate while credits accumulate; only a streak
 	// longer than the slowest link's refill period indicates a stuck
@@ -236,12 +252,53 @@ func New(net *Network, seed int64) (*Sim, error) {
 	if net.SinglePort {
 		s.rrPort = make([]int, net.N)
 	}
+	chunk := (net.N + s.workers - 1) / s.workers
+	for lo := 0; lo < net.N; lo += chunk {
+		hi := lo + chunk
+		if hi > net.N {
+			hi = net.N
+		}
+		s.ranges = append(s.ranges, [2]int{lo, hi})
+	}
+	s.workerFns = make([]func(), len(s.ranges))
+	for i, r := range s.ranges {
+		lo, hi := r[0], r[1]
+		s.workerFns[i] = func() {
+			defer s.wg.Done()
+			s.curPhase(lo, hi)
+		}
+	}
+	s.phaseAFn = s.phaseA
+	s.phaseBFn = s.phaseB
 	return s, nil
 }
 
-// SetInjector installs the per-round traffic source.
+// SetInjector installs the per-round traffic source.  The emit closures
+// handed to fn are built here, one per node for the life of the Sim, so
+// phase B hands out a stored closure instead of allocating one per node
+// per round.
 func (s *Sim) SetInjector(fn func(u int, round int32, emit func(dst int32))) {
 	s.injectFn = fn
+	if fn == nil || s.emitFns != nil {
+		return
+	}
+	s.emitFns = make([]func(dst int32), s.Net.N)
+	for u := range s.emitFns {
+		u := u
+		s.emitFns[u] = func(dst int32) { s.emitAt(u, dst) }
+	}
+}
+
+// emitAt enqueues one injected packet at node v for the round phase B is
+// currently processing (s.round is stable for the whole phase; the packet
+// is born in round s.round+1, matching arrival accounting).
+func (s *Sim) emitAt(v int, dst int32) {
+	if int(dst) == v {
+		return
+	}
+	p := s.routePort(v, dst)
+	s.queues[v][p] = append(s.queues[v][p], Packet{Dst: dst, Born: s.round + 1})
+	s.perNode[v].injected++
 }
 
 // EnableLatencyHistogram starts recording per-packet delivery latencies in
@@ -301,27 +358,113 @@ func (s *Sim) Enqueue(u int, dst int32) error {
 	return nil
 }
 
-// parallelNodes runs fn over node ranges on the worker pool.
+// parallelNodes runs fn over the fixed node ranges on the worker pool.
+// The worker closures are the persistent ones built in New; the spawned
+// goroutines are joined by wg.Wait before return.
 func (s *Sim) parallelNodes(fn func(lo, hi int)) {
-	n := s.Net.N
-	if s.workers == 1 {
-		fn(0, n)
+	if len(s.ranges) <= 1 {
+		fn(0, s.Net.N)
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (n + s.workers - 1) / s.workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+	s.curPhase = fn
+	s.wg.Add(len(s.workerFns))
+	for _, w := range s.workerFns {
+		go w()
 	}
-	wg.Wait()
+	s.wg.Wait()
+}
+
+// phaseA pops up to capacity from each source queue in [lo, hi) into its
+// outboxes.
+func (s *Sim) phaseA(lo, hi int) {
+	net := s.Net
+	for u := lo; u < hi; u++ {
+		if net.SinglePort {
+			s.singlePortPhaseA(u)
+			continue
+		}
+		for p := range s.queues[u] {
+			q := s.queues[u][p]
+			head := s.qhead[u][p]
+			avail := len(q) - head
+			if avail == 0 {
+				s.outbox[u][p] = s.outbox[u][p][:0]
+				continue
+			}
+			cap := net.Ports.Cap(u, p)
+			var take int
+			if cap >= float64(avail) {
+				take = avail
+			} else {
+				// Token bucket: credits accumulate across idle rounds
+				// up to one round's worth plus one packet.
+				s.credits[u][p] += cap
+				if limit := cap + 1; s.credits[u][p] > limit {
+					s.credits[u][p] = limit
+				}
+				take = int(s.credits[u][p])
+				if take > avail {
+					take = avail
+				}
+				s.credits[u][p] -= float64(take)
+			}
+			s.outbox[u][p] = append(s.outbox[u][p][:0], q[head:head+take]...)
+			head += take
+			if head == len(q) {
+				s.queues[u][p] = q[:0]
+				s.qhead[u][p] = 0
+			} else {
+				s.qhead[u][p] = head
+				if head > 4096 && head*2 > len(q) {
+					s.queues[u][p] = append(s.queues[u][p][:0], q[head:]...)
+					s.qhead[u][p] = 0
+				}
+			}
+		}
+	}
+}
+
+// phaseB routes arrivals and injections into destination nodes [lo, hi).
+// s.round is stable for the whole phase (incremented only after the join
+// in Step), so reading it here is race-free.
+func (s *Sim) phaseB(lo, hi int) {
+	net := s.Net
+	round := s.round
+	for v := lo; v < hi; v++ {
+		ls := &s.perNode[v]
+		for _, il := range s.inLinks[v] {
+			box := s.outbox[il.src][il.port]
+			if len(box) == 0 {
+				continue
+			}
+			//lint:ignore indextrunc v < net.N, which New bounds via checkNodeCount
+			off := net.offChip(il.src, int32(v))
+			for _, pkt := range box {
+				ls.hops++
+				if off {
+					ls.offchip++
+				}
+				if int(pkt.Dst) == v {
+					ls.delivered++
+					lat := int64(round + 1 - pkt.Born)
+					ls.latency += lat
+					if ls.hist != nil {
+						b := int(lat)
+						if b >= len(ls.hist) {
+							b = len(ls.hist) - 1
+						}
+						ls.hist[b]++
+					}
+					continue
+				}
+				p := s.routePort(v, pkt.Dst)
+				s.queues[v][p] = append(s.queues[v][p], pkt)
+			}
+		}
+		if s.injectFn != nil {
+			s.injectFn(v, round+1, s.emitFns[v])
+		}
+	}
 }
 
 // Step advances the simulation one round.  It returns the number of
@@ -330,98 +473,9 @@ func (s *Sim) parallelNodes(fn func(lo, hi int)) {
 func (s *Sim) Step() (int, error) {
 	net := s.Net
 	// Phase A: pop up to capacity from each source queue into outboxes.
-	s.parallelNodes(func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			if net.SinglePort {
-				s.singlePortPhaseA(u)
-				continue
-			}
-			for p := range s.queues[u] {
-				q := s.queues[u][p]
-				head := s.qhead[u][p]
-				avail := len(q) - head
-				if avail == 0 {
-					s.outbox[u][p] = s.outbox[u][p][:0]
-					continue
-				}
-				cap := net.Ports.Cap(u, p)
-				var take int
-				if cap >= float64(avail) {
-					take = avail
-				} else {
-					// Token bucket: credits accumulate across idle rounds
-					// up to one round's worth plus one packet.
-					s.credits[u][p] += cap
-					if limit := cap + 1; s.credits[u][p] > limit {
-						s.credits[u][p] = limit
-					}
-					take = int(s.credits[u][p])
-					if take > avail {
-						take = avail
-					}
-					s.credits[u][p] -= float64(take)
-				}
-				s.outbox[u][p] = append(s.outbox[u][p][:0], q[head:head+take]...)
-				head += take
-				if head == len(q) {
-					s.queues[u][p] = q[:0]
-					s.qhead[u][p] = 0
-				} else {
-					s.qhead[u][p] = head
-					if head > 4096 && head*2 > len(q) {
-						s.queues[u][p] = append(s.queues[u][p][:0], q[head:]...)
-						s.qhead[u][p] = 0
-					}
-				}
-			}
-		}
-	})
+	s.parallelNodes(s.phaseAFn)
 	// Phase B: arrivals and injections, sharded by destination node.
-	round := s.round
-	s.parallelNodes(func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			ls := &s.perNode[v]
-			for _, il := range s.inLinks[v] {
-				box := s.outbox[il.src][il.port]
-				if len(box) == 0 {
-					continue
-				}
-				//lint:ignore indextrunc v < net.N, which New bounds via checkNodeCount
-				off := net.offChip(il.src, int32(v))
-				for _, pkt := range box {
-					ls.hops++
-					if off {
-						ls.offchip++
-					}
-					if int(pkt.Dst) == v {
-						ls.delivered++
-						lat := int64(round + 1 - pkt.Born)
-						ls.latency += lat
-						if ls.hist != nil {
-							b := int(lat)
-							if b >= len(ls.hist) {
-								b = len(ls.hist) - 1
-							}
-							ls.hist[b]++
-						}
-						continue
-					}
-					p := s.routePort(v, pkt.Dst)
-					s.queues[v][p] = append(s.queues[v][p], pkt)
-				}
-			}
-			if s.injectFn != nil {
-				s.injectFn(v, round+1, func(dst int32) {
-					if int(dst) == v {
-						return
-					}
-					p := s.routePort(v, dst)
-					s.queues[v][p] = append(s.queues[v][p], Packet{Dst: dst, Born: round + 1})
-					ls.injected++
-				})
-			}
-		}
-	})
+	s.parallelNodes(s.phaseBFn)
 	s.round++
 	s.stats.Rounds++
 	moved := 0

@@ -2,6 +2,9 @@ package netsim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ipg/internal/ipg"
 	"ipg/internal/superipg"
@@ -183,7 +186,14 @@ type TableRouter struct {
 	table []int16
 }
 
-// NewTableRouter builds the table (O(N^2) memory, O(N*E) time).
+// NewTableRouter builds the table (O(N^2) memory, O(N*E) time).  The
+// reverse adjacency is a flat count-then-fill arena (no per-node slice
+// headers), and the per-destination reverse BFS runs destination-parallel
+// over a worker pool: each destination writes only its own table column,
+// so workers never touch the same entries.  Discovery order within each
+// BFS — source ascending, then port ascending — is identical to the
+// serial build, so the minimal-port tie-breaks and therefore the table
+// are bit-identical, worker count notwithstanding.
 func NewTableRouter(net *Network) (*TableRouter, error) {
 	n := net.N
 	if err := checkNodeCount(n); err != nil {
@@ -196,43 +206,95 @@ func NewTableRouter(net *Network) (*TableRouter, error) {
 	for i := range tr.table {
 		tr.table[i] = -1
 	}
-	// Reverse adjacency with originating port.
-	type rev struct {
-		src  int32
-		port int16
+	// Reverse adjacency with originating port, as flat arenas: the
+	// reverse arcs into v are (revSrc[i], revPort[i]) for i in
+	// [revOff[v], revOff[v+1]), in (source asc, port asc) order because
+	// both passes iterate sources then ports ascending.
+	revOff := make([]uint32, n+1)
+	for u := 0; u < n; u++ {
+		for _, v := range net.Ports.PortRow(u) {
+			if v >= 0 && int(v) != u {
+				revOff[v+1]++
+			}
+		}
 	}
-	radj := make([][]rev, n)
+	for v := 0; v < n; v++ {
+		revOff[v+1] += revOff[v]
+	}
+	revSrc := make([]int32, revOff[n])
+	revPort := make([]int16, revOff[n])
+	cursor := make([]uint32, n)
+	copy(cursor, revOff[:n])
 	for u := 0; u < n; u++ {
 		for p, v := range net.Ports.PortRow(u) {
 			if v >= 0 && int(v) != u {
-				radj[v] = append(radj[v], rev{src: int32(u), port: int16(p)})
+				i := cursor[v]
+				//lint:ignore indextrunc u < n, which checkNodeCount bounds to MaxInt32
+				revSrc[i] = int32(u)
+				revPort[i] = int16(p)
+				cursor[v] = i + 1
 			}
 		}
 	}
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
-	for dst := 0; dst < n; dst++ {
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[dst] = 0
-		queue = queue[:0]
-		queue = append(queue, int32(dst))
-		for qi := 0; qi < len(queue); qi++ {
-			v := queue[qi]
-			for _, e := range radj[v] {
-				if dist[e.src] < 0 {
-					dist[e.src] = dist[v] + 1
-					tr.table[int(e.src)*n+dst] = e.port
-					queue = append(queue, e.src)
+
+	var firstErr error
+	var errMu sync.Mutex
+	var next int64 = -1
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := topo.GetScratch(n)
+			defer topo.PutScratch(s)
+			dist := s.Dist
+			queue := s.Queue
+			for {
+				dst := int(atomic.AddInt64(&next, 1))
+				if dst >= n {
+					return
+				}
+				for i := range dist {
+					dist[i] = -1
+				}
+				dist[dst] = 0
+				queue = queue[:0]
+				//lint:ignore indextrunc dst < n, which checkNodeCount bounds to MaxInt32
+				queue = append(queue, int32(dst))
+				for qi := 0; qi < len(queue); qi++ {
+					v := queue[qi]
+					for i := revOff[v]; i < revOff[v+1]; i++ {
+						u := revSrc[i]
+						if dist[u] < 0 {
+							dist[u] = dist[v] + 1
+							tr.table[int(u)*n+dst] = revPort[i]
+							queue = append(queue, u)
+						}
+					}
+				}
+				for u := 0; u < n; u++ {
+					if dist[u] < 0 {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("netsim: network disconnected (node %d cannot reach %d)", u, dst)
+						}
+						errMu.Unlock()
+						break
+					}
 				}
 			}
-		}
-		for u := 0; u < n; u++ {
-			if dist[u] < 0 {
-				return nil, fmt.Errorf("netsim: network disconnected (node %d cannot reach %d)", u, dst)
-			}
-		}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return tr, nil
 }

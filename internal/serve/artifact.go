@@ -43,6 +43,11 @@ type Artifact struct {
 	diam   *int          // memoized exact diameter (successful computations only)
 	superM *SuperMetrics // memoized super-IPG metrics block
 
+	// metricsJSON memoizes the encoded /v1/metrics body, one slot per
+	// withDiameter variant, so warm requests are a single Write with no
+	// document assembly or JSON encoding.
+	metricsJSON [2][]byte
+
 	simNet    *netsim.Network // memoized simulation network (see SimNetwork)
 	simCapVal float64
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ipg/internal/netsim"
+	"ipg/internal/topo"
 )
 
 // API handlers.  Each returns an error instead of writing its own failure
@@ -86,12 +87,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	doc, err := ComputeMetrics(r.Context(), a, withDiameter)
+	body, err := a.MetricsJSON(r.Context(), withDiameter)
 	if err != nil {
 		return err
 	}
 	w.Header().Set("Content-Type", "application/json")
-	return doc.WriteJSON(w)
+	_, err = w.Write(body)
+	return err
 }
 
 // RouteResponse is the /v1/route reply: a shortest path in the
@@ -150,19 +152,25 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 }
 
 // shortestPath reconstructs one BFS shortest path src -> dst by walking
-// back from dst along strictly decreasing distances.
+// back from dst along strictly decreasing distances.  The distance vector
+// and queue come from the shared topo scratch pool and neighbor scans are
+// zero-copy CSR row views, so the only per-request allocation is the
+// response path itself.
 func shortestPath(a *Artifact, src, dst int) ([]int, error) {
-	dist := a.U.BFS(src)
+	c := a.U.CSR()
+	s := topo.GetScratch(a.U.N())
+	defer topo.PutScratch(s)
+	dist := s.Dist
+	c.BFSInto(src, dist, s.Queue)
 	if dist[dst] < 0 {
 		return nil, badRequest("no path from %d to %d (disconnected?)", src, dst)
 	}
 	path := make([]int, dist[dst]+1)
 	path[len(path)-1] = dst
-	var buf []int32
 	cur := dst
 	for d := int(dist[dst]); d > 0; d-- {
 		found := false
-		for _, nb := range a.U.Neighbors(cur, buf) {
+		for _, nb := range c.Row(cur) {
 			if int(dist[nb]) == d-1 {
 				cur = int(nb)
 				path[d-1] = cur
@@ -287,6 +295,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		}
 		if a.Super() {
 			// Map the address-space permutation onto simulator node ids.
+			//lint:ignore scratchalloc mapped is the permutation handed to the simulator, which retains it past the handler — not traversal scratch
 			mapped := make([]int32, a.N)
 			for v := 0; v < a.N; v++ {
 				addr, err := a.W.AddressOf(a.G.Label(v))

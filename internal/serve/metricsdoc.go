@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
@@ -199,4 +200,38 @@ func (d *MetricsDoc) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(d)
+}
+
+// MetricsJSON returns the encoded metrics document, memoized per
+// withDiameter variant: the first request pays for document assembly and
+// encoding, every later one is a lock, a slice load, and a Write.  The
+// bytes go through the same WriteJSON encoder, so the body stays
+// byte-identical to `ipgtool -json`.  Failed computations (cancelled
+// contexts) are not memoized.
+func (a *Artifact) MetricsJSON(ctx context.Context, withDiameter bool) ([]byte, error) {
+	idx := 0
+	if withDiameter {
+		idx = 1
+	}
+	a.mu.Lock()
+	body := a.metricsJSON[idx]
+	a.mu.Unlock()
+	if body != nil {
+		return body, nil
+	}
+	doc, err := ComputeMetrics(ctx, a, withDiameter)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	if a.metricsJSON[idx] == nil {
+		a.metricsJSON[idx] = buf.Bytes()
+	}
+	body = a.metricsJSON[idx]
+	a.mu.Unlock()
+	return body, nil
 }

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkWarmServingPaths measures the per-request cost of the two hot
+// read paths after an artifact is cached: the memoized /v1/metrics body
+// and the pooled-scratch shortest-path reconstruction behind /v1/route.
+// Run with -benchmem; the allocation counts here are the PR's "zero-alloc
+// serving" evidence (the route path's remaining allocations are the
+// response slice itself).
+func BenchmarkWarmServingPaths(b *testing.B) {
+	ctx := context.Background()
+	p := Params{Net: "hsn", L: 3, Nucleus: "q4"}
+	a, err := BuildArtifact(ctx, p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("metricsJSON", func(b *testing.B) {
+		if _, err := a.MetricsJSON(ctx, false); err != nil {
+			b.Fatal(err) // prime the memo so the loop measures the warm path
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.MetricsJSON(ctx, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("route", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := shortestPath(a, i%a.N, (i+a.N/2)%a.N); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

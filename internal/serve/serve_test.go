@@ -362,10 +362,10 @@ func TestBadRequests(t *testing.T) {
 
 	cases := []string{
 		"/v1/build?net=bogus",
-		"/v1/build?net=hypercube&l=3",          // l does not apply to hypercube
-		"/v1/build?net=hsn&l=99",               // l out of range
-		"/v1/build?net=hsn&nucleus=zz9",        // unknown nucleus
-		"/v1/build?net=torus&k=8&side=3",       // side does not divide k
+		"/v1/build?net=hypercube&l=3",    // l does not apply to hypercube
+		"/v1/build?net=hsn&l=99",         // l out of range
+		"/v1/build?net=hsn&nucleus=zz9",  // unknown nucleus
+		"/v1/build?net=torus&k=8&side=3", // side does not divide k
 		"/v1/route?net=hsn&l=2&nucleus=q2&src=-1&dst=0",
 		"/v1/simulate?net=hsn&l=2&nucleus=q2&workload=nope",
 		"/v1/simulate?net=ccc&dim=4", // no simulator for ccc

@@ -395,11 +395,14 @@ func (w *Network) DirectedInterclusterDiameter(g *ipg.Graph) int {
 	if err != nil {
 		panic("superipg: " + err.Error())
 	}
+	// The quotient arcs are directed, so the bit-parallel kernel's
+	// bottom-up pass (which assumes a symmetric CSR) does not apply; the
+	// scalar sweep stays, on pooled scratch.
 	diam := 0
-	dist := make([]int32, nc)
-	queue := make([]int32, 0, nc)
+	s := topo.GetScratch(nc)
+	defer topo.PutScratch(s)
 	for src := 0; src < nc; src++ {
-		ecc, _ := arcs.BFSInto(src, dist, queue)
+		ecc, _ := arcs.BFSInto(src, s.Dist, s.Queue)
 		if ecc < 0 {
 			return -1 // not strongly connected at the cluster level
 		}

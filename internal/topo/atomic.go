@@ -1,0 +1,16 @@
+package topo
+
+import "sync/atomic"
+
+// AtomicMaxInt64 raises *addr to v if v is larger, with the usual
+// compare-and-swap retry loop.  It is the one shared max-reduction used
+// by the parallel metric merges (diameter, eccentricity maxima) instead
+// of hand-rolled CAS loops at every call site.
+func AtomicMaxInt64(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
+	}
+}

@@ -1,9 +1,10 @@
 package topo
 
-// This file holds the one BFS kernel every all-sources distance
+// This file holds the scalar BFS kernels every single-source distance
 // computation in the repository runs: graph.Diameter/AverageDistance and
 // their parallel variants, and the directed cluster-quotient diameter in
 // internal/superipg all delegate here instead of hand-rolling the loop.
+// The batched 64-source kernel lives in msbfs.go.
 
 // BFSInto runs BFS from src into the caller-owned buffers: dist (length
 // c.N(), fully overwritten; -1 marks unreachable) and queue (scratch;
@@ -41,9 +42,47 @@ func (c *CSR) BFSInto(src int, dist []int32, queue []int32) (ecc int32, sum int6
 	return ecc, sum
 }
 
+// BFSGenericInto is BFSInto for any Topology implementation, walking
+// neighbors through the interface.  It shares the CSR kernel's contract
+// exactly — in particular the visited-count check, so a disconnected
+// component is reported as ecc = -1 on both paths.  nbuf is neighbor
+// scratch (cap >= the maximum degree avoids reallocation); the possibly
+// grown buffer is returned for reuse.
+func BFSGenericInto(t Topology, src int, dist, queue, nbuf []int32) (ecc int32, sum int64, _ []int32) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = queue[:0]
+	//lint:ignore indextrunc src < t.N() <= MaxVertices (math.MaxInt32)
+	queue = append(queue, int32(src))
+	visited := 1
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		sum += int64(du)
+		nbuf = t.Neighbors(int(u), nbuf)
+		for _, v := range nbuf {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+				visited++
+			}
+		}
+	}
+	if visited != t.N() {
+		return -1, sum, nbuf
+	}
+	return ecc, sum, nbuf
+}
+
 // BFS returns the distance from src to every vertex of t (-1 if
 // unreachable).  CSR-backed topologies take the flat-arena fast path;
-// other implementations are walked through the interface.
+// other implementations go through BFSGenericInto, so both paths report
+// disconnected components identically.
 func BFS(t Topology, src int) []int32 {
 	n := t.N()
 	dist := make([]int32, n)
@@ -51,23 +90,6 @@ func BFS(t Topology, src int) []int32 {
 		c.BFSInto(src, dist, make([]int32, 0, n))
 		return dist
 	}
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	//lint:ignore indextrunc src < t.N() <= MaxVertices (math.MaxInt32)
-	queue := append(make([]int32, 0, n), int32(src))
-	var buf []int32
-	for qi := 0; qi < len(queue); qi++ {
-		u := queue[qi]
-		du := dist[u]
-		buf = t.Neighbors(int(u), buf)
-		for _, v := range buf {
-			if dist[v] < 0 {
-				dist[v] = du + 1
-				queue = append(queue, v)
-			}
-		}
-	}
+	BFSGenericInto(t, src, dist, make([]int32, 0, n), nil)
 	return dist
 }

@@ -31,6 +31,19 @@ type Topology interface {
 	Neighbors(v int, buf []int32) []int32
 }
 
+// Symmetric is the optional vertex-transitivity capability: a topology
+// (or graph facade) whose automorphism group acts transitively on
+// vertices reports it here, and metric consumers may then collapse
+// all-sources sweeps to a single source — every vertex has the same
+// eccentricity and the same distance multiset, so one BFS yields the
+// exact diameter and average distance.  The Cayley-graph families the
+// paper builds on (hypercubes, tori, generalized hypercubes, CCC,
+// wrapped butterflies) qualify; implementations must return false
+// whenever transitivity is not a proven property of the construction.
+type Symmetric interface {
+	VertexTransitive() bool
+}
+
 // Ported is the port-labelled view consumed by routers, schedules, and the
 // emulation engines: every vertex exposes Arity(v) ports, and Port(v, p)
 // is the neighbor behind port p.  Implementations may mark a dead port

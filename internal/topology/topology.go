@@ -32,6 +32,7 @@ func NewHypercube(d int) *Hypercube {
 			}
 		}
 	})
+	g.MarkVertexTransitive() // Cayley graph of (Z_2)^d
 	return &Hypercube{D: d, G: g}
 }
 
@@ -90,6 +91,7 @@ func NewTorusChecked(k, dims int) (*Torus, error) {
 			}
 		}
 	})
+	g.MarkVertexTransitive() // Cayley graph of (Z_k)^dims
 	return &Torus{K: k, Dims: dims, G: g}, nil
 }
 
@@ -164,6 +166,7 @@ func NewGHCGraphChecked(radices ...int) (*GHCGraph, error) {
 			}
 		}
 	})
+	g.MarkVertexTransitive() // Cayley graph of Z_m1 x ... x Z_mn (complete-graph factors)
 	return &GHCGraph{Radices: append([]int(nil), radices...), G: g}, nil
 }
 
@@ -203,6 +206,7 @@ func NewCCC(d int) *CCC {
 			}
 		}
 	})
+	g.MarkVertexTransitive() // Cayley graph of (Z_2)^d semidirect Z_d
 	return &CCC{D: d, G: g}
 }
 
@@ -240,6 +244,7 @@ func NewButterfly(d int) *Butterfly {
 			}
 		}
 	})
+	g.MarkVertexTransitive() // Cayley graph of (Z_2)^d semidirect Z_d
 	return &Butterfly{D: d, G: g}
 }
 

@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"testing"
+
+	"ipg/internal/graph"
+)
+
+// TestVertexTransitiveFamilies checks, for every family marked
+// vertex-transitive, the property the single-source metric shortcut
+// relies on: every vertex has the same eccentricity and the same distance
+// sum.  It then cross-checks the shortcut itself — the parallel metrics
+// (which take the single-source path for marked graphs) must equal the
+// serial full-sweep reference exactly.
+func TestVertexTransitiveFamilies(t *testing.T) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"Q4", NewHypercube(4).G},
+		{"4-ary 2-cube", NewTorus(4, 2).G},
+		{"GHC(3,4)", NewGHCGraph(3, 4).G},
+		{"CCC(4)", NewCCC(4).G},
+		{"WBF(4)", NewButterfly(4).G},
+	}
+	for _, f := range families {
+		if !f.g.VertexTransitive() {
+			t.Errorf("%s: not marked vertex-transitive", f.name)
+			continue
+		}
+		c := f.g.CSR()
+		n := f.g.N()
+		dist := make([]int32, n)
+		queue := make([]int32, 0, n)
+		ecc0, sum0 := c.BFSInto(0, dist, queue)
+		for v := 1; v < n; v++ {
+			ecc, sum := c.BFSInto(v, dist, queue)
+			if ecc != ecc0 || sum != sum0 {
+				t.Fatalf("%s: vertex %d has ecc=%d sum=%d, vertex 0 has ecc=%d sum=%d — not vertex-transitive",
+					f.name, v, ecc, sum, ecc0, sum0)
+			}
+		}
+		if got, want := f.g.DiameterParallel(), f.g.Diameter(); got != want {
+			t.Errorf("%s: DiameterParallel = %d, serial = %d", f.name, got, want)
+		}
+		if got, want := f.g.AverageDistanceParallel(), f.g.AverageDistance(); got != want {
+			t.Errorf("%s: AverageDistanceParallel = %v, serial = %v", f.name, got, want)
+		}
+	}
+}
+
+// TestNonTransitiveFamiliesUnmarked pins that families without a proven
+// transitive construction stay on the full-sweep path: shuffle-exchange
+// and de Bruijn graphs have fixed points / irregular neighborhoods and
+// must never claim the shortcut.
+func TestNonTransitiveFamiliesUnmarked(t *testing.T) {
+	if NewShuffleExchange(4).G.VertexTransitive() {
+		t.Error("shuffle-exchange marked vertex-transitive")
+	}
+	if NewDeBruijn(4).G.VertexTransitive() {
+		t.Error("de Bruijn marked vertex-transitive")
+	}
+}
+
+// TestAddEdgeClearsTransitivity pins the invalidation rule: mutating a
+// marked graph must drop the mark, or the shortcut would silently report
+// stale metrics.
+func TestAddEdgeClearsTransitivity(t *testing.T) {
+	h := NewHypercube(3)
+	if !h.G.VertexTransitive() {
+		t.Fatal("Q3 not marked")
+	}
+	h.G.AddEdge(0, 3)
+	if h.G.VertexTransitive() {
+		t.Error("mark survived AddEdge")
+	}
+	if got, want := h.G.DiameterParallel(), h.G.Diameter(); got != want {
+		t.Errorf("after mutation: DiameterParallel = %d, serial = %d", got, want)
+	}
+}

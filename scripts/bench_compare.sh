@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# bench_compare.sh: measure the all-sources BFS kernels and gate their
+# speedup ratios against the checked-in baseline.
+#
+# Runs BenchmarkAllSourcesBFS (scalar vs msbfs vs symmetry, single
+# threaded), converts the ns/op samples into per-family speedup ratios
+# with cmd/benchratio, writes them to BENCH_PR4.json, and fails when any
+# ratio drops more than 15% below scripts/bench_baseline_pr4.json.
+# Ratios, not raw ns/op, are compared, so the gate is meaningful on any
+# machine.
+#
+# Usage:
+#   scripts/bench_compare.sh                # measure + gate (CI entry point)
+#   BENCH_BASELINE= scripts/bench_compare.sh  # measure only, no gate
+#   BENCHTIME=10x scripts/bench_compare.sh    # slower, steadier samples
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+OUT="${BENCH_OUT:-BENCH_PR4.json}"
+BASELINE="${BENCH_BASELINE-scripts/bench_baseline_pr4.json}"
+
+echo "bench_compare: running BenchmarkAllSourcesBFS (benchtime=$BENCHTIME)..." >&2
+raw="$(go test -run=NONE -bench='^BenchmarkAllSourcesBFS$' -benchtime="$BENCHTIME" -cpu=1 .)"
+
+args=(-out "$OUT")
+if [[ -n "$BASELINE" ]]; then
+  args+=(-baseline "$BASELINE")
+fi
+echo "$raw" | go run ./cmd/benchratio "${args[@]}"
+echo "bench_compare: wrote $OUT" >&2
