@@ -39,6 +39,11 @@ func main() {
 		simMaxNodes = flag.Int("sim-max-nodes", 1<<13, "simulation size cap")
 		enablePprof = flag.Bool("pprof", false, "mount /debug/pprof/")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
+
+		buildRetries     = flag.Int("build-retries", 2, "retries for transient build failures (0 disables)")
+		retryBackoff     = flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff before the first build retry, doubled each attempt")
+		breakerThreshold = flag.Int("breaker-threshold", 5, "consecutive build failures per family that open its circuit (0 disables)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 10*time.Second, "open-circuit fast-fail window before a half-open probe")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -47,15 +52,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	// In serve.Config zero means "default", negative means "disabled"; on
+	// the command line 0 is the natural way to say "off", so map it.
+	if *buildRetries == 0 {
+		*buildRetries = -1
+	}
+	if *breakerThreshold == 0 {
+		*breakerThreshold = -1
+	}
+
 	srv := serve.NewServer(serve.Config{
-		CacheBytes:     int64(*cacheMB) << 20,
-		CacheShards:    *shards,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		MaxNodes:       *maxNodes,
-		SimMaxNodes:    *simMaxNodes,
-		EnablePprof:    *enablePprof,
+		CacheBytes:       int64(*cacheMB) << 20,
+		CacheShards:      *shards,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		RequestTimeout:   *timeout,
+		MaxNodes:         *maxNodes,
+		SimMaxNodes:      *simMaxNodes,
+		EnablePprof:      *enablePprof,
+		BuildRetries:     *buildRetries,
+		RetryBackoff:     *retryBackoff,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

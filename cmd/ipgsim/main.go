@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ipg/internal/fault"
 	"ipg/internal/netsim"
 	"ipg/internal/nucleus"
 	"ipg/internal/superipg"
@@ -36,15 +37,22 @@ func main() {
 		warm     = flag.Int("warmup", 150, "warmup rounds")
 		measure  = flag.Int("measure", 300, "measured rounds")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
+
+		faults   = flag.Int("faults", 0, "failures injected before the run (0 = healthy network)")
+		fmode    = flag.String("fmode", "node", "failure mode: node|link|chip")
+		fseed    = flag.Int64("fseed", 1, "failure sample seed")
+		frouting = flag.String("frouting", "aware", "degraded routing: aware|oblivious")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		usageError("unexpected arguments: %v", flag.Args())
 	}
 	validateFlags(*netName, *nucName, *workload, *rate, *chipCap, *warm, *measure)
+	fspec := validateFaultFlags(*faults, *fmode, *fseed, *frouting)
 
 	net, logN, addrToNode, nodeToAddr := buildNet(*netName, *l, *nucName, *dim, *logm, *k, *side, *chipCap)
 	fmt.Printf("network: %s (%d nodes)\n", net.Name, net.N)
+	net = degradeNet(net, fspec, *frouting)
 
 	switch *workload {
 	case "random":
@@ -54,6 +62,7 @@ func main() {
 			res.Rate, res.Accepted, res.Latency)
 		fmt.Printf("off-chip transmissions/packet: %.3f; saturated: %v\n",
 			res.Stats.OffChipPerPacket(), res.Saturated)
+		printFaultStats(fspec, res.Stats)
 	case "sweep":
 		best, trace, err := netsim.SaturationThroughput(net, *seed, *rate, 100**rate, *warm, *measure)
 		fail(err)
@@ -68,6 +77,7 @@ func main() {
 		fmt.Printf("total exchange: %d packets in %d rounds\n", res.Stats.Delivered, res.Rounds)
 		fmt.Printf("off-chip transmissions: %d (%.3f per packet)\n",
 			res.Stats.OffChipHops, res.Stats.OffChipPerPacket())
+		printFaultStats(fspec, res.Stats)
 	case "transpose":
 		if logN%2 != 0 {
 			fail(fmt.Errorf("transpose needs an even number of address bits, network has %d", logN))
@@ -89,9 +99,60 @@ func main() {
 		fail(err)
 		fmt.Printf("transpose: %d packets in %d rounds; %d off-chip transmissions\n",
 			res.Stats.Delivered, res.Rounds, res.Stats.OffChipHops)
+		printFaultStats(fspec, res.Stats)
 	default:
 		fail(fmt.Errorf("unknown workload %q", *workload))
 	}
+}
+
+// validateFaultFlags parses the fault flags into a spec, or nil when the
+// run is on a healthy network.
+func validateFaultFlags(faults int, fmode string, fseed int64, frouting string) *fault.Spec {
+	if faults < 0 {
+		usageError("-faults must be >= 0, got %d", faults)
+	}
+	mode, err := fault.ParseMode(fmode)
+	if err != nil {
+		usageError("%v", err)
+	}
+	if mode == fault.Adversarial {
+		usageError("adversarial faults target graph cuts and have no port-level analogue; use ipgtool's degraded metrics instead")
+	}
+	if frouting != "aware" && frouting != "oblivious" {
+		usageError("-frouting must be aware or oblivious, got %q", frouting)
+	}
+	if faults == 0 {
+		return nil
+	}
+	return &fault.Spec{Mode: mode, Count: faults, Seed: fseed}
+}
+
+// degradeNet applies the fault spec (if any) to the built network and
+// installs the fault-aware router when requested.
+func degradeNet(net *netsim.Network, spec *fault.Spec, frouting string) *netsim.Network {
+	if spec == nil {
+		return net
+	}
+	dnet, sum, err := netsim.Degrade(net, *spec)
+	fail(err)
+	if frouting == "aware" {
+		far, err := netsim.NewFaultAwareRouter(dnet)
+		fail(err)
+		dnet.Router = far
+	}
+	fmt.Printf("faults: mode=%s seed=%d routing=%s; dead nodes %d, links %d, chips %d\n",
+		sum.Mode, spec.Seed, frouting, len(sum.DeadNodes), len(sum.DeadLinks), len(sum.DeadChips))
+	return dnet
+}
+
+// printFaultStats reports the degraded-run packet accounting; on a
+// healthy run it prints nothing.
+func printFaultStats(spec *fault.Spec, st netsim.Stats) {
+	if spec == nil {
+		return
+	}
+	fmt.Printf("injected %d = delivered %d + dropped %d + in-flight %d; misroute retries %d\n",
+		st.Injected, st.Delivered, st.Dropped, st.Injected-st.Delivered-st.Dropped, st.Retried)
 }
 
 // simFamilyParams maps each simulable family to the parameter flags it

@@ -1,0 +1,65 @@
+package fault_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ipg/internal/fault"
+	"ipg/internal/graph"
+)
+
+// bigRing builds a cycle large enough that the degraded all-sources sweep
+// takes visible time: O(n^2) scalar work on a ring.
+func bigRing(n int) *graph.Graph {
+	return graph.FromStream(n, func(edge func(u, v int)) {
+		for v := 0; v < n; v++ {
+			edge(v, (v+1)%n)
+		}
+	})
+}
+
+func TestAnalyzeCancelled(t *testing.T) {
+	c := bigRing(1 << 15).CSR()
+	set, err := fault.New(c, fault.Spec{Mode: fault.Links, Count: 4, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := fault.NewDegradedView(c, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dv.Analyze(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalyzeDeadlinePrompt(t *testing.T) {
+	c := bigRing(1 << 15).CSR()
+	set, err := fault.New(c, fault.Spec{Mode: fault.Nodes, Count: 8, Seed: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := fault.NewDegradedView(c, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = dv.Analyze(ctx)
+	if err == nil {
+		t.Skip("machine finished the degraded sweep inside the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// Cancellation is checked per 64-source batch; even on a slow machine
+	// one batch of a 32k-vertex ring is far under a second.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Analyze took %v after the deadline fired; cancellation is not prompt", elapsed)
+	}
+}

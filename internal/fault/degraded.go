@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"fmt"
+
+	"ipg/internal/topo"
+)
+
+// DegradedView is a masked read-only view of a CSR under a fault Set:
+// failed vertices and edges are hidden from every traversal without
+// copying or rebuilding the arena.  It implements topo.Topology over the
+// alive subgraph (dead vertices keep their ids but have degree zero).
+//
+// A DegradedView deliberately does NOT implement topo.Symmetric: even
+// when the underlying family is vertex-transitive, faults break the
+// symmetry, so the single-source diameter/avg-distance shortcut must
+// never fire on a degraded topology.  Analyze always sweeps every alive
+// source.
+type DegradedView struct {
+	c         *topo.CSR
+	set       *Set
+	clusterOf []int32 // optional chip assignment for per-nucleus reachability
+}
+
+// NewDegradedView wraps c with the fault set.
+func NewDegradedView(c *topo.CSR, set *Set) (*DegradedView, error) {
+	if c.N() != set.N() {
+		return nil, fmt.Errorf("fault: set built for %d vertices, topology has %d", set.N(), c.N())
+	}
+	return &DegradedView{c: c, set: set}, nil
+}
+
+// WithClusters attaches a chip assignment (len == N) so Analyze can
+// report per-nucleus reachability; it returns the view for chaining.
+func (d *DegradedView) WithClusters(clusterOf []int32) *DegradedView {
+	d.clusterOf = clusterOf
+	return d
+}
+
+// Set returns the underlying fault set.
+func (d *DegradedView) Set() *Set { return d.set }
+
+// N implements topo.Topology (dead vertices keep their ids).
+func (d *DegradedView) N() int { return d.c.N() }
+
+// Alive returns the surviving vertex count.
+func (d *DegradedView) Alive() int { return d.set.Alive() }
+
+// Degree implements topo.Topology: the alive degree of v, zero for a
+// dead vertex.
+func (d *DegradedView) Degree(v int) int {
+	if topo.Bit(d.set.VDead, v) {
+		return 0
+	}
+	if d.set.VDead == nil && d.set.ADead == nil {
+		return d.c.Degree(v)
+	}
+	deg := 0
+	first := d.c.RowStart(v)
+	for j, u := range d.c.Row(v) {
+		if topo.Bit(d.set.ADead, first+j) || topo.Bit(d.set.VDead, int(u)) {
+			continue
+		}
+		deg++
+	}
+	return deg
+}
+
+// Neighbors implements topo.Topology: v's alive neighbors, ascending.
+func (d *DegradedView) Neighbors(v int, buf []int32) []int32 {
+	buf = buf[:0]
+	if topo.Bit(d.set.VDead, v) {
+		return buf
+	}
+	first := d.c.RowStart(v)
+	for j, u := range d.c.Row(v) {
+		if topo.Bit(d.set.ADead, first+j) || topo.Bit(d.set.VDead, int(u)) {
+			continue
+		}
+		buf = append(buf, u)
+	}
+	return buf
+}

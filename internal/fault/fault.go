@@ -1,0 +1,242 @@
+// Package fault models node, link, and chip failures over the CSR
+// topology core and measures what survives.  The MCMP model puts an
+// entire nucleus on one chip, so its characteristic failure event removes
+// a whole cluster of vertices at once — the chip mode here.  The other
+// models follow the fault-tolerance literature on Cayley-graph
+// interconnects: uniform random vertex or edge deletion (the random
+// induced-subgraph regime of Jin & Reidys) and an adversarial
+// minimum-cut-seeking pattern that concentrates edge failures around one
+// vertex (the families here are maximally connected, so their minimum
+// cuts are the edge neighborhoods the pattern attacks first).
+//
+// A fault Set is a pair of bitmasks over an existing *topo.CSR — one bit
+// per vertex, one bit per arena arc index — so degrading a topology never
+// copies or rebuilds the arena.  DegradedView wraps the CSR plus its Set
+// and Analyze produces the survivability report.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ipg/internal/topo"
+)
+
+// Mode names a failure model.
+type Mode string
+
+const (
+	// Nodes fails vertices uniformly at random; every incident link dies
+	// with its vertex.
+	Nodes Mode = "node"
+	// Links fails undirected edges uniformly at random.
+	Links Mode = "link"
+	// Chips fails whole clusters (MCMP chips): one event kills every
+	// vertex of the chosen cluster.
+	Chips Mode = "chip"
+	// Adversarial fails edges in a minimum-cut-seeking pattern: starting
+	// from a random vertex it cuts entire edge neighborhoods in BFS order,
+	// isolating a ball once the budget covers its boundary.
+	Adversarial Mode = "adversarial"
+)
+
+// ParseMode parses a mode name; the empty string defaults to Nodes.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "":
+		return Nodes, nil
+	case Nodes, Links, Chips, Adversarial:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("fault: unknown mode %q (node|link|chip|adversarial)", s)
+}
+
+// Spec describes one failure scenario.  The same spec over the same
+// topology always yields the same Set: sampling is driven entirely by
+// Seed.
+type Spec struct {
+	Mode  Mode
+	Count int
+	Seed  int64
+}
+
+// Set is a realized failure scenario over one CSR: the vertex and arc
+// masks the masked kernels consume, plus the explicit failure lists the
+// serving and simulation layers report or replay.
+type Set struct {
+	n int
+
+	// VDead has one bit per vertex (nil when no vertex failed).
+	VDead []uint64
+	// ADead has one bit per arena arc index, both directions of a failed
+	// edge marked (nil when no edge failed).
+	ADead []uint64
+
+	DeadVertices []int32    // sorted ascending
+	DeadEdges    [][2]int32 // canonical u < v, in kill order
+	DeadChips    []int32    // sorted ascending; chip mode only
+}
+
+// N returns the vertex count of the underlying topology.
+func (s *Set) N() int { return s.n }
+
+// Alive returns the surviving vertex count.
+func (s *Set) Alive() int { return s.n - len(s.DeadVertices) }
+
+// VertexDead reports whether v failed.
+func (s *Set) VertexDead(v int) bool { return topo.Bit(s.VDead, v) }
+
+// New samples a failure Set for spec over c.  clusterOf assigns vertices
+// to chips and is required for (only) the Chips mode.  Counts must leave
+// at least one vertex (one chip) alive; edge counts may not exceed the
+// edge count of c.
+func New(c *topo.CSR, spec Spec, clusterOf []int32) (*Set, error) {
+	n := c.N()
+	if err := topo.CheckVertexCount(n); err != nil {
+		return nil, err
+	}
+	s := &Set{n: n}
+	if spec.Count < 0 {
+		return nil, fmt.Errorf("fault: negative failure count %d", spec.Count)
+	}
+	if spec.Count == 0 {
+		return s, nil
+	}
+	mode := spec.Mode
+	if mode == "" {
+		mode = Nodes
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	switch mode {
+	case Nodes:
+		if spec.Count >= n {
+			return nil, fmt.Errorf("fault: %d node failures would leave no vertex of %d alive", spec.Count, n)
+		}
+		s.VDead = topo.NewBitset(n)
+		for len(s.DeadVertices) < spec.Count {
+			v := rng.Intn(n)
+			if topo.Bit(s.VDead, v) {
+				continue
+			}
+			topo.SetBit(s.VDead, v)
+			s.DeadVertices = append(s.DeadVertices, int32(v))
+		}
+		sortInt32(s.DeadVertices)
+	case Links:
+		m := c.Arcs() / 2
+		if spec.Count > m {
+			return nil, fmt.Errorf("fault: %d link failures exceed the %d links present", spec.Count, m)
+		}
+		s.ADead = topo.NewBitset(c.Arcs())
+		for len(s.DeadEdges) < spec.Count {
+			i := rng.Intn(c.Arcs())
+			u := c.ArcSource(i)
+			v := int(c.ArcTarget(i))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			s.killEdge(c, u, v)
+		}
+	case Adversarial:
+		m := c.Arcs() / 2
+		if spec.Count > m {
+			return nil, fmt.Errorf("fault: %d link failures exceed the %d links present", spec.Count, m)
+		}
+		s.ADead = topo.NewBitset(c.Arcs())
+		s.adversarialCut(c, rng.Intn(n), spec.Count)
+	case Chips:
+		if len(clusterOf) != n {
+			return nil, fmt.Errorf("fault: chip mode needs a cluster assignment for all %d vertices", n)
+		}
+		nc := 0
+		for _, ch := range clusterOf {
+			if int(ch) >= nc {
+				nc = int(ch) + 1
+			}
+		}
+		if spec.Count >= nc {
+			return nil, fmt.Errorf("fault: %d chip failures would leave none of %d chips alive", spec.Count, nc)
+		}
+		dead := make(map[int32]bool, spec.Count)
+		for len(s.DeadChips) < spec.Count {
+			ch := int32(rng.Intn(nc))
+			if dead[ch] {
+				continue
+			}
+			dead[ch] = true
+			s.DeadChips = append(s.DeadChips, ch)
+		}
+		sortInt32(s.DeadChips)
+		s.VDead = topo.NewBitset(n)
+		for v, ch := range clusterOf {
+			if dead[ch] {
+				topo.SetBit(s.VDead, v)
+				s.DeadVertices = append(s.DeadVertices, int32(v))
+			}
+		}
+		if len(s.DeadVertices) == n {
+			return nil, fmt.Errorf("fault: the %d failed chips cover every vertex", spec.Count)
+		}
+	default:
+		return nil, fmt.Errorf("fault: unknown mode %q", mode)
+	}
+	return s, nil
+}
+
+// killEdge marks both arc directions of {u, v} dead; it is a no-op when
+// the edge is already dead or absent, reporting whether it killed.
+func (s *Set) killEdge(c *topo.CSR, u, v int) bool {
+	i := c.ArcIndex(u, v)
+	j := c.ArcIndex(v, u)
+	if i < 0 || j < 0 || topo.Bit(s.ADead, i) {
+		return false
+	}
+	topo.SetBit(s.ADead, i)
+	topo.SetBit(s.ADead, j)
+	//lint:ignore indextrunc u, v are vertex ids < c.N() <= topo.MaxVertices (math.MaxInt32)
+	s.DeadEdges = append(s.DeadEdges, [2]int32{int32(u), int32(v)})
+	return true
+}
+
+// adversarialCut kills edges in BFS order from start until budget edges
+// are gone: first the entire edge neighborhood of start, then of its
+// neighbors, and so on.  Once the budget covers a ball's boundary the
+// ball is disconnected; for the regular, maximally connected families
+// here the first neighborhood is exactly a minimum cut.
+func (s *Set) adversarialCut(c *topo.CSR, start, budget int) {
+	n := c.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	dist[start] = 0
+	//lint:ignore indextrunc start < n, which topo.CheckVertexCount bounded in New
+	queue = append(queue, int32(start))
+	for qi := 0; qi < len(queue) && budget > 0; qi++ {
+		u := int(queue[qi])
+		for _, v := range c.Row(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+			if budget > 0 && int(v) != u {
+				a, b := u, int(v)
+				if a > b {
+					a, b = b, a
+				}
+				if s.killEdge(c, a, b) {
+					budget--
+				}
+			}
+		}
+	}
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

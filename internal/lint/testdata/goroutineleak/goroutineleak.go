@@ -2,7 +2,10 @@
 // Lines expecting a diagnostic carry a want comment with a message pattern.
 package goroutineleak
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Leak starts a goroutine with no join anywhere in the function.
 func Leak(xs []int) {
@@ -107,6 +110,53 @@ func SemaphoreLeak(sem chan struct{}, xs []int) {
 		case results <- sum:
 		default:
 		}
+	}()
+}
+
+// RetryBackoffJoined is the bounded retry-with-backoff shape the serving
+// layer uses: the attempt runs detached so the caller can abandon it,
+// and a select joins the attempt, the backoff timer, or the stop signal:
+// clean.
+func RetryBackoffJoined(stop chan struct{}, backoff <-chan time.Time, xs []int) int {
+	attempt := make(chan int, 1)
+	go func() {
+		sum := 0
+		for _, x := range xs {
+			sum += x
+		}
+		attempt <- sum
+	}()
+	select {
+	case v := <-attempt:
+		return v
+	case <-backoff:
+		return 0
+	case <-stop:
+		return -1
+	}
+}
+
+// HalfOpenProbeJoined runs a circuit-breaker probe behind its cooldown
+// timer and receives the verdict in the spawning function: clean.
+func HalfOpenProbeJoined(cooldown time.Duration, probe func() bool) bool {
+	verdict := make(chan bool, 1)
+	go func() {
+		timer := time.NewTimer(cooldown)
+		defer timer.Stop()
+		<-timer.C
+		verdict <- probe()
+	}()
+	return <-verdict
+}
+
+// HalfOpenProbeLeak schedules the probe after the cooldown but the
+// spawning function never receives anything: each breaker trip leaks one
+// goroutine parked on the timer.
+func HalfOpenProbeLeak(cooldown time.Duration, probe func()) {
+	go func() { // want "never joins"
+		timer := time.NewTimer(cooldown)
+		<-timer.C
+		probe()
 	}()
 }
 

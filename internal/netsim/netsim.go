@@ -58,6 +58,38 @@ type Network struct {
 	// outgoing link per round (the single-port model of Section 3, of
 	// which SDC is a special case); the default is all-port.
 	SinglePort bool
+
+	// Fault state, normally installed by Degrade.  DeadNode[u] marks a
+	// failed node: it neither injects, forwards, nor receives.  DeadPort[u][p]
+	// marks the directed link at (u, p) failed; Degrade kills both
+	// directions of an edge together.  Nil slices mean fully healthy, and
+	// the simulator's fault branches are skipped entirely.
+	DeadNode []bool
+	DeadPort [][]bool
+	// PacketTTL bounds the hops a packet may take on a faulty network
+	// before it is dropped (misrouting around faults can cycle); 0 means
+	// the default of 4*N+64.  Ignored on healthy networks.
+	PacketTTL int32
+}
+
+// Faulty reports whether the network carries any fault state.
+func (n *Network) Faulty() bool { return n.DeadNode != nil || n.DeadPort != nil }
+
+// nodeDead reports whether node u failed.
+func (n *Network) nodeDead(u int) bool { return n.DeadNode != nil && n.DeadNode[u] }
+
+// portDead reports whether the directed link at (u, p) failed (a link into
+// a dead node counts as dead, so transmissions never target dead nodes).
+func (n *Network) portDead(u, p int) bool {
+	if n.DeadPort != nil && n.DeadPort[u][p] {
+		return true
+	}
+	if n.DeadNode != nil {
+		if v := n.Ports.Port(u, p); v >= 0 && n.DeadNode[v] {
+			return true
+		}
+	}
+	return false
 }
 
 // Validate checks structural consistency.
@@ -78,6 +110,22 @@ func (n *Network) Validate() error {
 	if n.Router == nil {
 		return fmt.Errorf("netsim: %s: no router", n.Name)
 	}
+	if n.DeadNode != nil && len(n.DeadNode) != n.N {
+		return fmt.Errorf("netsim: %s: deadNode length mismatch", n.Name)
+	}
+	if n.DeadPort != nil {
+		if len(n.DeadPort) != n.N {
+			return fmt.Errorf("netsim: %s: deadPort length mismatch", n.Name)
+		}
+		for u := 0; u < n.N; u++ {
+			if len(n.DeadPort[u]) != n.Ports.Arity(u) {
+				return fmt.Errorf("netsim: %s: deadPort arity mismatch at node %d", n.Name, u)
+			}
+		}
+	}
+	if n.PacketTTL < 0 {
+		return fmt.Errorf("netsim: %s: negative packet TTL", n.Name)
+	}
 	return nil
 }
 
@@ -90,13 +138,21 @@ func (n *Network) offChip(u, v int32) bool {
 type Packet struct {
 	Dst  int32
 	Born int32 // round of injection
+	// TTL is the remaining hop budget on a faulty network (misrouting
+	// around faults can cycle); unused — and never decremented — on
+	// healthy networks.
+	TTL int32
 }
 
-// Stats aggregates simulation measurements.
+// Stats aggregates simulation measurements.  On a faulty network every
+// injected packet is eventually accounted exactly once:
+// Injected = Delivered + Dropped + InFlight.
 type Stats struct {
 	Rounds       int
 	Injected     int64
 	Delivered    int64
+	Dropped      int64 // lost to faults: no alive route, or TTL exhausted
+	Retried      int64 // misroute retries: routing decisions diverted off a dead port
 	TotalLatency int64 // sum over delivered packets of (arrival - born)
 	Hops         int64 // total link transmissions
 	OffChipHops  int64 // transmissions crossing chips
@@ -169,6 +225,12 @@ type Sim struct {
 	// rrPort is the per-node round-robin pointer for single-port mode.
 	rrPort []int
 
+	// faulty caches Net.Faulty(); every fault branch below is skipped when
+	// false, so healthy simulations run the exact pre-fault code path.
+	faulty bool
+	// ttl0 is the initial TTL stamped on packets of a faulty network.
+	ttl0 int32
+
 	// injectFn, if set, is called in phase B for each node to produce new
 	// packets this round.
 	injectFn func(u int, round int32, emit func(dst int32))
@@ -183,8 +245,8 @@ type inLink struct {
 }
 
 type localStats struct {
-	delivered, latency, hops, offchip, injected int64
-	_pad                                        [3]int64 // reduce false sharing
+	delivered, latency, hops, offchip, injected, dropped, retried int64
+	_pad                                                          [1]int64 // reduce false sharing
 	// hist counts deliveries by latency (index = rounds, last bucket =
 	// overflow); nil unless EnableLatencyHistogram was called.  Node-local,
 	// so updates are race-free under the phase-B sharding.
@@ -212,6 +274,17 @@ func New(net *Network, seed int64) (*Sim, error) {
 	s := &Sim{
 		Net:     net,
 		workers: runtime.GOMAXPROCS(0),
+		faulty:  net.Faulty(),
+	}
+	if s.faulty {
+		s.ttl0 = net.PacketTTL
+		if s.ttl0 == 0 {
+			if ttl := 4*int64(net.N) + 64; ttl <= math.MaxInt32 {
+				s.ttl0 = int32(ttl)
+			} else {
+				s.ttl0 = math.MaxInt32
+			}
+		}
 	}
 	if s.workers > net.N {
 		s.workers = net.N
@@ -296,9 +369,26 @@ func (s *Sim) emitAt(v int, dst int32) {
 	if int(dst) == v {
 		return
 	}
-	p := s.routePort(v, dst)
-	s.queues[v][p] = append(s.queues[v][p], Packet{Dst: dst, Born: s.round + 1})
+	if !s.faulty {
+		p := s.routePort(v, dst)
+		s.queues[v][p] = append(s.queues[v][p], Packet{Dst: dst, Born: s.round + 1})
+		s.perNode[v].injected++
+		return
+	}
 	s.perNode[v].injected++
+	if s.Net.nodeDead(v) {
+		// A dead source cannot inject; like Enqueue, count the packet as
+		// injected-then-dropped so batch workloads with a fixed intended
+		// total (e.g. total exchange) still drain to conservation.
+		s.perNode[v].dropped++
+		return
+	}
+	p := s.resolveFaulty(v, dst)
+	if p < 0 {
+		s.perNode[v].dropped++ // no alive route out of v
+		return
+	}
+	s.queues[v][p] = append(s.queues[v][p], Packet{Dst: dst, Born: s.round + 1, TTL: s.ttl0})
 }
 
 // EnableLatencyHistogram starts recording per-packet delivery latencies in
@@ -345,9 +435,25 @@ func (s *Sim) LatencyPercentiles(percentiles []float64) ([]int, error) {
 }
 
 // Enqueue injects a packet at node u immediately (before the next round).
+// On a faulty network a packet injected at a dead node, or with no alive
+// route, is accounted as injected-then-dropped so conservation holds.
 func (s *Sim) Enqueue(u int, dst int32) error {
 	if int(dst) == u {
 		return fmt.Errorf("netsim: packet to self at node %d", u)
+	}
+	if s.faulty {
+		s.perNode[u].injected++
+		if s.Net.nodeDead(u) {
+			s.perNode[u].dropped++
+			return nil
+		}
+		p := s.resolveFaulty(u, dst)
+		if p < 0 {
+			s.perNode[u].dropped++
+			return nil
+		}
+		s.queues[u][p] = append(s.queues[u][p], Packet{Dst: dst, Born: s.round, TTL: s.ttl0})
+		return nil
 	}
 	p := s.routePort(u, dst)
 	if p < 0 || p >= len(s.queues[u]) || s.Net.Ports.Port(u, p) < 0 {
@@ -379,6 +485,9 @@ func (s *Sim) parallelNodes(fn func(lo, hi int)) {
 func (s *Sim) phaseA(lo, hi int) {
 	net := s.Net
 	for u := lo; u < hi; u++ {
+		if s.faulty && net.nodeDead(u) {
+			continue // dead nodes transmit nothing (their queues stay empty)
+		}
 		if net.SinglePort {
 			s.singlePortPhaseA(u)
 			continue
@@ -431,6 +540,15 @@ func (s *Sim) phaseB(lo, hi int) {
 	net := s.Net
 	round := s.round
 	for v := lo; v < hi; v++ {
+		if s.faulty && net.nodeDead(v) {
+			// Dead nodes receive and forward nothing, but their injector
+			// still runs: emitAt accounts each intended packet as
+			// injected-then-dropped so batch workloads drain to conservation.
+			if s.injectFn != nil {
+				s.injectFn(v, round+1, s.emitFns[v])
+			}
+			continue
+		}
 		ls := &s.perNode[v]
 		for _, il := range s.inLinks[v] {
 			box := s.outbox[il.src][il.port]
@@ -455,6 +573,23 @@ func (s *Sim) phaseB(lo, hi int) {
 						}
 						ls.hist[b]++
 					}
+					continue
+				}
+				if s.faulty {
+					// Each forwarding hop costs one TTL unit; a packet that
+					// runs out (or has no alive route) is dropped, keeping
+					// injected = delivered + dropped + in-flight exact.
+					pkt.TTL--
+					if pkt.TTL <= 0 {
+						ls.dropped++
+						continue
+					}
+					p := s.resolveFaulty(v, pkt.Dst)
+					if p < 0 {
+						ls.dropped++
+						continue
+					}
+					s.queues[v][p] = append(s.queues[v][p], pkt)
 					continue
 				}
 				p := s.routePort(v, pkt.Dst)
@@ -559,6 +694,8 @@ func (s *Sim) Stats() Stats {
 		out.Hops += ls.hops
 		out.OffChipHops += ls.offchip
 		out.Injected += ls.injected
+		out.Dropped += ls.dropped
+		out.Retried += ls.retried
 	}
 	out.InFlight = s.InFlight()
 	return out

@@ -122,8 +122,9 @@ type DrainResult struct {
 	Stats
 }
 
-// runToCompletion steps until all packets are delivered, maxRounds is
-// hit, or ctx is cancelled (checked once per round).
+// runToCompletion steps until every packet is accounted for (delivered,
+// or — on a faulty network — dropped), maxRounds is hit, or ctx is
+// cancelled (checked once per round).
 func runToCompletion(ctx context.Context, s *Sim, total int64, maxRounds int) (DrainResult, error) {
 	for r := 0; r < maxRounds; r++ {
 		if err := ctx.Err(); err != nil {
@@ -133,7 +134,7 @@ func runToCompletion(ctx context.Context, s *Sim, total int64, maxRounds int) (D
 			return DrainResult{}, err
 		}
 		st := s.Stats()
-		if st.Delivered >= total {
+		if st.Delivered+st.Dropped >= total {
 			return DrainResult{Rounds: r + 1, Stats: st}, nil
 		}
 	}

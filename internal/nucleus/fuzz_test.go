@@ -1,0 +1,44 @@
+package nucleus
+
+import "testing"
+
+// FuzzParse hammers the compact nucleus syntax with arbitrary strings.
+// Parse is the outermost user-facing decoder (CLIs and the daemon both
+// funnel through it), so it must never panic, and an accepted spec must
+// come back as a coherent nucleus: a name, at least one node, and at
+// least one generator.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"q4", "q1", "q30", "q31", "q0", "q-3", "q999999999999999999",
+		"fq3", "fq2", "fq", "fqx",
+		"k5", "k2", "k1024", "k1025",
+		"c8", "c3", "c1048576", "c2",
+		"s3", "s12", "s13",
+		"ghc:2,3,4", "ghc:2", "ghc:", "ghc:2,,3", "ghc:1024,1024,1024",
+		"ghc:0", "ghc:2,999999999",
+		"", "q", "zz9", "Q4", " q4", "q4 ", "qq4", "ghc:2,3,4,5,6,7,8,9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		nuc, err := Parse(s)
+		if err != nil {
+			if nuc != nil {
+				t.Fatalf("Parse(%q) returned both a nucleus and error %v", s, err)
+			}
+			return
+		}
+		if nuc == nil {
+			t.Fatalf("Parse(%q) returned nil without an error", s)
+		}
+		if nuc.Name == "" {
+			t.Errorf("Parse(%q): empty nucleus name", s)
+		}
+		if nuc.M < 1 {
+			t.Errorf("Parse(%q): node count %d < 1", s, nuc.M)
+		}
+		if len(nuc.Gens) == 0 {
+			t.Errorf("Parse(%q): no generators", s)
+		}
+	})
+}

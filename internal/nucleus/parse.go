@@ -30,10 +30,12 @@ func Parse(s string) (*Nucleus, error) {
 			if err != nil {
 				return nil, fmt.Errorf("nucleus: bad GHC radix %q", part)
 			}
-			// The constructor materializes radix-1 generators per
-			// dimension, so the radix cap also bounds construction cost.
-			if m < 2 || m > 1024 {
-				return nil, fmt.Errorf("nucleus: GHC radix %d outside [2, 1024]", m)
+			// Labels store one byte per symbol and a dimension of radix m
+			// contributes symbols 0..m-1, so the radix must fit the label
+			// alphabet; the cap also bounds the radix-1 generators the
+			// constructor materializes per dimension.
+			if m < 2 || m > 250 {
+				return nil, fmt.Errorf("nucleus: GHC radix %d outside [2, 250]", m)
 			}
 			if product > (1<<30)/m {
 				return nil, fmt.Errorf("nucleus: GHC%v has more than %d nodes", radices, 1<<30)
@@ -73,23 +75,25 @@ func Parse(s string) (*Nucleus, error) {
 		}
 		return Hypercube(n), nil
 	case s[0] == 'k':
-		// K_M's constructor materializes M-1 rotation generators of
-		// length M, so the cap bounds an O(M^2) allocation.
-		n, err := num(s[1:], 2, 1024, "complete-graph size")
+		// The bounds mirror nucleus.Complete's: labels store one byte per
+		// symbol, and the constructor materializes M-1 rotation generators
+		// of length M (an O(M^2) allocation).
+		n, err := num(s[1:], 2, 250, "complete-graph size")
 		if err != nil {
 			return nil, err
 		}
 		return Complete(n), nil
 	case s[0] == 'c':
-		n, err := num(s[1:], 3, 1<<20, "ring size")
+		// Mirrors nucleus.Ring's byte-per-symbol label bound.
+		n, err := num(s[1:], 3, 250, "ring size")
 		if err != nil {
 			return nil, err
 		}
 		return Ring(n), nil
 	case s[0] == 's':
-		// 12! is already ~479M nodes; beyond that n! overflows any
-		// plausible use.
-		n, err := num(s[1:], 2, 12, "star-graph order")
+		// Mirrors nucleus.Star's bound; 8! = 40320 nucleus nodes is already
+		// far beyond any materializable super-IPG.
+		n, err := num(s[1:], 2, 8, "star-graph order")
 		if err != nil {
 			return nil, err
 		}

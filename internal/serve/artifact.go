@@ -50,6 +50,8 @@ type Artifact struct {
 
 	simNet    *netsim.Network // memoized simulation network (see SimNetwork)
 	simCapVal float64
+
+	clusterIDs []int32 // memoized chip assignment (see ClusterIDs)
 }
 
 // SizeBytes implements cache.Value with the CSR bytes-per-vertex
@@ -261,6 +263,37 @@ func (a *Artifact) SimNetwork(chipCapacity float64) (*netsim.Network, error) {
 	a.simCapVal = chipCapacity
 	a.mu.Unlock()
 	return net, nil
+}
+
+// ClusterIDs returns the chip assignment of a materialized artifact
+// (cluster id per node), memoized: the super-IPG nucleus clustering or
+// the baseline family's clustering.  nil for unmaterialized artifacts.
+// The returned slice is shared and must not be modified.
+func (a *Artifact) ClusterIDs() []int32 {
+	if !a.Materialized() {
+		return nil
+	}
+	if a.Clustered != nil {
+		return a.Clustered.ClusterOf
+	}
+	if !a.Super() {
+		return nil
+	}
+	a.mu.Lock()
+	ids := a.clusterIDs
+	a.mu.Unlock()
+	if ids != nil {
+		return ids
+	}
+	ids, _ = a.W.Clusters(a.G)
+	a.mu.Lock()
+	if a.clusterIDs == nil {
+		a.clusterIDs = ids
+	} else {
+		ids = a.clusterIDs
+	}
+	a.mu.Unlock()
+	return ids
 }
 
 // Diameter returns the exact graph diameter, computing it at most once

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned without touching the cache or the worker pool
+// when a family's circuit breaker is open; handlers translate it to 503 +
+// Retry-After.
+var ErrCircuitOpen = errors.New("serve: circuit open for this family")
+
+// buildOutcome classifies a build result for the breaker.  Neutral
+// outcomes — client errors, pool saturation, cancelled or expired
+// contexts — say nothing about the family's health and neither trip nor
+// close the breaker.
+type buildOutcome int
+
+const (
+	outcomeOK buildOutcome = iota
+	outcomeNeutral
+	outcomeFail
+)
+
+// breakerSet is a per-family circuit breaker: threshold consecutive
+// genuine build failures for one family open its circuit, and for
+// cooldown every request against that family fast-fails with 503 without
+// consuming a worker slot.  After the cooldown one probe request is let
+// through (half-open); success closes the circuit, failure re-opens it
+// for another cooldown.  A nil *breakerSet is a disabled breaker: allow
+// always succeeds and report is a no-op.
+type breakerSet struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+	opens   int64 // transitions to open, for the Prometheus counter
+}
+
+type breakerEntry struct {
+	failures int       // consecutive genuine failures
+	openedAt time.Time // when failures reached the threshold
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	if threshold <= 0 {
+		return nil
+	}
+	return &breakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		entries:   make(map[string]*breakerEntry),
+	}
+}
+
+// tripped reports whether e has reached the failure threshold.
+func (b *breakerSet) tripped(e *breakerEntry) bool { return e.failures >= b.threshold }
+
+// allow reports whether a request for key may proceed.  While the circuit
+// is open it returns ErrCircuitOpen; in the half-open window it admits
+// exactly one probe at a time.
+func (b *breakerSet) allow(key string, now time.Time) error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || !b.tripped(e) {
+		return nil
+	}
+	if now.Sub(e.openedAt) < b.cooldown {
+		return ErrCircuitOpen
+	}
+	if e.probing {
+		return ErrCircuitOpen // one probe at a time
+	}
+	e.probing = true
+	return nil
+}
+
+// report records the outcome of an admitted request for key.  A neutral
+// outcome releases a half-open probe without a verdict, so the next
+// request may probe again instead of the breaker wedging open.
+func (b *breakerSet) report(key string, outcome buildOutcome, now time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil {
+		if outcome != outcomeFail {
+			return
+		}
+		e = &breakerEntry{}
+		b.entries[key] = e
+	}
+	wasTripped := b.tripped(e)
+	switch outcome {
+	case outcomeOK:
+		e.failures = 0
+		e.probing = false
+	case outcomeNeutral:
+		e.probing = false
+	case outcomeFail:
+		e.probing = false
+		if wasTripped {
+			// Failed half-open probe: re-open for another cooldown.
+			e.openedAt = now
+			b.opens++
+			return
+		}
+		e.failures++
+		if b.tripped(e) {
+			e.openedAt = now
+			b.opens++
+		}
+	}
+}
+
+// states counts circuits currently open and half-open (cooldown elapsed,
+// waiting for or running a probe), plus the total open transitions.
+func (b *breakerSet) states(now time.Time) (open, halfOpen, opens int64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.entries {
+		if !b.tripped(e) {
+			continue
+		}
+		if now.Sub(e.openedAt) < b.cooldown {
+			open++
+		} else {
+			halfOpen++
+		}
+	}
+	return open, halfOpen, b.opens
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"net/http"
+
+	"ipg/internal/fault"
+)
+
+// faultQuery is the decoded fault block of a request: ?faults=K selects K
+// failures, ?fmode= picks the model (node|link|chip|adversarial, default
+// node), ?fseed= fixes the sample, and ?frouting= (aware|oblivious,
+// default aware, /v1/simulate only) selects how the degraded network
+// routes around the damage.
+type faultQuery struct {
+	Spec    fault.Spec
+	Routing string
+}
+
+// parseFaultQuery returns nil when the request carries no fault
+// parameter, so fault-free requests pay nothing.
+func parseFaultQuery(r *http.Request) (*faultQuery, error) {
+	q := r.URL.Query()
+	if q.Get("faults") == "" && q.Get("fmode") == "" && q.Get("fseed") == "" && q.Get("frouting") == "" {
+		return nil, nil
+	}
+	count, err := queryInt(r, "faults", 0)
+	if err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, badRequest("parameter \"faults\" must be >= 0, got %d", count)
+	}
+	mode, err := fault.ParseMode(q.Get("fmode"))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	seed, err := queryInt(r, "fseed", 1)
+	if err != nil {
+		return nil, err
+	}
+	routing := q.Get("frouting")
+	if routing == "" {
+		routing = "aware"
+	}
+	if routing != "aware" && routing != "oblivious" {
+		return nil, badRequest("parameter %q must be aware or oblivious, got %q", "frouting", routing)
+	}
+	return &faultQuery{
+		Spec:    fault.Spec{Mode: mode, Count: count, Seed: int64(seed)},
+		Routing: routing,
+	}, nil
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"ipg/internal/fault"
 	"ipg/internal/netsim"
 	"ipg/internal/topo"
 )
@@ -23,7 +24,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteProm(w, s.cache.Stats())
+	open, halfOpen, opens := s.breaker.states(time.Now())
+	s.metrics.WriteProm(w, s.cache.Stats(), breakerStats{open: open, halfOpen: halfOpen, opens: opens})
 }
 
 // requestParams decodes and validates family parameters for one request.
@@ -83,6 +85,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	withDiameter := queryBool(r, "diameter")
+	fq, err := parseFaultQuery(r)
+	if err != nil {
+		return err
+	}
 	a, _, err := s.getArtifact(r.Context(), p)
 	if err != nil {
 		return err
@@ -91,9 +97,70 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	if fq == nil {
+		w.Header().Set("Content-Type", "application/json")
+		_, err = w.Write(body)
+		return err
+	}
+	// Degraded request: re-decode the memoized document, attach a freshly
+	// computed survivability block, and encode per request.  The sweep is
+	// CPU-bound like a build, so it holds a worker slot.
+	dm, err := s.degradedMetrics(r, a, fq)
+	if err != nil {
+		return err
+	}
+	var doc MetricsDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("serve: re-decoding memoized metrics: %w", err)
+	}
+	doc.Degraded = dm
 	w.Header().Set("Content-Type", "application/json")
-	_, err = w.Write(body)
-	return err
+	return doc.WriteJSON(w)
+}
+
+// degradedMetrics samples fq's fault set over the artifact's CSR and runs
+// the masked survivability sweep under a worker slot.
+func (s *Server) degradedMetrics(r *http.Request, a *Artifact, fq *faultQuery) (*DegradedMetrics, error) {
+	if !a.Materialized() {
+		return nil, badRequest("%s is not materialized; no degraded metrics", a.Name)
+	}
+	release, err := s.acquireSlot(r.Context())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	c := a.U.CSR()
+	clusterOf := a.ClusterIDs()
+	set, err := fault.New(c, fq.Spec, clusterOf)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	dv, err := fault.NewDegradedView(c, set)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := dv.WithClusters(clusterOf).Analyze(r.Context())
+	if err != nil {
+		return nil, err
+	}
+	return &DegradedMetrics{
+		Mode:             string(fq.Spec.Mode),
+		Count:            fq.Spec.Count,
+		Seed:             fq.Spec.Seed,
+		Alive:            rep.Alive,
+		FailedNodes:      rep.FailedVertices,
+		FailedLinks:      rep.FailedEdges,
+		FailedChips:      rep.FailedChips,
+		Components:       rep.Components,
+		LargestComponent: rep.LargestComponent,
+		Diameter:         rep.Diameter,
+		AvgDistance:      rep.AvgDistance,
+		GiantDiameter:    rep.GiantDiameter,
+		GiantAvgDistance: rep.GiantAvgDistance,
+		ChipsTotal:       rep.ChipsTotal,
+		ChipsDead:        rep.ChipsDead,
+		ChipsReachable:   rep.ChipsReachable,
+	}, nil
 }
 
 // RouteResponse is the /v1/route reply: a shortest path in the
@@ -185,18 +252,34 @@ func shortestPath(a *Artifact, src, dst int) ([]int, error) {
 	return path, nil
 }
 
-// SimulateResponse is the /v1/simulate reply.
+// SimFaults echoes the fault scenario a degraded simulation ran under.
+type SimFaults struct {
+	Mode      string `json:"mode"`
+	Count     int    `json:"count"`
+	Seed      int64  `json:"seed"`
+	Routing   string `json:"routing"` // aware | oblivious
+	DeadNodes int    `json:"dead_nodes,omitempty"`
+	DeadLinks int    `json:"dead_links,omitempty"`
+	DeadChips int    `json:"dead_chips,omitempty"`
+}
+
+// SimulateResponse is the /v1/simulate reply.  On a degraded network
+// every injected packet is accounted exactly once:
+// injected = delivered + dropped + in-flight.
 type SimulateResponse struct {
-	Network   string  `json:"network"`
-	Workload  string  `json:"workload"`
-	Nodes     int     `json:"nodes"`
-	Rounds    int     `json:"rounds"`
-	Injected  int64   `json:"injected"`
-	Delivered int64   `json:"delivered"`
-	Latency   float64 `json:"latency_rounds"`
-	OffChip   float64 `json:"off_chip_per_packet"`
-	Accepted  float64 `json:"accepted,omitempty"`  // random workload only
-	Saturated *bool   `json:"saturated,omitempty"` // random workload only
+	Network   string     `json:"network"`
+	Workload  string     `json:"workload"`
+	Nodes     int        `json:"nodes"`
+	Rounds    int        `json:"rounds"`
+	Injected  int64      `json:"injected"`
+	Delivered int64      `json:"delivered"`
+	Dropped   int64      `json:"dropped,omitempty"`
+	Retried   int64      `json:"retried,omitempty"`
+	Latency   float64    `json:"latency_rounds"`
+	OffChip   float64    `json:"off_chip_per_packet"`
+	Accepted  float64    `json:"accepted,omitempty"`  // random workload only
+	Saturated *bool      `json:"saturated,omitempty"` // random workload only
+	Faults    *SimFaults `json:"faults,omitempty"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
@@ -258,6 +341,36 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 
 	const maxDrainRounds = 1 << 20
 	resp := SimulateResponse{Network: a.Name, Workload: workload, Nodes: a.N}
+	fq, err := parseFaultQuery(r)
+	if err != nil {
+		return err
+	}
+	if fq != nil && fq.Spec.Count > 0 {
+		if fq.Spec.Mode == fault.Adversarial {
+			return badRequest("adversarial faults target graph cuts and have no port-level analogue; use /v1/metrics with fmode=adversarial")
+		}
+		dnet, sum, err := netsim.Degrade(net, fq.Spec)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		if fq.Routing == "aware" {
+			far, err := netsim.NewFaultAwareRouter(dnet)
+			if err != nil {
+				return badRequest("%v", err)
+			}
+			dnet.Router = far
+		}
+		net = dnet
+		resp.Faults = &SimFaults{
+			Mode:      string(sum.Mode),
+			Count:     fq.Spec.Count,
+			Seed:      fq.Spec.Seed,
+			Routing:   fq.Routing,
+			DeadNodes: len(sum.DeadNodes),
+			DeadLinks: len(sum.DeadLinks),
+			DeadChips: len(sum.DeadChips),
+		}
+	}
 	switch workload {
 	case "random":
 		res, err := netsim.RunRandomUniformCtx(r.Context(), net, int64(seed), rate, warmup, measure)
@@ -267,6 +380,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		resp.Rounds = res.Stats.Rounds
 		resp.Injected = res.Stats.Injected
 		resp.Delivered = res.Stats.Delivered
+		resp.Dropped = res.Stats.Dropped
+		resp.Retried = res.Stats.Retried
 		resp.Latency = res.Latency
 		resp.OffChip = res.Stats.OffChipPerPacket()
 		resp.Accepted = res.Accepted
@@ -279,6 +394,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		resp.Rounds = res.Rounds
 		resp.Injected = res.Stats.Injected
 		resp.Delivered = res.Stats.Delivered
+		resp.Dropped = res.Stats.Dropped
+		resp.Retried = res.Stats.Retried
 		resp.Latency = res.Stats.AvgLatency()
 		resp.OffChip = res.Stats.OffChipPerPacket()
 	case "transpose":
@@ -323,6 +440,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		resp.Rounds = res.Rounds
 		resp.Injected = res.Stats.Injected
 		resp.Delivered = res.Stats.Delivered
+		resp.Dropped = res.Stats.Dropped
+		resp.Retried = res.Stats.Retried
 		resp.Latency = res.Stats.AvgLatency()
 		resp.OffChip = res.Stats.OffChipPerPacket()
 	default:

@@ -17,6 +17,12 @@ import (
 type serverMetrics struct {
 	requestsInFlight atomic.Int64
 
+	// Robustness counters: recovered panics (handler or build), transient
+	// build retries, and requests fast-failed by an open circuit.
+	panics           atomic.Int64
+	buildRetries     atomic.Int64
+	breakerFastFails atomic.Int64
+
 	mu       sync.Mutex
 	requests map[reqKey]int64 // requests_total{endpoint, code}
 
@@ -67,9 +73,16 @@ func (m *serverMetrics) observeBuild(d time.Duration) {
 	m.mu.Unlock()
 }
 
+// breakerStats is the circuit-breaker snapshot WriteProm renders:
+// circuits currently open and half-open, plus total open transitions.
+type breakerStats struct {
+	open, halfOpen, opens int64
+}
+
 // WriteProm writes the full metrics page: cache counters, request
-// counters, the in-flight gauges, and the build-latency histogram.
-func (m *serverMetrics) WriteProm(w io.Writer, cs cache.Stats) {
+// counters, the in-flight gauges, the robustness counters, the breaker
+// state, and the build-latency histogram.
+func (m *serverMetrics) WriteProm(w io.Writer, cs cache.Stats, bs breakerStats) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
@@ -86,6 +99,13 @@ func (m *serverMetrics) WriteProm(w io.Writer, cs cache.Stats) {
 	gauge("ipgd_cache_max_bytes", "Configured cache byte budget (0 = unbounded).", cs.MaxBytes)
 	gauge("ipgd_builds_in_flight", "Artifact builds currently running.", cs.InFlight)
 	gauge("ipgd_requests_in_flight", "HTTP requests currently being served.", m.requestsInFlight.Load())
+
+	counter("ipgd_panics_total", "Panics recovered in handlers or artifact builds.", m.panics.Load())
+	counter("ipgd_build_retries_total", "Transient build failures retried with backoff.", m.buildRetries.Load())
+	counter("ipgd_breaker_fastfail_total", "Requests rejected immediately by an open circuit breaker.", m.breakerFastFails.Load())
+	counter("ipgd_breaker_open_total", "Circuit breaker transitions to the open state.", bs.opens)
+	gauge("ipgd_breaker_open", "Family circuits currently open (fast-failing).", bs.open)
+	gauge("ipgd_breaker_half_open", "Family circuits currently half-open (probing).", bs.halfOpen)
 
 	m.mu.Lock()
 	keys := make([]reqKey, 0, len(m.requests))

@@ -26,6 +26,39 @@ type MetricsDoc struct {
 	// Diameter is the exact graph diameter, present only when requested
 	// (it is an all-pairs BFS and therefore the one optional slow field).
 	Diameter *int `json:"diameter,omitempty"`
+
+	// Degraded is the survivability block, present only when the request
+	// carried fault parameters.  It is computed per request (never
+	// memoized): the fault sample depends on count, mode, and seed.
+	Degraded *DegradedMetrics `json:"degraded,omitempty"`
+}
+
+// DegradedMetrics reports what survives a sampled failure scenario.
+// Diameter and AvgDistance cover the whole alive subgraph and are -1 when
+// it is disconnected; the Giant* fields always describe the largest
+// surviving component.  The chip fields appear when the family has a chip
+// assignment.
+type DegradedMetrics struct {
+	Mode  string `json:"mode"`
+	Count int    `json:"count"`
+	Seed  int64  `json:"seed"`
+
+	Alive       int `json:"alive"`
+	FailedNodes int `json:"failed_nodes"`
+	FailedLinks int `json:"failed_links"`
+	FailedChips int `json:"failed_chips,omitempty"`
+
+	Components       int `json:"components"`
+	LargestComponent int `json:"largest_component"`
+
+	Diameter         int     `json:"diameter"`
+	AvgDistance      float64 `json:"avg_distance"`
+	GiantDiameter    int     `json:"giant_diameter"`
+	GiantAvgDistance float64 `json:"giant_avg_distance"`
+
+	ChipsTotal     int `json:"chips_total,omitempty"`
+	ChipsDead      int `json:"chips_dead,omitempty"`
+	ChipsReachable int `json:"chips_reachable,omitempty"`
 }
 
 // SuperMetrics carries the label-level quantities of super-IPG families.

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"time"
 
 	"ipg/internal/cache"
@@ -16,6 +18,12 @@ import (
 // ErrSaturated is returned by the worker pool when every slot is busy and
 // the waiting queue is full; handlers translate it to 503 + Retry-After.
 var ErrSaturated = errors.New("serve: worker pool saturated")
+
+// ErrTransient marks a build failure as retryable: a Builder that wraps
+// its error with ErrTransient (fmt.Errorf("%w: ...", serve.ErrTransient))
+// opts into the bounded retry-with-backoff in getArtifact.  Deterministic
+// failures (bad parameters, oversized instances) must not carry it.
+var ErrTransient = errors.New("serve: transient build failure")
 
 // Config sizes the daemon.
 type Config struct {
@@ -40,6 +48,20 @@ type Config struct {
 	SimMaxNodes int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// BuildRetries bounds how many times a build that fails with
+	// ErrTransient is retried (with jittered exponential backoff) before
+	// the error is surfaced; 0 means 2, negative disables retries.
+	BuildRetries int
+	// RetryBackoff is the base backoff before the first retry, doubled
+	// each attempt; 0 means 50ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold is the consecutive genuine build failures per
+	// family that open its circuit (fast 503s without consuming workers);
+	// 0 means 5, negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit fast-fails before
+	// letting a half-open probe through; 0 means 10s.
+	BreakerCooldown time.Duration
 	// Builder overrides artifact construction (tests use it to count and
 	// gate builds); nil means BuildArtifact.
 	Builder func(ctx context.Context, p Params, maxNodes int) (*Artifact, error)
@@ -73,6 +95,21 @@ func (c Config) withDefaults() Config {
 	if c.Builder == nil {
 		c.Builder = BuildArtifact
 	}
+	if c.BuildRetries == 0 {
+		c.BuildRetries = 2
+	}
+	if c.BuildRetries < 0 {
+		c.BuildRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 	return c
 }
 
@@ -85,6 +122,7 @@ type Server struct {
 	sem     chan struct{} // worker slots
 	queued  chan struct{} // tokens for requests waiting on a slot
 	metrics *serverMetrics
+	breaker *breakerSet // nil when disabled
 	mux     *http.ServeMux
 }
 
@@ -97,6 +135,7 @@ func NewServer(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.Workers),
 		queued:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		metrics: newServerMetrics(),
+		breaker: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -142,11 +181,68 @@ func (s *Server) acquireSlot(ctx context.Context) (release func(), err error) {
 	}
 }
 
-// getArtifact is the shared request path: canonicalize, consult the
-// cache, and build under a worker slot on miss.  The build itself runs
-// on the cache's singleflight goroutine; the slot is held by the build
-// function, so cache hits never touch the pool.
+// buildOnce runs the configured Builder exactly once, converting a panic
+// into an error.  This recovery is load-bearing: builds execute on the
+// cache's singleflight goroutine, where an unrecovered panic would kill
+// the whole daemon, not just one request.
+func (s *Server) buildOnce(ctx context.Context, p Params) (a *Artifact, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Add(1)
+			err = fmt.Errorf("serve: build panicked for %s: %v", p.Key(), r)
+		}
+	}()
+	return s.cfg.Builder(ctx, p, s.cfg.MaxNodes)
+}
+
+// buildWithRetry retries transient build failures (errors wrapping
+// ErrTransient) up to cfg.BuildRetries times with jittered exponential
+// backoff, honoring ctx while sleeping.
+func (s *Server) buildWithRetry(ctx context.Context, p Params) (*Artifact, error) {
+	a, err := s.buildOnce(ctx, p)
+	for i := 0; i < s.cfg.BuildRetries && err != nil && errors.Is(err, ErrTransient); i++ {
+		d := s.cfg.RetryBackoff << i
+		// Full jitter on the upper half keeps synchronized clients apart.
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+		s.metrics.buildRetries.Add(1)
+		a, err = s.buildOnce(ctx, p)
+	}
+	return a, err
+}
+
+// buildOutcomeOf classifies err for the circuit breaker.  Outcomes that
+// say nothing about the family's buildability — client errors, pool
+// saturation, cancelled or expired deadlines — are neutral.
+func buildOutcomeOf(err error) buildOutcome {
+	var he *httpError
+	switch {
+	case err == nil:
+		return outcomeOK
+	case errors.As(err, &he), errors.Is(err, ErrSaturated),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return outcomeNeutral
+	}
+	return outcomeFail
+}
+
+// getArtifact is the shared request path: breaker check, canonicalize,
+// consult the cache, and build (with retry and panic containment) under a
+// worker slot on miss.  The build itself runs on the cache's singleflight
+// goroutine; the slot is held by the build function, so cache hits never
+// touch the pool.  The breaker is keyed per family, so one family
+// failing repeatedly cannot consume build slots needed by the rest.
 func (s *Server) getArtifact(ctx context.Context, p Params) (*Artifact, bool, error) {
+	if err := s.breaker.allow(p.Net, time.Now()); err != nil {
+		s.metrics.breakerFastFails.Add(1)
+		return nil, false, err
+	}
 	v, hit, err := s.cache.GetOrBuild(ctx, p.Key(), func(bctx context.Context) (cache.Value, error) {
 		release, err := s.acquireSlot(bctx)
 		if err != nil {
@@ -154,13 +250,14 @@ func (s *Server) getArtifact(ctx context.Context, p Params) (*Artifact, bool, er
 		}
 		defer release()
 		start := time.Now()
-		a, err := s.cfg.Builder(bctx, p, s.cfg.MaxNodes)
+		a, err := s.buildWithRetry(bctx, p)
 		if err != nil {
 			return nil, err
 		}
 		s.metrics.observeBuild(time.Since(start))
 		return a, nil
 	})
+	s.breaker.report(p.Net, buildOutcomeOf(err), time.Now())
 	if err != nil {
 		return nil, hit, err
 	}
@@ -192,6 +289,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	case errors.Is(err, ErrSaturated):
 		code = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrCircuitOpen):
+		code = http.StatusServiceUnavailable
+		retry := int(s.cfg.BreakerCooldown / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -204,19 +308,31 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	return code
 }
 
-// statusRecorder captures the response code for requests_total.
+// statusRecorder captures the response code for requests_total, and
+// whether anything was written yet (so the panic recovery knows if a 500
+// body can still be sent).
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps an API handler with the request gauge/counters and the
-// per-request deadline.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps an API handler with the request gauge/counters, the
+// per-request deadline, and panic containment: a panicking handler is
+// counted in ipgd_panics_total and answered with a 500 (when nothing was
+// written yet) instead of tearing down the connection — and the daemon
+// keeps serving.
 func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requestsInFlight.Add(1)
@@ -224,9 +340,21 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		// LIFO: the recover below runs before this, so the counted code
+		// reflects the 500 a panic produced.
+		defer func() { s.metrics.countRequest(endpoint, rec.code) }()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Add(1)
+				if !rec.wrote {
+					rec.code = s.writeError(rec, fmt.Errorf("serve: handler panicked: %v", p))
+				} else {
+					rec.code = http.StatusInternalServerError
+				}
+			}
+		}()
 		if err := h(rec, r.WithContext(ctx)); err != nil {
 			rec.code = s.writeError(rec.ResponseWriter, err)
 		}
-		s.metrics.countRequest(endpoint, rec.code)
 	}
 }

@@ -1,0 +1,181 @@
+package topo
+
+import "math/bits"
+
+// This file holds the fault-masked variants of the BFS kernels: the same
+// CSR arena is traversed, but a vertex bitset (one bit per vertex) and an
+// arc bitset (one bit per arena index) hide failed vertices and links
+// without rebuilding the arena.  The fault layer (internal/fault) builds
+// the masks; both kernels treat a nil mask as all-alive, so the masked
+// path with zero faults visits exactly the vertices and arcs the unmasked
+// kernels do, in the same order, producing bit-identical eccentricities
+// and distance sums.
+//
+// Unlike the unmasked kernels, the masked ones do not encode
+// disconnection as ecc = -1: a degraded topology is routinely
+// disconnected, and the caller needs the per-source reached count to tell
+// a small component from a dead graph.  Both kernels therefore return how
+// many vertices each source reached and leave ecc as the eccentricity
+// within the source's component.
+
+// NewBitset returns a bitset able to hold n bits, all zero.
+func NewBitset(n int) []uint64 { return make([]uint64, (n+63)/64) }
+
+// SetBit sets bit i of bs.
+func SetBit(bs []uint64, i int) { bs[i>>6] |= 1 << (uint(i) & 63) }
+
+// Bit reports bit i of bs, treating a nil bitset as all-zero.
+func Bit(bs []uint64, i int) bool {
+	return bs != nil && bs[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// BFSMaskedInto runs BFS from src over the CSR, skipping vertices whose
+// bit is set in vdead and arcs whose arena index is set in adead (either
+// or both may be nil).  src must be alive.  dist (length c.N(), fully
+// overwritten; -1 marks unreached or dead vertices) and queue are
+// caller-owned scratch as in BFSInto.  It returns the eccentricity of src
+// within its component, the sum of distances to reached vertices, and the
+// reached-vertex count (including src).
+func (c *CSR) BFSMaskedInto(src int, vdead, adead []uint64, dist, queue []int32) (ecc int32, sum int64, reached int32) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = queue[:0]
+	//lint:ignore indextrunc src < c.N() <= MaxVertices (math.MaxInt32)
+	queue = append(queue, int32(src))
+	reached = 1
+	arena, off := c.arena, c.off
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		sum += int64(du)
+		base := off[u]
+		for j, v := range arena[base:off[u+1]] {
+			if dist[v] >= 0 || Bit(adead, int(base)+j) || Bit(vdead, int(v)) {
+				continue
+			}
+			dist[v] = du + 1
+			queue = append(queue, v)
+			reached++
+		}
+	}
+	return ecc, sum, reached
+}
+
+// MSBFSMaskedInto is the masked variant of MSBFSInto: up to 64 BFS
+// traversals advance together over a symmetric CSR, skipping vertices in
+// vdead and arcs in adead (either may be nil; a failed undirected edge
+// must have both of its arc directions marked, which keeps the bottom-up
+// gather — reading Row(v) as in-neighbors — correct).  All sources must
+// be alive.  Per source i it writes ecc[i] (eccentricity within the
+// source's component), sum[i] (sum of distances to reached vertices), and
+// reached[i] (vertices reached, including the source).  There is no
+// dist output: the fault layer consumes only the census quantities.
+func (c *CSR) MSBFSMaskedInto(sources []int32, s *MSBFSScratch, vdead, adead []uint64, ecc []int32, sum []int64, reached []int32) {
+	n := c.N()
+	ns := len(sources)
+	if ns == 0 || ns > msbfsBatch {
+		panic("topo: MSBFSMaskedInto needs 1..64 sources")
+	}
+	if len(ecc) < ns || len(sum) < ns || len(reached) < ns {
+		panic("topo: MSBFSMaskedInto ecc/sum/reached shorter than sources")
+	}
+	s.ensure(n)
+	visited, frontier, next := s.visited, s.frontier, s.next
+	for i := range visited {
+		visited[i] = 0
+		frontier[i] = 0
+		next[i] = 0
+	}
+	full := ^uint64(0) >> (msbfsBatch - ns)
+	s.cur = s.cur[:0]
+	for i, src := range sources {
+		if Bit(vdead, int(src)) {
+			panic("topo: MSBFSMaskedInto source is dead")
+		}
+		if frontier[src] == 0 {
+			s.cur = append(s.cur, src)
+		}
+		bit := uint64(1) << i
+		frontier[src] |= bit
+		visited[src] |= bit
+		ecc[i], sum[i] = 0, 0
+		reached[i] = 1
+	}
+	arena, off := c.arena, c.off
+	var cnt [msbfsBatch]int32
+	for level := int32(1); len(s.cur) > 0; level++ {
+		s.touched = s.touched[:0]
+		if len(s.cur) > n/msbfsDenseCut {
+			// Bottom-up: every alive, not-fully-visited vertex gathers the
+			// frontier bits of its neighbors along alive arcs.  Dead
+			// neighbors contribute nothing (their frontier word stays 0),
+			// so only the arc mask needs checking in the gather.
+			for v := 0; v < n; v++ {
+				if visited[v] == full || Bit(vdead, v) {
+					continue
+				}
+				base := off[v]
+				var acc uint64
+				for j, u := range arena[base:off[v+1]] {
+					if Bit(adead, int(base)+j) {
+						continue
+					}
+					acc |= frontier[u]
+				}
+				if acc&^visited[v] != 0 {
+					next[v] = acc
+					//lint:ignore indextrunc v < n <= MaxVertices (math.MaxInt32)
+					s.touched = append(s.touched, int32(v))
+				}
+			}
+		} else {
+			// Top-down: frontier vertices push their bits along alive arcs
+			// to alive targets.
+			for _, u := range s.cur {
+				f := frontier[u]
+				base := off[u]
+				for j, v := range arena[base:off[u+1]] {
+					if f&^visited[v] == 0 || Bit(adead, int(base)+j) || Bit(vdead, int(v)) {
+						continue
+					}
+					if next[v] == 0 {
+						s.touched = append(s.touched, v)
+					}
+					next[v] |= f
+				}
+			}
+		}
+		for _, u := range s.cur {
+			frontier[u] = 0
+		}
+		s.cur = s.cur[:0]
+		for i := 0; i < ns; i++ {
+			cnt[i] = 0
+		}
+		for _, v := range s.touched {
+			newBits := next[v] &^ visited[v]
+			next[v] = 0
+			if newBits == 0 {
+				continue
+			}
+			visited[v] |= newBits
+			frontier[v] = newBits
+			s.cur = append(s.cur, v)
+			for b := newBits; b != 0; b &= b - 1 {
+				cnt[bits.TrailingZeros64(b)]++
+			}
+		}
+		for i := 0; i < ns; i++ {
+			if cnt[i] > 0 {
+				ecc[i] = level
+				sum[i] += int64(level) * int64(cnt[i])
+				reached[i] += cnt[i]
+			}
+		}
+	}
+}

@@ -111,6 +111,39 @@ func (c *CSR) HasArc(u, v int) bool {
 	return i < len(row) && row[i] == target
 }
 
+// ArcIndex returns the arena index of the arc u->v, or -1 if absent.  The
+// fault layer uses arena indices as stable arc identifiers for its link
+// masks.
+func (c *CSR) ArcIndex(u, v int) int {
+	if v < 0 || v > MaxVertices {
+		return -1
+	}
+	//lint:ignore indextrunc v is bounded to MaxVertices (math.MaxInt32) above
+	target := int32(v)
+	row := c.Row(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= target })
+	if i < len(row) && row[i] == target {
+		return int(c.off[u]) + i
+	}
+	return -1
+}
+
+// ArcSource returns the source vertex of arena index i, by binary search
+// over the row offsets.
+func (c *CSR) ArcSource(i int) int {
+	// Find the first vertex whose row ends past i.
+	//lint:ignore indextrunc i < len(arena) <= maxArcs (math.MaxUint32)
+	target := uint32(i)
+	return sort.Search(c.N(), func(v int) bool { return c.off[v+1] > target })
+}
+
+// ArcTarget returns the target vertex of arena index i.
+func (c *CSR) ArcTarget(i int) int32 { return c.arena[i] }
+
+// RowStart returns the arena index of v's first arc, so callers pairing
+// Row(v) with per-arc masks can address arcs as RowStart(v)+j.
+func (c *CSR) RowStart(v int) int { return int(c.off[v]) }
+
 // ByteSize returns the adjacency storage footprint in bytes: the offset
 // array plus the arena.  Struct headers are excluded (constant overhead).
 func (c *CSR) ByteSize() int64 {

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Chaos-test the ipgd daemon: hammer it with malformed queries, oversized
+# parameters, fault-injection requests, and mid-request disconnects, then
+# assert the process is still up, /healthz is green, and a normal request
+# still works.  Used by CI; runnable locally from the repo root.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+log="$workdir/ipgd.log"
+bin="$workdir/ipgd"
+pid=""
+
+cleanup() {
+  if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+    kill -9 "$pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "ipgd_chaos: FAIL: $*" >&2
+  echo "--- daemon log ---" >&2
+  cat "$log" >&2 || true
+  exit 1
+}
+
+go build -o "$bin" ./cmd/ipgd
+
+# Small worker pool and queue so saturation paths get exercised too.
+"$bin" -addr 127.0.0.1:0 -workers 2 -queue 2 -timeout 5s >"$log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(grep -oE 'listening on [0-9.:]+' "$log" 2>/dev/null | awk '{print $3}' || true)
+  [[ -n "$addr" ]] && break
+  kill -0 "$pid" 2>/dev/null || fail "daemon exited before listening"
+  sleep 0.1
+done
+[[ -n "$addr" ]] && echo "ipgd_chaos: daemon at $addr" || fail "never saw the listening line"
+
+alive() {
+  kill -0 "$pid" 2>/dev/null || fail "daemon died: $1"
+  code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 "http://$addr/healthz" || true)
+  [[ "$code" == "200" ]] || fail "healthz returned HTTP $code after $1"
+}
+
+# --- Malformed and hostile queries -----------------------------------
+# Every one of these must produce an orderly HTTP response (any status),
+# never a connection reset or a daemon crash.
+hostile=(
+  '/v1/build?net=bogus'
+  '/v1/build?net=hsn&l=-999999999&nucleus=q2'
+  '/v1/build?net=hsn&l=99999999999999999999&nucleus=q2'
+  '/v1/build?net=hsn&l=3&nucleus=k1024'
+  '/v1/build?net=hsn&l=3&nucleus=ghc:999999,2'
+  '/v1/build?net=torus&k=2147483647&side=2'
+  '/v1/metrics?net=hypercube&dim=6&logm=2&faults=-5'
+  '/v1/metrics?net=hypercube&dim=6&logm=2&faults=4&fmode=psychic'
+  '/v1/metrics?net=hypercube&dim=6&logm=2&faults=999999'
+  '/v1/simulate?net=hypercube&dim=5&logm=1&workload=te&faults=2&fmode=adversarial'
+  '/v1/simulate?net=hsn&l=2&nucleus=q2&workload=nope'
+  '/v1/route?net=hsn&l=2&nucleus=q2&src=-1&dst=99999999'
+  "/v1/build?net=hsn&nucleus=$(printf 'q%.0s' $(seq 1 2000))"
+  '/v1/build?%zz&&&=&net'
+  '/nosuchpath'
+)
+for path in "${hostile[@]}"; do
+  curl -s -o /dev/null --max-time 10 "http://$addr$path" || true
+done
+alive "hostile query sweep"
+
+# --- Mid-request disconnects -----------------------------------------
+# Start expensive requests and kill the client almost immediately; the
+# daemon must cancel the work and keep serving.
+for i in $(seq 1 10); do
+  curl -s -o /dev/null --max-time 0.05 \
+    "http://$addr/v1/metrics?net=hsn&l=4&nucleus=q2&diameter=1&nocache=$i" || true
+done
+alive "mid-request disconnects"
+
+# Raw half-open connection: send a partial request line and hang up.
+exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}" || fail "raw connect"
+printf 'GET /v1/build?net=hsn HTTP/1.1\r\n' >&3
+exec 3<&- 3>&-
+alive "half-open connection"
+
+# --- Parallel hammer --------------------------------------------------
+# Mixed valid, invalid, and fault-injection traffic well beyond the
+# 2-worker pool: some requests will 503, none may kill the daemon.
+mix=(
+  '/v1/build?net=hsn&l=3&nucleus=q2'
+  '/v1/metrics?net=hypercube&dim=6&logm=2&faults=4&fmode=node&fseed=7'
+  '/v1/metrics?net=hypercube&dim=6&logm=2&faults=3&fmode=adversarial'
+  '/v1/simulate?net=hypercube&dim=5&logm=1&workload=te&faults=3&fmode=link'
+  '/v1/build?net=bogus'
+  '/v1/metrics?net=torus&k=8&side=2'
+)
+hammer_pids=()
+for round in $(seq 1 5); do
+  for path in "${mix[@]}"; do
+    curl -s -o /dev/null --max-time 15 "http://$addr$path" &
+    hammer_pids+=("$!")
+  done
+done
+# Wait for the curls only: a bare `wait` would block on the daemon too.
+wait "${hammer_pids[@]}" || true
+alive "parallel hammer"
+
+# --- The daemon still does real work ---------------------------------
+body=$(curl -sS --max-time 15 "http://$addr/v1/metrics?net=hypercube&dim=6&logm=2&faults=4&fmode=node&fseed=7") \
+  || fail "post-chaos degraded metrics request"
+printf '%s' "$body" | grep -q '"degraded"' || fail "degraded block missing post-chaos: $body"
+metrics=$(curl -sS --max-time 10 "http://$addr/metrics") || fail "post-chaos /metrics"
+printf '%s\n' "$metrics" | grep -q '^ipgd_panics_total 0$' || fail "daemon recovered panics under chaos: $(printf '%s\n' "$metrics" | grep ipgd_panics_total)"
+
+kill -TERM "$pid"
+for _ in $(seq 1 50); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$pid" 2>/dev/null && fail "daemon still running 5s after SIGTERM"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "ipgd_chaos: OK"
