@@ -3,17 +3,38 @@
 //
 // Usage:
 //
-//	go run ./cmd/ipglint [-json] [-list] [pattern ...]
+//	go run ./cmd/ipglint [flags] [pattern ...]
 //
 // Patterns default to ./... and support the go tool's ./dir and ./dir/...
 // forms.  Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Output modes (mutually exclusive; default is file:line:col text):
+//
+//	-json    findings as a JSON array
+//	-sarif   findings as a SARIF 2.1.0 log (GitHub code scanning)
+//	-github  findings as GitHub Actions ::error annotations
+//
+// CI ratchet:
+//
+//	-baseline FILE        subtract the committed baseline before failing
+//	-write-baseline FILE  snapshot current findings and exit 0
+//	-assert-baseline-empty with -baseline: fail if the baseline itself
+//	                      still grandfathers anything (the steady state
+//	                      for this repository is an empty baseline)
+//
+// Inspection:
+//
+//	-why         print every lint:ignore directive with its reason and
+//	             how many findings it suppressed
+//	-tests=false exclude in-package _test.go files from the universe
+//	-list        list analyzers and exit
 //
 // Findings are suppressed inline with
 //
 //	//lint:ignore <analyzer>[,<analyzer>] <reason>
 //
 // on (or immediately above) the offending line, or file-wide with
-// //lint:file-ignore.  See docs/linting.md.
+// //lint:file-ignore in the file header.  See docs/linting.md.
 package main
 
 import (
@@ -29,9 +50,16 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	githubOut := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	baselinePath := flag.String("baseline", "", "subtract the baseline `file` from the findings before failing")
+	writeBaseline := flag.String("write-baseline", "", "snapshot current findings to `file` and exit 0")
+	assertEmpty := flag.Bool("assert-baseline-empty", false, "with -baseline: fail if the baseline still grandfathers any finding")
+	why := flag.Bool("why", false, "print each lint:ignore directive with its reason and suppression count")
+	withTests := flag.Bool("tests", true, "include in-package _test.go files in the analysis universe")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ipglint [-json] [-list] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ipglint [-json|-sarif|-github] [-baseline file [-assert-baseline-empty]] [-write-baseline file] [-why] [-tests=false] [-list] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,6 +69,16 @@ func main() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	modes := 0
+	for _, m := range []bool{*jsonOut, *sarifOut, *githubOut} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "ipglint: -json, -sarif, and -github are mutually exclusive")
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -52,19 +90,87 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipglint:", err)
 		os.Exit(2)
 	}
-	fset, pkgs, err := lint.Load(cwd, patterns)
+	loader := lint.NewLoader()
+	loader.IncludeTests = *withTests
+	fset, pkgs, err := loader.Load(cwd, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ipglint:", err)
 		os.Exit(2)
 	}
-	diags := lint.Run(fset, pkgs, lint.All())
+	// A run over anything narrower than the whole module cannot judge
+	// whether interprocedural suppressions are stale (their findings
+	// depend on entry points outside the load set), so partial runs use
+	// the partial staleness rules.
+	run := lint.RunResult
+	if !(len(patterns) == 1 && patterns[0] == "./...") {
+		run = lint.RunResultPartial
+	}
+	res := run(fset, pkgs, lint.All())
+	diags := res.Diags
+	rel := func(path string) string {
+		if r, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return path
+	}
 	for i := range diags {
-		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].File = rel
+		diags[i].File = rel(diags[i].File)
+	}
+
+	if *why {
+		for _, s := range res.Suppressions {
+			kind := "ignore"
+			if s.FileWide {
+				kind = "file-ignore"
+			}
+			fmt.Printf("%s:%d: %s %s suppressed %d finding(s): %s\n",
+				rel(s.File), s.Line, kind, strings.Join(s.Analyzers, ","), s.Count, s.Reason)
 		}
 	}
 
-	if *jsonOut {
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipglint:", err)
+			os.Exit(2)
+		}
+		err = lint.WriteBaseline(f, lint.NewBaseline(diags))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipglint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "ipglint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipglint:", err)
+			os.Exit(2)
+		}
+		base, err := lint.ReadBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipglint:", err)
+			os.Exit(2)
+		}
+		if *assertEmpty && len(base.Findings) > 0 {
+			fmt.Fprintf(os.Stderr, "ipglint: baseline %s still grandfathers %d finding(s); fix or suppress them with a cited invariant and empty the baseline\n",
+				*baselinePath, len(base.Findings))
+			os.Exit(1)
+		}
+		diags = base.Filter(diags)
+	} else if *assertEmpty {
+		fmt.Fprintln(os.Stderr, "ipglint: -assert-baseline-empty requires -baseline")
+		os.Exit(2)
+	}
+
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -74,15 +180,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ipglint:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ipglint:", err)
+			os.Exit(2)
+		}
+	case *githubOut:
+		for _, d := range diags {
+			// ::error file=...,line=...,col=...,title=...::message
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=ipglint %s::%s\n",
+				d.File, d.Line, d.Col, d.Analyzer, githubEscape(d.Message))
+		}
+	default:
 		for _, d := range diags {
 			fmt.Println(d.String())
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "ipglint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		}
 		os.Exit(1)
 	}
+}
+
+// githubEscape applies the workflow-command data escaping rules: percent,
+// carriage return, and newline must be %-encoded or the runner truncates
+// the message at the first newline.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

@@ -18,6 +18,8 @@
 // check of the movement schedule.
 package ascend
 
+//lint:file-ignore ctxflow one ascend pass runs dim (= log2 N) rounds of O(N) work on graphs bounded by ipg.MaxNodes, driven by the CLI experiment harness rather than a request handler
+
 import (
 	"fmt"
 	"math/bits"

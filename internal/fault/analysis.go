@@ -1,5 +1,7 @@
 package fault
 
+//lint:file-ignore ctxflow degraded-view analysis is one O(N+M) pass per request over an artifact bounded by MaxNodes; serve.degradedMetrics polls ctx between the surrounding MSBFS batches
+
 import (
 	"context"
 

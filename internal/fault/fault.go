@@ -15,6 +15,8 @@
 // and Analyze produces the survivability report.
 package fault
 
+//lint:file-ignore ctxflow fault-set construction is a one-shot O(N) sample or cut over a graph bounded by MaxNodes, finished under serve's request deadline before the cancellable metric sweeps start
+
 import (
 	"fmt"
 	"math/rand"

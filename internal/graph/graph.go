@@ -118,6 +118,7 @@ func FromStream(n int, stream func(edge func(u, v int))) *Graph {
 func (g *Graph) ensure() *topo.CSR {
 	if g.csr == nil {
 		csr, err := topo.Build(g.n, func(edge func(u, v int)) {
+			//lint:ignore ctxflow the edge replay is bounded by MaxVertices/MaxArcs (checked in AddEdge) and runs once per graph — readers memoize the CSR, and serve wraps builds in its worker-slot timeout
 			for i := range g.eu {
 				edge(int(g.eu[i]), int(g.ev[i]))
 			}

@@ -1,5 +1,7 @@
 package graph
 
+//lint:file-ignore ctxflow worker closures process one 64-source MSBFS batch per iteration and the enclosing loops poll ctx between batches, so cancellation latency is bounded by a single batch
+
 import (
 	"context"
 	"runtime"
@@ -136,13 +138,13 @@ func (g *Graph) DiameterParallelCtx(ctx context.Context) (int, error) {
 		}
 		return int(ecc), nil
 	}
-	var diam int64
-	var disconnected int64
+	var diam atomic.Int64
+	var disconnected atomic.Bool
 	err := g.parallelBatchesCtx(ctx, func(_ []int32, ecc []int32, _ []int64) {
 		var batchMax int64
 		for _, e := range ecc {
 			if e < 0 {
-				atomic.StoreInt64(&disconnected, 1)
+				disconnected.Store(true)
 				return
 			}
 			if int64(e) > batchMax {
@@ -154,10 +156,10 @@ func (g *Graph) DiameterParallelCtx(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if disconnected != 0 {
+	if disconnected.Load() {
 		return -1, nil
 	}
-	return int(diam), nil
+	return int(diam.Load()), nil
 }
 
 // AverageDistanceParallel computes the mean distance over all ordered
@@ -190,24 +192,24 @@ func (g *Graph) AverageDistanceParallelCtx(ctx context.Context) (float64, error)
 		total := sum * int64(n)
 		return float64(total) / float64(n) / float64(n), nil
 	}
-	var total int64
-	var disconnected int64
+	var total atomic.Int64
+	var disconnected atomic.Bool
 	err := g.parallelBatchesCtx(ctx, func(_ []int32, ecc []int32, sum []int64) {
 		var batchTotal int64
 		for i, e := range ecc {
 			if e < 0 {
-				atomic.StoreInt64(&disconnected, 1)
+				disconnected.Store(true)
 				return
 			}
 			batchTotal += sum[i]
 		}
-		atomic.AddInt64(&total, batchTotal)
+		total.Add(batchTotal)
 	})
 	if err != nil {
 		return 0, err
 	}
-	if disconnected != 0 {
+	if disconnected.Load() {
 		return -1, nil
 	}
-	return float64(total) / float64(n) / float64(n), nil
+	return float64(total.Load()) / float64(n) / float64(n), nil
 }

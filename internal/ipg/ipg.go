@@ -178,6 +178,7 @@ func (g *Graph) EffectiveDegree(v int) int {
 func (g *Graph) Undirected() *graph.Graph {
 	return graph.FromStream(g.N(), func(edge func(u, v int)) {
 		ng := len(g.Gens)
+		//lint:ignore ctxflow the arc stream is bounded by MaxNodes (1<<22, enforced in New) times the generator count and runs once per artifact under serve's build timeout
 		for v := 0; v < g.N(); v++ {
 			for _, w := range g.adj[v*ng : (v+1)*ng] {
 				if int(w) != v {

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags variables and fields that are updated through
+// sync/atomic in one place and read or written with plain loads/stores in
+// another.  Mixed access is the textbook "benign race" that isn't: the
+// compiler may tear, cache, or reorder the plain access, and the race
+// detector only catches it when both sides execute in the same run.
+//
+// Detection is interprocedural through address-passing helpers: a pointer
+// parameter that flows into a sync/atomic call (directly or through
+// another such helper) makes the callee an "atomic sink", so
+// topo.AtomicMaxInt64(&x, v) marks x atomic just like atomic.AddInt64(&x,
+// 1) does.  Every identifier use of an atomic object outside an
+// atomic-call argument is then reported, with the atomic site cited.
+// Declarations and := initializers are not uses (initialization before
+// the variable is shared is fine); re-assignment after sharing is exactly
+// the bug, so plain `x = 0` resets are reported.  The fix is a typed
+// atomic (atomic.Int64) whose plain access is unrepresentable.
+var AtomicMix = &Analyzer{
+	Name:   "atomicmix",
+	Doc:    "variable accessed both via sync/atomic and via plain loads/stores",
+	Module: true,
+	Run:    runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	cg := pass.Prog.CallGraph()
+	am := &atomicMix{
+		pass:    pass,
+		cg:      cg,
+		sinks:   make(map[string]bool),
+		atomics: make(map[string]token.Pos),
+		allowed: make(map[*ast.Ident]bool),
+	}
+	// Seed: parameters passed straight into sync/atomic calls, then a
+	// fixpoint so helpers-of-helpers (AtomicMaxInt64's CAS loop) become
+	// sinks too.  Each sweep also records the objects whose address
+	// reaches an atomic op and the exact idents doing so.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range cg.Funcs {
+			if fn.Body() == nil {
+				continue
+			}
+			if am.scanFunc(fn) {
+				changed = true
+			}
+		}
+	}
+	am.reportPlainUses()
+}
+
+// atomicMix keys its sets by declaration position (posKey), not object
+// identity, so a helper's sink parameter and an atomic variable keep one
+// identity across the per-package type-check universes.
+type atomicMix struct {
+	pass    *Pass
+	cg      *CallGraph
+	sinks   map[string]bool      // pointer params (by posKey) that reach an atomic op
+	atomics map[string]token.Pos // objects (by posKey) atomically accessed, with one site
+	allowed map[*ast.Ident]bool  // idents that ARE the atomic access
+}
+
+// scanFunc processes every call in fn once, returning whether the sink or
+// atomic sets grew.
+func (am *atomicMix) scanFunc(fn *Func) bool {
+	pkg := fn.Pkg
+	changed := false
+	fset := am.pass.Fset
+	markAtomic := func(obj types.Object, pos token.Pos) {
+		k := posKey(fset, obj)
+		if k == "" {
+			return
+		}
+		if _, ok := am.atomics[k]; !ok {
+			am.atomics[k] = pos
+			changed = true
+		}
+	}
+	markSink := func(v *types.Var) {
+		k := posKey(fset, v)
+		if k != "" && !am.sinks[k] {
+			am.sinks[k] = true
+			changed = true
+		}
+	}
+	inspectShallow(fn.Body(), func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := staticCallee(pkg, call)
+		if callee == nil {
+			return
+		}
+		sinkArg := func(i int) bool {
+			if isSyncAtomic(callee) {
+				return true // every pointer arg of an atomic func is the target
+			}
+			if sig, ok := callee.Type().(*types.Signature); ok && i < sig.Params().Len() {
+				return am.sinks[posKey(fset, sig.Params().At(i))]
+			}
+			return false
+		}
+		for i, arg := range call.Args {
+			if !sinkArg(i) {
+				continue
+			}
+			switch a := ast.Unparen(arg).(type) {
+			case *ast.UnaryExpr:
+				if a.Op != token.AND {
+					continue
+				}
+				switch x := ast.Unparen(a.X).(type) {
+				case *ast.Ident:
+					am.allowed[x] = true
+					markAtomic(objOf(pkg, x), x.Pos())
+				case *ast.SelectorExpr:
+					am.allowed[x.Sel] = true
+					markAtomic(pkg.Info.Uses[x.Sel], x.Sel.Pos())
+				case *ast.IndexExpr:
+					// &arr[i]: element granularity is beyond object
+					// tracking; skip rather than taint the whole slice.
+				}
+			case *ast.Ident:
+				// Pointer passed through: the enclosing function's
+				// parameter becomes a sink itself.
+				if v, ok := objOf(pkg, a).(*types.Var); ok && isPointer(v.Type()) && isParamOf(fn, v) {
+					am.allowed[a] = true
+					markSink(v)
+				}
+			}
+		}
+	})
+	return changed
+}
+
+func isSyncAtomic(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// isParamOf reports whether v is a parameter of fn's declaration.
+func isParamOf(fn *Func, v *types.Var) bool {
+	if fn.Obj == nil {
+		return false
+	}
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+func objOf(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// reportPlainUses walks every file and reports identifier uses of atomic
+// objects that are not themselves the atomic access.
+func (am *atomicMix) reportPlainUses() {
+	for _, pkg := range am.pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || am.allowed[id] {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				site, atomic := am.atomics[posKey(am.pass.Fset, obj)]
+				if !atomic {
+					return true
+				}
+				am.pass.Reportf(id.Pos(),
+					"%s is accessed with sync/atomic at %s; this plain access can race with it — use a typed atomic (atomic.Int64) or guard both sides with one mutex",
+					id.Name, am.pass.Fset.Position(site))
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Baseline support: a committed snapshot of known findings that a CI run
+// subtracts before failing.  The intended steady state for this
+// repository is an EMPTY baseline — the file exists so CI can assert
+// that nobody quietly grandfathers a finding in — but the mechanism is a
+// real ratchet: adopting the suite on a dirty tree means writing the
+// current findings once and burning them down without blocking CI in
+// the meantime.
+//
+// Entries are matched by (analyzer, file, message), deliberately NOT by
+// line: unrelated edits above a grandfathered finding must not make it
+// "new".  Matching consumes multiset counts, so adding a second
+// identical finding in the same file is still caught.
+
+// BaselineEntry is one grandfathered finding.  Line is recorded for
+// human readers of the file but ignored during matching.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Message  string `json:"message"`
+}
+
+// Baseline is a committed set of grandfathered findings.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+const baselineVersion = 1
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// NewBaseline snapshots diagnostics into a baseline, sorted for stable
+// diffs of the committed file.
+func NewBaseline(diags []Diagnostic) Baseline {
+	b := Baseline{Version: baselineVersion, Findings: make([]BaselineEntry, 0, len(diags))}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: d.Analyzer, File: d.File, Line: d.Line, Message: d.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		x, y := b.Findings[i], b.Findings[j]
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		if x.Line != y.Line {
+			return x.Line < y.Line
+		}
+		return x.Message < y.Message
+	})
+	return b
+}
+
+// WriteBaseline serializes b as indented JSON.
+func WriteBaseline(w io.Writer, b Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a baseline file, rejecting unknown versions so a
+// future format change fails loudly instead of silently matching
+// nothing.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("lint: parsing baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return Baseline{}, fmt.Errorf("lint: unsupported baseline version %d (want %d)", b.Version, baselineVersion)
+	}
+	return b, nil
+}
+
+// Filter returns the diagnostics not covered by the baseline.  Each
+// baseline entry absorbs at most one finding with the same analyzer,
+// file, and message, so duplicates beyond the grandfathered count still
+// surface.
+func (b Baseline) Filter(diags []Diagnostic) []Diagnostic {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[baselineKey(e.Analyzer, e.File, e.Message)]++
+	}
+	kept := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		k := baselineKey(d.Analyzer, d.File, d.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

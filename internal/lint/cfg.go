@@ -1,0 +1,422 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// This file builds a lightweight per-function control-flow graph: basic
+// blocks of AST nodes with successor edges, aware of branches (if, for,
+// range, switch, select), returns, break/continue (labeled included), and
+// defers.  It is the substrate the forward-dataflow framework (dataflow.go)
+// and the poolsafety/lockhold analyzers run on.
+//
+// Block contents are "shallow" nodes: simple statements appear whole, and
+// compound statements are decomposed — a block never contains the body of
+// a branch it guards.  Three marker nodes need shallow handling by
+// analyzers (see InspectNode): a *ast.RangeStmt in a loop-header block
+// stands for the per-iteration key/value assignment, a *ast.SelectStmt
+// stands for the blocking select dispatch, and condition/tag expressions
+// appear as bare ast.Expr nodes.  Function literals are never descended
+// into: each literal has its own CFG.
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Fn     *Func
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block // every return and the fall-off-end path lead here
+	Defers []*ast.DeferStmt
+	// Comm marks select comm statements: their channel operation happens
+	// at the select dispatch (the *ast.SelectStmt marker), so analyzers
+	// must not count it again as a standalone blocking point.
+	Comm map[ast.Stmt]bool
+}
+
+// Block is one basic block: straight-line nodes and successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// InspectNode walks one block node the way analyzers should: simple
+// statements and expressions are walked fully, marker nodes expose only
+// their shallow parts (a range header contributes X/Key/Value, a select
+// marker nothing), and function literals are never entered.
+func InspectNode(n ast.Node, visit func(ast.Node) bool) {
+	walk := func(m ast.Node) {
+		if m == nil {
+			return
+		}
+		ast.Inspect(m, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				visit(x) // show the literal itself, not its body
+				return false
+			}
+			if x == nil {
+				return false
+			}
+			return visit(x)
+		})
+	}
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		walk(n.X)
+		walk(n.Key)
+		walk(n.Value)
+	case *ast.SelectStmt:
+		if !visit(n) {
+			return
+		}
+	default:
+		walk(n)
+	}
+}
+
+// buildCFG constructs the CFG for f.  Bodyless functions get a trivial
+// entry->exit graph.
+func buildCFG(f *Func) *CFG {
+	c := &CFG{Fn: f, Comm: make(map[ast.Stmt]bool)}
+	b := &cfgBuilder{cfg: c, labels: make(map[string]*loopTargets)}
+	c.Entry = b.newBlock()
+	c.Exit = &Block{}
+	b.cur = c.Entry
+	if body := f.Body(); body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(c.Exit) // fall off the end
+	c.Exit.Index = len(c.Blocks)
+	c.Blocks = append(c.Blocks, c.Exit)
+	return c
+}
+
+type loopTargets struct {
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	loops  []*loopTargets
+	labels map[string]*loopTargets
+	// pendingLabel names the label attached to the next loop/switch.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur -> to, unless cur already terminated.
+func (b *cfgBuilder) jump(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+}
+
+// startBlock begins a new block and makes it current (no implicit edge).
+func (b *cfgBuilder) startBlock(blk *Block) { b.cur = blk }
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		delete(b.labels, s.Label.Name)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		thenBlk, elseBlk, after := b.newBlock(), (*Block)(nil), b.newBlock()
+		b.jump(thenBlk)
+		if s.Else != nil {
+			elseBlk = b.newBlock()
+			b.jump(elseBlk)
+		} else {
+			b.jump(after)
+		}
+		b.startBlock(thenBlk)
+		b.stmtList(s.Body.List)
+		b.jump(after)
+		if elseBlk != nil {
+			b.startBlock(elseBlk)
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.startBlock(after)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		header := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := header
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			post.Succs = append(post.Succs, header)
+		}
+		b.jump(header)
+		b.startBlock(header)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.jump(body)
+			b.jump(after)
+		} else {
+			b.jump(body) // for {}: after is reachable only via break
+		}
+		b.pushLoop(after, post)
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.jump(post)
+		b.popLoop()
+		b.startBlock(after)
+	case *ast.RangeStmt:
+		b.add(s.X)
+		header := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(header)
+		b.startBlock(header)
+		b.add(s) // marker: per-iteration key/value assignment
+		b.jump(body)
+		b.jump(after)
+		b.pushLoop(after, header)
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.jump(header)
+		b.popLoop()
+		b.startBlock(after)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+	case *ast.SelectStmt:
+		b.add(s) // marker: the blocking dispatch point
+		after := b.newBlock()
+		src := b.cur
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			if src != nil {
+				src.Succs = append(src.Succs, blk)
+			}
+			b.startBlock(blk)
+			if comm.Comm != nil {
+				b.cfg.Comm[comm.Comm] = true
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.jump(after)
+		}
+		b.startBlock(after)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+		b.startBlock(nil) // unreachable until next label/join
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+	default:
+		// Simple statements: assign, expr, send, incdec, decl, go, empty.
+		b.add(s)
+	}
+	// A nil cur after a terminator: create an unreachable continuation so
+	// later statements still land in some block (they are dead code).
+	if b.cur == nil {
+		b.startBlock(b.newBlock())
+	}
+}
+
+// switchStmt lowers switch and type-switch: every case body is a block
+// branching from the tag, with fallthrough chaining to the next body.
+func (b *cfgBuilder) switchStmt(s ast.Stmt) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		body = s.Body
+	}
+	after := b.newBlock()
+	src := b.cur
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	var caseBlocks []*Block
+	for range body.List {
+		caseBlocks = append(caseBlocks, b.newBlock())
+	}
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if src != nil {
+			src.Succs = append(src.Succs, caseBlocks[i])
+		}
+		b.startBlock(caseBlocks[i])
+		// break inside a switch exits the switch, not an enclosing loop.
+		b.pushSwitch(after, label)
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		b.popLoop()
+		// fallthrough is a BranchStmt handled in branch(); the normal exit
+		// of a case goes to after.
+		b.jump(after)
+		_ = i
+	}
+	if !hasDefault && src != nil {
+		src.Succs = append(src.Succs, after)
+	}
+	b.startBlock(after)
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	lt := &loopTargets{brk: brk, cont: cont}
+	b.loops = append(b.loops, lt)
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = lt
+		b.pendingLabel = ""
+	}
+}
+
+// pushSwitch registers a break-only target (switch/select bodies).
+func (b *cfgBuilder) pushSwitch(brk *Block, label string) {
+	lt := &loopTargets{brk: brk}
+	b.loops = append(b.loops, lt)
+	if label != "" {
+		b.labels[label] = lt
+	}
+}
+
+func (b *cfgBuilder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	var lt *loopTargets
+	if s.Label != nil {
+		lt = b.labels[s.Label.Name]
+	} else {
+		// Innermost target that supports the branch kind.
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			cand := b.loops[i]
+			if s.Tok.String() == "continue" && cand.cont == nil {
+				continue // switch frame; continue skips it
+			}
+			lt = cand
+			break
+		}
+	}
+	switch s.Tok.String() {
+	case "break":
+		if lt != nil {
+			b.jump(lt.brk)
+			b.startBlock(nil)
+		}
+	case "continue":
+		if lt != nil && lt.cont != nil {
+			b.jump(lt.cont)
+			b.startBlock(nil)
+		}
+	case "goto":
+		// Not used in this module; approximate as an opaque exit.
+		b.jump(b.cfg.Exit)
+		b.startBlock(nil)
+	case "fallthrough":
+		// The next case body block is the lexically next block allocated in
+		// switchStmt; chaining is approximated by falling through to after
+		// via the normal jump, which over-approximates reachability.
+	}
+}
+
+// String renders the CFG shape for tests: each block as
+// "N[kinds] -> succ,succ".
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		kinds := make([]string, 0, len(blk.Nodes))
+		for _, n := range blk.Nodes {
+			kinds = append(kinds, nodeKind(n))
+		}
+		succs := make([]int, 0, len(blk.Succs))
+		for _, s := range blk.Succs {
+			succs = append(succs, s.Index)
+		}
+		sort.Ints(succs)
+		tag := ""
+		if blk == c.Entry {
+			tag = " entry"
+		}
+		if blk == c.Exit {
+			tag = " exit"
+		}
+		fmt.Fprintf(&sb, "b%d%s [%s] -> %v\n", blk.Index, tag, strings.Join(kinds, " "), succs)
+	}
+	return sb.String()
+}
+
+func nodeKind(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.ExprStmt:
+		return "expr"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.GoStmt:
+		return "go"
+	case *ast.SendStmt:
+		return "send"
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.SelectStmt:
+		return "select"
+	case *ast.IncDecStmt:
+		return "incdec"
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.BranchStmt:
+		return n.Tok.String()
+	case ast.Expr:
+		return "cond"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}

@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow checks that cancellation actually reaches the loops that need
+// it.  A request that asks for metrics over a 10M-vertex topology must be
+// abortable: the HTTP server cancels r.Context() when the client goes
+// away, but that only helps if every function on the call path from the
+// handler down to the vertex-scale loop accepts a context and consults it.
+//
+// The analyzer is interprocedural: it marks entry points (HTTP handlers by
+// signature, Run*-prefixed and *Ctx-suffixed exported functions), walks
+// the module call graph to find every function reachable from one, and
+// inside those functions looks for loops whose trip count scales with the
+// graph (vertex/arc counts or round budgets — see the taint sources in
+// scaleTaint).  Such a loop must contain some use of a context.Context:
+// a ctx.Err() poll, a select on ctx.Done(), or handing ctx to a callee
+// that does the checking.  Two findings result:
+//
+//   - the function has no context in scope at all: the signature needs a
+//     context.Context parameter threaded from the entry point;
+//   - a context is in scope but the loop never consults it.
+//
+// Kernels that deliberately poll at a coarser granularity (per batch, per
+// BFS level) suppress with a directive citing that invariant.
+var CtxFlow = &Analyzer{
+	Name:   "ctxflow",
+	Doc:    "cancellation-reachable vertex/round-scale loops must consult a context.Context",
+	Module: true,
+	Run:    runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	cg := pass.Prog.CallGraph()
+
+	// BFS from the entry points, remembering which entry first reached
+	// each function so diagnostics can name a concrete cancellable path.
+	entryOf := make(map[*Func]string)
+	var queue []*Func
+	for _, f := range cg.Funcs {
+		if f.Decl != nil && isCtxEntry(f) && !pass.InTestFile(f.Pos()) {
+			entryOf[f] = f.Name()
+			queue = append(queue, f)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, c := range cg.Callees(f) {
+			if _, ok := entryOf[c]; !ok {
+				entryOf[c] = entryOf[f]
+				queue = append(queue, c)
+			}
+		}
+	}
+
+	taints := make(map[*Func]taintSet) // keyed by root declaration
+	for _, f := range cg.Funcs {
+		entry, ok := entryOf[f]
+		if !ok || f.Body() == nil || pass.InTestFile(f.Pos()) {
+			continue
+		}
+		root := f.Root()
+		taint, ok := taints[root]
+		if !ok {
+			taint = scaleTaint(root)
+			taints[root] = taint
+		}
+		hasCtx := hasContextExpr(f.Pkg, f.Body())
+		// One finding per function: the first unchecked loop anchors it and
+		// the rest are counted, so a kernel with a dozen scale loops reads
+		// as one actionable diagnostic, not twelve.
+		var first ast.Node
+		extra := 0
+		inspectShallow(f.Body(), func(n ast.Node) {
+			loop, ok := scaleLoop(f.Pkg, taint, n)
+			if !ok || hasContextExpr(f.Pkg, loop) {
+				return
+			}
+			if first == nil {
+				first = loop
+			} else {
+				extra++
+			}
+		})
+		if first == nil {
+			continue
+		}
+		more := ""
+		if extra > 0 {
+			more = fmt.Sprintf(" (and %d more such loops below)", extra)
+		}
+		if !hasCtx {
+			pass.Reportf(first.Pos(),
+				"%s is reachable from %s and loops over vertex/round-scale data with no context.Context in scope; thread one through and check it in this loop%s",
+				funcDisplay(f), entry, more)
+		} else {
+			pass.Reportf(first.Pos(),
+				"vertex/round-scale loop in %s (reachable from %s) never consults the in-scope context.Context; poll ctx.Err() or select on ctx.Done()%s",
+				funcDisplay(f), entry, more)
+		}
+	}
+}
+
+// isCtxEntry reports whether a declared function is a cancellation entry
+// point: an HTTP handler by signature, or a Run*/-Ctx API by name.
+func isCtxEntry(f *Func) bool {
+	if f.Obj == nil {
+		return false
+	}
+	name := f.Obj.Name()
+	if strings.HasPrefix(name, "Run") || strings.HasSuffix(name, "Ctx") {
+		return true
+	}
+	sig, ok := f.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isNetHTTPType(sig.Params().At(i).Type(), "ResponseWriter") ||
+			isNetHTTPType(sig.Params().At(i).Type(), "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+func isNetHTTPType(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == name
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// hasContextExpr reports whether any expression under n has static type
+// context.Context — a parameter use, a captured ctx, or an r.Context()
+// call all count: each is a live handle the code could check or pass on.
+func hasContextExpr(pkg *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[e]; ok && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil && isContextType(obj.Type()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// taintSet marks variables whose value scales with the graph.
+type taintSet map[types.Object]bool
+
+// scaleTaint runs a small intra-procedural taint fixpoint over a root
+// declaration (nested literals included, so captured bounds stay tainted
+// inside goroutine bodies).  Sources:
+//
+//   - zero-argument calls to N/M/NumVertices/NumArcs methods,
+//   - selector reads of integer fields named N or M,
+//   - len() of a non-call []int32/[]int64/[]uint64 expression (frontier
+//     queues, distance vectors, bitset rows),
+//   - indexing into []int32/[]int64 (distance reads seed backtrack loops),
+//   - integer parameters named rounds/maxRounds/warmup/measure/steps.
+//
+// Assignments propagate: any variable assigned an expression containing a
+// tainted value becomes tainted.
+func scaleTaint(root *Func) taintSet {
+	taint := make(taintSet)
+	pkg := root.Pkg
+	body := root.Body()
+	if body == nil {
+		return taint
+	}
+	seedParams := func(ft *ast.FuncType) {
+		if ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				switch name.Name {
+				case "rounds", "maxRounds", "warmup", "measure", "steps":
+					if obj := pkg.Info.Defs[name]; obj != nil && isIntegral(obj.Type()) {
+						taint[obj] = true
+					}
+				}
+			}
+		}
+	}
+	seedParams(root.FuncType())
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			seedParams(lit.Type)
+		}
+		return true
+	})
+
+	assign := func(lhs ast.Expr, rhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil || taint[obj] || !exprTainted(pkg, taint, rhs) {
+			return false
+		}
+		taint[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						if assign(n.Lhs[i], n.Rhs[i]) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						if assign(n.Names[i], n.Values[i]) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return taint
+}
+
+// exprTainted reports whether e contains a scale-tainted value.
+func exprTainted(pkg *Package, taint taintSet, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[n]; obj != nil && taint[obj] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if (n.Sel.Name == "N" || n.Sel.Name == "M") && fieldRead(pkg, n) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if name, nargs := calleeShortName(n), len(n.Args); nargs == 0 {
+				switch name {
+				case "N", "M", "NumVertices", "NumArcs":
+					found = true
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "len" && len(n.Args) == 1 {
+				arg := ast.Unparen(n.Args[0])
+				if _, isCall := arg.(*ast.CallExpr); !isCall && isScaleSlice(pkg, arg) {
+					found = true
+				}
+			}
+		case *ast.IndexExpr:
+			if isScaleSlice(pkg, n.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// fieldRead reports whether sel reads an integer struct field (not a
+// method value or call).
+func fieldRead(pkg *Package, sel *ast.SelectorExpr) bool {
+	obj := pkg.Info.Uses[sel.Sel]
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField() && isIntegral(v.Type())
+}
+
+func isIntegral(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isScaleSlice reports whether e has type []int32, []int64, or []uint64 —
+// the buffer shapes every vertex-sized structure in this module uses
+// (distance vectors, frontier queues, MSBFS words).
+func isScaleSlice(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	s, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int32, types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}
+
+// calleeShortName returns the rightmost identifier of a call's callee.
+func calleeShortName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// scaleLoop reports whether n is a loop whose trip count scales with the
+// graph, returning the loop node for position/ctx-scan purposes.
+func scaleLoop(pkg *Package, taint taintSet, n ast.Node) (ast.Node, bool) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		if n.Cond != nil && exprTainted(pkg, taint, n.Cond) {
+			return n, true
+		}
+	case *ast.RangeStmt:
+		x := ast.Unparen(n.X)
+		if _, isCall := x.(*ast.CallExpr); isCall {
+			return nil, false
+		}
+		if isScaleSlice(pkg, x) || exprTainted(pkg, taint, x) {
+			return n, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,73 @@
+package lint
+
+import "go/ast"
+
+// A small forward-dataflow framework over the CFG.  Analyzers supply the
+// lattice (join, equality), the initial fact at function entry, and a
+// transfer function applied to each block node in order; the framework
+// iterates to a fixpoint with a worklist.  Facts must be treated as
+// immutable by Transfer and Join (return fresh values), so a fact can be
+// shared between blocks.
+//
+// poolsafety and lockhold are built on this; ctxflow uses the simpler
+// taint fixpoint in ctxflow.go because its facts are order-insensitive.
+
+// FlowSpec defines one forward analysis with fact type T.
+type FlowSpec[T any] struct {
+	// Entry is the fact at function entry.
+	Entry T
+	// Transfer folds one block node into the incoming fact.
+	Transfer func(blk *Block, n ast.Node, in T) T
+	// Join merges facts at control-flow merges.
+	Join func(a, b T) T
+	// Equal reports fact equality (fixpoint detection).
+	Equal func(a, b T) bool
+}
+
+// FlowResult carries the per-block facts of one analysis run.
+type FlowResult[T any] struct {
+	// In is the fact at block entry, Out at block exit.
+	In, Out map[*Block]T
+}
+
+// Forward runs spec over c to a fixpoint and returns the block facts.
+func Forward[T any](c *CFG, spec FlowSpec[T]) FlowResult[T] {
+	res := FlowResult[T]{In: make(map[*Block]T), Out: make(map[*Block]T)}
+	seeded := map[*Block]bool{c.Entry: true}
+	res.In[c.Entry] = spec.Entry
+
+	apply := func(blk *Block) T {
+		fact := res.In[blk]
+		for _, n := range blk.Nodes {
+			fact = spec.Transfer(blk, n, fact)
+		}
+		return fact
+	}
+
+	work := []*Block{c.Entry}
+	inWork := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+		out := apply(blk)
+		res.Out[blk] = out
+		for _, succ := range blk.Succs {
+			var next T
+			if seeded[succ] {
+				next = spec.Join(res.In[succ], out)
+			} else {
+				next = out
+			}
+			if !seeded[succ] || !spec.Equal(next, res.In[succ]) {
+				res.In[succ] = next
+				seeded[succ] = true
+				if !inWork[succ] {
+					inWork[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"go/token"
 	"os"
 	"strings"
@@ -11,6 +12,13 @@ import (
 //
 //	//lint:ignore indextrunc ids are bounded by MaxNodes above
 //	//lint:file-ignore permalias this file implements the in-place kernels
+//
+// //lint:ignore binds to its own line or the line below; //lint:file-ignore
+// covers the whole file and must sit in the file header — anywhere from the
+// package clause down to the first non-import declaration, so a position
+// below the import block is fine.  A file-ignore buried in the body is
+// reported instead of silently honored, as is any directive that suppresses
+// nothing (see RunResult).
 const (
 	ignorePrefix     = "//lint:ignore "
 	fileIgnorePrefix = "//lint:file-ignore "
@@ -22,6 +30,8 @@ type directive struct {
 	ownLine   bool // nothing but whitespace precedes the comment on its line
 	fileWide  bool
 	analyzers map[string]bool
+	reason    string
+	used      int // findings this directive suppressed in the current run
 }
 
 type fileDirectives struct {
@@ -32,11 +42,13 @@ func (fd *fileDirectives) suppresses(d Diagnostic) bool {
 	if fd == nil {
 		return false
 	}
-	for _, dir := range fd.list {
+	for i := range fd.list {
+		dir := &fd.list[i]
 		if dir.file != d.Pos.Filename || !dir.analyzers[d.Analyzer] {
 			continue
 		}
 		if dir.fileWide || d.Pos.Line == dir.line || (dir.ownLine && d.Pos.Line == dir.line+1) {
+			dir.used++
 			return true
 		}
 	}
@@ -44,9 +56,9 @@ func (fd *fileDirectives) suppresses(d Diagnostic) bool {
 }
 
 // collectDirectives scans a package's comments for lint:ignore directives.
-// Malformed directives (missing reason, unknown analyzer) are returned as
-// diagnostics under the pseudo-analyzer "directive" so they cannot silently
-// fail to suppress.
+// Malformed directives (missing reason, unknown analyzer) and file-ignore
+// directives outside the file header are returned as diagnostics under the
+// pseudo-analyzer "directive" so they cannot silently fail to suppress.
 func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool) (*fileDirectives, []Diagnostic) {
 	fd := &fileDirectives{}
 	var bad []Diagnostic
@@ -55,6 +67,7 @@ func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool)
 		bad = append(bad, Diagnostic{Analyzer: "directive", Pos: pos, Message: msg})
 	}
 	for _, f := range pkg.Files {
+		headerEnd := headerEndLine(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
@@ -78,6 +91,10 @@ func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool)
 					report(pos, "directive needs an analyzer list and a reason")
 					continue
 				}
+				if fileWide && pos.Line >= headerEnd {
+					report(pos, "file-ignore directive must sit in the file header (package clause through the import block); move it up or use a line-level lint:ignore")
+					continue
+				}
 				names := strings.Split(fields[0], ",")
 				set := make(map[string]bool, len(names))
 				ok := true
@@ -98,11 +115,33 @@ func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool)
 					ownLine:   ownLine(srcByFile, pos),
 					fileWide:  fileWide,
 					analyzers: set,
+					reason:    strings.Join(fields[1:], " "),
 				})
 			}
 		}
 	}
 	return fd, bad
+}
+
+// headerEndLine returns the line of the first non-import declaration — the
+// boundary below which a file-ignore no longer counts as "near the top".
+// Doc comments belong to their declaration, so a file-ignore above the
+// first function is still (deliberately) rejected: it would read as
+// documentation of that one function while silently covering the file.
+func headerEndLine(fset *token.FileSet, f *ast.File) int {
+	for _, decl := range f.Decls {
+		if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			continue
+		}
+		pos := decl.Pos()
+		if d, ok := decl.(*ast.FuncDecl); ok && d.Doc != nil {
+			pos = d.Doc.Pos()
+		} else if d, ok := decl.(*ast.GenDecl); ok && d.Doc != nil {
+			pos = d.Doc.Pos()
+		}
+		return fset.Position(pos).Line
+	}
+	return int(^uint(0) >> 1) // no declarations: the whole file is header
 }
 
 // ownLine reports whether only whitespace precedes the comment on its line,

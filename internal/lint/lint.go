@@ -42,25 +42,64 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
-// Analyzer is one static check.  Run inspects a single type-checked package
-// via the Pass and reports findings with Pass.Reportf.
+// Analyzer is one static check.  A package analyzer (Module false) runs
+// once per package and inspects Pass.Files; a module analyzer (Module
+// true) runs once over the whole program and walks Pass.Prog — the
+// call graph, per-function CFGs, and every loaded package including
+// in-package test files.
 type Analyzer struct {
-	Name string // short lowercase identifier used in output and directives
-	Doc  string // one-line description
-	Run  func(pass *Pass)
+	Name   string // short lowercase identifier used in output and directives
+	Doc    string // one-line description
+	Module bool   // run once over the whole program instead of per package
+	Run    func(pass *Pass)
 }
 
-// Pass carries one (analyzer, package) unit of work.
+// Pass carries one unit of work: (analyzer, package) for package
+// analyzers, (analyzer, program) for module analyzers (Pkg/Info/Files are
+// nil in that case).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Prog     *Program
 
 	diags *[]Diagnostic
+}
+
+// Program is the whole-module view handed to module analyzers.  The call
+// graph and CFGs are built lazily, once, on first use.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	cg   *CallGraph
+	cfgs map[*Func]*CFG
+}
+
+// CallGraph returns the module call graph, building it on first call.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = buildCallGraph(p.Fset, p.Packages)
+	}
+	return p.cg
+}
+
+// CFG returns f's control-flow graph, building and caching it on demand.
+func (p *Program) CFG(f *Func) *CFG {
+	if p.cfgs == nil {
+		p.cfgs = make(map[*Func]*CFG)
+	}
+	c := p.cfgs[f]
+	if c == nil {
+		c = buildCFG(f)
+		p.cfgs[f] = c
+	}
+	return c
 }
 
 // Reportf records a finding at pos.
@@ -70,6 +109,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file — analyzers whose
+// bug class only matters on production API boundaries (indextrunc) use it
+// to skip the test universe.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
 // Diagnostic is one finding, positioned in the original source.
@@ -87,9 +133,13 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// All returns the full analyzer suite in a stable order.
+// All returns the full analyzer suite in a stable order: the per-package
+// checks from PR 1/2/4 followed by the interprocedural module checks.
 func All() []*Analyzer {
-	return []*Analyzer{PermAlias, IndexTrunc, GoroutineLeak, ErrDrop, AdjBuild, ScratchAlloc}
+	return []*Analyzer{
+		PermAlias, IndexTrunc, GoroutineLeak, ErrDrop, AdjBuild, ScratchAlloc,
+		CtxFlow, PoolSafety, LockHold, AtomicMix,
+	}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.
@@ -102,27 +152,81 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// Suppression describes one lint:ignore directive after a run: where it
+// is, what it covers, why, and how many findings it absorbed.
+type Suppression struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+	FileWide  bool     `json:"file_wide"`
+	Count     int      `json:"suppressed"` // findings this directive absorbed
+}
+
+// Result bundles the surviving diagnostics with the suppression report
+// (the -why listing).
+type Result struct {
+	Diags        []Diagnostic
+	Suppressions []Suppression
+}
+
 // Run executes the analyzers over the packages, applies ignore directives,
 // and returns the surviving diagnostics sorted by position.  Malformed
 // directives are reported under the pseudo-analyzer "directive".
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunResult(fset, pkgs, analyzers).Diags
+}
+
+// RunResult is Run plus the suppression report, assuming pkgs is the whole
+// module.  Directives that suppress nothing are themselves reported as
+// "directive" findings (a stale suppression hides nothing but rots into a
+// license to ignore the next real finding at that line).
+func RunResult(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) Result {
+	return runResult(fset, pkgs, analyzers, false)
+}
+
+// RunResultPartial is RunResult for a subset of the module.  Unused
+// directives are then only reported for package-local analyzers: a module
+// analyzer's findings depend on entry points and call paths that may live
+// outside the loaded set, so a partial run proves nothing about whether
+// its directives are stale.
+func RunResultPartial(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) Result {
+	return runResult(fset, pkgs, analyzers, true)
+}
+
+func runResult(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, partial bool) Result {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	prog := &Program{Fset: fset, Packages: pkgs}
+	for _, a := range analyzers {
+		if a.Module {
+			pass := &Pass{Analyzer: a, Fset: fset, Prog: prog, diags: &diags}
+			a.Run(pass)
+			continue
+		}
+		for _, pkg := range pkgs {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 				diags:    &diags,
 			}
 			a.Run(pass)
 		}
 	}
 	known := make(map[string]bool)
+	enabled := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
+		// A module analyzer's verdict on a partial package set is
+		// incomplete, so its directives are exempt from staleness
+		// reporting there.
+		enabled[a.Name] = !partial || !a.Module
 	}
 	var kept []Diagnostic
 	for _, pkg := range pkgs {
@@ -142,6 +246,49 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 			kept = append(kept, d)
 		}
 	}
+	// Report unused directives: a directive that covers at least one
+	// enabled analyzer yet suppressed nothing is stale.  Directives naming
+	// only disabled analyzers are left alone (a partial run proves
+	// nothing about them).
+	var sups []Suppression
+	for _, pkg := range pkgs {
+		if pkg.directives == nil {
+			continue
+		}
+		for i := range pkg.directives.list {
+			dir := &pkg.directives.list[i]
+			names := make([]string, 0, len(dir.analyzers))
+			anyEnabled := false
+			for n := range dir.analyzers {
+				names = append(names, n)
+				if enabled[n] {
+					anyEnabled = true
+				}
+			}
+			sort.Strings(names)
+			sups = append(sups, Suppression{
+				File:      dir.file,
+				Line:      dir.line,
+				Analyzers: names,
+				Reason:    dir.reason,
+				FileWide:  dir.fileWide,
+				Count:     dir.used,
+			})
+			if dir.used == 0 && anyEnabled {
+				kept = append(kept, Diagnostic{
+					Analyzer: "directive",
+					Pos:      token.Position{Filename: dir.file, Line: dir.line, Column: 1},
+					Message:  fmt.Sprintf("unused lint:ignore directive for %s: no finding suppressed; delete it", strings.Join(names, ",")),
+				})
+			}
+		}
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		if sups[i].File != sups[j].File {
+			return sups[i].File < sups[j].File
+		}
+		return sups[i].Line < sups[j].Line
+	})
 	for i := range kept {
 		kept[i].File = kept[i].Pos.Filename
 		kept[i].Line = kept[i].Pos.Line
@@ -160,5 +307,5 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	return Result{Diags: kept, Suppressions: sups}
 }

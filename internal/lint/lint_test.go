@@ -128,6 +128,22 @@ func TestScratchAllocFixture(t *testing.T) {
 	runFixture(t, "scratchalloc", []*Analyzer{ScratchAlloc})
 }
 
+func TestCtxFlowFixture(t *testing.T) {
+	runFixture(t, "ctxflow", []*Analyzer{CtxFlow})
+}
+
+func TestPoolSafetyFixture(t *testing.T) {
+	runFixture(t, "poolsafety", []*Analyzer{PoolSafety})
+}
+
+func TestLockHoldFixture(t *testing.T) {
+	runFixture(t, "lockhold", []*Analyzer{LockHold})
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	runFixture(t, "atomicmix", []*Analyzer{AtomicMix})
+}
+
 // TestIgnoreFixture proves the //lint:ignore and //lint:file-ignore
 // directives suppress findings from the full suite, and that malformed
 // directives are reported instead of silently doing nothing.

@@ -30,15 +30,23 @@ type Package struct {
 // offline with no compiled export data.
 type Loader struct {
 	Fset *token.FileSet
-	imp  types.Importer
+	// IncludeTests adds in-package *_test.go files to each package's
+	// type-check universe, so the analyzers cover test code too.  External
+	// test packages (package foo_test) would need a second universe per
+	// directory and are skipped either way.
+	IncludeTests bool
+	imp          types.Importer
 }
 
-// NewLoader returns a ready Loader with a fresh FileSet.
+// NewLoader returns a ready Loader with a fresh FileSet.  Test files are
+// included by default; callers that only care about production code set
+// IncludeTests to false.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
 	return &Loader{
-		Fset: fset,
-		imp:  importer.ForCompiler(fset, "source", nil),
+		Fset:         fset,
+		IncludeTests: true,
+		imp:          importer.ForCompiler(fset, "source", nil),
 	}
 }
 
@@ -116,19 +124,27 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
-// LoadDir parses and type-checks the non-test Go files of one directory.
-// Test files are excluded: the analyzers target production code, and
-// external _test packages would need a second type-check universe.
+// LoadDir parses and type-checks the Go files of one directory.  When
+// IncludeTests is set, in-package *_test.go files join the same type-check
+// universe (how `go test` compiles them), so the analyzers see the test
+// half of the codebase too.  External test packages (package foo_test)
+// are skipped: they are a second package per directory, and none of the
+// bug classes the suite encodes live behind an export boundary.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %w", err)
 	}
 	var files []*ast.File
+	var testNames []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testNames = append(testNames, name)
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -139,6 +155,19 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	if l.IncludeTests {
+		pkgName := files[0].Name.Name
+		for _, name := range testNames {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			if f.Name.Name != pkgName {
+				continue // external test package
+			}
+			files = append(files, f)
+		}
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -160,8 +189,14 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	}, nil
 }
 
-// Load expands patterns relative to dir and loads every matched package.
+// Load expands patterns relative to dir and loads every matched package
+// with a fresh default Loader (test files included).
 func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
+	return NewLoader().Load(dir, patterns)
+}
+
+// Load expands patterns relative to dir and loads every matched package.
+func (l *Loader) Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
 	dirs, err := Expand(dir, patterns)
 	if err != nil {
 		return nil, nil, err
@@ -169,7 +204,6 @@ func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
 	if len(dirs) == 0 {
 		return nil, nil, fmt.Errorf("lint: no packages match %v", patterns)
 	}
-	l := NewLoader()
 	var pkgs []*Package
 	for _, d := range dirs {
 		pkg, err := l.LoadDir(d)

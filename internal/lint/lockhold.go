@@ -1,0 +1,444 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHold flags mutexes held across operations that can block for an
+// unbounded time: channel sends/receives, selects with no default,
+// WaitGroup/Cond waits, sleeps, and writes to network-backed writers.
+// Every shard lock in the cache and every daemon-state mutex sits on a
+// request path; one Fprintf to a stalled client while holding it turns a
+// slow peer into a server-wide stall (this exact bug lived in the
+// /metrics handler — see internal/serve/metrics.go history).
+//
+// The analyzer is interprocedural in one direction: a per-function
+// "may-block" summary is computed over the call graph first (a function
+// blocks if it performs a blocking operation or calls — synchronously —
+// anything that does), then a CFG dataflow per function tracks the set of
+// locks that may be held at each node and reports any blocking operation
+// or may-block call executed under one.
+//
+// Deliberate non-findings: `go f()` under a lock does not block (the
+// goroutine runs concurrently); deferred calls run at return, after the
+// paired deferred unlock in the usual idiom, so they are skipped; a
+// select with a default branch is a poll; the channel operation inside a
+// select comm clause is accounted to the select, not double-counted.
+// A deferred Unlock does NOT clear the held set — that is the point: the
+// lock really is held until return, so blocking calls after
+// `defer mu.Unlock()` are real findings.
+var LockHold = &Analyzer{
+	Name:   "lockhold",
+	Doc:    "mutex held across channel ops, waits, sleeps, or network writes",
+	Module: true,
+	Run:    runLockHold,
+}
+
+type lockFact map[string]bool // rendered lock expr -> may be held
+
+func runLockHold(pass *Pass) {
+	cg := pass.Prog.CallGraph()
+	lh := &lockHold{pass: pass, cg: cg, seen: make(map[string]bool)}
+	lh.summarize()
+
+	for _, fn := range cg.Funcs {
+		if fn.Body() == nil || !lh.locksAnything(fn) {
+			continue
+		}
+		lh.checkFunc(fn)
+	}
+}
+
+type lockHold struct {
+	pass *Pass
+	cg   *CallGraph
+	seen map[string]bool
+
+	mayBlock map[*Func]bool
+	why      map[*Func]string // root cause for diagnostics
+}
+
+// summarize computes the may-block bit per function: direct blocking
+// operations first, then a fixpoint over synchronous call edges (calls
+// under `go` or `defer` do not propagate).
+func (lh *lockHold) summarize() {
+	lh.mayBlock = make(map[*Func]bool)
+	lh.why = make(map[*Func]string)
+	async := make(map[*ast.CallExpr]bool)
+	for _, fn := range lh.cg.Funcs {
+		if fn.Body() == nil {
+			continue
+		}
+		inspectShallow(fn.Body(), func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				async[n.Call] = true
+			case *ast.DeferStmt:
+				async[n.Call] = true
+			}
+		})
+		if desc, ok := lh.directBlock(fn); ok {
+			lh.mayBlock[fn] = true
+			lh.why[fn] = desc
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range lh.cg.Funcs {
+			if lh.mayBlock[fn] {
+				continue
+			}
+			for _, c := range lh.cg.Calls(fn) {
+				if async[c.Expr] {
+					continue
+				}
+				for _, callee := range c.Callees {
+					if lh.mayBlock[callee] {
+						lh.mayBlock[fn] = true
+						lh.why[fn] = "calls " + callee.Name() + ", which may block on " + lh.root(callee)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// root unwinds a "calls X, which may block on ..." chain to its leaf
+// description so diagnostics name the actual operation.
+func (lh *lockHold) root(fn *Func) string {
+	desc := lh.why[fn]
+	if i := strings.LastIndex(desc, "may block on "); i >= 0 {
+		return desc[i+len("may block on "):]
+	}
+	return desc
+}
+
+// directBlock scans one function body (shallow) for an intrinsically
+// blocking operation and describes the first one found.
+func (lh *lockHold) directBlock(fn *Func) (string, bool) {
+	exempt := commChannelOps(fn.Body())
+	desc, found := "", false
+	inspectShallow(fn.Body(), func(n ast.Node) {
+		if found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !exempt[n] {
+				desc, found = "a channel send", true
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && !exempt[n] {
+				desc, found = "a channel receive", true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				desc, found = "a select with no default", true
+			}
+		case *ast.CallExpr:
+			if d, ok := lh.extBlocking(fn.Pkg, n); ok {
+				desc, found = d, true
+			}
+		}
+	})
+	return desc, found
+}
+
+// commChannelOps collects the channel-operation nodes that belong to
+// select comm clauses; their blocking is the select's, not their own.
+func commChannelOps(body *ast.BlockStmt) map[ast.Node]bool {
+	exempt := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok || comm.Comm == nil {
+				continue
+			}
+			switch c := comm.Comm.(type) {
+			case *ast.SendStmt:
+				exempt[c] = true
+			case *ast.ExprStmt:
+				exempt[ast.Unparen(c.X)] = true
+			case *ast.AssignStmt:
+				if len(c.Rhs) == 1 {
+					exempt[ast.Unparen(c.Rhs[0])] = true
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if comm, ok := clause.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// extBlocking classifies a call to a non-module function as blocking.
+func (lh *lockHold) extBlocking(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := staticCallee(pkg, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.FullName()
+	switch {
+	case strings.Contains(name, "sync.WaitGroup).Wait"):
+		return "sync.WaitGroup.Wait", true
+	case strings.Contains(name, "sync.Cond).Wait"):
+		return "sync.Cond.Wait", true
+	case name == "time.Sleep":
+		return "time.Sleep", true
+	case strings.Contains(name, "http.Client).Do"),
+		name == "net/http.Get", name == "net/http.Post",
+		name == "net/http.Head", name == "net/http.PostForm":
+		return "an HTTP round trip", true
+	}
+	// Writes whose destination may be a network peer: fmt.Fprint* /
+	// io.WriteString / io.Copy to anything that is not a local buffer,
+	// and Write/Flush-shaped methods invoked through an interface.
+	if (strings.HasPrefix(name, "fmt.Fprint") || name == "io.WriteString" || name == "io.Copy") && len(call.Args) > 0 {
+		if !localBuffer(pkg, call.Args[0]) {
+			return name + " to a possibly network-backed writer", true
+		}
+		return "", false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch fn.Name() {
+		case "Write", "WriteString", "ReadFrom", "Flush":
+			if s, ok := pkg.Info.Selections[sel]; ok {
+				if _, isIface := s.Recv().Underlying().(*types.Interface); isIface {
+					return "an interface-typed " + fn.Name() + " (possibly a network write)", true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// localBuffer reports whether e's static type is an in-memory writer that
+// cannot stall on a peer.
+func localBuffer(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// locksAnything pre-scans for a Lock/RLock call on a sync mutex.
+func (lh *lockHold) locksAnything(fn *Func) bool {
+	found := false
+	inspectShallow(fn.Body(), func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, ok := mutexOp(fn.Pkg, call); ok {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// mutexOp decodes a call as (lockExprString, op) where op is one of
+// Lock/RLock/Unlock/RUnlock on a sync.Mutex or sync.RWMutex.
+func mutexOp(pkg *Package, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn := staticCallee(pkg, call)
+	if fn == nil {
+		return "", "", false
+	}
+	full := fn.FullName()
+	if !strings.Contains(full, "sync.Mutex)") && !strings.Contains(full, "sync.RWMutex)") {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// checkFunc runs the held-locks dataflow over one function and reports
+// blocking operations executed under a lock.
+func (lh *lockHold) checkFunc(fn *Func) {
+	cfg := lh.pass.Prog.CFG(fn)
+	callsByExpr := make(map[*ast.CallExpr]*Call)
+	for _, c := range lh.cg.Calls(fn) {
+		callsByExpr[c.Expr] = c
+	}
+	exempt := commChannelOps(fn.Body())
+	async := make(map[*ast.CallExpr]bool)
+	inspectShallow(fn.Body(), func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			async[n.Call] = true
+		case *ast.DeferStmt:
+			async[n.Call] = true
+		}
+	})
+
+	transfer := func(n ast.Node, in lockFact, report bool) lockFact {
+		out := in
+		cloned := false
+		set := func(key string, held bool) {
+			if !cloned {
+				c := make(lockFact, len(out)+1)
+				for k, v := range out {
+					c[k] = v
+				}
+				out, cloned = c, true
+			}
+			if held {
+				out[key] = true
+			} else {
+				delete(out, key)
+			}
+		}
+		heldKeys := func() string {
+			var keys []string
+			for k := range out {
+				keys = append(keys, k)
+			}
+			if len(keys) > 1 {
+				// Deterministic message regardless of map order.
+				for i := 1; i < len(keys); i++ {
+					for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+						keys[j], keys[j-1] = keys[j-1], keys[j]
+					}
+				}
+			}
+			return strings.Join(keys, ", ")
+		}
+		blockDesc := func(node ast.Node) (string, bool) {
+			switch node := node.(type) {
+			case *ast.SendStmt:
+				if !exempt[node] {
+					return "a channel send", true
+				}
+			case *ast.UnaryExpr:
+				if node.Op.String() == "<-" && !exempt[node] {
+					return "a channel receive", true
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(node) {
+					return "a select with no default", true
+				}
+			case *ast.CallExpr:
+				if async[node] {
+					return "", false
+				}
+				if d, ok := lh.extBlocking(fn.Pkg, node); ok {
+					return d, true
+				}
+				if c := callsByExpr[node]; c != nil {
+					for _, callee := range c.Callees {
+						if lh.mayBlock[callee] {
+							return "a call to " + callee.Name() + " (may block on " + lh.root(callee) + ")", true
+						}
+					}
+				}
+			}
+			return "", false
+		}
+		// A DeferStmt's unlock runs at return; its node must neither
+		// release the lock now nor count as a blocking call (async map
+		// already covers the latter).
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return out
+		}
+		InspectNode(n, func(node ast.Node) bool {
+			if call, ok := node.(*ast.CallExpr); ok {
+				if key, op, ok := mutexOp(fn.Pkg, call); ok {
+					switch op {
+					case "Lock", "RLock":
+						set(key, true)
+					case "Unlock", "RUnlock":
+						set(key, false)
+					}
+					return true
+				}
+			}
+			if len(out) == 0 || !report {
+				return true
+			}
+			if desc, ok := blockDesc(node); ok {
+				lh.report(node.Pos(), heldKeys(), desc)
+			}
+			return true
+		})
+		return out
+	}
+
+	res := Forward(cfg, FlowSpec[lockFact]{
+		Entry: lockFact{},
+		Transfer: func(_ *Block, n ast.Node, in lockFact) lockFact {
+			return transfer(n, in, false)
+		},
+		Join: func(a, b lockFact) lockFact {
+			out := make(lockFact, len(a)+len(b))
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b lockFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	for _, blk := range cfg.Blocks {
+		fact, ok := res.In[blk]
+		if !ok {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			fact = transfer(n, fact, true)
+		}
+	}
+}
+
+func (lh *lockHold) report(pos token.Pos, locks, desc string) {
+	key := lh.pass.Fset.Position(pos).String() + "|" + locks + "|" + desc
+	if lh.seen[key] {
+		return
+	}
+	lh.seen[key] = true
+	lh.pass.Reportf(pos, "%s is held across %s; release the lock first or move the blocking work out", locks, desc)
+}

@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolSafety checks GetScratch/PutScratch pairing with a path-sensitive
+// dataflow over each function's CFG.  The scratch pool is the serving hot
+// path's only defense against per-request O(N) allocation, and every
+// misuse corrupts it differently:
+//
+//   - a path that returns without PutScratch leaks the buffers (the pool
+//     refills with fresh O(N) allocations);
+//   - a double PutScratch hands the same *Scratch to two goroutines,
+//     which then race on Dist/Queue;
+//   - using a scratch after PutScratch races with whoever checked it out
+//     next;
+//   - growing an alias of a pooled buffer (q := s.Queue; q = append(...))
+//     without writing it back strands the growth — the pool keeps the
+//     small buffer and the next checkout reallocates.
+//
+// The flow facts track, per scratch variable, whether it may be held,
+// may already be released, and whether a deferred PutScratch covers it.
+// Get/Put are matched by name (GetScratch/PutScratch, buffer type named
+// Scratch) so fixtures and future pool wrappers participate.  Deferred
+// puts are approximated as covering the whole function: a defer inside a
+// branch still silences the leak check (noted here so nobody "fixes" a
+// surprising non-finding).
+var PoolSafety = &Analyzer{
+	Name:   "poolsafety",
+	Doc:    "GetScratch/PutScratch pairing: leaks, double puts, use-after-put, stranded growth",
+	Module: true,
+	Run:    runPoolSafety,
+}
+
+// pstate is a bitmask fact for one scratch variable.
+type pstate uint8
+
+const (
+	psHeld     pstate = 1 << iota // checked out, not yet returned on some path
+	psReleased                    // returned on some path
+	psDeferred                    // a defer PutScratch covers it
+)
+
+type poolFact map[types.Object]pstate
+
+func (f poolFact) clone() poolFact {
+	out := make(poolFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func runPoolSafety(pass *Pass) {
+	cg := pass.Prog.CallGraph()
+	for _, fn := range cg.Funcs {
+		if fn.Body() == nil {
+			continue
+		}
+		ps := &poolScan{pass: pass, pkg: fn.Pkg, getPos: make(map[types.Object]token.Pos), seen: make(map[string]bool)}
+		if !ps.usesPool(fn) {
+			continue
+		}
+		cfg := pass.Prog.CFG(fn)
+		spec := FlowSpec[poolFact]{
+			Entry: poolFact{},
+			Transfer: func(_ *Block, n ast.Node, in poolFact) poolFact {
+				return ps.transfer(n, in, false)
+			},
+			Join:  joinPoolFacts,
+			Equal: equalPoolFacts,
+		}
+		res := Forward(cfg, spec)
+		// Reporting pass: replay each block once from its fixpoint entry
+		// fact so findings are not duplicated across worklist iterations.
+		for _, blk := range cfg.Blocks {
+			fact, ok := res.In[blk]
+			if !ok {
+				continue // unreachable
+			}
+			for _, n := range blk.Nodes {
+				fact = ps.transfer(n, fact, true)
+			}
+			if blk == cfg.Exit {
+				for obj, st := range fact {
+					if st&psHeld != 0 && st&psDeferred == 0 {
+						ps.report(ps.getPos[obj],
+							"scratch %s from GetScratch may reach a return without PutScratch; add a defer or put it on every path", obj.Name())
+					}
+				}
+			}
+		}
+		ps.growEscape(fn)
+	}
+}
+
+type poolScan struct {
+	pass   *Pass
+	pkg    *Package
+	getPos map[types.Object]token.Pos
+	seen   map[string]bool
+}
+
+func (ps *poolScan) report(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%v:%s", ps.pass.Fset.Position(pos), msg)
+	if !ps.seen[key] {
+		ps.seen[key] = true
+		ps.pass.Reportf(pos, "%s", msg)
+	}
+}
+
+// usesPool pre-scans for a GetScratch or PutScratch call so the CFG and
+// fixpoint only run over functions that touch the pool.
+func (ps *poolScan) usesPool(fn *Func) bool {
+	found := false
+	inspectShallow(fn.Body(), func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch calleeShortName(call) {
+			case "GetScratch", "PutScratch":
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func (ps *poolScan) transfer(n ast.Node, in poolFact, report bool) poolFact {
+	// Facts are tiny (one or two scratches per function), so clone up
+	// front rather than copy-on-write; Transfer must never mutate `in`.
+	out := in.clone()
+
+	// Idents that are themselves the argument of a Get/Put call in this
+	// node: excluded from the use-after-put scan.
+	opIdents := make(map[*ast.Ident]bool)
+
+	// Deferred put registers coverage instead of releasing now.
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if calleeShortName(d.Call) == "PutScratch" && len(d.Call.Args) == 1 {
+			if obj := ps.identObj(d.Call.Args[0]); obj != nil {
+				if id, ok := ast.Unparen(d.Call.Args[0]).(*ast.Ident); ok {
+					opIdents[id] = true
+				}
+				st := out[obj]
+				if report && st&psDeferred != 0 {
+					ps.report(d.Pos(), "second deferred PutScratch for %s: it will be returned to the pool twice", obj.Name())
+				}
+				if report && st&psReleased != 0 && st&psHeld == 0 {
+					ps.report(d.Pos(), "deferred PutScratch for %s after it was already put: double return to the pool", obj.Name())
+				}
+				out[obj] = st | psDeferred
+			}
+		}
+		return out
+	}
+
+	InspectNode(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			if len(node.Lhs) != len(node.Rhs) {
+				return true
+			}
+			for i := range node.Rhs {
+				call, ok := ast.Unparen(node.Rhs[i]).(*ast.CallExpr)
+				if !ok || calleeShortName(call) != "GetScratch" || !returnsScratch(ps.pkg, call) {
+					continue
+				}
+				obj := ps.identObj(node.Lhs[i])
+				if obj == nil {
+					continue
+				}
+				st := out[obj]
+				if report && st&psHeld != 0 && st&psDeferred == 0 {
+					ps.report(node.Pos(), "scratch %s reassigned by GetScratch while still held; the previous scratch leaks", obj.Name())
+				}
+				out[obj] = psHeld
+				if _, ok := ps.getPos[obj]; !ok {
+					ps.getPos[obj] = call.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			if calleeShortName(node) != "PutScratch" || len(node.Args) != 1 {
+				return true
+			}
+			obj := ps.identObj(node.Args[0])
+			if obj == nil {
+				return true
+			}
+			if id, ok := ast.Unparen(node.Args[0]).(*ast.Ident); ok {
+				opIdents[id] = true
+			}
+			st, tracked := out[obj]
+			if !tracked {
+				return true // parameter or field scratch: ownership lies with the caller
+			}
+			if report {
+				if st&psReleased != 0 && st&psHeld == 0 {
+					ps.report(node.Pos(), "double PutScratch: %s was already returned to the pool on every path reaching here", obj.Name())
+				}
+				if st&psDeferred != 0 {
+					ps.report(node.Pos(), "explicit PutScratch for %s with a deferred PutScratch also registered: double return at function exit", obj.Name())
+				}
+			}
+			out[obj] = (st &^ psHeld) | psReleased
+		}
+		return true
+	})
+
+	// Use-after-put: any other read of a scratch that has definitely been
+	// returned (released on every path, held on none).
+	if report {
+		InspectNode(n, func(node ast.Node) bool {
+			id, ok := node.(*ast.Ident)
+			if !ok || opIdents[id] {
+				return true
+			}
+			obj := ps.pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if st, tracked := out[obj]; tracked && st&psReleased != 0 && st&psHeld == 0 {
+				ps.report(id.Pos(), "%s used after PutScratch: the pool may already have handed it to another goroutine", obj.Name())
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (ps *poolScan) identObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := ps.pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return ps.pkg.Info.Uses[id]
+}
+
+// returnsScratch confirms the call yields a pointer to a type named
+// Scratch, so an unrelated GetScratch in some other API doesn't enroll.
+func returnsScratch(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isScratchType(tv.Type)
+}
+
+func isScratchType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Scratch"
+}
+
+func joinPoolFacts(a, b poolFact) poolFact {
+	out := a.clone()
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+func equalPoolFacts(a, b poolFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// growEscape flags append-growth of a pooled buffer alias that is never
+// written back:
+//
+//	q := s.Queue          // alias of the pooled buffer
+//	q = append(q, ...)    // may reallocate past cap
+//	                      // missing: s.Queue = q
+//
+// If append reallocates, the pool keeps the original small buffer and the
+// growth is thrown away on PutScratch.  Callers relying on a capacity
+// invariant (GetScratch(n) guarantees cap >= n and they push at most n)
+// suppress with that invariant cited.
+func (ps *poolScan) growEscape(fn *Func) {
+	type alias struct {
+		base  types.Object
+		field string
+	}
+	aliases := make(map[types.Object]alias)
+	grown := make(map[types.Object]token.Pos)
+	written := make(map[types.Object]bool)
+
+	inspectShallow(fn.Body(), func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i := range as.Lhs {
+			lhs, rhs := ast.Unparen(as.Lhs[i]), ast.Unparen(as.Rhs[i])
+			// q := s.Queue
+			if sel, ok := rhs.(*ast.SelectorExpr); ok {
+				if base := ps.identObj(sel.X); base != nil && isScratchType(baseType(ps.pkg, sel.X)) {
+					if obj := ps.identObj(lhs); obj != nil {
+						aliases[obj] = alias{base: base, field: sel.Sel.Name}
+					}
+				}
+			}
+			// q = append(q, ...)
+			if call, ok := rhs.(*ast.CallExpr); ok && calleeShortName(call) == "append" && len(call.Args) > 0 {
+				if obj := ps.identObj(lhs); obj != nil && obj == ps.identObj(call.Args[0]) {
+					if _, isAlias := aliases[obj]; isAlias {
+						if _, ok := grown[obj]; !ok {
+							grown[obj] = as.Pos()
+						}
+					}
+				}
+			}
+			// s.Queue = q
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				if base := ps.identObj(sel.X); base != nil {
+					if obj := ps.identObj(rhs); obj != nil {
+						if al, isAlias := aliases[obj]; isAlias && al.base == base && al.field == sel.Sel.Name {
+							written[obj] = true
+						}
+					}
+				}
+			}
+		}
+	})
+	for obj, pos := range grown {
+		if written[obj] {
+			continue
+		}
+		al := aliases[obj]
+		ps.report(pos,
+			"append may grow %s past the pooled buffer's capacity; write it back (%s.%s = %s) before PutScratch or cite the capacity invariant that rules out growth",
+			obj.Name(), al.base.Name(), al.field, obj.Name())
+	}
+}
+
+func baseType(pkg *Package, e ast.Expr) types.Type {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	if !ok {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				return obj.Type()
+			}
+		}
+		return nil
+	}
+	return tv.Type
+}

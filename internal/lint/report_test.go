@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSARIFRoundTrip proves the emitted report is lossless for analyzer,
+// position, and message — including characters that need JSON escaping.
+func TestSARIFRoundTrip(t *testing.T) {
+	in := []Diagnostic{
+		{Analyzer: "ctxflow", File: "internal/serve/handlers.go", Line: 10, Col: 3, Message: "loop never consults ctx"},
+		{Analyzer: "lockhold", File: "internal/serve/metrics.go", Line: 2, Col: 1, Message: `held across "quoted" write at 100%`},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"version": "2.1.0"`) {
+		t.Fatalf("SARIF output does not carry the 2.1.0 version:\n%s", out)
+	}
+	got, err := ParseSARIF(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("round trip returned %d diagnostics, want %d", len(got), len(in))
+	}
+	for i := range in {
+		w, g := in[i], got[i]
+		if g.Analyzer != w.Analyzer || g.File != w.File || g.Line != w.Line || g.Col != w.Col || g.Message != w.Message {
+			t.Errorf("diagnostic %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+// TestSARIFDeclaresAllRules: a clean run must still advertise every
+// analyzer as a rule so code-scanning consumers know what was checked.
+func TestSARIFDeclaresAllRules(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, a := range All() {
+		if !strings.Contains(s, `"id": "`+a.Name+`"`) {
+			t.Errorf("clean SARIF run does not declare rule %s", a.Name)
+		}
+	}
+}
+
+// TestBaselineFilterMultiset pins the matching semantics: entries match by
+// (analyzer, file, message) regardless of line, and each entry absorbs at
+// most one finding.
+func TestBaselineFilterMultiset(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "ctxflow", File: "a.go", Line: 5, Message: "m"},
+		{Analyzer: "ctxflow", File: "a.go", Line: 9, Message: "m"},
+		{Analyzer: "ctxflow", File: "b.go", Line: 1, Message: "other"},
+	}
+	base := NewBaseline(diags[:1])
+	got := base.Filter(diags)
+	if len(got) != 2 || got[0].Line != 9 || got[1].File != "b.go" {
+		t.Errorf("Filter kept %+v; want the second duplicate and the b.go finding", got)
+	}
+	// Line-independence: the same finding on a different line is still
+	// absorbed, so edits above it cannot make it "new".
+	moved := []Diagnostic{{Analyzer: "ctxflow", File: "a.go", Line: 42, Message: "m"}}
+	if out := base.Filter(moved); len(out) != 0 {
+		t.Errorf("Filter did not absorb a line-shifted duplicate: %+v", out)
+	}
+}
+
+// TestBaselineRoundTripAndVersion checks serialization stability and that
+// unknown versions or fields fail loudly.
+func TestBaselineRoundTripAndVersion(t *testing.T) {
+	b := NewBaseline([]Diagnostic{
+		{Analyzer: "poolsafety", File: "z.go", Line: 7, Message: "leak"},
+		{Analyzer: "atomicmix", File: "a.go", Line: 3, Message: "race"},
+	})
+	if b.Findings[0].File != "a.go" {
+		t.Errorf("NewBaseline did not sort: %+v", b.Findings)
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Errorf("baseline round trip: got %+v, want %+v", got, b)
+	}
+	if _, err := ReadBaseline(strings.NewReader(`{"version": 2, "findings": []}`)); err == nil {
+		t.Error("a version-2 baseline was accepted; want a loud failure")
+	}
+	if _, err := ReadBaseline(strings.NewReader(`{"version": 1, "findings": [], "bogus": true}`)); err == nil {
+		t.Error("a baseline with unknown fields was accepted; want a loud failure")
+	}
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SARIF 2.1.0 serialization of a lint run, the interchange format GitHub
+// code scanning ingests.  Only the subset the suite needs is modeled, but
+// the field names follow the specification exactly so the output
+// round-trips through any conforming consumer.  Paths are emitted as
+// given (the CLI passes repo-relative slash paths) under the %SRCROOT%
+// uriBaseId, which uploaders resolve to the checkout root.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diagnostics as one SARIF 2.1.0 run.  Every analyzer
+// in the suite is declared as a rule (plus the "directive" pseudo-rule
+// when it fired), so a clean run still advertises what was checked.
+func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	ruleIndex := make(map[string]int)
+	var rules []sarifRule
+	addRule := func(id, doc string) {
+		if _, ok := ruleIndex[id]; ok {
+			return
+		}
+		ruleIndex[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range All() {
+		addRule(a.Name, a.Doc)
+	}
+	for _, d := range diags {
+		addRule(d.Analyzer, "lint directive hygiene") // only "directive" reaches this
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "ipglint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// ParseSARIF reads back a SARIF log produced by WriteSARIF and returns
+// the diagnostics it carries.  It is the round-trip half the CI tests
+// use to prove the emitted report is lossless for analyzer, position,
+// and message.
+func ParseSARIF(r io.Reader) ([]Diagnostic, error) {
+	var log sarifLog
+	if err := json.NewDecoder(r).Decode(&log); err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, run := range log.Runs {
+		for _, res := range run.Results {
+			d := Diagnostic{Analyzer: res.RuleID, Message: res.Message.Text}
+			if len(res.Locations) > 0 {
+				loc := res.Locations[0].PhysicalLocation
+				d.File = loc.ArtifactLocation.URI
+				d.Line = loc.Region.StartLine
+				d.Col = loc.Region.StartColumn
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return diags, nil
+}

@@ -1,0 +1,64 @@
+// Package atomicmix exercises the mixed atomic/plain access analyzer:
+// a package counter written both ways, sink-parameter propagation through
+// two call layers onto a struct field, and the directive escape hatch for
+// provably single-threaded phases.
+package atomicmix
+
+import "sync/atomic"
+
+var hits int64
+
+// Record is the atomic side of the counter.
+func Record() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// Load is a correctly paired atomic read: no finding.
+func Load() int64 {
+	return atomic.LoadInt64(&hits)
+}
+
+// Reset races with Record: a plain store to an atomically accessed word.
+func Reset() {
+	hits = 0 // want "hits is accessed with sync/atomic"
+}
+
+// bump is an atomic sink: any address passed to it is atomically
+// accessed.
+func bump(v *int64) {
+	atomic.AddInt64(v, 1)
+}
+
+// bump2 forwards its parameter to a sink, so sink-ness propagates.
+func bump2(p *int64) {
+	bump(p)
+}
+
+// C carries a counter field whose address flows into the sink chain.
+type C struct {
+	n int64
+}
+
+// Inc bumps the field atomically through two call layers.
+func (c *C) Inc() {
+	bump2(&c.n)
+}
+
+// Peek reads the field with a plain load that can race with Inc.
+func (c *C) Peek() int64 {
+	return c.n // want "n is accessed with sync/atomic"
+}
+
+var total int64
+
+// Grow feeds total through the sink chain, marking it atomic.
+func Grow() {
+	bump2(&total)
+}
+
+// ResetForTest runs before any worker goroutine exists; the directive
+// cites that invariant.
+func ResetForTest() {
+	//lint:ignore atomicmix fixture: runs single-threaded before any worker goroutine starts
+	total = 0
+}

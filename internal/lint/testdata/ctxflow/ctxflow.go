@@ -1,0 +1,83 @@
+// Package ctxflow exercises the interprocedural cancellation analyzer:
+// entry points by name and by handler signature, reachability through the
+// call graph, the two diagnostic flavors (no context in scope vs. context
+// in scope but never consulted), and the directive escape hatch.
+package ctxflow
+
+import "context"
+
+// G stands in for a graph artifact: loops bounded by the integer field N
+// are vertex-scale loops to the analyzer's taint seeding.
+type G struct{ N int }
+
+// RunSweep is an entry point by prefix; its loop scales with g.N and no
+// context is anywhere in scope.
+func RunSweep(g *G) int {
+	sum := 0
+	for i := 0; i < g.N; i++ { // want "RunSweep and loops over vertex/round-scale data with no context"
+		sum += i
+	}
+	return sum + helper(g)
+}
+
+// helper is not an entry itself but inherits reachability from RunSweep
+// through the call graph.
+func helper(g *G) int {
+	total := 0
+	for i := 0; i < g.N; i++ { // want "helper is reachable from .*RunSweep"
+		total++
+	}
+	return total
+}
+
+// SweepCtx has a context in scope but the scale loop never consults it.
+func SweepCtx(ctx context.Context, g *G) int {
+	sum := 0
+	for i := 0; i < g.N; i++ { // want "never consults the in-scope context"
+		sum++
+	}
+	_ = ctx
+	return sum
+}
+
+// SweepPolledCtx checks the context inside the loop: no finding.
+func SweepPolledCtx(ctx context.Context, g *G) int {
+	sum := 0
+	for i := 0; i < g.N; i++ {
+		if ctx.Err() != nil {
+			return sum
+		}
+		sum++
+	}
+	return sum
+}
+
+// RunDrain ranges over an []int32 frontier queue, a scale slice by type.
+func RunDrain(queue []int32) int {
+	total := 0
+	for range queue { // want "RunDrain and loops over vertex/round-scale data"
+		total++
+	}
+	return total
+}
+
+// RunBounded documents why its loop needs no cancellation: the directive
+// cites the O(log N) bound.
+func RunBounded(g *G) int {
+	sum := 0
+	//lint:ignore ctxflow fixture: the loop counts address bits, at most ~31 iterations with no per-vertex work
+	for i := 1; i < g.N; i *= 2 {
+		sum++
+	}
+	return sum
+}
+
+// idle has a scale loop but is neither an entry point nor reachable from
+// one, so cancellation cannot arrive anyway: no finding.
+func idle(g *G) int {
+	n := 0
+	for i := 0; i < g.N; i++ {
+		n++
+	}
+	return n
+}

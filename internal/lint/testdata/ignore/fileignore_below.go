@@ -1,0 +1,14 @@
+// A file-ignore placed below the import block is still in the file
+// header (anywhere before the first non-import declaration), so it is
+// honored file-wide.
+package ignore
+
+import "fmt"
+
+//lint:file-ignore indextrunc fixture: everything in this file is bounded by construction
+
+// BelowImports would be flagged without the header directive above.
+func BelowImports(n int) int32 {
+	_ = fmt.Sprint(n)
+	return int32(n)
+}

@@ -1,0 +1,12 @@
+// A file-ignore buried in the file body is reported instead of silently
+// honored: it would read as documentation of one function while covering
+// the whole file.
+package ignore
+
+// Buried stays flagged because the directive below is rejected.
+func Buried(n int) int32 {
+	return int32(n) // want "without a bounds guard"
+}
+
+// want:next "file-ignore directive must sit in the file header"
+//lint:file-ignore indextrunc fixture: too late, this sits in the file body

@@ -49,6 +49,14 @@ func CommaList(label []byte, n int) {
 	label[0] = byte(int32(n))
 }
 
+// StaleDirective carries a well-formed directive whose analyzer never
+// fires on the covered line, so the run reports the directive itself.
+func StaleDirective(n int) int {
+	// want:next "unused lint:ignore directive for goroutineleak"
+	//lint:ignore goroutineleak fixture: nothing below spawns a goroutine
+	return n
+}
+
 // SpawnHandedOff hands the WaitGroup to the caller, which joins after all
 // spawns; the intraprocedural goroutineleak analyzer needs the documented
 // ignore.

@@ -1,0 +1,108 @@
+// Package lockhold exercises the held-lock-across-blocking-operation
+// analyzer: direct blocking (sleep, send, default-less select), the
+// interprocedural may-block summary, and the idioms that must stay clean
+// (snapshot-then-write, in-memory buffers, select with default, spawning
+// the blocking work on another goroutine).
+package lockhold
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// S is a stats sink guarded by a mutex, with a notification channel.
+type S struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// SleepUnderLock stalls every other accessor for the full sleep.
+func (s *S) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "s.mu is held across time.Sleep"
+	s.mu.Unlock()
+}
+
+// SendUnderLock holds the lock across a possibly unbuffered send: the
+// deferred unlock only runs after the send completes.
+func (s *S) SendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += v
+	s.ch <- v // want "held across a channel send"
+}
+
+// WaitRecv parks on a default-less select while holding the lock.
+func (s *S) WaitRecv() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "held across a select with no default"
+	case v := <-s.ch:
+		return v
+	}
+}
+
+// flush writes to an interface-typed destination, which may be a network
+// peer: it carries a may-block summary.
+func (s *S) flush(w io.Writer) {
+	fmt.Fprintf(w, "n=%d\n", s.n)
+}
+
+// WriteUnderLock reaches the blocking write through a call, proving the
+// summary propagates along synchronous call edges.
+func (s *S) WriteUnderLock(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flush(w) // want "held across a call to .*flush"
+}
+
+// SnapshotThenWrite copies under the lock and writes after releasing it:
+// the idiom the analyzer pushes toward.  No finding.
+func (s *S) SnapshotThenWrite(w io.Writer) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	fmt.Fprintf(w, "n=%d\n", n)
+}
+
+// BufferWrite targets an in-memory buffer: the write cannot block.
+func (s *S) BufferWrite(buf *bytes.Buffer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(buf, "n=%d\n", s.n)
+}
+
+// Poll drains without committing to block: a select with a default case
+// is fine under the lock.
+func (s *S) Poll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n += v
+	default:
+	}
+}
+
+// SpawnUnderLock starts the blocking work on another goroutine, so the
+// lock is not held across it.
+func (s *S) SpawnUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// SuppressedSleep cites the invariant that makes the hold harmless.
+func (s *S) SuppressedSleep() {
+	s.mu.Lock()
+	//lint:ignore lockhold fixture: warmup runs before any other goroutine can reach this mutex
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}

@@ -1,0 +1,115 @@
+// Package poolsafety exercises the Get/PutScratch pairing analyzer: leak
+// on a return path, double put, use after put, defer/explicit double
+// registration, re-get while held, and the append-grows-the-pooled-buffer
+// escape with its write-back fix.
+package poolsafety
+
+// Scratch mirrors the topo scratch pool's shape: the analyzer matches the
+// GetScratch/PutScratch names plus the returned type name.
+type Scratch struct {
+	Dist  []int32
+	Queue []int32
+}
+
+var pool []*Scratch
+
+// GetScratch hands out a scratch sized for n vertices.
+func GetScratch(n int) *Scratch {
+	return &Scratch{Dist: make([]int32, n), Queue: make([]int32, 0, n)}
+}
+
+// PutScratch returns s to the pool.
+func PutScratch(s *Scratch) {
+	pool = append(pool, s)
+}
+
+// Leak never puts the scratch back; the finding anchors at the get.
+func Leak(n int) int32 {
+	s := GetScratch(n) // want "may reach a return without PutScratch"
+	s.Dist[0] = 1
+	return s.Dist[0]
+}
+
+// LeakOnOnePath misses the put only on the early return, which is enough.
+func LeakOnOnePath(n int, flag bool) {
+	s := GetScratch(n) // want "may reach a return without PutScratch"
+	if flag {
+		return
+	}
+	PutScratch(s)
+}
+
+// BranchPut releases on every path: no finding.
+func BranchPut(n int, flag bool) {
+	s := GetScratch(n)
+	if flag {
+		PutScratch(s)
+		return
+	}
+	PutScratch(s)
+}
+
+// DoublePut returns the same scratch twice.
+func DoublePut(n int) {
+	s := GetScratch(n)
+	PutScratch(s)
+	PutScratch(s) // want "double PutScratch"
+}
+
+// UseAfterPut touches the buffers after the pool may have re-issued them.
+func UseAfterPut(n int) int32 {
+	s := GetScratch(n)
+	PutScratch(s)
+	return s.Dist[0] // want "used after PutScratch"
+}
+
+// DeferAndPut registers a deferred put and then also puts explicitly.
+func DeferAndPut(n int) {
+	s := GetScratch(n)
+	defer PutScratch(s)
+	PutScratch(s) // want "explicit PutScratch for s with a deferred PutScratch"
+}
+
+// Reget grabs a second scratch into the same variable while the first is
+// still held, leaking the first.
+func Reget(n int) {
+	s := GetScratch(n)
+	s = GetScratch(n) // want "reassigned by GetScratch while still held"
+	PutScratch(s)
+}
+
+// Grow appends through an alias of the pooled queue and never writes the
+// grown slice back, so the pool keeps the stale pre-append buffer.
+func Grow(n int) {
+	s := GetScratch(n)
+	defer PutScratch(s)
+	q := s.Queue
+	q = append(q, 1) // want "append may grow q past the pooled buffer"
+	_ = q
+}
+
+// GrowWriteBack stores the grown slice back before the put: no finding.
+func GrowWriteBack(n int) {
+	s := GetScratch(n)
+	defer PutScratch(s)
+	q := s.Queue
+	q = append(q, 1)
+	s.Queue = q
+}
+
+// GrowSuppressed cites the capacity invariant instead of writing back.
+func GrowSuppressed(n int) {
+	s := GetScratch(n)
+	defer PutScratch(s)
+	q := s.Queue
+	//lint:ignore poolsafety fixture: at most one push ever lands in a queue allocated with capacity n >= 1
+	q = append(q, 1)
+	_ = q
+}
+
+// FillParam operates on a caller-owned scratch: parameters are untracked
+// here because the caller's own analysis owns the get/put pairing.
+func FillParam(s *Scratch) {
+	s.Dist[0] = 1
+	PutScratch(s)
+}

@@ -10,6 +10,8 @@
 // (a hypercube): the root of the paper's headline result.
 package mcmp
 
+//lint:file-ignore ctxflow clustered-model constructors are one-shot O(N) passes over graphs bounded by ipg.MaxNodes (1<<22), run inside serve's build worker slot and timeout
+
 import (
 	"fmt"
 

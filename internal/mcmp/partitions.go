@@ -1,5 +1,7 @@
 package mcmp
 
+//lint:file-ignore ctxflow partition tables are one-shot O(N) fills over node counts bounded by ipg.MaxNodes, built under serve's build timeout
+
 import (
 	"fmt"
 

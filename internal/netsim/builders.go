@@ -1,5 +1,7 @@
 package netsim
 
+//lint:file-ignore ctxflow network construction runs once per request on node counts capped by serve's SimMaxNodes check (and checkNodeCount) before any build starts
+
 import (
 	"fmt"
 

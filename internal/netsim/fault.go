@@ -1,5 +1,7 @@
 package netsim
 
+//lint:file-ignore ctxflow degradation and fault-aware table builds run once per request on networks capped by serve's SimMaxNodes check; the round-level runners poll ctx once per simulated round
+
 import (
 	"fmt"
 	"math/rand"
@@ -254,7 +256,6 @@ func NewFaultAwareRouter(net *Network) (*FaultAwareRouter, error) {
 		for p, v := range net.Ports.PortRow(u) {
 			if aliveArc(u, p, v) {
 				i := cursor[v]
-				//lint:ignore indextrunc u < n, which checkNodeCount bounds to MaxInt32
 				revSrc[i] = int32(u)
 				cursor[v] = i + 1
 			}
@@ -288,7 +289,6 @@ func NewFaultAwareRouter(net *Network) (*FaultAwareRouter, error) {
 				// so workers never touch the same entries.
 				r.dist[dst*n+dst] = 0
 				queue = queue[:0]
-				//lint:ignore indextrunc dst < n, which checkNodeCount bounds to MaxInt32
 				queue = append(queue, int32(dst))
 				for qi := 0; qi < len(queue); qi++ {
 					v := queue[qi]
@@ -301,6 +301,9 @@ func NewFaultAwareRouter(net *Network) (*FaultAwareRouter, error) {
 						}
 					}
 				}
+				// Write any reallocated queue back so the pool keeps the
+				// grown buffer instead of the stale pre-append slice.
+				s.Queue = queue
 			}
 		}()
 	}

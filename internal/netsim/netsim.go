@@ -20,6 +20,8 @@
 // and worker-independent.
 package netsim
 
+//lint:file-ignore ctxflow simulator setup and per-round sweeps are O(N) on networks capped by SimMaxNodes (enforced in serve) and checkNodeCount; the exported ...Ctx runners poll ctx once per round
+
 import (
 	"fmt"
 	"math"

@@ -1,5 +1,7 @@
 package netsim
 
+//lint:file-ignore ctxflow router table construction runs once per network, capped by serve's SimMaxNodes check and by the explicit 16384-node TableRouter limit
+
 import (
 	"fmt"
 	"runtime"
@@ -229,7 +231,6 @@ func NewTableRouter(net *Network) (*TableRouter, error) {
 		for p, v := range net.Ports.PortRow(u) {
 			if v >= 0 && int(v) != u {
 				i := cursor[v]
-				//lint:ignore indextrunc u < n, which checkNodeCount bounds to MaxInt32
 				revSrc[i] = int32(u)
 				revPort[i] = int16(p)
 				cursor[v] = i + 1
@@ -266,7 +267,6 @@ func NewTableRouter(net *Network) (*TableRouter, error) {
 				}
 				dist[dst] = 0
 				queue = queue[:0]
-				//lint:ignore indextrunc dst < n, which checkNodeCount bounds to MaxInt32
 				queue = append(queue, int32(dst))
 				for qi := 0; qi < len(queue); qi++ {
 					v := queue[qi]
@@ -279,6 +279,9 @@ func NewTableRouter(net *Network) (*TableRouter, error) {
 						}
 					}
 				}
+				// Write any reallocated queue back so the pool keeps the
+				// grown buffer instead of the stale pre-append slice.
+				s.Queue = queue
 				for u := 0; u < n; u++ {
 					if dist[u] < 0 {
 						errMu.Lock()

@@ -1,5 +1,7 @@
 package netsim
 
+//lint:file-ignore ctxflow hot-spot runs are CLI experiment drivers bounded by checkNodeCount and explicit round counts; the serving path only invokes the ...Ctx runners, which poll ctx per round
+
 import (
 	"fmt"
 	"math/rand"

@@ -162,6 +162,11 @@ func RunPermutationCtx(ctx context.Context, net *Network, seed int64, perm []int
 	}
 	var total int64
 	for u, d := range perm {
+		if u&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return DrainResult{}, err
+			}
+		}
 		if int(d) == u {
 			continue
 		}

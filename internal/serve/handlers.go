@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -197,7 +198,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 	if src < 0 || src >= a.N || dst < 0 || dst >= a.N {
 		return badRequest("src/dst must be in [0, %d)", a.N)
 	}
-	path, err := shortestPath(a, src, dst)
+	path, err := shortestPath(r.Context(), a, src, dst)
 	if err != nil {
 		return err
 	}
@@ -222,8 +223,10 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 // back from dst along strictly decreasing distances.  The distance vector
 // and queue come from the shared topo scratch pool and neighbor scans are
 // zero-copy CSR row views, so the only per-request allocation is the
-// response path itself.
-func shortestPath(a *Artifact, src, dst int) ([]int, error) {
+// response path itself.  The backtrack walk is O(path length * degree)
+// and honors ctx so a disconnected client cannot pin a worker on a
+// high-diameter (path-like) topology.
+func shortestPath(ctx context.Context, a *Artifact, src, dst int) ([]int, error) {
 	c := a.U.CSR()
 	s := topo.GetScratch(a.U.N())
 	defer topo.PutScratch(s)
@@ -236,6 +239,11 @@ func shortestPath(a *Artifact, src, dst int) ([]int, error) {
 	path[len(path)-1] = dst
 	cur := dst
 	for d := int(dist[dst]); d > 0; d-- {
+		if d&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		found := false
 		for _, nb := range c.Row(cur) {
 			if int(dist[nb]) == d-1 {
@@ -400,6 +408,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		resp.OffChip = res.Stats.OffChipPerPacket()
 	case "transpose":
 		logN := 0
+		//lint:ignore ctxflow counts the address bits of a.N: at most ~31 iterations and no per-vertex work, far below cancellation granularity
 		for 1<<logN < a.N {
 			logN++
 		}
@@ -415,6 +424,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 			//lint:ignore scratchalloc mapped is the permutation handed to the simulator, which retains it past the handler — not traversal scratch
 			mapped := make([]int32, a.N)
 			for v := 0; v < a.N; v++ {
+				if v&1023 == 0 {
+					if err := r.Context().Err(); err != nil {
+						return err
+					}
+				}
 				addr, err := a.W.AddressOf(a.G.Label(v))
 				if err != nil {
 					return err

@@ -107,32 +107,42 @@ func (m *serverMetrics) WriteProm(w io.Writer, cs cache.Stats, bs breakerStats) 
 	gauge("ipgd_breaker_open", "Family circuits currently open (fast-failing).", bs.open)
 	gauge("ipgd_breaker_half_open", "Family circuits currently half-open (probing).", bs.halfOpen)
 
-	m.mu.Lock()
-	keys := make([]reqKey, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
+	// Snapshot the mutex-guarded state before writing: w is the HTTP
+	// response, and a stalled scrape client must not be able to hold m.mu
+	// (and with it every request-counting handler) hostage.
+	type reqStat struct {
+		key reqKey
+		n   int64
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].endpoint != keys[j].endpoint {
-			return keys[i].endpoint < keys[j].endpoint
+	m.mu.Lock()
+	stats := make([]reqStat, 0, len(m.requests))
+	for k, n := range m.requests {
+		stats = append(stats, reqStat{k, n})
+	}
+	histCounts := append([]int64(nil), m.histCounts...)
+	histSum, histCount := m.histSum, m.histCount
+	m.mu.Unlock()
+
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].key.endpoint != stats[j].key.endpoint {
+			return stats[i].key.endpoint < stats[j].key.endpoint
 		}
-		return keys[i].code < keys[j].code
+		return stats[i].key.code < stats[j].key.code
 	})
 	fmt.Fprintf(w, "# HELP ipgd_requests_total Finished HTTP requests by endpoint and status code.\n")
 	fmt.Fprintf(w, "# TYPE ipgd_requests_total counter\n")
-	for _, k := range keys {
-		fmt.Fprintf(w, "ipgd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	for _, s := range stats {
+		fmt.Fprintf(w, "ipgd_requests_total{endpoint=%q,code=\"%d\"} %d\n", s.key.endpoint, s.key.code, s.n)
 	}
 
 	fmt.Fprintf(w, "# HELP ipgd_build_duration_seconds Artifact build latency.\n")
 	fmt.Fprintf(w, "# TYPE ipgd_build_duration_seconds histogram\n")
 	cum := int64(0)
 	for i, ub := range m.histBuckets {
-		cum += m.histCounts[i]
+		cum += histCounts[i]
 		fmt.Fprintf(w, "ipgd_build_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
 	}
-	fmt.Fprintf(w, "ipgd_build_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.histCount)
-	fmt.Fprintf(w, "ipgd_build_duration_seconds_sum %g\n", m.histSum)
-	fmt.Fprintf(w, "ipgd_build_duration_seconds_count %d\n", m.histCount)
-	m.mu.Unlock()
+	fmt.Fprintf(w, "ipgd_build_duration_seconds_bucket{le=\"+Inf\"} %d\n", histCount)
+	fmt.Fprintf(w, "ipgd_build_duration_seconds_sum %g\n", histSum)
+	fmt.Fprintf(w, "ipgd_build_duration_seconds_count %d\n", histCount)
 }

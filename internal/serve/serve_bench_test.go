@@ -34,7 +34,7 @@ func BenchmarkWarmServingPaths(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := shortestPath(a, i%a.N, (i+a.N/2)%a.N); err != nil {
+			if _, err := shortestPath(ctx, a, i%a.N, (i+a.N/2)%a.N); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -15,6 +15,8 @@
 // group.
 package superipg
 
+//lint:file-ignore ctxflow intercluster scans are one O(N+M) pass per memoized metrics build, bounded by ipg.MaxNodes; the diameter entry points poll ctx between BFS batches
+
 import (
 	"context"
 	"fmt"

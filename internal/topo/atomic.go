@@ -2,14 +2,17 @@ package topo
 
 import "sync/atomic"
 
-// AtomicMaxInt64 raises *addr to v if v is larger, with the usual
+// AtomicMaxInt64 raises v's value to x if x is larger, with the usual
 // compare-and-swap retry loop.  It is the one shared max-reduction used
 // by the parallel metric merges (diameter, eccentricity maxima) instead
-// of hand-rolled CAS loops at every call site.
-func AtomicMaxInt64(addr *int64, v int64) {
+// of hand-rolled CAS loops at every call site.  Taking *atomic.Int64
+// rather than *int64 makes a mixed plain/atomic access of the target
+// unrepresentable — the value can only be touched through the atomic
+// API.
+func AtomicMaxInt64(v *atomic.Int64, x int64) {
 	for {
-		cur := atomic.LoadInt64(addr)
-		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+		cur := v.Load()
+		if x <= cur || v.CompareAndSwap(cur, x) {
 			return
 		}
 	}

@@ -1,5 +1,7 @@
 package topo
 
+//lint:file-ignore ctxflow masked MSBFS processes one 64-source batch per call; the degraded metric drivers poll ctx between batches
+
 import "math/bits"
 
 // This file holds the fault-masked variants of the BFS kernels: the same

@@ -1,5 +1,7 @@
 package topo
 
+//lint:file-ignore ctxflow MSBFS processes one 64-source batch per call; graph.parallelBatchesCtx polls ctx between batches, bounding cancellation latency to one kernel invocation
+
 import "math/bits"
 
 // This file holds the batched multi-source BFS (MSBFS) kernel: up to 64

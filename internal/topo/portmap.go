@@ -2,6 +2,7 @@ package topo
 
 import "fmt"
 
+//lint:file-ignore ctxflow port-map constructors are one-shot O(arcs) fills bounded by maxArcs (math.MaxUint32), run under serve's build timeout
 //lint:file-ignore indextrunc port indices are < Arity(u) and all offsets are bounded to maxArcs (math.MaxUint32) at construction
 
 // PortMap is the port-labelled topology of the packet simulator: for each
@@ -31,7 +32,6 @@ func NewUniformPortMap(n, arity int) (*PortMap, error) {
 		caps:  make([]float64, n*arity),
 	}
 	for v := 0; v <= n; v++ {
-		//lint:ignore indextrunc v*arity <= n*arity, bounded to maxArcs (math.MaxUint32) above
 		pm.off[v] = uint32(v * arity)
 	}
 	for i := range pm.ports {
