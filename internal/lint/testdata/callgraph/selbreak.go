@@ -1,0 +1,20 @@
+package cg
+
+// SelBreak: break inside a select clause exits the select only; the loop
+// continues to the statement after the select.
+func SelBreak(ch chan int) int {
+	n := 0
+	for {
+		select {
+		case v := <-ch:
+			if v == 0 {
+				break
+			}
+			n += v
+		}
+		n++
+		if n > 10 {
+			return n
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+func TestPrintSelBreak(t *testing.T) {
+	prog := loadEngineFixture(t)
+	f := findFunc(t, prog, "cg.SelBreak")
+	t.Log("\n" + prog.CFG(f).String())
+}
