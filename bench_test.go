@@ -512,6 +512,109 @@ func BenchmarkAllSourcesBFS(b *testing.B) {
 	}
 }
 
+// benchSources4096 pairs each golden family at serving scale with both
+// of its adjacency sources: the materialized CSR arena and the implicit
+// rank/unrank codec over the same vertex numbering.
+func benchSources4096() []struct {
+	name string
+	csr  *topo.CSR
+	impl *topo.Implicit
+} {
+	q4 := func() *nucleus.Nucleus { return nucleus.Hypercube(4) }
+	superPair := func(w *superipg.Network) (*topo.CSR, *topo.Implicit) {
+		im, err := w.Implicit()
+		if err != nil {
+			panic(err)
+		}
+		// Materialize the CSR in address order so both sources traverse
+		// the same vertex numbering (the equivalence tests pin the two
+		// representations to identical rows).
+		c, err := topo.Build(im.N(), func(edge func(u, v int)) {
+			var buf []int32
+			for v := 0; v < im.N(); v++ {
+				buf = im.NeighborsInto(v, buf)
+				for _, u := range buf {
+					edge(v, int(u))
+				}
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		return c, im
+	}
+	baselinePair := func(g *graph.Graph, cd topo.Codec, err error) (*topo.CSR, *topo.Implicit) {
+		if err != nil {
+			panic(err)
+		}
+		return g.CSR(), topo.NewImplicit(cd)
+	}
+	mk := func(name string, c *topo.CSR, im *topo.Implicit) struct {
+		name string
+		csr  *topo.CSR
+		impl *topo.Implicit
+	} {
+		return struct {
+			name string
+			csr  *topo.CSR
+			impl *topo.Implicit
+		}{name, c, im}
+	}
+	hc, herr := topo.NewHypercubeCodec(12)
+	tc, terr := topo.NewTorusCodec(64, 2)
+	cc, cerr := topo.NewCCCCodec(9)
+	bc, berr := topo.NewButterflyCodec(9)
+	hsnC, hsnI := superPair(superipg.HSN(3, q4()))
+	sfnC, sfnI := superPair(superipg.SFN(3, q4()))
+	q12C, q12I := baselinePair(topology.NewHypercube(12).G, hc, herr)
+	torC, torI := baselinePair(topology.NewTorus(64, 2).G, tc, terr)
+	cccC, cccI := baselinePair(topology.NewCCC(9).G, cc, cerr)
+	wbfC, wbfI := baselinePair(topology.NewButterfly(9).G, bc, berr)
+	return []struct {
+		name string
+		csr  *topo.CSR
+		impl *topo.Implicit
+	}{
+		mk("HSN3Q4", hsnC, hsnI),
+		mk("SFN3Q4", sfnC, sfnI),
+		mk("Q12", q12C, q12I),
+		mk("64ary2cube", torC, torI),
+		mk("CCC9", cccC, cccI),
+		mk("WBF9", wbfC, wbfI),
+	}
+}
+
+// BenchmarkNeighborGen measures one full neighbor sweep — NeighborsInto
+// over every vertex — per family for both adjacency sources.  The ratio
+// implicit/csr is the per-row cost of regenerating adjacency from the
+// rank/unrank codec instead of loading an arena row; bench_compare.sh
+// gates it against scripts/bench_baseline_pr4.json so a codec change that
+// quietly blows up the implicit serving path fails CI.  Single-threaded
+// for the same reason as BenchmarkAllSourcesBFS.
+func BenchmarkNeighborGen(b *testing.B) {
+	for _, f := range benchSources4096() {
+		sweep := func(s topo.Source) func(b *testing.B) {
+			return func(b *testing.B) {
+				n := s.N()
+				buf := make([]int32, 0, s.DegreeBound())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var touched int64
+					for v := 0; v < n; v++ {
+						buf = s.NeighborsInto(v, buf)
+						touched += int64(len(buf))
+					}
+					if touched <= 0 {
+						b.Fatal("empty sweep")
+					}
+				}
+			}
+		}
+		b.Run(f.name+"/csr", sweep(f.csr))
+		b.Run(f.name+"/implicit", sweep(f.impl))
+	}
+}
+
 // BenchmarkNetsimStepAllocs measures steady-state rounds of the packet
 // simulator under random uniform traffic on HSN(3,Q3); run with -benchmem
 // to see the per-round allocation budget the persistent phase and emit

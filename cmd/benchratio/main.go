@@ -1,14 +1,17 @@
 // Command benchratio turns `go test -bench` output for
-// BenchmarkAllSourcesBFS into the machine-independent speedup ratios
-// tracked in BENCH_PR4.json, and optionally gates them against a
-// checked-in baseline.
+// BenchmarkAllSourcesBFS and BenchmarkNeighborGen into the
+// machine-independent ratios tracked in BENCH_PR4.json, and optionally
+// gates them against a checked-in baseline.
 //
 // Raw ns/op numbers vary by machine, so CI cannot compare them against a
 // committed file.  The *ratios* between kernels on the same machine and
-// graph — scalar/msbfs and scalar/symmetry — measure the algorithmic
-// speedup itself and are stable enough to gate on: a change that slows
-// the MSBFS kernel relative to the scalar one shrinks the ratio no matter
-// the hardware.
+// graph — scalar/msbfs and scalar/symmetry for the BFS kernels,
+// implicit/csr for neighbor generation — measure the algorithmic
+// trade-off itself and are stable enough to gate on: a change that slows
+// the MSBFS kernel relative to the scalar one shrinks its speedup, and a
+// codec change that slows implicit rows relative to arena loads grows
+// the implicit cost factor, no matter the hardware.  Speedups are gated
+// as floors, the implicit cost factor as a ceiling.
 //
 // Usage:
 //
@@ -30,15 +33,22 @@ import (
 	"strings"
 )
 
-// FamilyRatios is one family's measured kernels and derived speedups.
-// Ns fields are informational (machine-dependent); Speedup fields are
-// what the baseline comparison gates on.
+// FamilyRatios is one family's measured kernels and derived ratios.
+// Ns fields are informational (machine-dependent); Speedup and Cost
+// fields are what the baseline comparison gates on.
 type FamilyRatios struct {
-	ScalarNs      float64 `json:"scalar_ns"`
-	MSBFSNs       float64 `json:"msbfs_ns"`
-	MSBFSSpeedup  float64 `json:"msbfs_speedup"`
+	ScalarNs      float64 `json:"scalar_ns,omitempty"`
+	MSBFSNs       float64 `json:"msbfs_ns,omitempty"`
+	MSBFSSpeedup  float64 `json:"msbfs_speedup,omitempty"`
 	SymmetryNs    float64 `json:"symmetry_ns,omitempty"`
 	SymmetrySpeed float64 `json:"symmetry_speedup,omitempty"`
+	// NeighborGen samples: the cost factor of regenerating a neighbor
+	// row from the rank/unrank codec instead of loading a CSR arena row.
+	// Gated as a ceiling — implicit serving must not quietly get slower
+	// relative to the arena.
+	CSRNs        float64 `json:"ngen_csr_ns,omitempty"`
+	ImplicitNs   float64 `json:"ngen_implicit_ns,omitempty"`
+	ImplicitCost float64 `json:"implicit_cost,omitempty"`
 }
 
 // Report is the top-level BENCH_PR4.json document.
@@ -61,16 +71,22 @@ func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 			continue
 		}
 		name := fields[0]
-		const prefix = "BenchmarkAllSourcesBFS/"
-		if !strings.HasPrefix(name, prefix) {
+		var rest, kernelPrefix string
+		switch {
+		case strings.HasPrefix(name, "BenchmarkAllSourcesBFS/"):
+			rest = strings.TrimPrefix(name, "BenchmarkAllSourcesBFS/")
+		case strings.HasPrefix(name, "BenchmarkNeighborGen/"):
+			rest = strings.TrimPrefix(name, "BenchmarkNeighborGen/")
+			kernelPrefix = "ngen_"
+		default:
 			continue
 		}
-		parts := strings.Split(strings.TrimPrefix(name, prefix), "/")
+		parts := strings.Split(rest, "/")
 		if len(parts) != 2 {
 			continue
 		}
 		family := parts[0]
-		kernel := parts[1]
+		kernel := kernelPrefix + parts[1]
 		// Strip the -GOMAXPROCS suffix go test appends.
 		if i := strings.LastIndex(kernel, "-"); i > 0 {
 			kernel = kernel[:i]
@@ -90,32 +106,46 @@ func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 // buildReport derives speedup ratios from the parsed samples.
 func buildReport(samples map[string]map[string]float64) (*Report, error) {
 	rep := &Report{
-		Benchmark: "BenchmarkAllSourcesBFS",
-		Note:      "speedup fields are scalar_ns/<kernel>_ns on one machine and are the gated quantities; raw ns fields are informational",
+		Benchmark: "BenchmarkAllSourcesBFS+BenchmarkNeighborGen",
+		Note:      "speedup fields are scalar_ns/<kernel>_ns and implicit_cost is ngen_implicit_ns/ngen_csr_ns, all measured on one machine; the ratios are the gated quantities, raw ns fields are informational",
 		Families:  make(map[string]FamilyRatios),
 	}
 	for family, kernels := range samples {
-		scalar, ok := kernels["scalar"]
-		if !ok || scalar <= 0 {
-			return nil, fmt.Errorf("benchratio: family %s has no scalar sample", family)
+		var fr FamilyRatios
+		scalar, hasBFS := kernels["scalar"]
+		if hasBFS {
+			if scalar <= 0 {
+				return nil, fmt.Errorf("benchratio: family %s has a bad scalar sample", family)
+			}
+			msbfs, ok := kernels["msbfs"]
+			if !ok || msbfs <= 0 {
+				return nil, fmt.Errorf("benchratio: family %s has no msbfs sample", family)
+			}
+			fr.ScalarNs = scalar
+			fr.MSBFSNs = msbfs
+			fr.MSBFSSpeedup = round2(scalar / msbfs)
+			if sym, ok := kernels["symmetry"]; ok && sym > 0 {
+				fr.SymmetryNs = sym
+				fr.SymmetrySpeed = round2(scalar / sym)
+			}
 		}
-		msbfs, ok := kernels["msbfs"]
-		if !ok || msbfs <= 0 {
-			return nil, fmt.Errorf("benchratio: family %s has no msbfs sample", family)
+		csr, hasNgen := kernels["ngen_csr"]
+		if hasNgen {
+			impl, ok := kernels["ngen_implicit"]
+			if !ok || csr <= 0 || impl <= 0 {
+				return nil, fmt.Errorf("benchratio: family %s has incomplete NeighborGen samples", family)
+			}
+			fr.CSRNs = csr
+			fr.ImplicitNs = impl
+			fr.ImplicitCost = round2(impl / csr)
 		}
-		fr := FamilyRatios{
-			ScalarNs:     scalar,
-			MSBFSNs:      msbfs,
-			MSBFSSpeedup: round2(scalar / msbfs),
-		}
-		if sym, ok := kernels["symmetry"]; ok && sym > 0 {
-			fr.SymmetryNs = sym
-			fr.SymmetrySpeed = round2(scalar / sym)
+		if !hasBFS && !hasNgen {
+			return nil, fmt.Errorf("benchratio: family %s has no usable samples", family)
 		}
 		rep.Families[family] = fr
 	}
 	if len(rep.Families) == 0 {
-		return nil, fmt.Errorf("benchratio: no BenchmarkAllSourcesBFS samples on stdin")
+		return nil, fmt.Errorf("benchratio: no benchmark samples on stdin")
 	}
 	return rep, nil
 }
@@ -142,10 +172,23 @@ func compare(rep, base *Report, tol float64) []string {
 			problems = append(problems, fmt.Sprintf("family %s is in the baseline but was not measured", name))
 			continue
 		}
-		if floor := b.MSBFSSpeedup * (1 - tol); cur.MSBFSSpeedup < floor {
-			problems = append(problems, fmt.Sprintf(
-				"family %s msbfs speedup %.2fx is below baseline %.2fx - %.0f%% = %.2fx",
-				name, cur.MSBFSSpeedup, b.MSBFSSpeedup, tol*100, floor))
+		if b.MSBFSSpeedup > 0 {
+			if cur.MSBFSSpeedup == 0 {
+				problems = append(problems, fmt.Sprintf("family %s lost its msbfs benchmark", name))
+			} else if floor := b.MSBFSSpeedup * (1 - tol); cur.MSBFSSpeedup < floor {
+				problems = append(problems, fmt.Sprintf(
+					"family %s msbfs speedup %.2fx is below baseline %.2fx - %.0f%% = %.2fx",
+					name, cur.MSBFSSpeedup, b.MSBFSSpeedup, tol*100, floor))
+			}
+		}
+		if b.ImplicitCost > 0 {
+			if cur.ImplicitCost == 0 {
+				problems = append(problems, fmt.Sprintf("family %s lost its NeighborGen benchmark", name))
+			} else if ceil := b.ImplicitCost * (1 + tol); cur.ImplicitCost > ceil {
+				problems = append(problems, fmt.Sprintf(
+					"family %s implicit neighbor-gen cost %.2fx is above baseline %.2fx + %.0f%% = %.2fx",
+					name, cur.ImplicitCost, b.ImplicitCost, tol*100, ceil))
+			}
 		}
 		if b.SymmetrySpeed > 0 {
 			if cur.SymmetrySpeed == 0 {
@@ -198,7 +241,7 @@ func run(in io.Reader, outPath, baselinePath string, tol float64) error {
 		}
 		return fmt.Errorf("benchratio: %d speedup regression(s) vs %s", len(problems), baselinePath)
 	}
-	fmt.Fprintf(os.Stderr, "benchratio: %d families within %.0f%% of baseline speedups\n", len(base.Families), tol*100)
+	fmt.Fprintf(os.Stderr, "benchratio: %d families within %.0f%% of baseline ratios\n", len(base.Families), tol*100)
 	return nil
 }
 

@@ -36,6 +36,7 @@ func main() {
 		queue       = flag.Int("queue", 0, "requests allowed to wait for a worker before 503 (0 = 4x workers, -1 = none)")
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request deadline")
 		maxNodes    = flag.Int("max-nodes", 1<<16, "topology materialization cap")
+		implicitTh  = flag.Int("implicit-threshold", 0, "node count above which implicit-capable families are served via rank/unrank codecs instead of CSR arenas (0 = at max-nodes)")
 		simMaxNodes = flag.Int("sim-max-nodes", 1<<13, "simulation size cap")
 		enablePprof = flag.Bool("pprof", false, "mount /debug/pprof/")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
@@ -62,18 +63,19 @@ func main() {
 	}
 
 	srv := serve.NewServer(serve.Config{
-		CacheBytes:       int64(*cacheMB) << 20,
-		CacheShards:      *shards,
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		RequestTimeout:   *timeout,
-		MaxNodes:         *maxNodes,
-		SimMaxNodes:      *simMaxNodes,
-		EnablePprof:      *enablePprof,
-		BuildRetries:     *buildRetries,
-		RetryBackoff:     *retryBackoff,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
+		CacheBytes:        int64(*cacheMB) << 20,
+		CacheShards:       *shards,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		RequestTimeout:    *timeout,
+		MaxNodes:          *maxNodes,
+		ImplicitThreshold: *implicitTh,
+		SimMaxNodes:       *simMaxNodes,
+		EnablePprof:       *enablePprof,
+		BuildRetries:      *buildRetries,
+		RetryBackoff:      *retryBackoff,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

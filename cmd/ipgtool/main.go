@@ -11,10 +11,16 @@
 //	ipgtool -net hsn -l 4 -nucleus ghc:4,4     # HSN over GHC(4,4)
 //	ipgtool -net hsn -l 4 -nucleus q3 -schedule  # print the Thm 3.8 schedule
 //	ipgtool -net hsn -l 3 -nucleus q4 -json    # machine-readable metrics
+//	ipgtool -net torus -k 2560 -json           # 6.5M nodes, implicit codec
+//	ipgtool -net hypercube -dim 10 -json -impl implicit  # force the codec
 //
 // With -json the output is the same metrics document the ipgd daemon
 // serves on /v1/metrics (see docs/serving.md), produced by the same
-// encoder.
+// encoder.  -impl selects the adjacency representation for -json:
+// "csr" forces materialization, "implicit" forces the rank/unrank codec
+// (O(1) memory at any size), "auto" (the default) materializes up to the
+// cap and goes implicit above it; the document's representation and
+// bytes_per_vertex fields report the choice.
 package main
 
 import (
@@ -50,6 +56,7 @@ func main() {
 		diameter = flag.Bool("diameter", false, "compute the exact graph diameter (O(N^2), slow for large N)")
 		dotFile  = flag.String("dot", "", "write the network (chips as clusters, off-chip links red) as Graphviz DOT to this file (super-IPG families)")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable metrics document (same shape as ipgd's /v1/metrics)")
+		implMode = flag.String("impl", "auto", "adjacency representation for -json: csr|implicit|auto")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -63,11 +70,23 @@ func main() {
 		"k": "k", "side": "side", "band": "band",
 	}
 	provided := map[string]bool{}
+	implSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if p, ok := flagToParam[f.Name]; ok {
 			provided[p] = true
 		}
+		if f.Name == "impl" {
+			implSet = true
+		}
 	})
+	switch *implMode {
+	case "auto", "csr", "implicit":
+	default:
+		usageError("-impl must be csr, implicit, or auto (got %q)", *implMode)
+	}
+	if implSet && !*jsonOut {
+		usageError("-impl selects the -json representation; it does not apply to the table output")
+	}
 	p := serve.Params{
 		Net: *netName, L: *l, Nucleus: *nucName,
 		Dim: *dim, LogM: *logm, K: *k, Side: *side, Band: *band,
@@ -83,7 +102,26 @@ func main() {
 		if *sched || *dotFile != "" {
 			usageError("-json cannot be combined with -schedule or -dot")
 		}
-		a, err := serve.BuildArtifact(context.Background(), p, materializeCap)
+		var (
+			a   *serve.Artifact
+			err error
+		)
+		switch *implMode {
+		case "csr":
+			a, err = serve.BuildArtifact(context.Background(), p, materializeCap)
+			if err == nil && a.Rep() != serve.RepCSR {
+				usageError("%s has %d nodes, above the materialization cap %d; -impl=csr does not apply (use implicit or auto)", a.Name, a.N, materializeCap)
+			}
+		case "implicit":
+			// A switch point of one node forces every real instance through
+			// its codec; families without one fall back and are rejected.
+			a, err = serve.BuildArtifactThreshold(context.Background(), p, materializeCap, 1)
+			if err == nil && a.Rep() != serve.RepImplicit {
+				usageError("%s has no implicit codec for this configuration; -impl=implicit does not apply", a.Name)
+			}
+		default:
+			a, err = serve.BuildArtifact(context.Background(), p, materializeCap)
+		}
 		fail(err)
 		doc, err := serve.ComputeMetrics(context.Background(), a, *diameter)
 		fail(err)

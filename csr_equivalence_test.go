@@ -1,7 +1,9 @@
 package ipg
 
 import (
+	"context"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"ipg/internal/graph"
@@ -162,6 +164,157 @@ func TestMSBFSMatchesScalarGoldens(t *testing.T) {
 						}
 					}
 				}
+			}
+		})
+	}
+}
+
+// implicitGolden pairs a golden family's materialized CSR with its
+// codec-backed implicit source and the vertex relabeling between them:
+// pi[v] is the implicit vertex id of materialized vertex v.  Baseline
+// builders number vertices by codec rank already (pi = identity); a
+// super-IPG's implicit vertex id is its mixed-radix group address.
+type implicitGolden struct {
+	name  string
+	build func(t *testing.T) (*topo.CSR, *topo.Implicit, []int32)
+}
+
+func superImplicitGolden(name string, build func() *superipg.Network) implicitGolden {
+	return implicitGolden{name: name, build: func(t *testing.T) (*topo.CSR, *topo.Implicit, []int32) {
+		w := build()
+		g := w.MustBuild()
+		c := g.Undirected().CSR()
+		im, err := w.Implicit()
+		if err != nil {
+			t.Fatalf("Implicit: %v", err)
+		}
+		pi := make([]int32, g.N())
+		for v := 0; v < g.N(); v++ {
+			a, err := w.AddressOf(g.Label(v))
+			if err != nil {
+				t.Fatalf("AddressOf(%v): %v", g.Label(v), err)
+			}
+			pi[v] = int32(a)
+		}
+		return c, im, pi
+	}}
+}
+
+func baselineImplicitGolden(name string, g func() *graph.Graph, codec func() (topo.Codec, error)) implicitGolden {
+	return implicitGolden{name: name, build: func(t *testing.T) (*topo.CSR, *topo.Implicit, []int32) {
+		c := g().CSR()
+		cd, err := codec()
+		if err != nil {
+			t.Fatalf("codec: %v", err)
+		}
+		im := topo.NewImplicit(cd)
+		pi := make([]int32, c.N())
+		for v := range pi {
+			pi[v] = int32(v)
+		}
+		return c, im, pi
+	}}
+}
+
+func implicitGoldens() []implicitGolden {
+	q2 := func() *nucleus.Nucleus { return nucleus.Hypercube(2) }
+	return []implicitGolden{
+		superImplicitGolden("HSN(3,Q2)", func() *superipg.Network { return superipg.HSN(3, q2()) }),
+		superImplicitGolden("ring-CN(3,Q2)", func() *superipg.Network { return superipg.RingCN(3, q2()) }),
+		superImplicitGolden("complete-CN(3,Q2)", func() *superipg.Network { return superipg.CompleteCN(3, q2()) }),
+		superImplicitGolden("SFN(3,Q2)", func() *superipg.Network { return superipg.SFN(3, q2()) }),
+		baselineImplicitGolden("Q6",
+			func() *graph.Graph { return topology.NewHypercube(6).G },
+			func() (topo.Codec, error) { return topo.NewHypercubeCodec(6) }),
+		baselineImplicitGolden("8-ary 2-cube",
+			func() *graph.Graph { return topology.NewTorus(8, 2).G },
+			func() (topo.Codec, error) { return topo.NewTorusCodec(8, 2) }),
+		baselineImplicitGolden("CCC(3)",
+			func() *graph.Graph { return topology.NewCCC(3).G },
+			func() (topo.Codec, error) { return topo.NewCCCCodec(3) }),
+		baselineImplicitGolden("WBF(3)",
+			func() *graph.Graph { return topology.NewButterfly(3).G },
+			func() (topo.Codec, error) { return topo.NewButterflyCodec(3) }),
+	}
+}
+
+// TestImplicitMatchesCSRGoldens checks the codec-backed implicit adjacency
+// against the materialized CSR on every golden family, row by row: the
+// relabeled CSR row of each vertex must equal the implicit row of its
+// image bit for bit.  Passing here means a traversal kernel sees the same
+// graph whichever representation backs it.
+func TestImplicitMatchesCSRGoldens(t *testing.T) {
+	for _, tc := range implicitGoldens() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c, im, pi := tc.build(t)
+			n := c.N()
+			if im.N() != n {
+				t.Fatalf("implicit N = %d, CSR N = %d", im.N(), n)
+			}
+			// pi must be a bijection or the row comparison is meaningless.
+			seen := make([]bool, n)
+			for v, a := range pi {
+				if a < 0 || int(a) >= n || seen[a] {
+					t.Fatalf("relabeling is not a bijection at v=%d -> %d", v, a)
+				}
+				seen[a] = true
+			}
+			var cbuf, ibuf, mapped []int32
+			for v := 0; v < n; v++ {
+				cbuf = c.NeighborsInto(v, cbuf)
+				mapped = mapped[:0]
+				for _, u := range cbuf {
+					mapped = append(mapped, pi[u])
+				}
+				sort.Slice(mapped, func(i, j int) bool { return mapped[i] < mapped[j] })
+				ibuf = im.NeighborsInto(int(pi[v]), ibuf)
+				if len(ibuf) != len(mapped) {
+					t.Fatalf("v=%d: implicit degree %d, CSR degree %d", v, len(ibuf), len(mapped))
+				}
+				for i := range ibuf {
+					if ibuf[i] != mapped[i] {
+						t.Fatalf("v=%d: implicit row %v, relabeled CSR row %v", v, ibuf, mapped)
+					}
+				}
+				if d := im.Degree(int(pi[v])); d != len(mapped) {
+					t.Fatalf("v=%d: implicit Degree = %d, row length %d", v, d, len(mapped))
+				}
+			}
+			if im.DegreeBound() < c.DegreeBound() {
+				t.Errorf("implicit DegreeBound %d < CSR max degree %d", im.DegreeBound(), c.DegreeBound())
+			}
+		})
+	}
+}
+
+// TestImplicitMetricsMatchCSRGoldens runs the generic metric kernels over
+// the implicit source of every golden family and checks diameter and
+// average distance against the materialized graph's golden values.  The
+// super families are not vertex-transitive as codecs, so this exercises
+// the full all-sources sweep over implicit adjacency too.
+func TestImplicitMetricsMatchCSRGoldens(t *testing.T) {
+	goldens := csrGoldens()
+	for i, tc := range implicitGoldens() {
+		tc, want := tc, goldens[i]
+		if tc.name != want.name {
+			t.Fatalf("golden tables out of sync: %q vs %q", tc.name, want.name)
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			_, im, _ := tc.build(t)
+			d, err := graph.DiameterSourceCtx(context.Background(), im)
+			if err != nil {
+				t.Fatalf("DiameterSourceCtx: %v", err)
+			}
+			if d != want.diameter {
+				t.Errorf("implicit diameter = %d, want %d", d, want.diameter)
+			}
+			a, err := graph.AverageDistanceSourceCtx(context.Background(), im)
+			if err != nil {
+				t.Fatalf("AverageDistanceSourceCtx: %v", err)
+			}
+			if a != want.avgDistance {
+				t.Errorf("implicit avg distance = %v, want %v", a, want.avgDistance)
 			}
 		})
 	}

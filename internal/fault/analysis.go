@@ -47,7 +47,7 @@ type Report struct {
 // observed after at most one batch of work.  It never consults the
 // vertex-transitivity shortcut: every alive source is swept.
 func (d *DegradedView) Analyze(ctx context.Context) (*Report, error) {
-	n := d.c.N()
+	n := d.src.N()
 	set := d.set
 	r := &Report{
 		N:              n,
@@ -71,12 +71,18 @@ func (d *DegradedView) Analyze(ctx context.Context) (*Report, error) {
 	}
 
 	// Component census: masked scalar BFS flood from each unlabelled
-	// alive vertex.
+	// alive vertex.  CSR-backed views walk the arena directly (the only
+	// path where arc masks can exist); other sources generate alive rows
+	// through NeighborsInto.
 	comp := make([]int32, n)
 	for i := range comp {
 		comp[i] = -1
 	}
 	queue := make([]int32, 0, n)
+	var nbuf []int32
+	if d.c == nil {
+		nbuf = make([]int32, 0, d.src.DegreeBound())
+	}
 	giant, giantSize := int32(-1), 0
 	for v := 0; v < n; v++ {
 		if comp[v] >= 0 || topo.Bit(set.VDead, v) {
@@ -96,13 +102,24 @@ func (d *DegradedView) Analyze(ctx context.Context) (*Report, error) {
 		for qi := 0; qi < len(queue); qi++ {
 			u := queue[qi]
 			size++
-			first := d.c.RowStart(int(u))
-			for j, w := range d.c.Row(int(u)) {
-				if comp[w] >= 0 || topo.Bit(set.ADead, first+j) || topo.Bit(set.VDead, int(w)) {
-					continue
+			if d.c != nil {
+				first := d.c.RowStart(int(u))
+				for j, w := range d.c.Row(int(u)) {
+					if comp[w] >= 0 || topo.Bit(set.ADead, first+j) || topo.Bit(set.VDead, int(w)) {
+						continue
+					}
+					comp[w] = id
+					queue = append(queue, w)
 				}
-				comp[w] = id
-				queue = append(queue, w)
+			} else {
+				nbuf = d.src.NeighborsInto(int(u), nbuf)
+				for _, w := range nbuf {
+					if comp[w] >= 0 || topo.Bit(set.VDead, int(w)) {
+						continue
+					}
+					comp[w] = id
+					queue = append(queue, w)
+				}
 			}
 		}
 		if size > giantSize {
@@ -137,7 +154,11 @@ func (d *DegradedView) Analyze(ctx context.Context) (*Report, error) {
 			hi = len(alive)
 		}
 		batch := alive[lo:hi]
-		d.c.MSBFSMaskedInto(batch, scratch, set.VDead, set.ADead, ecc[:], sum[:], reached[:])
+		if d.c != nil {
+			d.c.MSBFSMaskedInto(batch, scratch, set.VDead, set.ADead, ecc[:], sum[:], reached[:])
+		} else {
+			nbuf = topo.MSBFSMaskedSourceInto(d.src, batch, scratch, set.VDead, ecc[:], sum[:], reached[:], nbuf)
+		}
 		for i, src := range batch {
 			if ecc[i] > diam {
 				diam = ecc[i]

@@ -6,10 +6,11 @@ import (
 	"ipg/internal/topo"
 )
 
-// DegradedView is a masked read-only view of a CSR under a fault Set:
-// failed vertices and edges are hidden from every traversal without
-// copying or rebuilding the arena.  It implements topo.Topology over the
-// alive subgraph (dead vertices keep their ids but have degree zero).
+// DegradedView is a masked read-only view of an adjacency source under a
+// fault Set: failed vertices (and, on CSR-backed views, failed edges)
+// are hidden from every traversal without copying or rebuilding
+// anything.  It implements topo.Topology and topo.Source over the alive
+// subgraph (dead vertices keep their ids but have degree zero).
 //
 // A DegradedView deliberately does NOT implement topo.Symmetric: even
 // when the underlying family is vertex-transitive, faults break the
@@ -17,17 +18,35 @@ import (
 // never fire on a degraded topology.  Analyze always sweeps every alive
 // source.
 type DegradedView struct {
-	c         *topo.CSR
+	src       topo.Source
+	c         *topo.CSR // non-nil when src is a materialized arena; enables arc masks
 	set       *Set
 	clusterOf []int32 // optional chip assignment for per-nucleus reachability
 }
 
-// NewDegradedView wraps c with the fault set.
+// NewDegradedView wraps a materialized CSR with the fault set; every
+// fault mode is supported.
 func NewDegradedView(c *topo.CSR, set *Set) (*DegradedView, error) {
 	if c.N() != set.N() {
 		return nil, fmt.Errorf("fault: set built for %d vertices, topology has %d", set.N(), c.N())
 	}
-	return &DegradedView{c: c, set: set}, nil
+	return &DegradedView{src: c, c: c, set: set}, nil
+}
+
+// NewDegradedSourceView wraps any adjacency source with the fault set.
+// A CSR source behaves exactly as NewDegradedView; any other source
+// (e.g. a codec-backed topo.Implicit) supports vertex-level faults only,
+// because arc masks index a CSR arena that an implicit source does not
+// have.
+func NewDegradedSourceView(s topo.Source, set *Set) (*DegradedView, error) {
+	if s.N() != set.N() {
+		return nil, fmt.Errorf("fault: set built for %d vertices, topology has %d", set.N(), s.N())
+	}
+	c, _ := s.(*topo.CSR)
+	if c == nil && set.ADead != nil {
+		return nil, fmt.Errorf("fault: link faults need a materialized topology (arc masks index the CSR arena)")
+	}
+	return &DegradedView{src: s, c: c, set: set}, nil
 }
 
 // WithClusters attaches a chip assignment (len == N) so Analyze can
@@ -41,10 +60,14 @@ func (d *DegradedView) WithClusters(clusterOf []int32) *DegradedView {
 func (d *DegradedView) Set() *Set { return d.set }
 
 // N implements topo.Topology (dead vertices keep their ids).
-func (d *DegradedView) N() int { return d.c.N() }
+func (d *DegradedView) N() int { return d.src.N() }
 
 // Alive returns the surviving vertex count.
 func (d *DegradedView) Alive() int { return d.set.Alive() }
+
+// DegreeBound implements topo.Source: masking only removes neighbors, so
+// the underlying bound still holds.
+func (d *DegradedView) DegreeBound() int { return d.src.DegreeBound() }
 
 // Degree implements topo.Topology: the alive degree of v, zero for a
 // dead vertex.
@@ -52,18 +75,22 @@ func (d *DegradedView) Degree(v int) int {
 	if topo.Bit(d.set.VDead, v) {
 		return 0
 	}
-	if d.set.VDead == nil && d.set.ADead == nil {
-		return d.c.Degree(v)
-	}
-	deg := 0
-	first := d.c.RowStart(v)
-	for j, u := range d.c.Row(v) {
-		if topo.Bit(d.set.ADead, first+j) || topo.Bit(d.set.VDead, int(u)) {
-			continue
+	if d.c != nil {
+		if d.set.VDead == nil && d.set.ADead == nil {
+			return d.c.Degree(v)
 		}
-		deg++
+		deg := 0
+		first := d.c.RowStart(v)
+		for j, u := range d.c.Row(v) {
+			if topo.Bit(d.set.ADead, first+j) || topo.Bit(d.set.VDead, int(u)) {
+				continue
+			}
+			deg++
+		}
+		return deg
 	}
-	return deg
+	buf := make([]int32, 0, d.src.DegreeBound())
+	return len(d.Neighbors(v, buf))
 }
 
 // Neighbors implements topo.Topology: v's alive neighbors, ascending.
@@ -72,12 +99,30 @@ func (d *DegradedView) Neighbors(v int, buf []int32) []int32 {
 	if topo.Bit(d.set.VDead, v) {
 		return buf
 	}
-	first := d.c.RowStart(v)
-	for j, u := range d.c.Row(v) {
-		if topo.Bit(d.set.ADead, first+j) || topo.Bit(d.set.VDead, int(u)) {
+	if d.c != nil {
+		first := d.c.RowStart(v)
+		for j, u := range d.c.Row(v) {
+			if topo.Bit(d.set.ADead, first+j) || topo.Bit(d.set.VDead, int(u)) {
+				continue
+			}
+			buf = append(buf, u)
+		}
+		return buf
+	}
+	buf = d.src.NeighborsInto(v, buf)
+	w := 0
+	//lint:ignore ctxflow filters one neighbor row, at most DegreeBound entries — far below cancellation granularity
+	for _, u := range buf {
+		if topo.Bit(d.set.VDead, int(u)) {
 			continue
 		}
-		buf = append(buf, u)
+		buf[w] = u
+		w++
 	}
-	return buf
+	return buf[:w]
 }
+
+// NeighborsInto implements topo.Source; identical to Neighbors (the view
+// inherits the canonical row order of its underlying source, minus the
+// masked entries).
+func (d *DegradedView) NeighborsInto(v int, buf []int32) []int32 { return d.Neighbors(v, buf) }

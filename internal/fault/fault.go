@@ -9,10 +9,12 @@
 // vertex (the families here are maximally connected, so their minimum
 // cuts are the edge neighborhoods the pattern attacks first).
 //
-// A fault Set is a pair of bitmasks over an existing *topo.CSR — one bit
-// per vertex, one bit per arena arc index — so degrading a topology never
-// copies or rebuilds the arena.  DegradedView wraps the CSR plus its Set
-// and Analyze produces the survivability report.
+// A fault Set is a pair of bitmasks — one bit per vertex, one bit per
+// CSR arena arc index — so degrading a topology never copies or rebuilds
+// anything.  DegradedView wraps any topo.Source plus its Set and Analyze
+// produces the survivability report; the vertex-level modes (node, chip)
+// work over codec-backed implicit sources too, while the link modes need
+// the materialized arena their arc masks index.
 package fault
 
 //lint:file-ignore ctxflow fault-set construction is a one-shot O(N) sample or cut over a graph bounded by MaxNodes, finished under serve's request deadline before the cancellable metric sweeps start
@@ -94,7 +96,24 @@ func (s *Set) VertexDead(v int) bool { return topo.Bit(s.VDead, v) }
 // at least one vertex (one chip) alive; edge counts may not exceed the
 // edge count of c.
 func New(c *topo.CSR, spec Spec, clusterOf []int32) (*Set, error) {
-	n := c.N()
+	return newSet(c.N(), c, spec, clusterOf)
+}
+
+// NewForSource samples a failure Set for spec over any adjacency source.
+// A materialized CSR supports every mode; for other sources only the
+// vertex-level modes (node, chip) apply, because link faults are arc
+// bitmasks over a CSR arena and there is no stable arc identifier to mask
+// in a codec-backed source.
+func NewForSource(s topo.Source, spec Spec, clusterOf []int32) (*Set, error) {
+	if c, ok := s.(*topo.CSR); ok {
+		return New(c, spec, clusterOf)
+	}
+	return newSet(s.N(), nil, spec, clusterOf)
+}
+
+// newSet is the shared sampler.  c is nil for non-arena sources, which
+// rules out the arc-mask (link/adversarial) modes.
+func newSet(n int, c *topo.CSR, spec Spec, clusterOf []int32) (*Set, error) {
 	if err := topo.CheckVertexCount(n); err != nil {
 		return nil, err
 	}
@@ -126,6 +145,9 @@ func New(c *topo.CSR, spec Spec, clusterOf []int32) (*Set, error) {
 		}
 		sortInt32(s.DeadVertices)
 	case Links:
+		if c == nil {
+			return nil, fmt.Errorf("fault: %s faults need a materialized topology (arc masks index the CSR arena)", mode)
+		}
 		m := c.Arcs() / 2
 		if spec.Count > m {
 			return nil, fmt.Errorf("fault: %d link failures exceed the %d links present", spec.Count, m)
@@ -144,6 +166,9 @@ func New(c *topo.CSR, spec Spec, clusterOf []int32) (*Set, error) {
 			s.killEdge(c, u, v)
 		}
 	case Adversarial:
+		if c == nil {
+			return nil, fmt.Errorf("fault: %s faults need a materialized topology (arc masks index the CSR arena)", mode)
+		}
 		m := c.Arcs() / 2
 		if spec.Count > m {
 			return nil, fmt.Errorf("fault: %d link failures exceed the %d links present", spec.Count, m)

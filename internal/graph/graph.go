@@ -217,6 +217,14 @@ func (g *Graph) Neighbors(u int, buf []int32) []int32 {
 // Degree returns the degree of u.
 func (g *Graph) Degree(u int) int { return g.ensure().Degree(u) }
 
+// NeighborsInto implements topo.Source (same contract as Neighbors).
+func (g *Graph) NeighborsInto(u int, buf []int32) []int32 {
+	return g.Neighbors(u, buf)
+}
+
+// DegreeBound implements topo.Source: the maximum degree.
+func (g *Graph) DegreeBound() int { return g.ensure().DegreeBound() }
+
 // CSR returns the finalized adjacency arena, finalizing pending edges
 // first.  The result is owned by the graph and must not be modified.
 func (g *Graph) CSR() *topo.CSR { return g.ensure() }

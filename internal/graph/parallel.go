@@ -12,41 +12,44 @@ import (
 )
 
 // This file parallelizes the all-sources distance computations (diameter,
-// average distance) that dominate the metric experiments.  Sources are
-// processed 64 at a time by the bit-parallel multi-source BFS kernel
-// (topo.MSBFSInto), and the batches are distributed over a worker pool:
-// compared with one scalar BFS per source this shares every arena scan
-// across the whole batch, which is where the per-family speedups reported
-// in EXPERIMENTS.md come from.
+// average distance) that dominate the metric experiments.  The drivers
+// are generic over topo.Source: the same code sweeps a materialized CSR
+// arena (Graph delegates here) and a codec-backed topo.Implicit, with
+// the CSR fast path preserved inside the kernels by type switch.
+// Sources are processed 64 at a time by the bit-parallel multi-source
+// BFS kernel (topo.MSBFSSourceInto), and the batches are distributed
+// over a worker pool: compared with one scalar BFS per source this
+// shares every adjacency scan across the whole batch, which is where the
+// per-family speedups reported in EXPERIMENTS.md come from.
 //
-// Vertex-transitive graphs (marked by the family builders through
-// MarkVertexTransitive) collapse further: every vertex has the same
-// eccentricity and distance sum, so one scalar BFS from vertex 0 yields
-// the exact diameter and average distance.  The serial Diameter and
-// AverageDistance deliberately keep the full all-sources sweep, so the
-// existing parallel-equals-serial tests double as a symmetry cross-check.
+// Vertex-transitive sources (a Graph marked by its family builder, or an
+// Implicit whose codec proves transitivity) collapse further: every
+// vertex has the same eccentricity and distance sum, so one scalar BFS
+// from vertex 0 yields the exact diameter and average distance.  The
+// serial Diameter and AverageDistance deliberately keep the full
+// all-sources sweep, so the existing parallel-equals-serial tests double
+// as a symmetry cross-check.
 //
-// Every entry point has a context-aware variant (DiameterParallelCtx,
-// AverageDistanceParallelCtx) used by the serving layer to enforce
-// per-request deadlines: each worker re-checks the context between
-// batches, so cancellation latency is bounded by one 64-source batch
-// rather than the whole all-pairs loop.
+// Every entry point takes a context, used by the serving layer to
+// enforce per-request deadlines: each worker re-checks the context
+// between batches, so cancellation latency is bounded by one 64-source
+// batch rather than the whole all-pairs loop.
 
 // batchSize is the MSBFS lane width: one bit per source in a uint64 word.
 const batchSize = 64
 
-// parallelBatchesCtx partitions [0, n) into 64-source batches, runs the
-// multi-source BFS kernel on each over a GOMAXPROCS worker pool, and
-// hands every batch's eccentricities and distance sums to merge.  Workers
-// check ctx between batches and stop early when it is cancelled; batches
-// already dispatched finish, and the function returns ctx's error.
-// Traversal scratch comes from the shared topo pool, so repeated metric
-// builds allocate O(1) at steady state.
-func (g *Graph) parallelBatchesCtx(ctx context.Context, merge func(srcs []int32, ecc []int32, sum []int64)) error {
-	c := g.ensure()
-	n := g.N()
+// parallelBatchesSourceCtx partitions [0, n) into 64-source batches, runs
+// the multi-source BFS kernel on each over a GOMAXPROCS worker pool, and
+// hands every batch's eccentricities and distance sums to merge (which
+// must be safe for concurrent calls).  Workers check ctx between batches
+// and stop early when it is cancelled; batches already dispatched finish,
+// and the function returns ctx's error.  Traversal scratch comes from the
+// shared topo pool, so repeated metric builds allocate O(1) at steady
+// state.
+func parallelBatchesSourceCtx(ctx context.Context, src topo.Source, merge func(srcs []int32, ecc []int32, sum []int64)) error {
+	n := src.N()
 	batches := (n + batchSize - 1) / batchSize
-	run := func(b int, srcs []int32, s *topo.Scratch, ecc []int32, sum []int64) {
+	run := func(b int, srcs []int32, s *topo.Scratch, ecc []int32, sum []int64, nbuf []int32) []int32 {
 		lo := b * batchSize
 		hi := lo + batchSize
 		if hi > n {
@@ -54,11 +57,12 @@ func (g *Graph) parallelBatchesCtx(ctx context.Context, merge func(srcs []int32,
 		}
 		srcs = srcs[:0]
 		for v := lo; v < hi; v++ {
-			//lint:ignore indextrunc v < n, which NewChecked bounds to MaxVertices (math.MaxInt32)
+			//lint:ignore indextrunc v < n, which the source construction bounds to MaxVertices (math.MaxInt32)
 			srcs = append(srcs, int32(v))
 		}
-		c.MSBFSInto(srcs, s.MS(n), ecc[:len(srcs)], sum[:len(srcs)], nil)
+		nbuf = topo.MSBFSSourceInto(src, srcs, s.MS(n), ecc[:len(srcs)], sum[:len(srcs)], nil, nbuf)
 		merge(srcs, ecc[:len(srcs)], sum[:len(srcs)])
+		return nbuf
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > batches {
@@ -70,11 +74,12 @@ func (g *Graph) parallelBatchesCtx(ctx context.Context, merge func(srcs []int32,
 		srcs := make([]int32, 0, batchSize)
 		ecc := make([]int32, batchSize)
 		sum := make([]int64, batchSize)
+		nbuf := make([]int32, 0, src.DegreeBound())
 		for b := 0; b < batches; b++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			run(b, srcs, s, ecc, sum)
+			nbuf = run(b, srcs, s, ecc, sum, nbuf)
 		}
 		return nil
 	}
@@ -89,12 +94,13 @@ func (g *Graph) parallelBatchesCtx(ctx context.Context, merge func(srcs []int32,
 			srcs := make([]int32, 0, batchSize)
 			ecc := make([]int32, batchSize)
 			sum := make([]int64, batchSize)
+			nbuf := make([]int32, 0, src.DegreeBound())
 			for ctx.Err() == nil {
 				b := int(atomic.AddInt64(&next, 1))
 				if b >= batches {
 					return
 				}
-				run(b, srcs, s, ecc, sum)
+				nbuf = run(b, srcs, s, ecc, sum, nbuf)
 			}
 		}()
 	}
@@ -102,37 +108,27 @@ func (g *Graph) parallelBatchesCtx(ctx context.Context, merge func(srcs []int32,
 	return ctx.Err()
 }
 
-// singleSourceCtx runs one pooled scalar BFS from vertex 0 — the
+// singleSourceSweep runs one pooled scalar BFS from vertex 0 — the
 // vertex-transitive shortcut shared by both metric entry points.
-func (g *Graph) singleSourceCtx(ctx context.Context) (ecc int32, sum int64, err error) {
+func singleSourceSweep(ctx context.Context, src topo.Source) (ecc int32, sum int64, err error) {
 	if err := ctx.Err(); err != nil {
 		return 0, 0, err
 	}
-	c := g.ensure()
-	s := topo.GetScratch(g.N())
+	n := src.N()
+	s := topo.GetScratch(n)
 	defer topo.PutScratch(s)
-	ecc, sum = c.BFSInto(0, s.Dist, s.Queue)
+	ecc, sum, _ = topo.BFSSourceInto(src, 0, s.Dist, s.Queue, make([]int32, 0, src.DegreeBound()))
 	return ecc, sum, nil
 }
 
-// DiameterParallel computes the exact diameter with batched
-// source-parallel BFS.  It returns -1 for disconnected graphs.
-func (g *Graph) DiameterParallel() int {
-	d, _ := g.DiameterParallelCtx(context.Background())
-	return d
-}
-
-// DiameterParallelCtx is DiameterParallel under a context deadline: it
-// returns ctx's error if cancelled before all batches complete, checking
-// between 64-source batches.  Vertex-transitive graphs take the
-// single-source shortcut (every eccentricity is equal, so ecc(0) is the
-// diameter).
-func (g *Graph) DiameterParallelCtx(ctx context.Context) (int, error) {
-	if g.N() == 0 {
+// diameterSourceCtx is the shared diameter driver; vt selects the
+// single-source shortcut (the caller's proof of vertex transitivity).
+func diameterSourceCtx(ctx context.Context, src topo.Source, vt bool) (int, error) {
+	if src.N() == 0 {
 		return 0, nil
 	}
-	if g.vt {
-		ecc, _, err := g.singleSourceCtx(ctx)
+	if vt {
+		ecc, _, err := singleSourceSweep(ctx, src)
 		if err != nil {
 			return 0, err
 		}
@@ -140,7 +136,7 @@ func (g *Graph) DiameterParallelCtx(ctx context.Context) (int, error) {
 	}
 	var diam atomic.Int64
 	var disconnected atomic.Bool
-	err := g.parallelBatchesCtx(ctx, func(_ []int32, ecc []int32, _ []int64) {
+	err := parallelBatchesSourceCtx(ctx, src, func(_ []int32, ecc []int32, _ []int64) {
 		var batchMax int64
 		for _, e := range ecc {
 			if e < 0 {
@@ -162,27 +158,17 @@ func (g *Graph) DiameterParallelCtx(ctx context.Context) (int, error) {
 	return int(diam.Load()), nil
 }
 
-// AverageDistanceParallel computes the mean distance over all ordered
-// pairs (including self pairs) with batched source-parallel BFS; -1 if
-// disconnected.
-func (g *Graph) AverageDistanceParallel() float64 {
-	avg, _ := g.AverageDistanceParallelCtx(context.Background())
-	return avg
-}
-
-// AverageDistanceParallelCtx is AverageDistanceParallel under a context
-// deadline, with the same cancellation granularity as
-// DiameterParallelCtx.  Vertex-transitive graphs take the single-source
-// shortcut: every per-source distance sum is equal, so n * sum(0) is the
-// all-pairs total — the same int64 value the full sweep accumulates, so
-// the final division is bit-identical to the serial result.
-func (g *Graph) AverageDistanceParallelCtx(ctx context.Context) (float64, error) {
-	n := g.N()
+// avgDistanceSourceCtx is the shared average-distance driver; vt selects
+// the single-source shortcut.  The shortcut multiplies the one distance
+// sum by n — the same int64 total the full sweep accumulates, so the
+// final division is bit-identical to the swept result.
+func avgDistanceSourceCtx(ctx context.Context, src topo.Source, vt bool) (float64, error) {
+	n := src.N()
 	if n == 0 {
 		return 0, nil
 	}
-	if g.vt {
-		ecc, sum, err := g.singleSourceCtx(ctx)
+	if vt {
+		ecc, sum, err := singleSourceSweep(ctx, src)
 		if err != nil {
 			return 0, err
 		}
@@ -194,7 +180,7 @@ func (g *Graph) AverageDistanceParallelCtx(ctx context.Context) (float64, error)
 	}
 	var total atomic.Int64
 	var disconnected atomic.Bool
-	err := g.parallelBatchesCtx(ctx, func(_ []int32, ecc []int32, sum []int64) {
+	err := parallelBatchesSourceCtx(ctx, src, func(_ []int32, ecc []int32, sum []int64) {
 		var batchTotal int64
 		for i, e := range ecc {
 			if e < 0 {
@@ -212,4 +198,58 @@ func (g *Graph) AverageDistanceParallelCtx(ctx context.Context) (float64, error)
 		return -1, nil
 	}
 	return float64(total.Load()) / float64(n) / float64(n), nil
+}
+
+// DiameterSourceCtx computes the exact diameter of any adjacency source
+// with batched source-parallel BFS, collapsing to a single BFS when the
+// source proves vertex transitivity (topo.Symmetric).  It returns -1 for
+// disconnected sources and ctx's error if cancelled between batches.
+func DiameterSourceCtx(ctx context.Context, src topo.Source) (int, error) {
+	return diameterSourceCtx(ctx, src, topo.SourceTransitive(src))
+}
+
+// AverageDistanceSourceCtx computes the mean distance over all ordered
+// vertex pairs (including self pairs) of any adjacency source, with the
+// same transitivity shortcut and cancellation granularity as
+// DiameterSourceCtx; -1 if disconnected.
+func AverageDistanceSourceCtx(ctx context.Context, src topo.Source) (float64, error) {
+	return avgDistanceSourceCtx(ctx, src, topo.SourceTransitive(src))
+}
+
+// DiameterParallel computes the exact diameter with batched
+// source-parallel BFS.  It returns -1 for disconnected graphs.
+func (g *Graph) DiameterParallel() int {
+	d, _ := g.DiameterParallelCtx(context.Background())
+	return d
+}
+
+// DiameterParallelCtx is DiameterParallel under a context deadline: it
+// returns ctx's error if cancelled before all batches complete, checking
+// between 64-source batches.  Vertex-transitive graphs take the
+// single-source shortcut (every eccentricity is equal, so ecc(0) is the
+// diameter).  The sweep runs over the finalized CSR, hitting the arena
+// fast path of the Source kernels.
+func (g *Graph) DiameterParallelCtx(ctx context.Context) (int, error) {
+	if g.N() == 0 {
+		return 0, nil
+	}
+	return diameterSourceCtx(ctx, g.ensure(), g.vt)
+}
+
+// AverageDistanceParallel computes the mean distance over all ordered
+// pairs (including self pairs) with batched source-parallel BFS; -1 if
+// disconnected.
+func (g *Graph) AverageDistanceParallel() float64 {
+	avg, _ := g.AverageDistanceParallelCtx(context.Background())
+	return avg
+}
+
+// AverageDistanceParallelCtx is AverageDistanceParallel under a context
+// deadline, with the same cancellation granularity and vertex-transitive
+// shortcut as DiameterParallelCtx.
+func (g *Graph) AverageDistanceParallelCtx(ctx context.Context) (float64, error) {
+	if g.N() == 0 {
+		return 0, nil
+	}
+	return avgDistanceSourceCtx(ctx, g.ensure(), g.vt)
 }

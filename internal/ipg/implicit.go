@@ -1,0 +1,103 @@
+package ipg
+
+import (
+	"fmt"
+	"sync"
+
+	"ipg/internal/perm"
+	"ipg/internal/topo"
+)
+
+// This file implements the implicit adjacency of an IPG whose node set is
+// the full arrangement set of its seed multiset: vertex v is the
+// Lehmer-code rank of its label (perm.LabelCodec, lexicographic), and
+// neighbors are computed by unrank -> apply generator -> rank, with no
+// materialized closure.
+//
+// PRECONDITION: the generator orbit of the seed must be ALL arrangements
+// of the seed's symbol multiset (true for Cayley families whose
+// generators generate the symmetric group — star graphs, pancake graphs,
+// complete-graph rotations — and for the super-IPG constructions, which
+// have their own address codec in internal/superipg).  NewImplicit cannot
+// verify the orbit without materializing; callers for whom the property
+// is not a theorem should cross-check against Build on a small instance,
+// as the equivalence tests do.
+
+// labelCodec implements topo.Codec over Lehmer ranks of IPG labels.
+type labelCodec struct {
+	spec Spec
+	lc   *perm.LabelCodec
+	n    int
+	vt   bool
+	pool sync.Pool
+}
+
+type labelScratch struct {
+	cur perm.Label
+	tmp perm.Label
+}
+
+// NewImplicit returns the codec-backed adjacency source of spec, with
+// vertex v the lexicographic rank of its label among all arrangements of
+// the seed multiset.  It errors when the arrangement count exceeds the
+// int32 vertex representation.
+func NewImplicit(spec Spec) (*topo.Implicit, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	lc, err := perm.NewLabelCodec(spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if lc.Count() > topo.MaxVertices {
+		return nil, fmt.Errorf("ipg: %s has %d arrangements; ranks overflow int32", spec.Name, lc.Count())
+	}
+	c := &labelCodec{spec: spec, lc: lc, n: int(lc.Count())}
+	// All-distinct seeds make the IPG a Cayley graph (given the full-orbit
+	// precondition, of the symmetric group), hence vertex-transitive.
+	c.vt = true
+	var seen [256]bool
+	for _, s := range spec.Seed {
+		if seen[s] {
+			c.vt = false
+			break
+		}
+		seen[s] = true
+	}
+	c.pool.New = func() any {
+		m := len(spec.Seed)
+		return &labelScratch{cur: make(perm.Label, 0, m), tmp: make(perm.Label, m)}
+	}
+	return topo.NewImplicit(c), nil
+}
+
+func (c *labelCodec) Name() string { return fmt.Sprintf("ipg-lehmer(%s)", c.spec.Name) }
+
+func (c *labelCodec) N() int { return c.n }
+
+func (c *labelCodec) DegreeBound() int { return len(c.spec.Gens) }
+
+func (c *labelCodec) VertexTransitive() bool { return c.vt }
+
+func (c *labelCodec) AppendNeighbors(v int, buf []int32) []int32 {
+	s := c.pool.Get().(*labelScratch)
+	var err error
+	s.cur, err = c.lc.UnrankInto(int64(v), s.cur)
+	if err != nil {
+		panic(fmt.Sprintf("ipg: %s: vertex %d unrankable: %v", c.spec.Name, v, err))
+	}
+	for _, g := range c.spec.Gens {
+		g.P.ApplyInto(s.tmp, s.cur)
+		r, err := c.lc.Rank(s.tmp)
+		if err != nil {
+			// Generators permute positions, so the image of an arrangement
+			// is an arrangement of the same multiset; an error means the
+			// codec invariant is broken, not bad input.
+			panic(fmt.Sprintf("ipg: %s: generator image unrankable: %v", c.spec.Name, err))
+		}
+		//lint:ignore indextrunc r < N() <= topo.MaxVertices (math.MaxInt32), checked in NewImplicit
+		buf = append(buf, int32(r))
+	}
+	c.pool.Put(s)
+	return buf
+}

@@ -1,0 +1,119 @@
+package ipg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ipg/internal/perm"
+	"ipg/internal/topo"
+)
+
+// adjacentTranspositions is the bubble-sort generator set on n positions;
+// it generates the full symmetric group, so the orbit of any seed is all
+// arrangements of its multiset — the precondition of NewImplicit.
+func adjacentTranspositions(n int) perm.GenSet {
+	gens := perm.GenSet{}
+	for i := 0; i+1 < n; i++ {
+		gens = append(gens, perm.Gen("t", perm.Transposition(n, i, i+1)))
+	}
+	return gens
+}
+
+// TestImplicitMatchesBuild checks the Lehmer-coded implicit adjacency
+// against the materialized closure, row by row under the rank relabeling,
+// for both a distinct-symbol (Cayley) and a repeated-symbol seed.
+func TestImplicitMatchesBuild(t *testing.T) {
+	specs := []Spec{
+		{Name: "bubble4", Seed: perm.MustParseLabel("1234"), Gens: adjacentTranspositions(4)},
+		{Name: "bubble-122331", Seed: perm.MustParseLabel("122331"), Gens: adjacentTranspositions(6)},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			g := MustBuild(spec)
+			c := g.Undirected().CSR()
+			im, err := NewImplicit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if im.N() != c.N() {
+				t.Fatalf("implicit N = %d, materialized N = %d", im.N(), c.N())
+			}
+			lc, err := perm.NewLabelCodec(spec.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pi := make([]int32, c.N())
+			for v := range pi {
+				r, err := lc.Rank(g.Label(v))
+				if err != nil {
+					t.Fatalf("Rank(%v): %v", g.Label(v), err)
+				}
+				pi[v] = int32(r)
+			}
+			var cbuf, ibuf, mapped []int32
+			for v := 0; v < c.N(); v++ {
+				cbuf = c.NeighborsInto(v, cbuf)
+				mapped = mapped[:0]
+				for _, u := range cbuf {
+					mapped = append(mapped, pi[u])
+				}
+				sort.Slice(mapped, func(i, j int) bool { return mapped[i] < mapped[j] })
+				ibuf = im.NeighborsInto(int(pi[v]), ibuf)
+				if len(ibuf) != len(mapped) {
+					t.Fatalf("v=%d: implicit degree %d, materialized %d", v, len(ibuf), len(mapped))
+				}
+				for i := range ibuf {
+					if ibuf[i] != mapped[i] {
+						t.Fatalf("v=%d: implicit row %v, relabeled row %v", v, ibuf, mapped)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestImplicitBeyondMaterializable samples the bubble-sort Cayley graph
+// on 12 symbols — 12! ≈ 4.8e8 vertices, far past any materialization cap
+// — and checks the canonical row contract and adjacency symmetry at
+// random ranks.  The generators are involutions, so every edge the codec
+// emits must be seen from both ends.
+func TestImplicitBeyondMaterializable(t *testing.T) {
+	spec := Spec{
+		Name: "bubble12",
+		Seed: perm.MustParseLabel("0123456789ab"),
+		Gens: adjacentTranspositions(12),
+	}
+	im, err := NewImplicit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.N() != 479001600 {
+		t.Fatalf("N = %d, want 12!", im.N())
+	}
+	if !topo.SourceTransitive(im) {
+		t.Fatal("distinct-seed IPG should be marked vertex-transitive")
+	}
+	rng := rand.New(rand.NewSource(3))
+	var row, nrow []int32
+	for trial := 0; trial < 64; trial++ {
+		v := rng.Intn(im.N())
+		row = im.NeighborsInto(v, row)
+		if len(row) != 11 {
+			t.Fatalf("v=%d: degree %d, want 11", v, len(row))
+		}
+		for i, u := range row {
+			if int(u) == v || (i > 0 && row[i-1] >= u) {
+				t.Fatalf("v=%d: row %v not canonical", v, row)
+			}
+		}
+		for _, u := range row {
+			nrow = im.NeighborsInto(int(u), nrow)
+			j := sort.Search(len(nrow), func(i int) bool { return nrow[i] >= int32(v) })
+			if j == len(nrow) || nrow[j] != int32(v) {
+				t.Fatalf("asymmetric edge %d -> %d", v, u)
+			}
+		}
+	}
+}

@@ -18,6 +18,15 @@
 // from the source shard (phase A) to the target shard (phase B), so the
 // phases are data-race free; results are deterministic for a fixed seed
 // and worker-independent.
+//
+// Unlike the metric kernels in internal/topo and internal/graph, the
+// simulator is not generic over topo.Source: a simulation's per-node
+// queue and credit state is O(N) whatever the adjacency representation,
+// and routers address *ports*, not neighbors, so the port banks are the
+// simulated resource.  Implicit (codec-backed) topologies enter through
+// topo.FromSource, which materializes their port map in the same
+// canonical order as the CSR path — the simulator itself then runs
+// identically on either origin.
 package netsim
 
 //lint:file-ignore ctxflow simulator setup and per-round sweeps are O(N) on networks capped by SimMaxNodes (enforced in serve) and checkNodeCount; the exported ...Ctx runners poll ctx once per round

@@ -51,6 +51,22 @@ type Nucleus struct {
 	// between addresses 0..M-1 and node labels.
 	enumLabels []perm.Label
 	enumIndex  map[string]int
+
+	// Optional closed-form rank/unrank for nuclei without dimension
+	// structure whose node set has an arithmetic description (ring
+	// rotations, star-graph Lehmer codes).  Consulted by AddressOf/LabelOf
+	// before the enumeration fallback, so these nuclei stay addressable
+	// without materializing their label set.
+	rankFn   func(perm.Label) (int, error)
+	unrankFn func(int) (perm.Label, error)
+}
+
+// Addressable reports whether AddressOf/LabelOf form a bijection between
+// [0, M) and the nucleus node set — true for dimensionable nuclei, for
+// nuclei with a closed-form rank, and for explicitly enumerated ones.
+// The implicit super-IPG adjacency requires an addressable nucleus.
+func (nu *Nucleus) Addressable() bool {
+	return len(nu.Dims) > 0 || nu.rankFn != nil || nu.enumLabels != nil
 }
 
 // SetEnumeration installs an explicit address<->label bijection, enabling
@@ -109,6 +125,9 @@ func (nu *Nucleus) AddressOf(l perm.Label) (int, error) {
 	if len(l) != len(nu.Seed) {
 		return 0, fmt.Errorf("nucleus %s: label length %d, want %d", nu.Name, len(l), len(nu.Seed))
 	}
+	if len(nu.Dims) == 0 && nu.rankFn != nil {
+		return nu.rankFn(l)
+	}
 	if len(nu.Dims) == 0 && nu.enumIndex != nil {
 		a, ok := nu.enumIndex[string(l)]
 		if !ok {
@@ -147,6 +166,9 @@ func (nu *Nucleus) digitOf(l perm.Label, d *Dim) (int, error) {
 func (nu *Nucleus) LabelOf(addr int) (perm.Label, error) {
 	if addr < 0 || addr >= nu.M {
 		return nil, fmt.Errorf("nucleus %s: address %d out of range [0,%d)", nu.Name, addr, nu.M)
+	}
+	if len(nu.Dims) == 0 && nu.unrankFn != nil {
+		return nu.unrankFn(addr)
 	}
 	if len(nu.Dims) == 0 && nu.enumLabels != nil {
 		return nu.enumLabels[addr].Clone(), nil
@@ -266,7 +288,31 @@ func Ring(m int) *Nucleus {
 		perm.Gen("r+1", perm.RotateLeft(m, 1)),
 		perm.Gen("r-1", perm.RotateRight(m, 1)),
 	}
-	return &Nucleus{Name: fmt.Sprintf("C%d", m), Seed: seed, Gens: gens, M: m}
+	nu := &Nucleus{Name: fmt.Sprintf("C%d", m), Seed: seed, Gens: gens, M: m}
+	// The m nodes are the m left-rotations of 0..m-1, so a label's address
+	// is its rotation offset — the symbol at position 0.  The closed-form
+	// rank keeps rings addressable without enumeration, which the implicit
+	// super-IPG adjacency requires of its nucleus.
+	nu.rankFn = func(l perm.Label) (int, error) {
+		r := int(l[0])
+		if r >= m {
+			return 0, fmt.Errorf("nucleus %s: symbol %d outside [0,%d)", nu.Name, r, m)
+		}
+		for k, s := range l {
+			if int(s) != (k+r)%m {
+				return 0, fmt.Errorf("nucleus %s: label %v is not a rotation of the seed", nu.Name, l)
+			}
+		}
+		return r, nil
+	}
+	nu.unrankFn = func(addr int) (perm.Label, error) {
+		l := make(perm.Label, m)
+		for k := range l {
+			l[k] = byte((k + addr) % m)
+		}
+		return l, nil
+	}
+	return nu
 }
 
 // GeneralizedHypercube returns the mixed-radix generalized hypercube
@@ -334,5 +380,23 @@ func Star(n int) *Nucleus {
 		gens = append(gens, perm.Gen(fmt.Sprintf("t%d", i), perm.Transposition(n, 0, i-1)))
 		M *= i
 	}
-	return &Nucleus{Name: fmt.Sprintf("S%d", n), Seed: seed, Gens: gens, M: M}
+	nu := &Nucleus{Name: fmt.Sprintf("S%d", n), Seed: seed, Gens: gens, M: M}
+	// Star-graph nodes are all n! arrangements of the distinct seed
+	// symbols, so the Lehmer-code label codec ranks them in lexicographic
+	// order: address 0 is the seed 12...n, address n!-1 its reversal.
+	codec, err := perm.NewLabelCodec(seed)
+	if err != nil {
+		panic("nucleus.Star: " + err.Error())
+	}
+	nu.rankFn = func(l perm.Label) (int, error) {
+		r, err := codec.Rank(l)
+		if err != nil {
+			return 0, fmt.Errorf("nucleus %s: %v", nu.Name, err)
+		}
+		return int(r), nil
+	}
+	nu.unrankFn = func(addr int) (perm.Label, error) {
+		return codec.Unrank(int64(addr))
+	}
+	return nu
 }

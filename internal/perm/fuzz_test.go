@@ -54,3 +54,64 @@ func FuzzPermFromBytes(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLabelCodec drives the multiset Lehmer codec with arbitrary seeds
+// and ranks: construction either errors or yields a codec where every
+// in-range rank unranks to an arrangement of the seed multiset, ranks
+// back to itself, and consecutive ranks are lexicographically ordered —
+// the invariants the implicit IPG adjacency builds on.
+func FuzzLabelCodec(f *testing.F) {
+	f.Add([]byte("123321"), int64(7))
+	f.Add([]byte("1234"), int64(23))
+	f.Add([]byte{}, int64(0))
+	f.Add([]byte("aabbbbcc"), int64(-5))
+	f.Fuzz(func(t *testing.T, seed []byte, rank int64) {
+		if len(seed) > 32 {
+			return
+		}
+		c, err := NewLabelCodec(Label(seed))
+		if err != nil {
+			return
+		}
+		if c.Count() < 1 || c.Len() != len(seed) {
+			t.Fatalf("accepted codec with Count=%d Len=%d", c.Count(), c.Len())
+		}
+		r := rank % c.Count()
+		l, err := c.Unrank(r)
+		if r < 0 {
+			if err == nil {
+				t.Fatalf("negative rank %d accepted", r)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-range rank %d rejected: %v", r, err)
+		}
+		var want, got [256]int
+		for _, s := range seed {
+			want[s]++
+		}
+		for _, s := range l {
+			got[s]++
+		}
+		if want != got {
+			t.Fatalf("Unrank(%d) = %v is not an arrangement of %v", r, l, seed)
+		}
+		back, err := c.Rank(l)
+		if err != nil {
+			t.Fatalf("Rank(%v): %v", l, err)
+		}
+		if back != r {
+			t.Fatalf("round trip: %d -> %v -> %d", r, l, back)
+		}
+		if r > 0 {
+			prev, err := c.Unrank(r - 1)
+			if err != nil {
+				t.Fatalf("Unrank(%d): %v", r-1, err)
+			}
+			if string(prev) >= string(l) {
+				t.Fatalf("ranks %d, %d out of lexicographic order: %v >= %v", r-1, r, prev, l)
+			}
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package perm
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the rank/unrank codecs of the implicit topology
+// representation: the Lehmer code (factorial number system) for
+// permutations, and its multiset generalization for IPG labels with
+// repeated symbols.  Ranks are lexicographic, so Unrank(Rank(x)) == x and
+// consecutive ranks enumerate arrangements in sorted order — the property
+// the property tests and the implicit adjacency codecs rely on.
+
+// maxLehmerLen bounds RankPerm/UnrankPerm: 20! < 2^63 <= 21!.
+const maxLehmerLen = 20
+
+// RankPerm returns the lexicographic rank of p among the permutations of
+// its size — the Lehmer code read as a factorial-base numeral.  Sizes
+// above 20 overflow int64 and error.
+func RankPerm(p Perm) (int64, error) {
+	n := len(p)
+	if n > maxLehmerLen {
+		return 0, fmt.Errorf("perm: rank of size-%d permutation overflows int64", n)
+	}
+	if !p.Valid() {
+		return 0, fmt.Errorf("perm: %v is not a permutation", []int(p))
+	}
+	var rank int64
+	for i := 0; i < n; i++ {
+		// Lehmer digit i: how many later entries are smaller than p[i].
+		smaller := 0
+		for j := i + 1; j < n; j++ {
+			if p[j] < p[i] {
+				smaller++
+			}
+		}
+		rank = rank*int64(n-i) + int64(smaller)
+	}
+	return rank, nil
+}
+
+// UnrankPerm returns the permutation of size n with lexicographic rank r
+// (the inverse of RankPerm).
+func UnrankPerm(n int, r int64) (Perm, error) {
+	if n < 0 || n > maxLehmerLen {
+		return nil, fmt.Errorf("perm: unrank size %d outside [0,%d]", n, maxLehmerLen)
+	}
+	total := int64(1)
+	for i := 2; i <= n; i++ {
+		total *= int64(i)
+	}
+	if r < 0 || r >= total {
+		return nil, fmt.Errorf("perm: rank %d outside [0,%d)", r, total)
+	}
+	// Decompose r into factorial-base digits, most significant first.
+	digits := make([]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		digits[i] = r % int64(n-i)
+		r /= int64(n - i)
+	}
+	// digits[i] selects the digits[i]-th smallest unused value.
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		d := int(digits[i])
+		p[i] = avail[d]
+		avail = append(avail[:d], avail[d+1:]...)
+	}
+	return p, nil
+}
+
+// LabelCodec ranks and unranks the arrangements of a fixed symbol
+// multiset in lexicographic order: the generalization of the Lehmer code
+// to labels with repeated symbols.  For an all-distinct seed it reduces
+// to the factorial number system; for a repeated-symbol seed the ranks
+// run over the multinomial count of distinct arrangements — exactly the
+// node set of an IPG whose generator group acts transitively on the
+// arrangements of its seed.
+type LabelCodec struct {
+	length int
+	// counts[s] is the multiplicity of symbol s in the seed multiset.
+	counts [256]int32
+	// symbols lists the distinct symbols ascending, for unranking.
+	symbols []byte
+	total   int64
+}
+
+// maxLabelArrangements caps Count so every intermediate product in
+// Rank/Unrank (at most remaining * count <= total * length) stays within
+// int64.
+const maxLabelArrangements = math.MaxInt64 >> 9
+
+// NewLabelCodec builds the codec for the multiset of seed's symbols.  It
+// errors when the arrangement count overflows the guarded int64 range.
+func NewLabelCodec(seed Label) (*LabelCodec, error) {
+	if len(seed) == 0 {
+		return nil, fmt.Errorf("perm: empty label codec seed")
+	}
+	if len(seed) > 256 {
+		return nil, fmt.Errorf("perm: label codec seed longer than 256 symbols")
+	}
+	c := &LabelCodec{length: len(seed)}
+	for _, s := range seed {
+		c.counts[s]++
+	}
+	for s := 0; s < 256; s++ {
+		if c.counts[s] > 0 {
+			c.symbols = append(c.symbols, byte(s))
+		}
+	}
+	// total = multinomial(length; counts), built incrementally as a product
+	// of binomials so every intermediate value is integral.
+	total := int64(1)
+	placed := int64(0)
+	for _, s := range c.symbols {
+		for j := int64(1); j <= int64(c.counts[s]); j++ {
+			placed++
+			if total > maxLabelArrangements/placed {
+				return nil, fmt.Errorf("perm: arrangement count of %d-symbol multiset overflows int64", len(seed))
+			}
+			total = total * placed / j
+		}
+	}
+	c.total = total
+	return c, nil
+}
+
+// Count returns the number of distinct arrangements (the rank range).
+func (c *LabelCodec) Count() int64 { return c.total }
+
+// Len returns the label length.
+func (c *LabelCodec) Len() int { return c.length }
+
+// Rank returns the lexicographic rank of l among the arrangements of the
+// codec's multiset, erroring when l is not such an arrangement.
+func (c *LabelCodec) Rank(l Label) (int64, error) {
+	if len(l) != c.length {
+		return 0, fmt.Errorf("perm: label length %d, want %d", len(l), c.length)
+	}
+	var counts [256]int32
+	counts = c.counts
+	remaining := c.total // arrangements of the suffix multiset
+	var rank int64
+	for i, sym := range l {
+		rem := int64(c.length - i)
+		if counts[sym] == 0 {
+			return 0, fmt.Errorf("perm: symbol %d at position %d not in the seed multiset", sym, i)
+		}
+		for _, s := range c.symbols {
+			if s >= sym {
+				break
+			}
+			if counts[s] > 0 {
+				// Arrangements of the suffix starting with s.
+				rank += remaining * int64(counts[s]) / rem
+			}
+		}
+		remaining = remaining * int64(counts[sym]) / rem
+		counts[sym]--
+	}
+	return rank, nil
+}
+
+// UnrankInto writes the arrangement with lexicographic rank r into
+// dst[:0] (growing it as needed) and returns it.  Ranks outside
+// [0, Count()) error.
+func (c *LabelCodec) UnrankInto(r int64, dst Label) (Label, error) {
+	if r < 0 || r >= c.total {
+		return dst, fmt.Errorf("perm: rank %d outside [0,%d)", r, c.total)
+	}
+	var counts [256]int32
+	counts = c.counts
+	dst = dst[:0]
+	remaining := c.total
+	for i := 0; i < c.length; i++ {
+		rem := int64(c.length - i)
+		for _, s := range c.symbols {
+			if counts[s] == 0 {
+				continue
+			}
+			sub := remaining * int64(counts[s]) / rem
+			if r < sub {
+				dst = append(dst, s)
+				counts[s]--
+				remaining = sub
+				break
+			}
+			r -= sub
+		}
+	}
+	return dst, nil
+}
+
+// Unrank is UnrankInto with a fresh label.
+func (c *LabelCodec) Unrank(r int64) (Label, error) {
+	return c.UnrankInto(r, make(Label, 0, c.length))
+}

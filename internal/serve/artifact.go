@@ -11,7 +11,16 @@ import (
 	"ipg/internal/netsim"
 	"ipg/internal/nucleus"
 	"ipg/internal/superipg"
+	"ipg/internal/topo"
 	"ipg/internal/topology"
+)
+
+// Representation names for Artifact.Representation and the
+// ipgd_artifact_builds_total metric labels.
+const (
+	RepCSR      = "csr"      // materialized flat-arena adjacency
+	RepImplicit = "implicit" // codec-backed rank/unrank adjacency
+	RepSkeleton = "skeleton" // label-level quantities only, no adjacency
 )
 
 // Artifact is one built topology: the immutable value the cache stores
@@ -37,11 +46,22 @@ type Artifact struct {
 	Clustered *mcmp.Clustered
 	Analysis  *mcmp.Analysis
 
+	// Impl is the codec-backed adjacency source, set when the instance is
+	// served implicitly (too large for the arena cap, or configured below
+	// it): neighbor queries are rank arithmetic with O(1) resident memory
+	// regardless of N.
+	Impl *topo.Implicit
+
+	// Representation says how the artifact answers adjacency queries:
+	// RepCSR, RepImplicit, or RepSkeleton.
+	Representation string
+
 	bytes int64
 
 	mu     sync.Mutex
-	diam   *int          // memoized exact diameter (successful computations only)
-	superM *SuperMetrics // memoized super-IPG metrics block
+	diam   *int             // memoized exact diameter (successful computations only)
+	superM *SuperMetrics    // memoized super-IPG metrics block
+	implM  *ImplicitMetrics // memoized implicit-representation metrics block
 
 	// metricsJSON memoizes the encoded /v1/metrics body, one slot per
 	// withDiameter variant, so warm requests are a single Write with no
@@ -66,26 +86,69 @@ func (a *Artifact) Materialized() bool { return a.U != nil }
 // Super reports whether this is a super-IPG family artifact.
 func (a *Artifact) Super() bool { return a.W != nil }
 
-// BuildArtifact constructs the topology named by p.  maxNodes caps
-// materialization: a super-IPG above it is still served (label-level
-// metrics only), a baseline family above it is an error since baselines
-// have no label-level form.  The context is checked between the build
-// stages; the construction kernels themselves are uninterruptible but
-// bounded by maxNodes.
+// Rep returns the artifact's representation name, deriving it from the
+// populated fields when the builder did not set one (custom test
+// builders construct Artifacts directly).
+func (a *Artifact) Rep() string {
+	if a.Representation != "" {
+		return a.Representation
+	}
+	switch {
+	case a.U != nil:
+		return RepCSR
+	case a.Impl != nil:
+		return RepImplicit
+	}
+	return RepSkeleton
+}
+
+// Source returns the adjacency source the artifact answers structural
+// queries with: the materialized CSR when present, else the implicit
+// codec, else nil (skeleton artifacts have no adjacency).
+func (a *Artifact) Source() topo.Source {
+	if a.U != nil {
+		return a.U.CSR()
+	}
+	if a.Impl != nil {
+		return a.Impl
+	}
+	return nil
+}
+
+// BuildArtifact constructs the topology named by p with the default
+// hybrid policy: instances up to maxNodes are materialized as CSR
+// arenas, larger ones fall back to the implicit codec representation
+// where the family has one (all baselines; super-IPGs with addressable
+// nuclei), and the rest are served as label-level skeletons (super-IPGs
+// only — a baseline with no codec and no arena is an error).
 func BuildArtifact(ctx context.Context, p Params, maxNodes int) (*Artifact, error) {
+	return BuildArtifactThreshold(ctx, p, maxNodes, 0)
+}
+
+// BuildArtifactThreshold is BuildArtifact with an explicit
+// representation switch point: instances above implicitOver nodes are
+// served implicitly even when they would fit under the materialization
+// cap.  implicitOver <= 0 (or above maxNodes) means "at the cap" — the
+// default policy where only non-materializable instances go implicit.
+// The context is checked between the build stages; the construction
+// kernels themselves are uninterruptible but bounded by maxNodes.
+func BuildArtifactThreshold(ctx context.Context, p Params, maxNodes, implicitOver int) (*Artifact, error) {
 	if err := p.Check(nil); err != nil {
 		return nil, err
 	}
 	if maxNodes <= 0 || maxNodes > topology.MaxNodes {
 		maxNodes = topology.MaxNodes
 	}
-	if IsSuperFamily(p.Net) {
-		return buildSuper(ctx, p, maxNodes)
+	if implicitOver <= 0 || implicitOver > maxNodes {
+		implicitOver = maxNodes
 	}
-	return buildBaseline(ctx, p, maxNodes)
+	if IsSuperFamily(p.Net) {
+		return buildSuper(ctx, p, maxNodes, implicitOver)
+	}
+	return buildBaseline(ctx, p, maxNodes, implicitOver)
 }
 
-func buildSuper(ctx context.Context, p Params, maxNodes int) (*Artifact, error) {
+func buildSuper(ctx context.Context, p Params, maxNodes, implicitOver int) (*Artifact, error) {
 	nuc, err := nucleus.Parse(p.Nucleus)
 	if err != nil {
 		return nil, err
@@ -109,7 +172,18 @@ func buildSuper(ctx context.Context, p Params, maxNodes int) (*Artifact, error) 
 		return nil, fmt.Errorf("serve: %q is not a super-IPG family", p.Net)
 	}
 	a := &Artifact{Params: p, W: w, Name: w.Name(), N: w.N()}
-	if a.N > maxNodes {
+	if a.N > implicitOver {
+		// Too large (or configured) for the arena: the address codec
+		// serves full adjacency with O(1) resident memory when the
+		// nucleus is addressable; otherwise fall back to the label-level
+		// skeleton.
+		if im, err := w.Implicit(); err == nil {
+			a.Impl = im
+			a.Representation = RepImplicit
+			a.bytes = im.ByteSize()
+			return a, nil
+		}
+		a.Representation = RepSkeleton
 		a.bytes = 256 // the label-level skeleton is effectively free
 		return a, nil
 	}
@@ -125,11 +199,73 @@ func buildSuper(ctx context.Context, p Params, maxNodes int) (*Artifact, error) 
 	}
 	a.G = g
 	a.U = g.Undirected()
+	a.Representation = RepCSR
 	a.bytes = g.MemoryFootprint() + a.U.MemoryFootprint()
 	return a, nil
 }
 
-func buildBaseline(ctx context.Context, p Params, maxNodes int) (*Artifact, error) {
+// baselineNodes is the node count of a baseline instance, computable
+// without building anything (the representation switch needs it first).
+func baselineNodes(p Params) int {
+	switch p.Net {
+	case "hypercube":
+		return 1 << p.Dim
+	case "torus":
+		return p.K * p.K
+	case "ccc", "butterfly":
+		return p.Dim << p.Dim
+	}
+	return 0
+}
+
+// buildImplicitBaseline wraps the family's rank/unrank codec; nothing is
+// materialized, so the artifact costs O(1) memory at any N.
+func buildImplicitBaseline(p Params) (*Artifact, error) {
+	var (
+		codec topo.Codec
+		name  string
+		err   error
+	)
+	switch p.Net {
+	case "hypercube":
+		codec, err = topo.NewHypercubeCodec(p.Dim)
+		name = fmt.Sprintf("Q%d", p.Dim)
+	case "torus":
+		codec, err = topo.NewTorusCodec(p.K, 2)
+		name = fmt.Sprintf("%d-ary 2-cube", p.K)
+	case "ccc":
+		codec, err = topo.NewCCCCodec(p.Dim)
+		name = fmt.Sprintf("CCC(%d)", p.Dim)
+	case "butterfly":
+		codec, err = topo.NewButterflyCodec(p.Dim)
+		name = fmt.Sprintf("WBF(%d)", p.Dim)
+	default:
+		return nil, fmt.Errorf("serve: no implicit codec for family %q", p.Net)
+	}
+	if err != nil {
+		return nil, err
+	}
+	im := topo.NewImplicit(codec)
+	return &Artifact{
+		Params:         p,
+		Name:           name,
+		N:              im.N(),
+		Impl:           im,
+		Representation: RepImplicit,
+		bytes:          im.ByteSize(),
+	}, nil
+}
+
+func buildBaseline(ctx context.Context, p Params, maxNodes, implicitOver int) (*Artifact, error) {
+	if n := baselineNodes(p); n > implicitOver {
+		a, err := buildImplicitBaseline(p)
+		if err == nil || n > maxNodes {
+			// Above the arena cap the codec is the only representation,
+			// so its error is final; between the thresholds a family the
+			// codec cannot express (e.g. CCC(2)) still materializes.
+			return a, err
+		}
+	}
 	var (
 		c    *mcmp.Clustered
 		an   mcmp.Analysis
@@ -194,13 +330,14 @@ func buildBaseline(ctx context.Context, p Params, maxNodes int) (*Artifact, erro
 		return nil, err
 	}
 	return &Artifact{
-		Params:    p,
-		Name:      c.Name,
-		N:         c.G.N(),
-		U:         c.G,
-		Clustered: c,
-		Analysis:  &an,
-		bytes:     c.G.MemoryFootprint() + int64(len(c.ClusterOf))*4,
+		Params:         p,
+		Name:           c.Name,
+		N:              c.G.N(),
+		U:              c.G,
+		Clustered:      c,
+		Analysis:       &an,
+		Representation: RepCSR,
+		bytes:          c.G.MemoryFootprint() + int64(len(c.ClusterOf))*4,
 	}, nil
 }
 
@@ -296,12 +433,43 @@ func (a *Artifact) ClusterIDs() []int32 {
 	return ids
 }
 
+// routeLabel renders the node label of vertex v on a super-IPG route:
+// materialized artifacts look it up in the built graph, implicit ones
+// decode it from the address (implicit super vertices ARE their group
+// addresses, so LabelOf inverts the codec's numbering exactly).
+func (a *Artifact) routeLabel(v int) (string, error) {
+	if a.G != nil {
+		return a.G.Label(v).GroupedString(a.W.SymbolLen()), nil
+	}
+	l, err := a.W.LabelOf(v)
+	if err != nil {
+		return "", err
+	}
+	return l.GroupedString(a.W.SymbolLen()), nil
+}
+
+// implicitSweepMax bounds the distance sweeps run over implicit
+// artifacts: the vertex-transitive families collapse to a single O(N)
+// BFS whose dist/queue scratch is transient, so 1<<24 vertices (~128 MiB
+// of scratch, freed after the sweep) is affordable per request while the
+// artifact itself stays O(1) resident.
+const implicitSweepMax = 1 << 24
+
+// sweepableImplicit reports whether the artifact's implicit source
+// supports exact distance metrics at its size: a proven
+// vertex-transitive codec collapses the all-sources sweep to one BFS.
+func (a *Artifact) sweepableImplicit() bool {
+	return a.Impl != nil && topo.SourceTransitive(a.Impl) && a.N <= implicitSweepMax
+}
+
 // Diameter returns the exact graph diameter, computing it at most once
 // per artifact under the caller's deadline.  A cancelled computation is
 // not memoized, so a later request with a longer deadline can succeed.
+// Materialized artifacts sweep the CSR; implicit vertex-transitive ones
+// collapse to a single codec-driven BFS (under implicitSweepMax).
 func (a *Artifact) Diameter(ctx context.Context) (int, error) {
-	if !a.Materialized() {
-		return 0, fmt.Errorf("serve: %s is not materialized; no exact diameter", a.Name)
+	if !a.Materialized() && !a.sweepableImplicit() {
+		return 0, fmt.Errorf("serve: %s has no representation that supports an exact diameter", a.Name)
 	}
 	a.mu.Lock()
 	if a.diam != nil {
@@ -310,7 +478,15 @@ func (a *Artifact) Diameter(ctx context.Context) (int, error) {
 		return d, nil
 	}
 	a.mu.Unlock()
-	d, err := a.U.DiameterParallelCtx(ctx)
+	var (
+		d   int
+		err error
+	)
+	if a.Materialized() {
+		d, err = a.U.DiameterParallelCtx(ctx)
+	} else {
+		d, err = graph.DiameterSourceCtx(ctx, a.Impl)
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -43,14 +43,15 @@ func requestParams(r *http.Request) (Params, error) {
 
 // BuildResponse is the /v1/build reply.
 type BuildResponse struct {
-	Network      string `json:"network"`
-	Key          string `json:"key"`
-	Nodes        int    `json:"nodes"`
-	Links        *int   `json:"links,omitempty"`
-	Materialized bool   `json:"materialized"`
-	Cached       bool   `json:"cached"`
-	SizeBytes    int64  `json:"size_bytes"`
-	BuildMillis  int64  `json:"build_ms"`
+	Network        string `json:"network"`
+	Key            string `json:"key"`
+	Nodes          int    `json:"nodes"`
+	Links          *int   `json:"links,omitempty"`
+	Materialized   bool   `json:"materialized"`
+	Representation string `json:"representation"` // csr | implicit | skeleton
+	Cached         bool   `json:"cached"`
+	SizeBytes      int64  `json:"size_bytes"`
+	BuildMillis    int64  `json:"build_ms"`
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) error {
@@ -64,13 +65,14 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	resp := BuildResponse{
-		Network:      a.Name,
-		Key:          p.Key(),
-		Nodes:        a.N,
-		Materialized: a.Materialized(),
-		Cached:       hit,
-		SizeBytes:    a.SizeBytes(),
-		BuildMillis:  time.Since(start).Milliseconds(),
+		Network:        a.Name,
+		Key:            p.Key(),
+		Nodes:          a.N,
+		Materialized:   a.Materialized(),
+		Representation: a.Rep(),
+		Cached:         hit,
+		SizeBytes:      a.SizeBytes(),
+		BuildMillis:    time.Since(start).Milliseconds(),
 	}
 	if a.Materialized() {
 		links := a.U.M()
@@ -192,8 +194,20 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	if a.Source() == nil {
+		return badRequest("%s has no adjacency representation (label-level skeleton); no concrete routes", a.Name)
+	}
 	if !a.Materialized() {
-		return badRequest("%s is not materialized (N = %d above the serving cap); no concrete routes", a.Name, a.N)
+		if a.N > implicitSweepMax {
+			return badRequest("%s has %d nodes, above the implicit route cap %d", a.Name, a.N, implicitSweepMax)
+		}
+		// An implicit route regenerates every visited row from the codec
+		// — CPU-bound like a build, so it holds a worker slot.
+		release, err := s.acquireSlot(r.Context())
+		if err != nil {
+			return err
+		}
+		defer release()
 	}
 	if src < 0 || src >= a.N || dst < 0 || dst >= a.N {
 		return badRequest("src/dst must be in [0, %d)", a.N)
@@ -212,7 +226,11 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 	if a.Super() {
 		resp.Labels = make([]string, len(path))
 		for i, v := range path {
-			resp.Labels[i] = a.G.Label(v).GroupedString(a.W.SymbolLen())
+			label, err := a.routeLabel(v)
+			if err != nil {
+				return err
+			}
+			resp.Labels[i] = label
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -220,18 +238,21 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 }
 
 // shortestPath reconstructs one BFS shortest path src -> dst by walking
-// back from dst along strictly decreasing distances.  The distance vector
-// and queue come from the shared topo scratch pool and neighbor scans are
-// zero-copy CSR row views, so the only per-request allocation is the
-// response path itself.  The backtrack walk is O(path length * degree)
-// and honors ctx so a disconnected client cannot pin a worker on a
-// high-diameter (path-like) topology.
+// back from dst along strictly decreasing distances.  It is generic over
+// the artifact's adjacency source: a materialized CSR takes the
+// zero-copy arena fast path inside the kernel, an implicit artifact
+// regenerates rows from its codec.  The distance vector and queue come
+// from the shared topo scratch pool, so the per-request allocations are
+// the response path and a degree-bounded neighbor buffer.  The backtrack
+// walk is O(path length * degree) and honors ctx so a disconnected
+// client cannot pin a worker on a high-diameter (path-like) topology.
 func shortestPath(ctx context.Context, a *Artifact, src, dst int) ([]int, error) {
-	c := a.U.CSR()
-	s := topo.GetScratch(a.U.N())
+	source := a.Source()
+	s := topo.GetScratch(source.N())
 	defer topo.PutScratch(s)
 	dist := s.Dist
-	c.BFSInto(src, dist, s.Queue)
+	nbuf := make([]int32, 0, source.DegreeBound())
+	_, _, nbuf = topo.BFSSourceInto(source, src, dist, s.Queue, nbuf)
 	if dist[dst] < 0 {
 		return nil, badRequest("no path from %d to %d (disconnected?)", src, dst)
 	}
@@ -245,7 +266,9 @@ func shortestPath(ctx context.Context, a *Artifact, src, dst int) ([]int, error)
 			}
 		}
 		found := false
-		for _, nb := range c.Row(cur) {
+		nbuf = source.NeighborsInto(cur, nbuf)
+		//lint:ignore ctxflow scans one neighbor row, at most DegreeBound entries; the enclosing backtrack loop polls ctx every 1024 levels
+		for _, nb := range nbuf {
 			if int(dist[nb]) == d-1 {
 				cur = int(nb)
 				path[d-1] = cur

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestImplicitServingEndToEnd drives the hybrid representation policy
+// through the HTTP surface: a torus past the materialization cap must
+// build as an implicit artifact, report the representation in both
+// /v1/build and /v1/metrics, serve exact vertex-transitive metrics and
+// shortest routes through the codec, and show up in the Prometheus
+// build counter — all with a constant-size cache entry.
+func TestImplicitServingEndToEnd(t *testing.T) {
+	srv := NewServer(Config{Workers: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// 300^2 = 90 000 nodes: above the default 1<<16 materialization cap,
+	// small enough that the single-BFS vt sweep stays fast in CI.
+	var build BuildResponse
+	if resp := get(t, ts, "/v1/build?net=torus&k=300", &build); resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: status %d", resp.StatusCode)
+	}
+	if build.Representation != RepImplicit {
+		t.Fatalf("build representation = %q, want %q", build.Representation, RepImplicit)
+	}
+	if build.Nodes != 90000 {
+		t.Fatalf("build nodes = %d, want 90000", build.Nodes)
+	}
+
+	var doc MetricsDoc
+	if resp := get(t, ts, "/v1/metrics?net=torus&k=300", &doc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if doc.Representation != RepImplicit || doc.Materialized {
+		t.Fatalf("metrics representation = %q (materialized=%v), want implicit", doc.Representation, doc.Materialized)
+	}
+	if doc.BytesPerVertex <= 0 || doc.BytesPerVertex > 0.01 {
+		t.Errorf("bytes_per_vertex = %v, want ~128/90000", doc.BytesPerVertex)
+	}
+	if doc.Implicit == nil {
+		t.Fatalf("metrics doc has no implicit block: %+v", doc)
+	}
+	if doc.Implicit.Codec == "" || !doc.Implicit.VertexTransitive {
+		t.Errorf("implicit block incomplete: %+v", doc.Implicit)
+	}
+	if doc.Implicit.Diameter == nil || *doc.Implicit.Diameter != 300 {
+		t.Errorf("implicit diameter = %v, want 300 (k-ary 2-cube closed form)", doc.Implicit.Diameter)
+	}
+	if doc.Implicit.AvgDistance == nil || *doc.Implicit.AvgDistance != 150 {
+		t.Errorf("implicit avg distance = %v, want 150", doc.Implicit.AvgDistance)
+	}
+
+	// Shortest routes run the generic BFS over the codec: 0 = (0,0) and
+	// 903 = (3,3) are 6 torus hops apart.
+	var route RouteResponse
+	if resp := get(t, ts, "/v1/route?net=torus&k=300&src=0&dst=903", &route); resp.StatusCode != http.StatusOK {
+		t.Fatalf("route: status %d", resp.StatusCode)
+	}
+	if route.Hops != 6 || route.Path[0] != 0 || route.Path[len(route.Path)-1] != 903 {
+		t.Fatalf("route inconsistent: %+v", route)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if v := promValue(t, string(body), `ipgd_artifact_builds_total{representation="implicit"}`); v < 1 {
+		t.Errorf("implicit build counter = %v, want >= 1", v)
+	}
+	// The labeled counter must exist for every representation so
+	// dashboards can rate() them without gaps.
+	_ = promValue(t, string(body), `ipgd_artifact_builds_total{representation="csr"}`)
+	_ = promValue(t, string(body), `ipgd_artifact_builds_total{representation="skeleton"}`)
+}
+
+// TestImplicitThresholdOverride checks the flag-overridable switch point:
+// with the threshold forced below a family's size, an otherwise
+// materializable instance is served through its codec, and the default
+// configuration still materializes it.
+func TestImplicitThresholdOverride(t *testing.T) {
+	low := NewServer(Config{Workers: 2, ImplicitThreshold: 32})
+	tsLow := httptest.NewServer(low)
+	defer tsLow.Close()
+
+	var build BuildResponse
+	if resp := get(t, tsLow, "/v1/build?net=hypercube&dim=6", &build); resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: status %d", resp.StatusCode)
+	}
+	if build.Representation != RepImplicit {
+		t.Fatalf("threshold 32: Q6 representation = %q, want %q", build.Representation, RepImplicit)
+	}
+
+	def := NewServer(Config{Workers: 2})
+	tsDef := httptest.NewServer(def)
+	defer tsDef.Close()
+	if resp := get(t, tsDef, "/v1/build?net=hypercube&dim=6", &build); resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: status %d", resp.StatusCode)
+	}
+	if build.Representation != RepCSR {
+		t.Fatalf("default: Q6 representation = %q, want %q", build.Representation, RepCSR)
+	}
+}
+
+// TestImplicitMetricsMatchMaterialized cross-checks the implicit serving
+// path against the materialized one on the same instance: Q10 served
+// through its codec (threshold 1) must report the same diameter and
+// average distance the CSR path computes.
+func TestImplicitMetricsMatchMaterialized(t *testing.T) {
+	imp := NewServer(Config{Workers: 2, ImplicitThreshold: 1})
+	tsImp := httptest.NewServer(imp)
+	defer tsImp.Close()
+	mat := NewServer(Config{Workers: 2})
+	tsMat := httptest.NewServer(mat)
+	defer tsMat.Close()
+
+	var di, dm MetricsDoc
+	if resp := get(t, tsImp, "/v1/metrics?net=hypercube&dim=10", &di); resp.StatusCode != http.StatusOK {
+		t.Fatalf("implicit metrics: status %d", resp.StatusCode)
+	}
+	if resp := get(t, tsMat, "/v1/metrics?net=hypercube&dim=10&diameter=1", &dm); resp.StatusCode != http.StatusOK {
+		t.Fatalf("materialized metrics: status %d", resp.StatusCode)
+	}
+	if di.Representation != RepImplicit || dm.Representation != RepCSR {
+		t.Fatalf("representations = %q, %q; want implicit, csr", di.Representation, dm.Representation)
+	}
+	if di.Implicit == nil || di.Implicit.Diameter == nil || dm.Diameter == nil {
+		t.Fatalf("missing diameters: implicit=%+v materialized=%+v", di.Implicit, dm.Diameter)
+	}
+	if *di.Implicit.Diameter != *dm.Diameter {
+		t.Errorf("diameter: implicit %d, materialized %d", *di.Implicit.Diameter, *dm.Diameter)
+	}
+}

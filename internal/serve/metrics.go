@@ -23,6 +23,12 @@ type serverMetrics struct {
 	buildRetries     atomic.Int64
 	breakerFastFails atomic.Int64
 
+	// Artifact builds by representation: materialized CSR arenas vs
+	// codec-backed implicit sources vs label-level skeletons.
+	buildsCSR      atomic.Int64
+	buildsImplicit atomic.Int64
+	buildsSkeleton atomic.Int64
+
 	mu       sync.Mutex
 	requests map[reqKey]int64 // requests_total{endpoint, code}
 
@@ -56,6 +62,18 @@ func (m *serverMetrics) countRequest(endpoint string, code int) {
 	m.mu.Lock()
 	m.requests[reqKey{endpoint, code}]++
 	m.mu.Unlock()
+}
+
+// countBuild records one completed artifact build by representation.
+func (m *serverMetrics) countBuild(rep string) {
+	switch rep {
+	case RepImplicit:
+		m.buildsImplicit.Add(1)
+	case RepSkeleton:
+		m.buildsSkeleton.Add(1)
+	default:
+		m.buildsCSR.Add(1)
+	}
 }
 
 // observeBuild records one artifact build duration.
@@ -99,6 +117,12 @@ func (m *serverMetrics) WriteProm(w io.Writer, cs cache.Stats, bs breakerStats) 
 	gauge("ipgd_cache_max_bytes", "Configured cache byte budget (0 = unbounded).", cs.MaxBytes)
 	gauge("ipgd_builds_in_flight", "Artifact builds currently running.", cs.InFlight)
 	gauge("ipgd_requests_in_flight", "HTTP requests currently being served.", m.requestsInFlight.Load())
+
+	fmt.Fprintf(w, "# HELP ipgd_artifact_builds_total Completed artifact builds by adjacency representation.\n")
+	fmt.Fprintf(w, "# TYPE ipgd_artifact_builds_total counter\n")
+	fmt.Fprintf(w, "ipgd_artifact_builds_total{representation=%q} %d\n", RepCSR, m.buildsCSR.Load())
+	fmt.Fprintf(w, "ipgd_artifact_builds_total{representation=%q} %d\n", RepImplicit, m.buildsImplicit.Load())
+	fmt.Fprintf(w, "ipgd_artifact_builds_total{representation=%q} %d\n", RepSkeleton, m.buildsSkeleton.Load())
 
 	counter("ipgd_panics_total", "Panics recovered in handlers or artifact builds.", m.panics.Load())
 	counter("ipgd_build_retries_total", "Transient build failures retried with backoff.", m.buildRetries.Load())

@@ -5,6 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+
+	"ipg/internal/graph"
+	"ipg/internal/topo"
 )
 
 // MetricsDoc is the machine-readable metrics document for one network
@@ -17,11 +20,20 @@ type MetricsDoc struct {
 	Family       string `json:"family"`  // family name, e.g. "hsn"
 	Nodes        int    `json:"nodes"`
 	Materialized bool   `json:"materialized"`
-	SizeBytes    int64  `json:"size_bytes"`
+
+	// Representation says how the instance answers adjacency queries —
+	// "csr" (materialized arena), "implicit" (rank/unrank codec), or
+	// "skeleton" (label-level only) — and BytesPerVertex is the resident
+	// cost of that choice (SizeBytes / Nodes): roughly 8 + 4*degree for
+	// CSR, asymptotically zero for implicit.
+	Representation string  `json:"representation"`
+	BytesPerVertex float64 `json:"bytes_per_vertex"`
+	SizeBytes      int64   `json:"size_bytes"`
 
 	Super     *SuperMetrics     `json:"super,omitempty"`
 	Structure *StructureMetrics `json:"structure,omitempty"`
 	MCMP      *MCMPMetrics      `json:"mcmp,omitempty"`
+	Implicit  *ImplicitMetrics  `json:"implicit,omitempty"`
 
 	// Diameter is the exact graph diameter, present only when requested
 	// (it is an all-pairs BFS and therefore the one optional slow field).
@@ -59,6 +71,19 @@ type DegradedMetrics struct {
 	ChipsTotal     int `json:"chips_total,omitempty"`
 	ChipsDead      int `json:"chips_dead,omitempty"`
 	ChipsReachable int `json:"chips_reachable,omitempty"`
+}
+
+// ImplicitMetrics describes the codec-backed representation of an
+// implicit artifact.  The distance metrics are exact and present only
+// when the codec proves vertex transitivity (one BFS from vertex 0
+// covers the orbit) and the instance is under the sweep cap; they are
+// the same quantities a materialized all-sources sweep would report.
+type ImplicitMetrics struct {
+	Codec            string   `json:"codec"`
+	DegreeBound      int      `json:"degree_bound"`
+	VertexTransitive bool     `json:"vertex_transitive"`
+	Diameter         *int     `json:"diameter,omitempty"`
+	AvgDistance      *float64 `json:"avg_distance,omitempty"`
 }
 
 // SuperMetrics carries the label-level quantities of super-IPG families.
@@ -121,12 +146,23 @@ const maxArrangementL = 8
 // under ctx.
 func ComputeMetrics(ctx context.Context, a *Artifact, withDiameter bool) (*MetricsDoc, error) {
 	doc := &MetricsDoc{
-		Network:      a.Name,
-		Key:          a.Params.Key(),
-		Family:       a.Params.Net,
-		Nodes:        a.N,
-		Materialized: a.Materialized(),
-		SizeBytes:    a.SizeBytes(),
+		Network:        a.Name,
+		Key:            a.Params.Key(),
+		Family:         a.Params.Net,
+		Nodes:          a.N,
+		Materialized:   a.Materialized(),
+		Representation: a.Rep(),
+		SizeBytes:      a.SizeBytes(),
+	}
+	if a.N > 0 {
+		doc.BytesPerVertex = float64(a.SizeBytes()) / float64(a.N)
+	}
+	if a.Impl != nil {
+		im, err := a.implicitMetrics(ctx)
+		if err != nil {
+			return nil, err
+		}
+		doc.Implicit = im
 	}
 	if a.Super() {
 		sm, err := a.superMetrics(ctx)
@@ -167,6 +203,48 @@ func ComputeMetrics(ctx context.Context, a *Artifact, withDiameter bool) (*Metri
 		doc.Diameter = &d
 	}
 	return doc, nil
+}
+
+// implicitMetrics computes (once) the implicit-representation block.
+// For vertex-transitive codecs under the sweep cap it runs the two
+// single-source sweeps (diameter and average distance collapse to one
+// BFS each from vertex 0); a ctx error is returned without memoizing so
+// a later request with a longer deadline can still succeed.
+func (a *Artifact) implicitMetrics(ctx context.Context) (*ImplicitMetrics, error) {
+	a.mu.Lock()
+	if a.implM != nil {
+		im := a.implM
+		a.mu.Unlock()
+		return im, nil
+	}
+	a.mu.Unlock()
+
+	im := &ImplicitMetrics{
+		Codec:            a.Impl.Codec().Name(),
+		DegreeBound:      a.Impl.DegreeBound(),
+		VertexTransitive: topo.SourceTransitive(a.Impl),
+	}
+	if a.sweepableImplicit() {
+		d, err := graph.DiameterSourceCtx(ctx, a.Impl)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := graph.AverageDistanceSourceCtx(ctx, a.Impl)
+		if err != nil {
+			return nil, err
+		}
+		im.Diameter = &d
+		im.AvgDistance = &avg
+	}
+
+	a.mu.Lock()
+	if a.implM == nil {
+		a.implM = im
+	} else {
+		im = a.implM
+	}
+	a.mu.Unlock()
+	return im, nil
 }
 
 // superMetrics computes (once) the super-IPG block of the document.  A

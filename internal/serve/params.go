@@ -107,29 +107,33 @@ func (p Params) Check(provided map[string]bool) error {
 			n *= nuc.M
 		}
 	case p.Net == "hypercube":
-		if p.Dim < 1 || p.Dim > 22 {
-			// 1<<22 is topology.MaxNodes.
-			return fmt.Errorf("hypercube dim %d outside [1, 22]", p.Dim)
+		// Materialization is still capped at topology.MaxNodes (1<<22)
+		// nodes at build time; the wider bound here admits the sizes the
+		// implicit rank/unrank codec can serve (vertex ids within int32).
+		if p.Dim < 1 || p.Dim > 30 {
+			return fmt.Errorf("hypercube dim %d outside [1, 30]", p.Dim)
 		}
 		if p.LogM < 0 || p.LogM >= p.Dim {
 			return fmt.Errorf("logm %d outside [0, dim) for Q%d: nodes per chip must be a power of two dividing the network", p.LogM, p.Dim)
 		}
 	case p.Net == "torus":
-		if p.K < 2 || p.K > 2048 {
-			// 2048^2 = 1<<22 = topology.MaxNodes.
-			return fmt.Errorf("torus radix k = %d outside [2, 2048]", p.K)
+		if p.K < 2 || p.K > 46340 {
+			// 46340^2 is the largest square within int32 vertex ids; sizes
+			// above topology.MaxNodes are served implicitly.
+			return fmt.Errorf("torus radix k = %d outside [2, 46340]", p.K)
 		}
 		if p.Side < 1 || p.Side > p.K || p.K%p.Side != 0 {
 			return fmt.Errorf("chip side %d must be in [1, k] and divide k = %d", p.Side, p.K)
 		}
 	case p.Net == "ccc":
-		if p.Dim < 2 || p.Dim > 17 {
-			// CCC(d) has d*2^d nodes; 17*2^17 < MaxNodes < 18*2^18.
-			return fmt.Errorf("ccc dim %d outside [2, 17]", p.Dim)
+		if p.Dim < 2 || p.Dim > 26 {
+			// CCC(d) has d*2^d nodes; 26*2^26 < math.MaxInt32 < 27*2^27.
+			// Sizes above topology.MaxNodes are served implicitly.
+			return fmt.Errorf("ccc dim %d outside [2, 26]", p.Dim)
 		}
 	case p.Net == "butterfly":
-		if p.Dim < 2 || p.Dim > 17 {
-			return fmt.Errorf("butterfly dim %d outside [2, 17]", p.Dim)
+		if p.Dim < 2 || p.Dim > 26 {
+			return fmt.Errorf("butterfly dim %d outside [2, 26]", p.Dim)
 		}
 		if p.Band < 1 || p.Band > p.Dim || p.Dim%p.Band != 0 {
 			return fmt.Errorf("band %d must be in [1, dim] and divide dim = %d", p.Band, p.Dim)

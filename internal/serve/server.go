@@ -44,6 +44,12 @@ type Config struct {
 	// MaxNodes caps topology materialization; 0 means 1<<16 (the same
 	// threshold ipgtool uses).
 	MaxNodes int
+	// ImplicitThreshold is the node count above which an implicit-capable
+	// family is served through its rank/unrank codec instead of a
+	// materialized CSR arena.  0 means "at MaxNodes": only instances that
+	// cannot be materialized go implicit.  Values above MaxNodes are
+	// clamped to it.
+	ImplicitThreshold int
 	// SimMaxNodes caps /v1/simulate network sizes; 0 means 1<<13.
 	SimMaxNodes int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
@@ -93,7 +99,10 @@ func (c Config) withDefaults() Config {
 		c.SimMaxNodes = 1 << 13
 	}
 	if c.Builder == nil {
-		c.Builder = BuildArtifact
+		th := c.ImplicitThreshold
+		c.Builder = func(ctx context.Context, p Params, maxNodes int) (*Artifact, error) {
+			return BuildArtifactThreshold(ctx, p, maxNodes, th)
+		}
 	}
 	if c.BuildRetries == 0 {
 		c.BuildRetries = 2
@@ -255,6 +264,7 @@ func (s *Server) getArtifact(ctx context.Context, p Params) (*Artifact, bool, er
 			return nil, err
 		}
 		s.metrics.observeBuild(time.Since(start))
+		s.metrics.countBuild(a.Rep())
 		return a, nil
 	})
 	s.breaker.report(p.Net, buildOutcomeOf(err), time.Now())

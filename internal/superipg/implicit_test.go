@@ -1,0 +1,75 @@
+package superipg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ipg/internal/nucleus"
+	"ipg/internal/topo"
+)
+
+// TestImplicitBeyondMaterializable samples HSN(7,Q4) — 16^7 ≈ 2.7e8
+// vertices, two orders past the materialization caps — and checks the
+// codec invariants the traversal kernels rely on: address round-trips
+// through LabelOf/AddressOf, canonical rows within the generator-count
+// degree bound, and adjacency symmetry (the generator sets are
+// inverse-closed, so every edge must be seen from both ends).
+func TestImplicitBeyondMaterializable(t *testing.T) {
+	w := HSN(7, nucleus.Hypercube(4))
+	im, err := w.Implicit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.N() != 1<<28 {
+		t.Fatalf("N = %d, want 16^7", im.N())
+	}
+	if topo.SourceTransitive(im) {
+		t.Fatal("super-IPG codecs must not claim vertex transitivity")
+	}
+	rng := rand.New(rand.NewSource(5))
+	var row, nrow []int32
+	for trial := 0; trial < 64; trial++ {
+		v := rng.Intn(im.N())
+		lbl, err := w.LabelOf(v)
+		if err != nil {
+			t.Fatalf("LabelOf(%d): %v", v, err)
+		}
+		back, err := w.AddressOf(lbl)
+		if err != nil {
+			t.Fatalf("AddressOf(%v): %v", lbl, err)
+		}
+		if back != v {
+			t.Fatalf("address round trip: %d -> %v -> %d", v, lbl, back)
+		}
+		row = im.NeighborsInto(v, row)
+		if len(row) == 0 || len(row) > im.DegreeBound() {
+			t.Fatalf("v=%d: degree %d outside (0,%d]", v, len(row), im.DegreeBound())
+		}
+		for i, u := range row {
+			if int(u) < 0 || int(u) >= im.N() || int(u) == v || (i > 0 && row[i-1] >= u) {
+				t.Fatalf("v=%d: row %v not canonical", v, row)
+			}
+		}
+		for _, u := range row {
+			nrow = im.NeighborsInto(int(u), nrow)
+			j := sort.Search(len(nrow), func(i int) bool { return nrow[i] >= int32(v) })
+			if j == len(nrow) || nrow[j] != int32(v) {
+				t.Fatalf("asymmetric edge %d -> %d", v, u)
+			}
+		}
+	}
+}
+
+// TestImplicitUnaddressableNucleus checks the error path: a nucleus
+// without an address bijection cannot back an implicit adjacency.
+func TestImplicitUnaddressableNucleus(t *testing.T) {
+	nuc := nucleus.Hypercube(2)
+	nuc.Dims = nil // strip the dimension structure: no rank/unrank left
+	if nuc.Addressable() {
+		t.Skip("nucleus still addressable; cannot exercise the error path")
+	}
+	if _, err := HSN(3, nuc).Implicit(); err == nil {
+		t.Fatal("Implicit succeeded on an unaddressable nucleus")
+	}
+}

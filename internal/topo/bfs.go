@@ -1,6 +1,6 @@
 package topo
 
-//lint:file-ignore ctxflow BFS kernels are deliberately ctx-free: one call is a single bounded traversal, and callers (graph.parallelBatchesCtx, serve) poll ctx between calls, keeping cancellation latency to one batch
+//lint:file-ignore ctxflow BFS kernels are deliberately ctx-free: one call is a single bounded traversal, and callers (graph's batch drivers, serve) poll ctx between calls, keeping cancellation latency to one batch
 
 // This file holds the scalar BFS kernels every single-source distance
 // computation in the repository runs: graph.Diameter/AverageDistance and

@@ -109,5 +109,11 @@ func build(n int, stream func(edge func(u, v int)), symmetric bool) (*CSR, error
 		// dead capacity in the steady-state footprint.
 		arena = append(make([]int32, 0, w), arena[:w]...)
 	}
-	return &CSR{off: off, arena: arena}, nil
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := int(off[v+1] - off[v]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return &CSR{off: off, arena: arena, maxDeg: maxDeg}, nil
 }

@@ -1,0 +1,315 @@
+package topo
+
+import "fmt"
+
+// This file holds the rank/unrank vertex codecs of the implicit
+// adjacency representation: each baseline family's vertex id is a
+// mixed-radix numeral (bit vector for hypercubes, base-k digit vector for
+// tori, per-dimension digits for generalized hypercubes, (address, cycle
+// position) pairs for CCC and wrapped butterflies), so a vertex's
+// neighbors are pure arithmetic on its rank — no arena, no per-vertex
+// storage.  Every codec reproduces the exact edge stream of the
+// corresponding materialized builder in internal/topology; the Implicit
+// wrapper then canonicalizes rows (sort, dedup, drop self-loops) so the
+// two representations are bit-identical per row.
+
+// Codec generates the raw neighbor multiset of a vertex from its rank.
+// AppendNeighbors may emit duplicates and self-loops in any order —
+// exactly what the materialized builders stream into topo.Build — and
+// the Implicit wrapper applies the same canonicalization Build does.
+// Implementations must be immutable after construction and safe for
+// concurrent callers.
+type Codec interface {
+	// Name identifies the codec, e.g. "hypercube(20)".
+	Name() string
+	// N returns the vertex count.
+	N() int
+	// DegreeBound returns an upper bound on the canonical degree.
+	DegreeBound() int
+	// AppendNeighbors appends the raw neighbors of v to buf.
+	AppendNeighbors(v int, buf []int32) []int32
+	// VertexTransitive reports whether the family is a proven
+	// vertex-transitive construction.
+	VertexTransitive() bool
+}
+
+// MixedRadix is a little-endian mixed-radix numeral system: rank r has
+// digit d_i = (r / w_i) mod m_i with weight w_i = m_0*...*m_{i-1}.  It is
+// the shared addressing scheme of the torus and GHC codecs and of the
+// super-IPG group addressing, exposed with checked conversions so fuzzed
+// or malformed ranks error instead of panicking.
+type MixedRadix struct {
+	radices []int
+	n       int
+}
+
+// NewMixedRadix builds the numeral system with the given radices (least
+// significant first).  Every radix must be >= 2 and the product must stay
+// within MaxVertices.
+func NewMixedRadix(radices []int) (*MixedRadix, error) {
+	if len(radices) == 0 {
+		return nil, fmt.Errorf("topo: mixed radix needs at least one digit")
+	}
+	n := 1
+	for _, m := range radices {
+		if m < 2 {
+			return nil, fmt.Errorf("topo: mixed radix %d < 2", m)
+		}
+		if n > MaxVertices/m {
+			return nil, fmt.Errorf("topo: mixed-radix product exceeds MaxVertices=%d", MaxVertices)
+		}
+		n *= m
+	}
+	return &MixedRadix{radices: append([]int(nil), radices...), n: n}, nil
+}
+
+// N returns the number of representable ranks (the radix product).
+func (mr *MixedRadix) N() int { return mr.n }
+
+// Digits returns the number of digit positions.
+func (mr *MixedRadix) Digits() int { return len(mr.radices) }
+
+// Radix returns the radix of digit position i.
+func (mr *MixedRadix) Radix(i int) int { return mr.radices[i] }
+
+// UnrankInto decomposes rank r into its digit vector, appended to
+// dst[:0].  It errors on ranks outside [0, N).
+func (mr *MixedRadix) UnrankInto(r int, dst []int) ([]int, error) {
+	if r < 0 || r >= mr.n {
+		return dst, fmt.Errorf("topo: rank %d outside [0,%d)", r, mr.n)
+	}
+	dst = dst[:0]
+	for _, m := range mr.radices {
+		dst = append(dst, r%m)
+		r /= m
+	}
+	return dst, nil
+}
+
+// Rank recomposes a digit vector into its rank, erroring on out-of-range
+// digits or a wrong digit count.
+func (mr *MixedRadix) Rank(digits []int) (int, error) {
+	if len(digits) != len(mr.radices) {
+		return 0, fmt.Errorf("topo: %d digits, want %d", len(digits), len(mr.radices))
+	}
+	r := 0
+	weight := 1
+	for i, d := range digits {
+		m := mr.radices[i]
+		if d < 0 || d >= m {
+			return 0, fmt.Errorf("topo: digit %d at position %d outside [0,%d)", d, i, m)
+		}
+		r += d * weight
+		weight *= m
+	}
+	return r, nil
+}
+
+// HypercubeCodec is the binary d-cube: rank = address, neighbors flip one
+// bit.  Unlike the materialized builder it has no d <= 24 cap — any d with
+// 2^d <= MaxVertices works.
+type HypercubeCodec struct {
+	D int
+}
+
+// NewHypercubeCodec validates d and returns the codec.
+func NewHypercubeCodec(d int) (*HypercubeCodec, error) {
+	if d < 1 || d > 30 {
+		return nil, fmt.Errorf("topo: hypercube codec dimension %d outside [1,30]", d)
+	}
+	return &HypercubeCodec{D: d}, nil
+}
+
+func (h *HypercubeCodec) Name() string { return fmt.Sprintf("hypercube(%d)", h.D) }
+
+func (h *HypercubeCodec) N() int { return 1 << h.D }
+
+func (h *HypercubeCodec) DegreeBound() int { return h.D }
+
+func (h *HypercubeCodec) VertexTransitive() bool { return true }
+
+func (h *HypercubeCodec) AppendNeighbors(v int, buf []int32) []int32 {
+	for b := 0; b < h.D; b++ {
+		//lint:ignore indextrunc v < 2^D <= MaxVertices (math.MaxInt32), and the flip stays in range
+		buf = append(buf, int32(v^(1<<b)))
+	}
+	return buf
+}
+
+// TorusCodec is the k-ary n-cube: rank = base-k digit vector (dimension 0
+// least significant), neighbors step one digit +/-1 mod k.  The +1 step
+// matches the materialized edge stream and the -1 step its symmetric
+// closure; for k = 2 the two coincide and canonicalization collapses them,
+// exactly as Build dedups the materialized pair.
+type TorusCodec struct {
+	K, Dims int
+	n       int
+}
+
+// NewTorusCodec validates the shape (k >= 2, dims >= 1, k^dims within
+// MaxVertices) and returns the codec.
+func NewTorusCodec(k, dims int) (*TorusCodec, error) {
+	if k < 2 || dims < 1 {
+		return nil, fmt.Errorf("topo: torus codec needs k >= 2, dims >= 1 (got k=%d, dims=%d)", k, dims)
+	}
+	n := 1
+	for i := 0; i < dims; i++ {
+		if n > MaxVertices/k {
+			return nil, fmt.Errorf("topo: %d-ary %d-cube exceeds MaxVertices=%d", k, dims, MaxVertices)
+		}
+		n *= k
+	}
+	return &TorusCodec{K: k, Dims: dims, n: n}, nil
+}
+
+func (t *TorusCodec) Name() string { return fmt.Sprintf("torus(%d,%d)", t.K, t.Dims) }
+
+func (t *TorusCodec) N() int { return t.n }
+
+func (t *TorusCodec) DegreeBound() int { return 2 * t.Dims }
+
+func (t *TorusCodec) VertexTransitive() bool { return true }
+
+func (t *TorusCodec) AppendNeighbors(v int, buf []int32) []int32 {
+	weight := 1
+	for d := 0; d < t.Dims; d++ {
+		digit := (v / weight) % t.K
+		up := v - digit*weight + ((digit+1)%t.K)*weight
+		down := v - digit*weight + ((digit+t.K-1)%t.K)*weight
+		//lint:ignore indextrunc both steps stay inside [0, k^dims) <= MaxVertices (math.MaxInt32)
+		buf = append(buf, int32(up), int32(down))
+		weight *= t.K
+	}
+	return buf
+}
+
+// GHCCodec is the generalized hypercube GHC(m_1, ..., m_n): the Cartesian
+// product of complete graphs, rank in mixed radix (dimension 0 least
+// significant), neighbors change one digit to any other value.
+type GHCCodec struct {
+	mr  *MixedRadix
+	deg int
+}
+
+// NewGHCCodec validates the radices (each >= 2, product within
+// MaxVertices) and returns the codec.
+func NewGHCCodec(radices ...int) (*GHCCodec, error) {
+	mr, err := NewMixedRadix(radices)
+	if err != nil {
+		return nil, err
+	}
+	deg := 0
+	for _, m := range radices {
+		deg += m - 1
+	}
+	return &GHCCodec{mr: mr, deg: deg}, nil
+}
+
+func (g *GHCCodec) Name() string {
+	s := "ghc("
+	for i := 0; i < g.mr.Digits(); i++ {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", g.mr.Radix(i))
+	}
+	return s + ")"
+}
+
+func (g *GHCCodec) N() int { return g.mr.N() }
+
+func (g *GHCCodec) DegreeBound() int { return g.deg }
+
+func (g *GHCCodec) VertexTransitive() bool { return true }
+
+func (g *GHCCodec) AppendNeighbors(v int, buf []int32) []int32 {
+	weight := 1
+	for i := 0; i < g.mr.Digits(); i++ {
+		m := g.mr.Radix(i)
+		digit := (v / weight) % m
+		for other := 0; other < m; other++ {
+			if other != digit {
+				//lint:ignore indextrunc the digit swap stays inside [0, N) <= MaxVertices (math.MaxInt32)
+				buf = append(buf, int32(v+(other-digit)*weight))
+			}
+		}
+		weight *= m
+	}
+	return buf
+}
+
+// CCCCodec is the cube-connected cycles CCC(d): rank = x*d + i for cube
+// address x and cycle position i; neighbors are the two cycle steps and
+// the cube link at position i.  The forward cycle step matches the
+// materialized edge stream and the backward step its symmetric closure.
+type CCCCodec struct {
+	D int
+	n int
+}
+
+// NewCCCCodec validates d (d >= 3, d*2^d within MaxVertices) and returns
+// the codec.
+func NewCCCCodec(d int) (*CCCCodec, error) {
+	if d < 3 || d > 26 {
+		return nil, fmt.Errorf("topo: CCC codec dimension %d outside [3,26]", d)
+	}
+	n := d * (1 << d)
+	if n > MaxVertices {
+		return nil, fmt.Errorf("topo: CCC(%d) exceeds MaxVertices=%d", d, MaxVertices)
+	}
+	return &CCCCodec{D: d, n: n}, nil
+}
+
+func (c *CCCCodec) Name() string { return fmt.Sprintf("ccc(%d)", c.D) }
+
+func (c *CCCCodec) N() int { return c.n }
+
+func (c *CCCCodec) DegreeBound() int { return 3 }
+
+func (c *CCCCodec) VertexTransitive() bool { return true }
+
+func (c *CCCCodec) AppendNeighbors(v int, buf []int32) []int32 {
+	x, i := v/c.D, v%c.D
+	//lint:ignore indextrunc cycle and cube steps stay inside [0, d*2^d) <= MaxVertices (math.MaxInt32)
+	buf = append(buf, int32(x*c.D+(i+1)%c.D), int32(x*c.D+(i+c.D-1)%c.D), int32((x^(1<<i))*c.D+i))
+	return buf
+}
+
+// ButterflyCodec is the wrapped butterfly WBF(d): rank = row*d + level;
+// forward edges go to level+1 straight and crossing bit level, backward
+// edges (the symmetric closure) to level-1 straight and crossing bit
+// level-1.
+type ButterflyCodec struct {
+	D int
+	n int
+}
+
+// NewButterflyCodec validates d (d >= 2, d*2^d within MaxVertices) and
+// returns the codec.
+func NewButterflyCodec(d int) (*ButterflyCodec, error) {
+	if d < 2 || d > 26 {
+		return nil, fmt.Errorf("topo: butterfly codec dimension %d outside [2,26]", d)
+	}
+	n := d * (1 << d)
+	if n > MaxVertices {
+		return nil, fmt.Errorf("topo: WBF(%d) exceeds MaxVertices=%d", d, MaxVertices)
+	}
+	return &ButterflyCodec{D: d, n: n}, nil
+}
+
+func (b *ButterflyCodec) Name() string { return fmt.Sprintf("butterfly(%d)", b.D) }
+
+func (b *ButterflyCodec) N() int { return b.n }
+
+func (b *ButterflyCodec) DegreeBound() int { return 4 }
+
+func (b *ButterflyCodec) VertexTransitive() bool { return true }
+
+func (b *ButterflyCodec) AppendNeighbors(v int, buf []int32) []int32 {
+	row, lev := v/b.D, v%b.D
+	next := (lev + 1) % b.D
+	prev := (lev + b.D - 1) % b.D
+	//lint:ignore indextrunc straight and cross steps stay inside [0, d*2^d) <= MaxVertices (math.MaxInt32)
+	buf = append(buf, int32(row*b.D+next), int32((row^(1<<lev))*b.D+next), int32(row*b.D+prev), int32((row^(1<<prev))*b.D+prev))
+	return buf
+}

@@ -1,0 +1,245 @@
+package topo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMixedRadixRoundTrip exhausts a small mixed-radix system: every rank
+// unranks to in-range digits and ranks back to itself, and consecutive
+// ranks enumerate digit vectors in little-endian counting order.
+func TestMixedRadixRoundTrip(t *testing.T) {
+	mr, err := NewMixedRadix([]int{2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.N() != 30 || mr.Digits() != 3 {
+		t.Fatalf("N=%d digits=%d, want 30, 3", mr.N(), mr.Digits())
+	}
+	var digits []int
+	for r := 0; r < mr.N(); r++ {
+		digits, err = mr.UnrankInto(r, digits)
+		if err != nil {
+			t.Fatalf("UnrankInto(%d): %v", r, err)
+		}
+		for i, d := range digits {
+			if d < 0 || d >= mr.Radix(i) {
+				t.Fatalf("rank %d digit %d = %d outside [0,%d)", r, i, d, mr.Radix(i))
+			}
+		}
+		back, err := mr.Rank(digits)
+		if err != nil {
+			t.Fatalf("Rank(%v): %v", digits, err)
+		}
+		if back != r {
+			t.Fatalf("round trip: %d -> %v -> %d", r, digits, back)
+		}
+	}
+}
+
+// TestMixedRadixErrors checks every rejection path of the checked
+// conversions: the codecs rely on errors, not panics, for malformed input.
+func TestMixedRadixErrors(t *testing.T) {
+	if _, err := NewMixedRadix(nil); err == nil {
+		t.Error("empty radices accepted")
+	}
+	if _, err := NewMixedRadix([]int{4, 1}); err == nil {
+		t.Error("radix 1 accepted")
+	}
+	if _, err := NewMixedRadix([]int{1 << 16, 1 << 16}); err == nil {
+		t.Error("overflowing product accepted")
+	}
+	mr, err := NewMixedRadix([]int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mr.UnrankInto(-1, nil); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := mr.UnrankInto(12, nil); err == nil {
+		t.Error("rank == N accepted")
+	}
+	if _, err := mr.Rank([]int{0}); err == nil {
+		t.Error("short digit vector accepted")
+	}
+	if _, err := mr.Rank([]int{0, 4}); err == nil {
+		t.Error("digit == radix accepted")
+	}
+	if _, err := mr.Rank([]int{-1, 0}); err == nil {
+		t.Error("negative digit accepted")
+	}
+}
+
+// TestGHCCodecMatchesHypercube cross-checks two independent codecs: the
+// generalized hypercube with all radices 2 is exactly the binary d-cube,
+// so their canonical rows must coincide on every vertex.
+func TestGHCCodecMatchesHypercube(t *testing.T) {
+	const d = 10
+	radices := make([]int, d)
+	for i := range radices {
+		radices[i] = 2
+	}
+	ghc, err := NewGHCCodec(radices...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := NewHypercubeCodec(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, ih := NewImplicit(ghc), NewImplicit(hc)
+	if ig.N() != ih.N() {
+		t.Fatalf("N: ghc %d, hypercube %d", ig.N(), ih.N())
+	}
+	var gb, hb []int32
+	for v := 0; v < ig.N(); v++ {
+		gb = ig.NeighborsInto(v, gb)
+		hb = ih.NeighborsInto(v, hb)
+		if len(gb) != len(hb) {
+			t.Fatalf("v=%d: ghc degree %d, hypercube degree %d", v, len(gb), len(hb))
+		}
+		for i := range gb {
+			if gb[i] != hb[i] {
+				t.Fatalf("v=%d: ghc row %v, hypercube row %v", v, gb, hb)
+			}
+		}
+	}
+}
+
+// TestGHCCodecCompleteGraph checks the single-digit degenerate case: one
+// radix-m digit is the complete graph K_m.
+func TestGHCCodecCompleteGraph(t *testing.T) {
+	const m = 7
+	g, err := NewGHCCodec(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := NewImplicit(g)
+	var buf []int32
+	for v := 0; v < m; v++ {
+		buf = im.NeighborsInto(v, buf)
+		if len(buf) != m-1 {
+			t.Fatalf("v=%d: degree %d, want %d", v, len(buf), m-1)
+		}
+		for i, u := range buf {
+			want := int32(i)
+			if i >= v {
+				want++
+			}
+			if u != want {
+				t.Fatalf("v=%d: row %v not K_%d", v, buf, m)
+			}
+		}
+	}
+}
+
+// TestCodecRowsCanonicalAtScale samples random vertices of each codec at
+// sizes far beyond what the materialized builders allow (hypercube d=30,
+// torus k=46340, CCC/WBF d=26) and checks the Source row contract —
+// ascending, deduplicated, self-free, in range, at the family's exact
+// degree — plus adjacency symmetry: v appears in the row of each of its
+// neighbors.  Symmetry is what the direction-optimizing BFS's bottom-up
+// phase relies on, so a violation here would corrupt traversals silently.
+func TestCodecRowsCanonicalAtScale(t *testing.T) {
+	cases := []struct {
+		codec  func() (Codec, error)
+		degree int
+	}{
+		{func() (Codec, error) { return NewHypercubeCodec(30) }, 30},
+		{func() (Codec, error) { return NewTorusCodec(46340, 2) }, 4},
+		{func() (Codec, error) { return NewCCCCodec(26) }, 3},
+		{func() (Codec, error) { return NewButterflyCodec(26) }, 4},
+		{func() (Codec, error) { return NewGHCCodec(10, 20, 30) }, 9 + 19 + 29},
+	}
+	for _, tc := range cases {
+		c, err := tc.codec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) {
+			im := NewImplicit(c)
+			n := im.N()
+			rng := rand.New(rand.NewSource(11))
+			var row, nrow []int32
+			for trial := 0; trial < 64; trial++ {
+				v := rng.Intn(n)
+				row = im.NeighborsInto(v, row)
+				if len(row) != tc.degree {
+					t.Fatalf("v=%d: degree %d, want %d", v, len(row), tc.degree)
+				}
+				if len(row) > im.DegreeBound() {
+					t.Fatalf("v=%d: degree %d exceeds DegreeBound %d", v, len(row), im.DegreeBound())
+				}
+				for i, u := range row {
+					if int(u) < 0 || int(u) >= n {
+						t.Fatalf("v=%d: neighbor %d out of range", v, u)
+					}
+					if int(u) == v {
+						t.Fatalf("v=%d: self-loop survived canonicalization", v)
+					}
+					if i > 0 && row[i-1] >= u {
+						t.Fatalf("v=%d: row %v not strictly ascending", v, row)
+					}
+				}
+				for _, u := range row {
+					nrow = im.NeighborsInto(int(u), nrow)
+					j := sort.Search(len(nrow), func(i int) bool { return nrow[i] >= int32(v) })
+					if j == len(nrow) || nrow[j] != int32(v) {
+						t.Fatalf("asymmetric edge: %d in row of %d but not vice versa", u, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzMixedRadix drives the checked rank/unrank conversions with
+// arbitrary radix vectors and ranks: construction either errors or
+// yields a system where unrank-then-rank is the identity and all digits
+// are in range.
+func FuzzMixedRadix(f *testing.F) {
+	f.Add([]byte{2, 3, 5}, int64(17))
+	f.Add([]byte{2}, int64(0))
+	f.Add([]byte{255, 255, 255, 255}, int64(1<<40))
+	f.Add([]byte{0, 7}, int64(-3))
+	f.Fuzz(func(t *testing.T, raw []byte, rank int64) {
+		if len(raw) == 0 || len(raw) > 16 {
+			return
+		}
+		radices := make([]int, len(raw))
+		for i, b := range raw {
+			radices[i] = int(b)
+		}
+		mr, err := NewMixedRadix(radices)
+		if err != nil {
+			return
+		}
+		if mr.N() < 1 || mr.N() > MaxVertices {
+			t.Fatalf("accepted system with N = %d", mr.N())
+		}
+		r := int(rank % int64(mr.N()))
+		digits, err := mr.UnrankInto(r, nil)
+		if r < 0 {
+			if err == nil {
+				t.Fatalf("negative rank %d accepted", r)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-range rank rejected: %v", err)
+		}
+		for i, d := range digits {
+			if d < 0 || d >= mr.Radix(i) {
+				t.Fatalf("digit %d at %d outside [0,%d)", d, i, mr.Radix(i))
+			}
+		}
+		back, err := mr.Rank(digits)
+		if err != nil {
+			t.Fatalf("Rank(%v): %v", digits, err)
+		}
+		if back != r {
+			t.Fatalf("round trip: %d -> %v -> %d", r, digits, back)
+		}
+	})
+}

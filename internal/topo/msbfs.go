@@ -1,6 +1,6 @@
 package topo
 
-//lint:file-ignore ctxflow MSBFS processes one 64-source batch per call; graph.parallelBatchesCtx polls ctx between batches, bounding cancellation latency to one kernel invocation
+//lint:file-ignore ctxflow MSBFS processes one 64-source batch per call; graph's batch drivers poll ctx between batches, bounding cancellation latency to one kernel invocation
 
 import "math/bits"
 

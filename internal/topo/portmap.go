@@ -65,6 +65,37 @@ func FromTopology(t Topology, capacity float64) *PortMap {
 	return pm
 }
 
+// FromSource returns the PortMap of any adjacency source with port p of
+// u = u's p-th canonical neighbor and every link at the given capacity.
+// This is how the packet simulator consumes implicit (codec-backed)
+// topologies: the per-node queue state of a simulation is O(N) regardless
+// of representation, so materializing the port banks here costs nothing
+// asymptotically, and the port numbering matches FromTopology on the CSR
+// of the same family because both use the canonical sorted row order.
+func FromSource(s Source, capacity float64) (*PortMap, error) {
+	n := s.N()
+	off := make([]uint32, n+1)
+	buf := make([]int32, 0, s.DegreeBound())
+	var total uint64
+	for v := 0; v < n; v++ {
+		buf = s.NeighborsInto(v, buf)
+		total += uint64(len(buf))
+		if total > maxArcs {
+			return nil, fmt.Errorf("topo: source arc count overflows the uint32 offset representation")
+		}
+		off[v+1] = uint32(total)
+	}
+	pm := &PortMap{off: off, ports: make([]int32, total), caps: make([]float64, total)}
+	for v := 0; v < n; v++ {
+		buf = s.NeighborsInto(v, buf)
+		copy(pm.ports[off[v]:off[v+1]], buf)
+	}
+	for i := range pm.caps {
+		pm.caps[i] = capacity
+	}
+	return pm, nil
+}
+
 // PortMapFromRows converts per-node port/capacity rows into the flat
 // representation; a convenience for tests and small hand-built networks.
 // It panics on mismatched row shapes.

@@ -1,0 +1,338 @@
+package topo
+
+//lint:file-ignore ctxflow the Source kernels process one traversal (or one 64-source batch) per call; the metric drivers poll ctx between calls, bounding cancellation latency to one kernel invocation
+
+import "math/bits"
+
+// This file generalizes the traversal kernels over the Source
+// abstraction, so the same code drives a materialized CSR arena and a
+// codec-backed Implicit.  Each kernel type-switches to the tuned CSR
+// fast path when the source is an arena (zero-copy rows, no interface
+// call per vertex) and otherwise walks NeighborsInto with a reused
+// neighbor buffer.  Contracts are identical to the CSR kernels, so a
+// correct codec yields bit-identical eccentricities and distance sums on
+// either path.
+
+// BFSSourceInto runs a scalar BFS from src over any Source, with the
+// BFSInto contract: dist (length s.N(), fully overwritten; -1 marks
+// unreachable), queue is caller scratch, and ecc is -1 when some vertex
+// is unreachable.  nbuf is neighbor scratch (cap >= s.DegreeBound()
+// avoids reallocation); the possibly grown buffer is returned for reuse.
+func BFSSourceInto(s Source, src int, dist, queue, nbuf []int32) (ecc int32, sum int64, _ []int32) {
+	if c, ok := s.(*CSR); ok {
+		ecc, sum = c.BFSInto(src, dist, queue)
+		return ecc, sum, nbuf
+	}
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = queue[:0]
+	//lint:ignore indextrunc src < s.N() <= MaxVertices (math.MaxInt32)
+	queue = append(queue, int32(src))
+	visited := 1
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		sum += int64(du)
+		nbuf = s.NeighborsInto(int(u), nbuf)
+		for _, v := range nbuf {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+				visited++
+			}
+		}
+	}
+	if visited != s.N() {
+		return -1, sum, nbuf
+	}
+	return ecc, sum, nbuf
+}
+
+// MSBFSSourceInto is MSBFSInto over any symmetric Source: up to 64 BFS
+// traversals advance together, one uint64 visited/frontier word per
+// vertex.  The contract matches MSBFSInto exactly (per-source ecc/sum,
+// ecc[i] = -1 on disconnection, optional flat strided dist).  Like the
+// CSR kernel it requires symmetric adjacency: the bottom-up pass reads
+// NeighborsInto(v) as the in-neighbors of v.  nbuf is neighbor scratch,
+// returned possibly grown.
+func MSBFSSourceInto(s Source, sources []int32, sc *MSBFSScratch, ecc []int32, sum []int64, dist []int32, nbuf []int32) []int32 {
+	if c, ok := s.(*CSR); ok {
+		c.MSBFSInto(sources, sc, ecc, sum, dist)
+		return nbuf
+	}
+	n := s.N()
+	ns := len(sources)
+	if ns == 0 || ns > msbfsBatch {
+		panic("topo: MSBFSSourceInto needs 1..64 sources")
+	}
+	if len(ecc) < ns || len(sum) < ns {
+		panic("topo: MSBFSSourceInto ecc/sum shorter than sources")
+	}
+	if dist != nil && len(dist) < ns*n {
+		panic("topo: MSBFSSourceInto dist shorter than len(sources)*N")
+	}
+	sc.ensure(n)
+	visited, frontier, next := sc.visited, sc.frontier, sc.next
+	for i := range visited {
+		visited[i] = 0
+		frontier[i] = 0
+		next[i] = 0
+	}
+	if dist != nil {
+		for i := range dist[:ns*n] {
+			dist[i] = -1
+		}
+	}
+	full := ^uint64(0) >> (msbfsBatch - ns)
+	var reached [msbfsBatch]int32
+	sc.cur = sc.cur[:0]
+	for i, src := range sources {
+		if frontier[src] == 0 {
+			sc.cur = append(sc.cur, src)
+		}
+		bit := uint64(1) << i
+		frontier[src] |= bit
+		visited[src] |= bit
+		ecc[i], sum[i] = 0, 0
+		reached[i] = 1
+		if dist != nil {
+			dist[i*n+int(src)] = 0
+		}
+	}
+	var cnt [msbfsBatch]int32
+	for level := int32(1); len(sc.cur) > 0; level++ {
+		sc.touched = sc.touched[:0]
+		if len(sc.cur) > n/msbfsDenseCut {
+			// Bottom-up: every vertex some source has not reached gathers
+			// the frontier bits of its (symmetric) neighbors.
+			for v := 0; v < n; v++ {
+				if visited[v] == full {
+					continue
+				}
+				var acc uint64
+				nbuf = s.NeighborsInto(v, nbuf)
+				for _, u := range nbuf {
+					acc |= frontier[u]
+				}
+				if acc&^visited[v] != 0 {
+					next[v] = acc
+					//lint:ignore indextrunc v < n <= MaxVertices (math.MaxInt32)
+					sc.touched = append(sc.touched, int32(v))
+				}
+			}
+		} else {
+			// Top-down: frontier vertices push their bits along their rows.
+			for _, u := range sc.cur {
+				f := frontier[u]
+				nbuf = s.NeighborsInto(int(u), nbuf)
+				for _, v := range nbuf {
+					if f&^visited[v] != 0 {
+						if next[v] == 0 {
+							sc.touched = append(sc.touched, v)
+						}
+						next[v] |= f
+					}
+				}
+			}
+		}
+		for _, u := range sc.cur {
+			frontier[u] = 0
+		}
+		sc.cur = sc.cur[:0]
+		for i := 0; i < ns; i++ {
+			cnt[i] = 0
+		}
+		for _, v := range sc.touched {
+			newBits := next[v] &^ visited[v]
+			next[v] = 0
+			if newBits == 0 {
+				continue
+			}
+			visited[v] |= newBits
+			frontier[v] = newBits
+			sc.cur = append(sc.cur, v)
+			for b := newBits; b != 0; b &= b - 1 {
+				i := bits.TrailingZeros64(b)
+				cnt[i]++
+				if dist != nil {
+					dist[i*n+int(v)] = level
+				}
+			}
+		}
+		for i := 0; i < ns; i++ {
+			if cnt[i] > 0 {
+				ecc[i] = level
+				sum[i] += int64(level) * int64(cnt[i])
+				reached[i] += cnt[i]
+			}
+		}
+	}
+	//lint:ignore indextrunc n <= MaxVertices (math.MaxInt32) by construction
+	nn := int32(n)
+	for i := 0; i < ns; i++ {
+		if reached[i] != nn {
+			ecc[i] = -1
+		}
+	}
+	return nbuf
+}
+
+// MSBFSMaskedSourceInto is the vertex-masked variant of MSBFSSourceInto:
+// up to 64 BFS traversals advance together over a symmetric Source,
+// skipping vertices whose bit is set in vdead (nil means all alive).
+// The contract matches MSBFSMaskedInto with a nil arc mask: per source i
+// it writes ecc[i] (eccentricity within the source's component), sum[i]
+// (sum of distances to reached vertices), and reached[i] (vertices
+// reached, including the source); all sources must be alive.  Arc-level
+// masks need stable arena arc indices and therefore remain CSR-only
+// (CSR.MSBFSMaskedInto).  nbuf is neighbor scratch, returned possibly
+// grown.
+func MSBFSMaskedSourceInto(s Source, sources []int32, sc *MSBFSScratch, vdead []uint64, ecc []int32, sum []int64, reached []int32, nbuf []int32) []int32 {
+	if c, ok := s.(*CSR); ok {
+		c.MSBFSMaskedInto(sources, sc, vdead, nil, ecc, sum, reached)
+		return nbuf
+	}
+	n := s.N()
+	ns := len(sources)
+	if ns == 0 || ns > msbfsBatch {
+		panic("topo: MSBFSMaskedSourceInto needs 1..64 sources")
+	}
+	if len(ecc) < ns || len(sum) < ns || len(reached) < ns {
+		panic("topo: MSBFSMaskedSourceInto ecc/sum/reached shorter than sources")
+	}
+	sc.ensure(n)
+	visited, frontier, next := sc.visited, sc.frontier, sc.next
+	for i := range visited {
+		visited[i] = 0
+		frontier[i] = 0
+		next[i] = 0
+	}
+	full := ^uint64(0) >> (msbfsBatch - ns)
+	sc.cur = sc.cur[:0]
+	for i, src := range sources {
+		if Bit(vdead, int(src)) {
+			panic("topo: MSBFSMaskedSourceInto source is dead")
+		}
+		if frontier[src] == 0 {
+			sc.cur = append(sc.cur, src)
+		}
+		bit := uint64(1) << i
+		frontier[src] |= bit
+		visited[src] |= bit
+		ecc[i], sum[i] = 0, 0
+		reached[i] = 1
+	}
+	var cnt [msbfsBatch]int32
+	for level := int32(1); len(sc.cur) > 0; level++ {
+		sc.touched = sc.touched[:0]
+		if len(sc.cur) > n/msbfsDenseCut {
+			// Bottom-up: every alive, not-fully-visited vertex gathers the
+			// frontier bits of its neighbors.  Dead neighbors contribute
+			// nothing — their frontier word is always 0 — so only the
+			// vertex's own liveness needs checking.
+			for v := 0; v < n; v++ {
+				if visited[v] == full || Bit(vdead, v) {
+					continue
+				}
+				var acc uint64
+				nbuf = s.NeighborsInto(v, nbuf)
+				for _, u := range nbuf {
+					acc |= frontier[u]
+				}
+				if acc&^visited[v] != 0 {
+					next[v] = acc
+					//lint:ignore indextrunc v < n <= MaxVertices (math.MaxInt32)
+					sc.touched = append(sc.touched, int32(v))
+				}
+			}
+		} else {
+			// Top-down: frontier vertices push their bits to alive targets.
+			for _, u := range sc.cur {
+				f := frontier[u]
+				nbuf = s.NeighborsInto(int(u), nbuf)
+				for _, v := range nbuf {
+					if f&^visited[v] == 0 || Bit(vdead, int(v)) {
+						continue
+					}
+					if next[v] == 0 {
+						sc.touched = append(sc.touched, v)
+					}
+					next[v] |= f
+				}
+			}
+		}
+		for _, u := range sc.cur {
+			frontier[u] = 0
+		}
+		sc.cur = sc.cur[:0]
+		for i := 0; i < ns; i++ {
+			cnt[i] = 0
+		}
+		for _, v := range sc.touched {
+			newBits := next[v] &^ visited[v]
+			next[v] = 0
+			if newBits == 0 {
+				continue
+			}
+			visited[v] |= newBits
+			frontier[v] = newBits
+			sc.cur = append(sc.cur, v)
+			for b := newBits; b != 0; b &= b - 1 {
+				cnt[bits.TrailingZeros64(b)]++
+			}
+		}
+		for i := 0; i < ns; i++ {
+			if cnt[i] > 0 {
+				ecc[i] = level
+				sum[i] += int64(level) * int64(cnt[i])
+				reached[i] += cnt[i]
+			}
+		}
+	}
+	return nbuf
+}
+
+// BFSMaskedSourceInto is the vertex-masked scalar BFS over any Source:
+// vertices whose bit is set in vdead are hidden from the traversal, with
+// the BFSMaskedInto census contract (ecc within src's component, sum over
+// reached vertices, reached count including src).  Arc-level masks need
+// stable arc identifiers and therefore remain CSR-only
+// (CSR.BFSMaskedInto); a nil vdead makes this identical to the unmasked
+// kernel's visit order.  src must be alive.
+func BFSMaskedSourceInto(s Source, src int, vdead []uint64, dist, queue, nbuf []int32) (ecc int32, sum int64, reached int32, _ []int32) {
+	if c, ok := s.(*CSR); ok {
+		ecc, sum, reached = c.BFSMaskedInto(src, vdead, nil, dist, queue)
+		return ecc, sum, reached, nbuf
+	}
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = queue[:0]
+	//lint:ignore indextrunc src < s.N() <= MaxVertices (math.MaxInt32)
+	queue = append(queue, int32(src))
+	reached = 1
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		sum += int64(du)
+		nbuf = s.NeighborsInto(int(u), nbuf)
+		for _, v := range nbuf {
+			if dist[v] >= 0 || Bit(vdead, int(v)) {
+				continue
+			}
+			dist[v] = du + 1
+			queue = append(queue, v)
+			reached++
+		}
+	}
+	return ecc, sum, reached, nbuf
+}

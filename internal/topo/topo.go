@@ -77,6 +77,9 @@ func CheckVertexCount(n int) error {
 type CSR struct {
 	off   []uint32
 	arena []int32
+	// maxDeg is the maximum row length, recorded at construction so the
+	// CSR can report a Source degree bound without rescanning offsets.
+	maxDeg int
 }
 
 // N returns the vertex count.

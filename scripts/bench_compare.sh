@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# bench_compare.sh: measure the all-sources BFS kernels and gate their
-# speedup ratios against the checked-in baseline.
+# bench_compare.sh: measure the all-sources BFS kernels and the
+# implicit-vs-CSR neighbor generation cost, and gate their ratios against
+# the checked-in baseline.
 #
-# Runs BenchmarkAllSourcesBFS (scalar vs msbfs vs symmetry, single
-# threaded), converts the ns/op samples into per-family speedup ratios
-# with cmd/benchratio, writes them to BENCH_PR4.json, and fails when any
-# ratio drops more than 15% below scripts/bench_baseline_pr4.json.
-# Ratios, not raw ns/op, are compared, so the gate is meaningful on any
-# machine.
+# Runs BenchmarkAllSourcesBFS (scalar vs msbfs vs symmetry) and
+# BenchmarkNeighborGen (CSR arena rows vs rank/unrank codec rows), all
+# single threaded, converts the ns/op samples into per-family ratios with
+# cmd/benchratio, writes them to BENCH_PR4.json, and fails when any
+# speedup drops more than 15% below — or any implicit cost factor rises
+# more than 15% above — scripts/bench_baseline_pr4.json.  Ratios, not raw
+# ns/op, are compared, so the gate is meaningful on any machine.
 #
 # Usage:
 #   scripts/bench_compare.sh                # measure + gate (CI entry point)
@@ -20,8 +22,8 @@ BENCHTIME="${BENCHTIME:-3x}"
 OUT="${BENCH_OUT:-BENCH_PR4.json}"
 BASELINE="${BENCH_BASELINE-scripts/bench_baseline_pr4.json}"
 
-echo "bench_compare: running BenchmarkAllSourcesBFS (benchtime=$BENCHTIME)..." >&2
-raw="$(go test -run=NONE -bench='^BenchmarkAllSourcesBFS$' -benchtime="$BENCHTIME" -cpu=1 .)"
+echo "bench_compare: running BenchmarkAllSourcesBFS + BenchmarkNeighborGen (benchtime=$BENCHTIME)..." >&2
+raw="$(go test -run=NONE -bench='^(BenchmarkAllSourcesBFS|BenchmarkNeighborGen)$' -benchtime="$BENCHTIME" -cpu=1 .)"
 
 args=(-out "$OUT")
 if [[ -n "$BASELINE" ]]; then
