@@ -24,8 +24,16 @@ import (
 	"syscall"
 	"time"
 
+	"ipg/internal/cluster"
 	"ipg/internal/serve"
 )
+
+// usageError prints a flag-validation failure and exits 2, matching the
+// ipgtool/ipgsim convention for malformed invocations.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ipgd: "+format+"\n", args...)
+	os.Exit(2)
+}
 
 func main() {
 	var (
@@ -45,6 +53,14 @@ func main() {
 		retryBackoff     = flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff before the first build retry, doubled each attempt")
 		breakerThreshold = flag.Int("breaker-threshold", 5, "consecutive build failures per family that open its circuit (0 disables)")
 		breakerCooldown  = flag.Duration("breaker-cooldown", 10*time.Second, "open-circuit fast-fail window before a half-open probe")
+
+		peers         = flag.String("peers", "", "comma-separated base URLs of every cluster replica including this one (empty = single node)")
+		advertise     = flag.String("advertise", "", "this replica's own base URL, exactly as listed in -peers (required with -peers)")
+		vnodes        = flag.Int("vnodes", 0, "virtual nodes per peer on the consistent-hash ring (0 = 64)")
+		hedgeDelay    = flag.Duration("hedge-delay", 0, "peer-fill wait on the owner before racing a fallback peer (0 = 30ms, negative disables hedging)")
+		peerTimeout   = flag.Duration("peer-timeout", 0, "total budget for one peer-fill fetch including the hedge leg (0 = 30s)")
+		peerBreakerTh = flag.Int("peer-breaker-threshold", 0, "consecutive fetch failures that cut a peer out of the ring (0 = 3, negative disables)")
+		peerBreakerCd = flag.Duration("peer-breaker-cooldown", 0, "open-peer window before a half-open probe (0 = 5s)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -62,6 +78,39 @@ func main() {
 		*breakerThreshold = -1
 	}
 
+	// Cluster flags: -peers enables cluster mode and demands a matching
+	// -advertise; the other cluster knobs are meaningless without it.
+	var cl *cluster.Cluster
+	if *peers == "" {
+		if *advertise != "" || *vnodes != 0 || *hedgeDelay != 0 || *peerTimeout != 0 || *peerBreakerTh != 0 || *peerBreakerCd != 0 {
+			usageError("cluster flags (-advertise, -vnodes, -hedge-delay, -peer-timeout, -peer-breaker-*) require -peers")
+		}
+	} else {
+		peerList, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			usageError("invalid -peers: %v", err)
+		}
+		if *advertise == "" {
+			usageError("-peers requires -advertise (this replica's own base URL)")
+		}
+		self, err := cluster.ParsePeers(*advertise)
+		if err != nil || len(self) != 1 {
+			usageError("invalid -advertise %q: must be a single base URL", *advertise)
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:             self[0],
+			Peers:            peerList,
+			VNodes:           *vnodes,
+			HedgeDelay:       *hedgeDelay,
+			FetchTimeout:     *peerTimeout,
+			BreakerThreshold: *peerBreakerTh,
+			BreakerCooldown:  *peerBreakerCd,
+		})
+		if err != nil {
+			usageError("%v", err)
+		}
+	}
+
 	srv := serve.NewServer(serve.Config{
 		CacheBytes:        int64(*cacheMB) << 20,
 		CacheShards:       *shards,
@@ -76,6 +125,7 @@ func main() {
 		RetryBackoff:      *retryBackoff,
 		BreakerThreshold:  *breakerThreshold,
 		BreakerCooldown:   *breakerCooldown,
+		Cluster:           cl,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -85,6 +135,9 @@ func main() {
 	// The resolved address matters when -addr :0 picked an ephemeral
 	// port; scripts (scripts/ipgd_smoke.sh) parse this line.
 	log.Printf("ipgd: listening on %s", ln.Addr())
+	if cl != nil {
+		log.Printf("ipgd: cluster mode, %d peers, advertising %s", cl.Size(), cl.Self())
+	}
 
 	hs := &http.Server{
 		Handler: srv,

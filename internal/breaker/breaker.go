@@ -1,0 +1,187 @@
+// Package breaker is the per-key circuit breaker shared by the serving
+// layer (one circuit per network family, PR 5) and the cluster layer
+// (one circuit per peer replica): threshold consecutive genuine failures
+// for one key open its circuit, and for cooldown every request against
+// that key fast-fails without touching the guarded resource.  After the
+// cooldown one probe is let through (half-open); success closes the
+// circuit, failure re-opens it for another cooldown.
+package breaker
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Allow while a key's circuit is open; callers
+// translate it to their own fast-fail response (the daemon answers 503 +
+// Retry-After).
+var ErrOpen = errors.New("breaker: circuit open")
+
+// Outcome classifies one admitted request for Report.  Neutral outcomes
+// — client errors, pool saturation, cancelled or expired contexts — say
+// nothing about the key's health and neither trip nor close the breaker.
+type Outcome int
+
+const (
+	OK Outcome = iota
+	Neutral
+	Fail
+)
+
+// State is a key's circuit position, readable without side effects via
+// (*Set).State.
+type State int
+
+const (
+	Closed   State = iota // admitting requests normally
+	Open                  // fast-failing inside the cooldown window
+	HalfOpen              // cooldown elapsed; waiting for or running a probe
+)
+
+// String renders the state for status endpoints.
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Set is a family of per-key circuit breakers sharing one threshold and
+// cooldown.  A nil *Set is a disabled breaker: Allow always succeeds,
+// Report and the state queries are no-ops.
+type Set struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	opens   int64 // transitions to open, for the Prometheus counter
+}
+
+type entry struct {
+	failures int       // consecutive genuine failures
+	openedAt time.Time // when failures reached the threshold
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewSet builds a breaker set; threshold <= 0 returns nil (disabled).
+func NewSet(threshold int, cooldown time.Duration) *Set {
+	if threshold <= 0 {
+		return nil
+	}
+	return &Set{
+		threshold: threshold,
+		cooldown:  cooldown,
+		entries:   make(map[string]*entry),
+	}
+}
+
+// tripped reports whether e has reached the failure threshold.
+func (b *Set) tripped(e *entry) bool { return e.failures >= b.threshold }
+
+// Allow reports whether a request for key may proceed.  While the
+// circuit is open it returns ErrOpen; in the half-open window it admits
+// exactly one probe at a time.  An admitted request must be concluded
+// with Report, or the probe slot stays taken until another cooldown.
+func (b *Set) Allow(key string, now time.Time) error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || !b.tripped(e) {
+		return nil
+	}
+	if now.Sub(e.openedAt) < b.cooldown {
+		return ErrOpen
+	}
+	if e.probing {
+		return ErrOpen // one probe at a time
+	}
+	e.probing = true
+	return nil
+}
+
+// Report records the outcome of an admitted request for key.  A neutral
+// outcome releases a half-open probe without a verdict, so the next
+// request may probe again instead of the breaker wedging open.
+func (b *Set) Report(key string, outcome Outcome, now time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil {
+		if outcome != Fail {
+			return
+		}
+		e = &entry{}
+		b.entries[key] = e
+	}
+	wasTripped := b.tripped(e)
+	switch outcome {
+	case OK:
+		e.failures = 0
+		e.probing = false
+	case Neutral:
+		e.probing = false
+	case Fail:
+		e.probing = false
+		if wasTripped {
+			// Failed half-open probe: re-open for another cooldown.
+			e.openedAt = now
+			b.opens++
+			return
+		}
+		e.failures++
+		if b.tripped(e) {
+			e.openedAt = now
+			b.opens++
+		}
+	}
+}
+
+// State reads key's circuit position without side effects (Allow, in
+// contrast, claims the half-open probe slot).
+func (b *Set) State(key string, now time.Time) State {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || !b.tripped(e) {
+		return Closed
+	}
+	if now.Sub(e.openedAt) < b.cooldown {
+		return Open
+	}
+	return HalfOpen
+}
+
+// States counts circuits currently open and half-open (cooldown elapsed,
+// waiting for or running a probe), plus the total open transitions.
+func (b *Set) States(now time.Time) (open, halfOpen, opens int64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.entries {
+		if !b.tripped(e) {
+			continue
+		}
+		if now.Sub(e.openedAt) < b.cooldown {
+			open++
+		} else {
+			halfOpen++
+		}
+	}
+	return open, halfOpen, b.opens
+}

@@ -1,0 +1,169 @@
+package breaker
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestLifecycle walks one key through the full circuit: closed under the
+// threshold, open after it, half-open probing after the cooldown, and
+// closed again on a successful probe.
+func TestLifecycle(t *testing.T) {
+	b := NewSet(3, time.Second)
+	t0 := time.Unix(0, 0)
+
+	for i := 0; i < 2; i++ {
+		if err := b.Allow("k", t0); err != nil {
+			t.Fatalf("Allow before threshold: %v", err)
+		}
+		b.Report("k", Fail, t0)
+	}
+	if got := b.State("k", t0); got != Closed {
+		t.Fatalf("state after 2 failures = %v, want Closed", got)
+	}
+
+	if err := b.Allow("k", t0); err != nil {
+		t.Fatalf("Allow at threshold: %v", err)
+	}
+	b.Report("k", Fail, t0)
+	if got := b.State("k", t0); got != Open {
+		t.Fatalf("state after 3 failures = %v, want Open", got)
+	}
+	if err := b.Allow("k", t0.Add(500*time.Millisecond)); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow inside cooldown = %v, want ErrOpen", err)
+	}
+
+	t1 := t0.Add(2 * time.Second)
+	if got := b.State("k", t1); got != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want HalfOpen", got)
+	}
+	if err := b.Allow("k", t1); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	// Only one probe at a time.
+	if err := b.Allow("k", t1); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe = %v, want ErrOpen", err)
+	}
+	b.Report("k", OK, t1)
+	if got := b.State("k", t1); got != Closed {
+		t.Fatalf("state after successful probe = %v, want Closed", got)
+	}
+	if err := b.Allow("k", t1); err != nil {
+		t.Fatalf("Allow after close: %v", err)
+	}
+}
+
+// TestFailedProbeReopens checks that a Fail verdict on the half-open
+// probe restarts the cooldown rather than resetting the failure count.
+func TestFailedProbeReopens(t *testing.T) {
+	b := NewSet(1, time.Second)
+	t0 := time.Unix(100, 0)
+	b.Report("k", Fail, t0)
+
+	t1 := t0.Add(time.Second)
+	if err := b.Allow("k", t1); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Report("k", Fail, t1)
+	if got := b.State("k", t1.Add(500*time.Millisecond)); got != Open {
+		t.Fatalf("state after failed probe = %v, want Open", got)
+	}
+	_, _, opens := b.States(t1)
+	if opens != 2 {
+		t.Fatalf("opens = %d, want 2 (initial trip + failed probe)", opens)
+	}
+}
+
+// TestNeutralReleasesProbe checks that a Neutral verdict frees the probe
+// slot without closing or re-opening the circuit, so the breaker cannot
+// wedge open when a probe's outcome says nothing about health.
+func TestNeutralReleasesProbe(t *testing.T) {
+	b := NewSet(1, time.Second)
+	t0 := time.Unix(0, 0)
+	b.Report("k", Fail, t0)
+
+	t1 := t0.Add(time.Second)
+	if err := b.Allow("k", t1); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Report("k", Neutral, t1)
+	// Slot released: another probe may go immediately.
+	if err := b.Allow("k", t1); err != nil {
+		t.Fatalf("probe after neutral release rejected: %v", err)
+	}
+	b.Report("k", OK, t1)
+	if got := b.State("k", t1); got != Closed {
+		t.Fatalf("state = %v, want Closed", got)
+	}
+}
+
+// TestOKResetsConsecutiveCount checks that successes between failures
+// keep the circuit closed: only *consecutive* failures trip it.
+func TestOKResetsConsecutiveCount(t *testing.T) {
+	b := NewSet(2, time.Second)
+	t0 := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		b.Report("k", Fail, t0)
+		b.Report("k", OK, t0)
+	}
+	if got := b.State("k", t0); got != Closed {
+		t.Fatalf("state after alternating outcomes = %v, want Closed", got)
+	}
+}
+
+// TestKeysAreIndependent checks that one key's open circuit does not
+// affect another's.
+func TestKeysAreIndependent(t *testing.T) {
+	b := NewSet(1, time.Minute)
+	t0 := time.Unix(0, 0)
+	b.Report("a", Fail, t0)
+	if err := b.Allow("a", t0); !errors.Is(err, ErrOpen) {
+		t.Fatalf("a should be open, got %v", err)
+	}
+	if err := b.Allow("b", t0); err != nil {
+		t.Fatalf("b should be unaffected, got %v", err)
+	}
+	open, halfOpen, _ := b.States(t0)
+	if open != 1 || halfOpen != 0 {
+		t.Fatalf("States = (%d open, %d half-open), want (1, 0)", open, halfOpen)
+	}
+}
+
+// TestNilSetDisabled checks the nil-receiver contract: everything is a
+// permissive no-op.
+func TestNilSetDisabled(t *testing.T) {
+	var b *Set
+	if b != NewSet(0, time.Second) {
+		t.Fatal("NewSet(0, ...) should return nil")
+	}
+	if err := b.Allow("k", time.Now()); err != nil {
+		t.Fatalf("nil Allow = %v, want nil", err)
+	}
+	b.Report("k", Fail, time.Now())
+	if got := b.State("k", time.Now()); got != Closed {
+		t.Fatalf("nil State = %v, want Closed", got)
+	}
+	open, halfOpen, opens := b.States(time.Now())
+	if open != 0 || halfOpen != 0 || opens != 0 {
+		t.Fatal("nil States should be all zero")
+	}
+}
+
+// TestStateIsSideEffectFree checks that State never claims the half-open
+// probe slot — the cluster ring calls it on every ownership lookup, and
+// a lookup must not consume the probe a real fetch needs.
+func TestStateIsSideEffectFree(t *testing.T) {
+	b := NewSet(1, time.Second)
+	t0 := time.Unix(0, 0)
+	b.Report("k", Fail, t0)
+	t1 := t0.Add(time.Second)
+	for i := 0; i < 10; i++ {
+		if got := b.State("k", t1); got != HalfOpen {
+			t.Fatalf("State #%d = %v, want HalfOpen", i, got)
+		}
+	}
+	if err := b.Allow("k", t1); err != nil {
+		t.Fatalf("probe slot consumed by State reads: %v", err)
+	}
+}

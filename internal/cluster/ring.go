@@ -1,0 +1,135 @@
+// Package cluster is the horizontal-scaling layer for the topology
+// daemon: a consistent-hash ring assigns ownership of canonical family
+// keys (serve.Params.Key) across N statically configured ipgd replicas,
+// non-owners peer-fill from the key's owner over stdlib-only HTTP with
+// hedged reads, and each peer is guarded by its own circuit breaker
+// (internal/breaker) so a dead or slow replica is cut out of the ring
+// and its keys rehash onto the survivors.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	peer int // index into Ring.peers
+}
+
+// Ring is an immutable consistent-hash ring with virtual nodes.  Every
+// replica builds its ring from the same peer list and virtual-node
+// count, so key ownership is a pure deterministic function shared by the
+// whole cluster — no coordination protocol needed.  Liveness is layered
+// on top per lookup: callers pass an alive predicate and the walk skips
+// dead peers, which is exactly the "rehash onto the ring successor"
+// failover the paper's k-connectivity argument calls for.
+type Ring struct {
+	peers  []string // sorted, unique
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+// NewRing builds the ring.  The peer list is deduplicated and sorted, so
+// rings built from differently ordered configs are identical.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("cluster: vnodes = %d, need >= 1", vnodes)
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", sorted[i])
+		}
+	}
+	r := &Ring{
+		peers:  sorted,
+		vnodes: vnodes,
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for pi, p := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", p, v)),
+				peer: pi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare with 64-bit FNV) break by peer
+		// index so the order stays deterministic across processes.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// hash64 is FNV-1a, written out so the ring's placement function is
+// pinned by this file (and its golden test) rather than by a library
+// whose constants could in principle change under us.  Determinism
+// across processes and releases is a correctness property here: two
+// replicas that disagree on ownership both build, which the one-build
+// invariant forbids.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Peers returns the sorted peer list (shared slice; do not modify).
+func (r *Ring) Peers() []string { return r.peers }
+
+// VNodes returns the virtual-node count per peer.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the peer owning key among those the alive predicate
+// admits: the first distinct alive peer at or clockwise of the key's
+// point.  A nil alive admits everyone.  Owner returns "" only when alive
+// rejects every peer.
+func (r *Ring) Owner(key string, alive func(string) bool) string {
+	succ := r.Successors(key, 1, alive)
+	if len(succ) == 0 {
+		return ""
+	}
+	return succ[0]
+}
+
+// Successors returns up to max distinct peers in ring order starting at
+// key's point, skipping peers the alive predicate rejects.  The first
+// entry is the key's owner; the second is the natural hedge/failover
+// target.  A nil alive admits everyone; max <= 0 means all peers.
+func (r *Ring) Successors(key string, max int, alive func(string) bool) []string {
+	if max <= 0 || max > len(r.peers) {
+		max = len(r.peers)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, max)
+	seen := make(map[int]bool, max)
+	for i := 0; i < len(r.points) && len(out) < max && len(seen) < len(r.peers); i++ {
+		pt := r.points[(start+i)%len(r.points)]
+		if seen[pt.peer] {
+			continue
+		}
+		seen[pt.peer] = true
+		p := r.peers[pt.peer]
+		if alive == nil || alive(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("hsn|l=%d|nucleus=q%d", 2+i%18, 2+i%7)
+	}
+	return keys
+}
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return peers
+}
+
+// TestRingBalance checks that virtual nodes spread ownership evenly: with
+// 128 vnodes per peer, no peer's share of a large key population strays
+// beyond 2x/0.5x of the fair share.
+func TestRingBalance(t *testing.T) {
+	peers := testPeers(5)
+	r, err := NewRing(peers, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	counts := make(map[string]int, len(peers))
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i), nil)]++
+	}
+	fair := float64(n) / float64(len(peers))
+	for _, p := range peers {
+		share := float64(counts[p])
+		if share < fair/2 || share > fair*2 {
+			t.Errorf("peer %s owns %d of %d keys (fair share %.0f): imbalance beyond [0.5x, 2x]", p, counts[p], n, fair)
+		}
+	}
+}
+
+// TestRingRemapMinimality checks the consistent-hashing contract: when a
+// peer dies, only the keys it owned move, and they land on surviving
+// peers; every other key keeps its owner.
+func TestRingRemapMinimality(t *testing.T) {
+	peers := testPeers(5)
+	r, err := NewRing(peers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := peers[2]
+	alive := func(p string) bool { return p != dead }
+
+	keys := testKeys(2000)
+	moved := 0
+	for _, k := range keys {
+		before := r.Owner(k, nil)
+		after := r.Owner(k, alive)
+		if after == dead {
+			t.Fatalf("key %q assigned to dead peer %s", k, dead)
+		}
+		if before == dead {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Errorf("key %q moved %s -> %s though its owner %s survived", k, before, after, before)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: dead peer owned no keys")
+	}
+}
+
+// TestRingDeterminism checks that ownership is a pure function of the
+// peer set: rings built from shuffled peer orders agree on every key.
+func TestRingDeterminism(t *testing.T) {
+	peers := testPeers(7)
+	r1, err := NewRing(peers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]string(nil), peers...)
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	r2, err := NewRing(shuffled, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		if o1, o2 := r1.Owner(k, nil), r2.Owner(k, nil); o1 != o2 {
+			t.Fatalf("key %q: owner %s from sorted config, %s from shuffled config", k, o1, o2)
+		}
+	}
+}
+
+// TestRingGoldenOwners pins the placement function across processes and
+// releases: the hand-written FNV-1a and the vnode labeling scheme must
+// never drift, or replicas built from different binaries would disagree
+// on ownership and double-build.  If this test fails, the hash changed —
+// that is a breaking cluster protocol change, not a test to update.
+func TestRingGoldenOwners(t *testing.T) {
+	r, err := NewRing([]string{
+		"http://a:8080", "http://b:8080", "http://c:8080",
+	}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		"hsn|l=2|nucleus=q2":         "http://c:8080",
+		"hsn|l=3|nucleus=q2":         "http://a:8080",
+		"ring-cn|l=3|nucleus=q2":     "http://b:8080",
+		"complete-cn|l=3|nucleus=q2": "http://a:8080",
+		"sfn|l=3|nucleus=q2":         "http://c:8080",
+		"hypercube|dim=6|logm=2":     "http://a:8080",
+		"torus|k=8|side=2":           "http://a:8080",
+		"ccc|dim=4":                  "http://a:8080",
+	}
+	for k, want := range golden {
+		if got := r.Owner(k, nil); got != want {
+			t.Errorf("Owner(%q) = %s, want %s", k, got, want)
+		}
+	}
+}
+
+// TestHash64GoldenVectors pins the hand-written FNV-1a against the
+// published test vectors for the 64-bit FNV-1a function.
+func TestHash64GoldenVectors(t *testing.T) {
+	vectors := map[string]uint64{
+		"":    0xcbf29ce484222325,
+		"a":   0xaf63dc4c8601ec8c,
+		"foo": 0xdcb27518fed9d577,
+	}
+	for s, want := range vectors {
+		if got := hash64(s); got != want {
+			t.Errorf("hash64(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+}
+
+// TestSuccessors checks the failover walk: distinct peers, owner first,
+// dead peers skipped, and the full preference list covering everyone.
+func TestSuccessors(t *testing.T) {
+	peers := testPeers(4)
+	r, err := NewRing(peers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "hsn|l=3|nucleus=q2"
+	all := r.Successors(key, 0, nil)
+	if len(all) != len(peers) {
+		t.Fatalf("Successors(max=0) returned %d peers, want %d", len(all), len(peers))
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if seen[p] {
+			t.Fatalf("duplicate peer %s in successor list", p)
+		}
+		seen[p] = true
+	}
+	if all[0] != r.Owner(key, nil) {
+		t.Fatalf("first successor %s != owner %s", all[0], r.Owner(key, nil))
+	}
+
+	dead := all[0]
+	alive := func(p string) bool { return p != dead }
+	failover := r.Successors(key, 1, alive)
+	if len(failover) != 1 || failover[0] != all[1] {
+		t.Fatalf("with owner dead, Successors(max=1) = %v, want [%s]", failover, all[1])
+	}
+}
+
+// TestRingRejectsBadConfig checks constructor validation.
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1"}, 0); err == nil {
+		t.Error("vnodes=0 accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1"}, 8); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+}

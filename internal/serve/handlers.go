@@ -25,8 +25,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	open, halfOpen, opens := s.breaker.states(time.Now())
-	s.metrics.WriteProm(w, s.cache.Stats(), breakerStats{open: open, halfOpen: halfOpen, opens: opens})
+	open, halfOpen, opens := s.breaker.States(time.Now())
+	s.metrics.WriteProm(w, s.cache.Stats(), breakerStats{open: open, halfOpen: halfOpen, opens: opens}, s.clusterPromStats())
 }
 
 // requestParams decodes and validates family parameters for one request.
@@ -57,6 +57,9 @@ type BuildResponse struct {
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) error {
 	p, err := requestParams(r)
 	if err != nil {
+		return err
+	}
+	if handled, err := s.maybeForward(w, r, p, ""); handled || err != nil {
 		return err
 	}
 	start := time.Now()
@@ -90,6 +93,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	withDiameter := queryBool(r, "diameter")
 	fq, err := parseFaultQuery(r)
 	if err != nil {
+		return err
+	}
+	// Fault-free metric documents are memoized and byte-stable, so
+	// non-owners may cache the fetched body; degraded requests are
+	// per-request computations and forward uncached.
+	bodyKey := ""
+	if fq == nil {
+		bodyKey = fillBodyKey(p, withDiameter)
+	}
+	if handled, err := s.maybeForward(w, r, p, bodyKey); handled || err != nil {
 		return err
 	}
 	a, _, err := s.getArtifact(r.Context(), p)
@@ -188,6 +201,9 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 	}
 	dst, err := queryInt(r, "dst", 0)
 	if err != nil {
+		return err
+	}
+	if handled, err := s.maybeForward(w, r, p, ""); handled || err != nil {
 		return err
 	}
 	a, _, err := s.getArtifact(r.Context(), p)
@@ -344,6 +360,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	}
 	if rate <= 0 || chipCap <= 0 || warmup < 0 || measure <= 0 {
 		return badRequest("rate and chipcap must be positive, warmup >= 0, measure > 0")
+	}
+	if handled, err := s.maybeForward(w, r, p, ""); handled || err != nil {
+		return err
 	}
 
 	a, _, err := s.getArtifact(r.Context(), p)

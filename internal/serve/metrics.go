@@ -29,6 +29,15 @@ type serverMetrics struct {
 	buildsImplicit atomic.Int64
 	buildsSkeleton atomic.Int64
 
+	// Cluster-mode counters: peer-fill requests served for other
+	// replicas, 421 not-owner declines, client requests answered by
+	// proxying a peer's response, and fills that fell back to a local
+	// build because every peer leg failed.
+	clusterFillsServed    atomic.Int64
+	clusterNotOwner       atomic.Int64
+	clusterForwarded      atomic.Int64
+	clusterLocalFallbacks atomic.Int64
+
 	mu       sync.Mutex
 	requests map[reqKey]int64 // requests_total{endpoint, code}
 
@@ -97,10 +106,49 @@ type breakerStats struct {
 	open, halfOpen, opens int64
 }
 
+// clusterPromStats is the cluster snapshot WriteProm renders; nil means
+// single-node mode and the ipgd_cluster_* series are omitted entirely.
+type clusterPromStats struct {
+	peers, peersOpen int64
+	fills, fillErrors, hedges, hedgeWins, declines int64
+	fillsServed, notOwner, forwarded, localFallbacks int64
+}
+
+// localBuilds sums completed artifact builds across representations
+// (the /v1/cluster "local_builds" counter: the cluster smoke test sums
+// it over replicas to assert one build per key cluster-wide).
+func (m *serverMetrics) localBuilds() int64 {
+	return m.buildsCSR.Load() + m.buildsImplicit.Load() + m.buildsSkeleton.Load()
+}
+
+// clusterPromStats snapshots the cluster-mode counters for /metrics;
+// nil without cluster mode.
+func (s *Server) clusterPromStats() *clusterPromStats {
+	cl := s.cfg.Cluster
+	if cl == nil {
+		return nil
+	}
+	st := cl.Status()
+	return &clusterPromStats{
+		peers:          int64(cl.Size()),
+		peersOpen:      cl.OpenPeers(),
+		fills:          st.Fills,
+		fillErrors:     st.FillErrors,
+		hedges:         st.Hedges,
+		hedgeWins:      st.HedgeWins,
+		declines:       st.Declines,
+		fillsServed:    s.metrics.clusterFillsServed.Load(),
+		notOwner:       s.metrics.clusterNotOwner.Load(),
+		forwarded:      s.metrics.clusterForwarded.Load(),
+		localFallbacks: s.metrics.clusterLocalFallbacks.Load(),
+	}
+}
+
 // WriteProm writes the full metrics page: cache counters, request
 // counters, the in-flight gauges, the robustness counters, the breaker
-// state, and the build-latency histogram.
-func (m *serverMetrics) WriteProm(w io.Writer, cs cache.Stats, bs breakerStats) {
+// state, cluster-mode counters (when enabled), and the build-latency
+// histogram.
+func (m *serverMetrics) WriteProm(w io.Writer, cs cache.Stats, bs breakerStats, cls *clusterPromStats) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
@@ -130,6 +178,20 @@ func (m *serverMetrics) WriteProm(w io.Writer, cs cache.Stats, bs breakerStats) 
 	counter("ipgd_breaker_open_total", "Circuit breaker transitions to the open state.", bs.opens)
 	gauge("ipgd_breaker_open", "Family circuits currently open (fast-failing).", bs.open)
 	gauge("ipgd_breaker_half_open", "Family circuits currently half-open (probing).", bs.halfOpen)
+
+	if cls != nil {
+		gauge("ipgd_cluster_peers", "Configured cluster size including this replica.", cls.peers)
+		gauge("ipgd_cluster_peers_open", "Peers currently cut out of the ring by an open circuit.", cls.peersOpen)
+		counter("ipgd_cluster_peer_fills_total", "Outgoing peer-fill fetches (after singleflight collapse).", cls.fills)
+		counter("ipgd_cluster_peer_fill_errors_total", "Peer-fill fetches that exhausted every leg.", cls.fillErrors)
+		counter("ipgd_cluster_hedges_total", "Hedge legs launched against fallback peers.", cls.hedges)
+		counter("ipgd_cluster_hedge_wins_total", "Fills answered by the hedge leg.", cls.hedgeWins)
+		counter("ipgd_cluster_declines_total", "421 not-owner declines received from peers.", cls.declines)
+		counter("ipgd_cluster_fills_served_total", "Peer-fill requests served for other replicas.", cls.fillsServed)
+		counter("ipgd_cluster_not_owner_total", "Incoming fills declined because this replica neither owns nor caches the key.", cls.notOwner)
+		counter("ipgd_cluster_forwarded_total", "Client requests answered by proxying a peer's response.", cls.forwarded)
+		counter("ipgd_cluster_local_fallbacks_total", "Peer-fills that fell back to a local build.", cls.localFallbacks)
+	}
 
 	// Snapshot the mutex-guarded state before writing: w is the HTTP
 	// response, and a stalled scrape client must not be able to hold m.mu

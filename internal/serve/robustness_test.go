@@ -90,7 +90,7 @@ func TestHandlerPanicRecovery(t *testing.T) {
 		t.Errorf("panics counter = %d, want 2", v)
 	}
 	var buf strings.Builder
-	srv.metrics.WriteProm(&buf, srv.cache.Stats(), breakerStats{})
+	srv.metrics.WriteProm(&buf, srv.cache.Stats(), breakerStats{}, nil)
 	if !strings.Contains(buf.String(), `ipgd_requests_total{endpoint="/test2",code="500"} 1`) {
 		t.Errorf("late panic not counted as 500:\n%s", buf.String())
 	}

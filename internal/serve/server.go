@@ -12,8 +12,16 @@ import (
 	"strconv"
 	"time"
 
+	"ipg/internal/breaker"
 	"ipg/internal/cache"
+	"ipg/internal/cluster"
 )
+
+// ErrCircuitOpen is returned without touching the cache or the worker
+// pool when a family's circuit breaker is open; handlers translate it to
+// 503 + Retry-After.  It is the shared breaker package's sentinel, so
+// errors.Is matches across layers.
+var ErrCircuitOpen = breaker.ErrOpen
 
 // ErrSaturated is returned by the worker pool when every slot is busy and
 // the waiting queue is full; handlers translate it to 503 + Retry-After.
@@ -71,6 +79,10 @@ type Config struct {
 	// Builder overrides artifact construction (tests use it to count and
 	// gate builds); nil means BuildArtifact.
 	Builder func(ctx context.Context, p Params, maxNodes int) (*Artifact, error)
+	// Cluster enables cluster mode: consistent-hash ownership of family
+	// keys across replicas with peer-fill and hedged reads.  nil means
+	// single-node operation (every request is served locally).
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -131,7 +143,7 @@ type Server struct {
 	sem     chan struct{} // worker slots
 	queued  chan struct{} // tokens for requests waiting on a slot
 	metrics *serverMetrics
-	breaker *breakerSet // nil when disabled
+	breaker *breaker.Set // per-family circuits; nil when disabled
 	mux     *http.ServeMux
 }
 
@@ -144,7 +156,7 @@ func NewServer(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.Workers),
 		queued:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		metrics: newServerMetrics(),
-		breaker: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		breaker: breaker.NewSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -152,6 +164,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/v1/route", s.instrument("/v1/route", s.handleRoute))
 	s.mux.HandleFunc("/v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("/v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
 	s.mux.HandleFunc("/metrics", s.handleProm)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -229,16 +242,16 @@ func (s *Server) buildWithRetry(ctx context.Context, p Params) (*Artifact, error
 // buildOutcomeOf classifies err for the circuit breaker.  Outcomes that
 // say nothing about the family's buildability — client errors, pool
 // saturation, cancelled or expired deadlines — are neutral.
-func buildOutcomeOf(err error) buildOutcome {
+func buildOutcomeOf(err error) breaker.Outcome {
 	var he *httpError
 	switch {
 	case err == nil:
-		return outcomeOK
+		return breaker.OK
 	case errors.As(err, &he), errors.Is(err, ErrSaturated),
 		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return outcomeNeutral
+		return breaker.Neutral
 	}
-	return outcomeFail
+	return breaker.Fail
 }
 
 // getArtifact is the shared request path: breaker check, canonicalize,
@@ -248,7 +261,7 @@ func buildOutcomeOf(err error) buildOutcome {
 // touch the pool.  The breaker is keyed per family, so one family
 // failing repeatedly cannot consume build slots needed by the rest.
 func (s *Server) getArtifact(ctx context.Context, p Params) (*Artifact, bool, error) {
-	if err := s.breaker.allow(p.Net, time.Now()); err != nil {
+	if err := s.breaker.Allow(p.Net, time.Now()); err != nil {
 		s.metrics.breakerFastFails.Add(1)
 		return nil, false, err
 	}
@@ -267,7 +280,7 @@ func (s *Server) getArtifact(ctx context.Context, p Params) (*Artifact, bool, er
 		s.metrics.countBuild(a.Rep())
 		return a, nil
 	})
-	s.breaker.report(p.Net, buildOutcomeOf(err), time.Now())
+	s.breaker.Report(p.Net, buildOutcomeOf(err), time.Now())
 	if err != nil {
 		return nil, hit, err
 	}

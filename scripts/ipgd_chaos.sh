@@ -9,11 +9,18 @@ workdir=$(mktemp -d)
 log="$workdir/ipgd.log"
 bin="$workdir/ipgd"
 pid=""
+cluster_pids=()
 
 cleanup() {
   if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
     kill -9 "$pid" 2>/dev/null || true
   fi
+  for p in "${cluster_pids[@]:-}"; do
+    if [[ -n "$p" ]]; then
+      kill -CONT "$p" 2>/dev/null || true
+      kill -9 "$p" 2>/dev/null || true
+    fi
+  done
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -123,5 +130,94 @@ done
 kill -0 "$pid" 2>/dev/null && fail "daemon still running 5s after SIGTERM"
 wait "$pid" 2>/dev/null || true
 pid=""
+
+# --- Cluster partition ------------------------------------------------
+# Two replicas; one is SIGSTOPped (frozen, not dead: the TCP peer still
+# accepts, then hangs — the nastiest partition flavor).  The survivor is
+# hammered with keys the frozen replica owns; short peer timeouts plus
+# the per-peer breaker must keep every response orderly and /healthz
+# green, and the survivor must still answer after the partition heals.
+cfail() {
+  echo "ipgd_chaos: FAIL: $*" >&2
+  for i in 0 1; do
+    echo "--- cluster replica $i log ---" >&2
+    cat "$workdir/c$i.log" >&2 2>/dev/null || true
+  done
+  exit 1
+}
+
+read -r cp0 cp1 < <(python3 - <<'EOF'
+import socket
+socks = [socket.socket() for _ in range(2)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(*(s.getsockname()[1] for s in socks))
+for s in socks:
+    s.close()
+EOF
+)
+cpeers="http://127.0.0.1:$cp0,http://127.0.0.1:$cp1"
+cports=("$cp0" "$cp1")
+for i in 0 1; do
+  "$bin" -addr "127.0.0.1:${cports[$i]}" \
+    -peers "$cpeers" -advertise "http://127.0.0.1:${cports[$i]}" \
+    -peer-timeout 2s -hedge-delay 50ms \
+    -peer-breaker-threshold 2 -peer-breaker-cooldown 30s \
+    -workers 2 -queue 2 -timeout 5s \
+    >"$workdir/c$i.log" 2>&1 &
+  cluster_pids[$i]=$!
+done
+for i in 0 1; do
+  up=""
+  for _ in $(seq 1 50); do
+    grep -q 'cluster mode, 2 peers' "$workdir/c$i.log" 2>/dev/null && up=1 && break
+    kill -0 "${cluster_pids[$i]}" 2>/dev/null || cfail "cluster replica $i exited at startup"
+    sleep 0.1
+  done
+  [[ -n "$up" ]] || cfail "cluster replica $i never logged cluster mode"
+done
+
+kill -STOP "${cluster_pids[1]}"
+echo "ipgd_chaos: cluster replica 1 frozen (SIGSTOP), hammering replica 0"
+
+cluster_mix=(
+  '/v1/build?net=hsn&l=2&nucleus=q2'
+  '/v1/build?net=hsn&l=3&nucleus=q2'
+  '/v1/build?net=hypercube&dim=6&logm=2'
+  '/v1/build?net=torus&k=8&side=2'
+  '/v1/build?net=ccc&dim=4'
+  '/v1/metrics?net=sfn&l=3&nucleus=q2'
+)
+for round in 1 2 3; do
+  for path in "${cluster_mix[@]}"; do
+    curl -s -o /dev/null --max-time 15 "http://127.0.0.1:$cp0$path" || true
+  done
+done
+code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 "http://127.0.0.1:$cp0/healthz" || true)
+[[ "$code" == "200" ]] || cfail "survivor healthz returned HTTP $code during partition"
+
+# Under partition, every key must still be servable by the survivor.
+for path in "${cluster_mix[@]}"; do
+  code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 15 "http://127.0.0.1:$cp0$path")
+  [[ "$code" == "200" ]] || cfail "$path returned HTTP $code during partition"
+done
+
+kill -CONT "${cluster_pids[1]}"
+code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 "http://127.0.0.1:$cp1/healthz" || true)
+[[ "$code" == "200" ]] || cfail "thawed replica healthz returned HTTP $code"
+echo "ipgd_chaos: cluster partition case OK"
+
+for i in 0 1; do
+  kill -TERM "${cluster_pids[$i]}" 2>/dev/null || true
+done
+for i in 0 1; do
+  for _ in $(seq 1 50); do
+    kill -0 "${cluster_pids[$i]}" 2>/dev/null || break
+    sleep 0.1
+  done
+  kill -0 "${cluster_pids[$i]}" 2>/dev/null && cfail "cluster replica $i still running 5s after SIGTERM"
+  wait "${cluster_pids[$i]}" 2>/dev/null || true
+  cluster_pids[$i]=""
+done
 
 echo "ipgd_chaos: OK"

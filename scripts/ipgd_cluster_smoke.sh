@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Smoke-test ipgd cluster mode: boot three replicas on a static peer
+# list, hammer every golden family through all of them, assert the
+# cluster performed exactly one build per key (peer-fill working), then
+# SIGKILL one replica and assert the survivors rehash ownership and keep
+# answering.  Used by CI; runnable locally from the repo root.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+bin="$workdir/ipgd"
+pids=()
+
+cleanup() {
+  for p in "${pids[@]:-}"; do
+    [[ -n "$p" ]] && kill -9 "$p" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "ipgd_cluster_smoke: FAIL: $*" >&2
+  for i in 0 1 2; do
+    echo "--- replica $i log ---" >&2
+    cat "$workdir/r$i.log" >&2 2>/dev/null || true
+  done
+  exit 1
+}
+
+# json_field <field> — extract a top-level field from JSON on stdin.
+json_field() {
+  python3 -c 'import json,sys; print(json.load(sys.stdin)[sys.argv[1]])' "$1"
+}
+
+go build -o "$bin" ./cmd/ipgd
+
+# Pre-allocate three free ports: the static -peers list must be known
+# before any replica starts.
+read -r p0 p1 p2 < <(python3 - <<'EOF'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(*(s.getsockname()[1] for s in socks))
+for s in socks:
+    s.close()
+EOF
+)
+ports=("$p0" "$p1" "$p2")
+peers="http://127.0.0.1:$p0,http://127.0.0.1:$p1,http://127.0.0.1:$p2"
+
+for i in 0 1 2; do
+  "$bin" -addr "127.0.0.1:${ports[$i]}" \
+    -peers "$peers" -advertise "http://127.0.0.1:${ports[$i]}" \
+    -peer-breaker-threshold 1 -peer-breaker-cooldown 1h \
+    >"$workdir/r$i.log" 2>&1 &
+  pids[$i]=$!
+done
+
+for i in 0 1 2; do
+  up=""
+  for _ in $(seq 1 50); do
+    grep -q 'cluster mode, 3 peers' "$workdir/r$i.log" 2>/dev/null && up=1 && break
+    kill -0 "${pids[$i]}" 2>/dev/null || fail "replica $i exited at startup"
+    sleep 0.1
+  done
+  [[ -n "$up" ]] || fail "replica $i never logged cluster mode"
+done
+echo "ipgd_cluster_smoke: 3 replicas at ${ports[*]}"
+
+# Cluster flags must be validated: a bad peer list is a usage error (2).
+"$bin" -peers 'not-a-url' -advertise 'http://x:1' 2>/dev/null && fail "bad -peers accepted"
+rc=0; "$bin" -peers 'not-a-url' -advertise 'http://x:1' 2>/dev/null || rc=$?
+[[ "$rc" == "2" ]] || fail "bad -peers exited $rc, want 2"
+
+queries=(
+  'net=hsn&l=2&nucleus=q2'
+  'net=hsn&l=3&nucleus=q2'
+  'net=ring-cn&l=3&nucleus=q2'
+  'net=complete-cn&l=3&nucleus=q2'
+  'net=sfn&l=3&nucleus=q2'
+  'net=hypercube&dim=6&logm=2'
+  'net=torus&k=8&side=2'
+  'net=ccc&dim=4'
+)
+
+# Hammer: every key through every replica.  Non-owners must peer-fill,
+# so each request answers 200 no matter which replica the client picked.
+for q in "${queries[@]}"; do
+  for i in 0 1 2; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 15 \
+      "http://127.0.0.1:${ports[$i]}/v1/build?$q")
+    [[ "$code" == "200" ]] || fail "/v1/build?$q on replica $i returned HTTP $code"
+  done
+done
+
+# Exactly one build per key cluster-wide: the per-replica local_builds
+# counters on /v1/cluster must sum to the number of distinct keys.
+total=0
+for i in 0 1 2; do
+  n=$(curl -sS --max-time 10 "http://127.0.0.1:${ports[$i]}/v1/cluster" | json_field local_builds) \
+    || fail "/v1/cluster on replica $i"
+  total=$((total + n))
+done
+[[ "$total" == "${#queries[@]}" ]] \
+  || fail "cluster performed $total builds for ${#queries[@]} keys, want exactly one each"
+echo "ipgd_cluster_smoke: one build per key confirmed ($total/${#queries[@]})"
+
+# Pick a victim that owns the first golden key, SIGKILL it (no drain,
+# no goodbye), and assert the survivors keep answering and rehash its
+# ownership.
+key='hsn|l=2|nucleus=q2'
+owner=$(curl -sG --max-time 10 --data-urlencode "key=$key" \
+  "http://127.0.0.1:${ports[0]}/v1/cluster" | json_field owner) || fail "ownership lookup"
+victim=-1
+for i in 0 1 2; do
+  [[ "$owner" == "http://127.0.0.1:${ports[$i]}" ]] && victim=$i
+done
+[[ "$victim" -ge 0 ]] || fail "owner $owner is not one of the replicas"
+echo "ipgd_cluster_smoke: killing replica $victim ($owner)"
+kill -9 "${pids[$victim]}"
+wait "${pids[$victim]}" 2>/dev/null || true
+pids[$victim]=""
+
+survivors=()
+for i in 0 1 2; do [[ "$i" != "$victim" ]] && survivors+=("$i"); done
+
+for q in "${queries[@]}"; do
+  for i in "${survivors[@]}"; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 20 \
+      "http://127.0.0.1:${ports[$i]}/v1/build?$q")
+    [[ "$code" == "200" ]] || fail "post-kill /v1/build?$q on replica $i returned HTTP $code"
+  done
+done
+
+for i in "${survivors[@]}"; do
+  now=$(curl -sG --max-time 10 --data-urlencode "key=$key" \
+    "http://127.0.0.1:${ports[$i]}/v1/cluster" | json_field owner) || fail "post-kill ownership lookup"
+  [[ "$now" != "$owner" ]] || fail "replica $i still assigns $key to the dead replica"
+  code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 "http://127.0.0.1:${ports[$i]}/healthz")
+  [[ "$code" == "200" ]] || fail "survivor $i healthz returned HTTP $code"
+done
+echo "ipgd_cluster_smoke: ownership rehashed off the dead replica"
+
+# Clean shutdown of the survivors.
+for i in "${survivors[@]}"; do
+  kill -TERM "${pids[$i]}"
+done
+for i in "${survivors[@]}"; do
+  for _ in $(seq 1 50); do
+    kill -0 "${pids[$i]}" 2>/dev/null || break
+    sleep 0.1
+  done
+  kill -0 "${pids[$i]}" 2>/dev/null && fail "replica $i still running 5s after SIGTERM"
+  wait "${pids[$i]}" 2>/dev/null || true
+  pids[$i]=""
+done
+
+echo "ipgd_cluster_smoke: OK"
