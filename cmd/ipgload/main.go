@@ -1,0 +1,594 @@
+// Command ipgload is the load generator for ipgd: it drives mixed
+// endpoint workloads (metrics, route, simulate, degraded metrics,
+// healthz) over hot/cold key mixes and reports latency quantiles from
+// HDR-style histograms.
+//
+// The default open-loop mode schedules requests at a fixed target rate
+// and measures every latency from the request's *intended* start time,
+// so a stalled server inflates the recorded tail instead of silently
+// slowing the request stream — the coordinated-omission mistake most
+// closed-loop benchmarks make.  Closed-loop mode (back-to-back workers)
+// is available for saturation probing.
+//
+// Usage examples:
+//
+//	ipgload -url http://127.0.0.1:8080 -rps 2000 -duration 30s
+//	ipgload -url http://127.0.0.1:8080 -mode closed -conns 64 -duration 10s
+//	ipgload -url http://127.0.0.1:8080 -rps 500 -find-max-rps -slo-p99 20ms -out BENCH_SERVE.json
+//	ipgload -url http://127.0.0.1:8080 -rps 1000 -duration 30s -baseline scripts/bench_serve_baseline.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipg/internal/loadgen"
+)
+
+func main() {
+	cfg := parseFlags(os.Args[1:])
+
+	wl, err := buildWorkload(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("priming %d keys against %s...\n", len(wl.keys), cfg.url)
+	if err := wl.prime(); err != nil {
+		fail(err)
+	}
+
+	if cfg.warmup > 0 {
+		fmt.Printf("warmup: closed loop, %d conns, %v\n", cfg.conns, cfg.warmup)
+		_, err := loadgen.Run(context.Background(), loadgen.Options{
+			Conns:    cfg.conns,
+			Duration: cfg.warmup,
+			Classes:  len(wl.classes),
+		}, wl.do)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	opts := loadgen.Options{
+		OpenLoop: cfg.mode == "open",
+		RPS:      cfg.rps,
+		Conns:    cfg.conns,
+		Duration: cfg.duration,
+		Classes:  len(wl.classes),
+	}
+	fmt.Printf("measuring: %s loop, %d conns, %v, mix %s\n", cfg.mode, cfg.conns, cfg.duration, cfg.mix)
+	res, err := loadgen.Run(context.Background(), opts, wl.do)
+	if err != nil {
+		fail(err)
+	}
+
+	rep := &loadgen.Report{
+		Tool:      "ipgload",
+		Note:      cfg.note,
+		Mode:      cfg.mode,
+		TargetRPS: cfg.rps,
+		Conns:     cfg.conns,
+		Duration:  cfg.duration.String(),
+		Mix:       cfg.mix,
+		Hot:       cfg.hot,
+		SLOP99us:  float64(cfg.sloP99.Nanoseconds()) / 1e3,
+		Endpoints: map[string]loadgen.EndpointStats{},
+	}
+	elapsed := res.Elapsed.Seconds()
+	for ci, name := range wl.classes {
+		rep.Endpoints[name] = loadgen.StatsFor(&res.Class[ci], elapsed)
+	}
+	printResult(res, wl.classes, rep)
+
+	if cfg.findMax {
+		if err := findMaxRPS(cfg, wl, rep); err != nil {
+			fail(err)
+		}
+	}
+
+	if cfg.out != "" {
+		body, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		body = append(body, '\n')
+		if err := os.WriteFile(cfg.out, body, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("report written to %s\n", cfg.out)
+	}
+
+	if cfg.baseline != "" {
+		if code := gate(rep, cfg.baseline, cfg.tol); code != 0 {
+			os.Exit(code)
+		}
+	}
+}
+
+// config is the parsed and validated command line.
+type config struct {
+	url      string
+	mode     string
+	rps      float64
+	conns    int
+	duration time.Duration
+	warmup   time.Duration
+	mix      string
+	hot      float64
+	coldKeys int
+	seed     int64
+	out      string
+	baseline string
+	tol      float64
+	sloP99   time.Duration
+	findMax  bool
+	note     string
+}
+
+func parseFlags(args []string) config {
+	fs := flag.NewFlagSet("ipgload", flag.ExitOnError)
+	var c config
+	fs.StringVar(&c.url, "url", "", "base URL of the ipgd instance (required)")
+	fs.StringVar(&c.mode, "mode", "open", "pacing model: open (target-RPS schedule, CO-safe) | closed (saturating workers)")
+	fs.Float64Var(&c.rps, "rps", 0, "open-loop target request rate (required for -mode open)")
+	fs.IntVar(&c.conns, "conns", 16, "concurrent connections (workers)")
+	fs.DurationVar(&c.duration, "duration", 10*time.Second, "measurement duration")
+	fs.DurationVar(&c.warmup, "warmup", 2*time.Second, "closed-loop warmup before measuring (0 disables)")
+	fs.StringVar(&c.mix, "mix", "healthz=1,metrics=6,route=2,simulate=1", "endpoint mix as name=weight, endpoints: healthz|metrics|route|simulate|fmetrics")
+	fs.Float64Var(&c.hot, "hot", 0.9, "fraction of metrics/route requests using the hot key set (the rest use -cold-keys generated keys)")
+	fs.IntVar(&c.coldKeys, "cold-keys", 24, "size of the cold key universe")
+	fs.Int64Var(&c.seed, "seed", 1, "deterministic request schedule seed")
+	fs.StringVar(&c.out, "out", "", "write the JSON report here")
+	fs.StringVar(&c.baseline, "baseline", "", "baseline report to gate against (exit 1 on p99 regression)")
+	fs.Float64Var(&c.tol, "tol", 0.15, "allowed relative p99 regression vs -baseline")
+	fs.DurationVar(&c.sloP99, "slo-p99", 0, "p99 latency SLO (required by -find-max-rps, recorded in the report otherwise)")
+	fs.BoolVar(&c.findMax, "find-max-rps", false, "after the measurement run, ladder-search each endpoint's max open-loop RPS with p99 within -slo-p99")
+	fs.StringVar(&c.note, "note", "", "free-form note recorded in the report")
+	_ = fs.Parse(args)
+	if fs.NArg() > 0 {
+		usageError("unexpected arguments: %v", fs.Args())
+	}
+
+	rpsProvided := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "rps" {
+			rpsProvided = true
+		}
+	})
+	if err := validate(c, rpsProvided); err != nil {
+		usageError("%v", err)
+	}
+	return c
+}
+
+// validate checks flag consistency; inapplicable combinations are usage
+// errors, matching ipgtool/ipgsim conventions.
+func validate(c config, rpsProvided bool) error {
+	if c.url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	switch c.mode {
+	case "open":
+		if c.rps <= 0 {
+			return fmt.Errorf("-mode open needs a positive -rps, got %v", c.rps)
+		}
+	case "closed":
+		if rpsProvided {
+			return fmt.Errorf("-rps does not apply to -mode closed (closed loop saturates -conns workers)")
+		}
+		if c.findMax {
+			return fmt.Errorf("-find-max-rps does not apply to -mode closed (the search is an open-loop ladder)")
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (open|closed)", c.mode)
+	}
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %v", c.duration)
+	}
+	if c.warmup < 0 {
+		return fmt.Errorf("-warmup must be >= 0, got %v", c.warmup)
+	}
+	if c.conns < 1 {
+		return fmt.Errorf("-conns must be >= 1, got %d", c.conns)
+	}
+	if c.hot < 0 || c.hot > 1 {
+		return fmt.Errorf("-hot must be in [0, 1], got %v", c.hot)
+	}
+	if c.coldKeys < 1 {
+		return fmt.Errorf("-cold-keys must be >= 1, got %d", c.coldKeys)
+	}
+	if c.tol <= 0 {
+		return fmt.Errorf("-tol must be positive, got %v", c.tol)
+	}
+	if c.findMax && c.sloP99 <= 0 {
+		return fmt.Errorf("-find-max-rps needs a positive -slo-p99 to search against")
+	}
+	if _, err := parseMix(c.mix); err != nil {
+		return err
+	}
+	return nil
+}
+
+// endpointOrder is the canonical class order; class indexes and report
+// sections follow it.
+var endpointOrder = []string{"healthz", "metrics", "route", "simulate", "fmetrics"}
+
+// parseMix decodes "-mix name=weight,..." into per-endpoint weights.
+func parseMix(mix string) (map[string]int, error) {
+	known := map[string]bool{}
+	for _, e := range endpointOrder {
+		known[e] = true
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-mix entry %q is not name=weight", part)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("-mix endpoint %q unknown (%s)", name, strings.Join(endpointOrder, "|"))
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-mix weight for %q must be a positive integer, got %q", name, val)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("-mix endpoint %q listed twice", name)
+		}
+		out[name] = w
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-mix is empty")
+	}
+	return out, nil
+}
+
+// hotQueries is the hot key set: the same golden families the cluster
+// smoke test hammers, spanning every topology class the daemon serves.
+var hotQueries = []string{
+	"net=hsn&l=2&nucleus=q2",
+	"net=hsn&l=3&nucleus=q2",
+	"net=ring-cn&l=3&nucleus=q2",
+	"net=complete-cn&l=3&nucleus=q2",
+	"net=sfn&l=3&nucleus=q2",
+	"net=hypercube&dim=6&logm=2",
+	"net=torus&k=8&side=2",
+	"net=ccc&dim=4",
+}
+
+// simQueries are small instances of families with a packet-level
+// simulator, safe for /v1/simulate at load.
+var simQueries = []string{
+	"net=hypercube&dim=6&logm=2",
+	"net=torus&k=8&side=2",
+	"net=hsn&l=2&nucleus=q2",
+}
+
+// faultQueries are small materialized instances for per-request degraded
+// metrics (CPU-bound survivability sweeps).
+var faultQueries = []string{
+	"net=hypercube&dim=6&logm=2",
+	"net=torus&k=8&side=2",
+	"net=ccc&dim=4",
+}
+
+// coldQueries generates n distinct valid key queries outside the hot
+// set, cycling parameterized families.
+func coldQueries(n int) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, q := range hotQueries {
+		seen[q] = true
+	}
+	add := func(q string) {
+		if !seen[q] && len(out) < n {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	for round := 0; len(out) < n && round < 4; round++ {
+		for dim := 4; dim <= 10; dim++ {
+			for logm := 1; logm <= 2+round; logm++ {
+				if logm < dim {
+					add(fmt.Sprintf("net=hypercube&dim=%d&logm=%d", dim, logm))
+				}
+			}
+		}
+		// Torus chip tilings must be balanced: side | k and k/side even.
+		for _, t := range []string{"k=4&side=2", "k=12&side=2", "k=16&side=2", "k=6&side=3", "k=12&side=3", "k=8&side=4"} {
+			add("net=torus&" + t)
+		}
+		for dim := 3; dim <= 8; dim++ {
+			add(fmt.Sprintf("net=ccc&dim=%d", dim))
+		}
+		add("net=ring-cn&l=2&nucleus=q2")
+		add("net=complete-cn&l=2&nucleus=q2")
+		add("net=sfn&l=2&nucleus=q2")
+		add("net=hsn&l=2&nucleus=q3")
+		add("net=hsn&l=3&nucleus=q3")
+	}
+	return out
+}
+
+// keyInfo is one primed key: its query string and node count (learned
+// from /v1/build during priming, needed for route src/dst).
+type keyInfo struct {
+	query string
+	n     int
+}
+
+// workload generates deterministic mixed traffic.  All request choices
+// derive from a splitmix64 stream seeded by the request index, so a run
+// is reproducible given the same flags.
+type workload struct {
+	cfg     config
+	client  *http.Client
+	classes []string // endpoint per class index
+	cum     []int    // cumulative mix weights, aligned with classes
+	total   int
+
+	keys    []keyInfo // hot keys first, then cold
+	nHot    int
+	simKeys []keyInfo // simulator-capable subset for /v1/simulate
+	fltKeys []keyInfo // materialized subset for degraded metrics
+}
+
+func buildWorkload(cfg config) (*workload, error) {
+	weights, err := parseMix(cfg.mix)
+	if err != nil {
+		return nil, err
+	}
+	wl := &workload{
+		cfg: cfg,
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        2 * cfg.conns,
+				MaxIdleConnsPerHost: 2 * cfg.conns,
+				IdleConnTimeout:     90 * time.Second,
+			},
+			Timeout: 60 * time.Second,
+		},
+	}
+	for _, name := range endpointOrder {
+		if w, ok := weights[name]; ok {
+			wl.classes = append(wl.classes, name)
+			wl.total += w
+			wl.cum = append(wl.cum, wl.total)
+		}
+	}
+	for _, q := range hotQueries {
+		wl.keys = append(wl.keys, keyInfo{query: q})
+	}
+	wl.nHot = len(wl.keys)
+	for _, q := range coldQueries(cfg.coldKeys) {
+		wl.keys = append(wl.keys, keyInfo{query: q})
+	}
+	return wl, nil
+}
+
+// prime builds every key once via /v1/build and learns its node count.
+func (wl *workload) prime() error {
+	for i := range wl.keys {
+		k := &wl.keys[i]
+		resp, err := wl.client.Get(wl.cfg.url + "/v1/build?" + k.query)
+		if err != nil {
+			return fmt.Errorf("priming %s: %w", k.query, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("priming %s: status %d: %s", k.query, resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		var b struct {
+			Nodes int `json:"nodes"`
+		}
+		if err := json.Unmarshal(body, &b); err != nil {
+			return fmt.Errorf("priming %s: %w", k.query, err)
+		}
+		k.n = b.Nodes
+	}
+	byQuery := map[string]keyInfo{}
+	for _, k := range wl.keys {
+		byQuery[k.query] = k
+	}
+	for _, q := range simQueries {
+		if k, ok := byQuery[q]; ok {
+			wl.simKeys = append(wl.simKeys, k)
+		}
+	}
+	for _, q := range faultQueries {
+		if k, ok := byQuery[q]; ok {
+			wl.fltKeys = append(wl.fltKeys, k)
+		}
+	}
+	return nil
+}
+
+// splitmix64 is the per-request PRNG step: one multiply-shift chain per
+// draw, no shared state between workers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pickKey selects a hot or cold key for request stream h.
+func (wl *workload) pickKey(h uint64) keyInfo {
+	hotDraw := float64(splitmix64(h^0xa5a5)&0xfffff) / float64(1<<20)
+	if hotDraw < wl.cfg.hot || wl.nHot == len(wl.keys) {
+		return wl.keys[int(h%uint64(wl.nHot))]
+	}
+	cold := wl.keys[wl.nHot:]
+	return cold[int(h%uint64(len(cold)))]
+}
+
+// do issues request i: the endpoint class is drawn from the mix
+// weights, then doClass picks keys and parameters — all derived
+// deterministically from i.
+func (wl *workload) do(i int64) (int, error) {
+	h := splitmix64(uint64(i) ^ uint64(wl.cfg.seed)<<17)
+	draw := int(h % uint64(wl.total))
+	class := 0
+	for draw >= wl.cum[class] {
+		class++
+	}
+	_, err := wl.doClass(wl.classes[class], i)
+	return class, err
+}
+
+// doClass issues one request against a fixed endpoint class (do routes
+// mixed traffic here; the find-max ladder calls it directly).
+func (wl *workload) doClass(name string, i int64) (int, error) {
+	h := splitmix64(splitmix64(uint64(i) ^ uint64(wl.cfg.seed)<<17))
+	var url string
+	switch name {
+	case "healthz":
+		url = wl.cfg.url + "/healthz"
+	case "metrics":
+		url = wl.cfg.url + "/v1/metrics?" + wl.pickKey(h).query
+	case "route":
+		k := wl.pickKey(h)
+		if k.n < 2 {
+			k = wl.keys[0]
+		}
+		h2 := splitmix64(h)
+		url = fmt.Sprintf("%s/v1/route?%s&src=%d&dst=%d", wl.cfg.url, k.query,
+			int(h%uint64(k.n)), int(h2%uint64(k.n)))
+	case "simulate":
+		k := wl.simKeys[int(h%uint64(len(wl.simKeys)))]
+		url = fmt.Sprintf("%s/v1/simulate?%s&workload=random&rate=0.1&warmup=5&measure=20&seed=%d",
+			wl.cfg.url, k.query, 1+int(splitmix64(h)%64))
+	case "fmetrics":
+		k := wl.fltKeys[int(h%uint64(len(wl.fltKeys)))]
+		url = fmt.Sprintf("%s/v1/metrics?%s&faults=3&fmode=node&fseed=%d",
+			wl.cfg.url, k.query, 1+int(splitmix64(h)%64))
+	}
+	resp, err := wl.client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotModified {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return 0, nil
+}
+
+// findMaxRPS ladder-searches, per endpoint, the highest open-loop target
+// RPS whose measured p99 stays within the SLO (and whose error rate
+// stays under 1%).  Each rung runs for the configured duration; rungs
+// grow by 1.5x from the -rps starting point.
+func findMaxRPS(cfg config, wl *workload, rep *loadgen.Report) error {
+	const growth = 1.5
+	const maxRungs = 14
+	stageDur := cfg.duration
+	if stageDur > 5*time.Second {
+		stageDur = 5 * time.Second
+	}
+	for _, name := range wl.classes {
+		rate := cfg.rps
+		best := 0.0
+		for rung := 0; rung < maxRungs; rung++ {
+			res, err := loadgen.Run(context.Background(), loadgen.Options{
+				OpenLoop: true,
+				RPS:      rate,
+				Conns:    cfg.conns,
+				Duration: stageDur,
+			}, func(i int64) (int, error) { return wl.doClass(name, i) })
+			if err != nil {
+				return err
+			}
+			p99 := res.Total.Quantile(0.99)
+			errRate := 0.0
+			if res.Sent > 0 {
+				errRate = float64(res.Errors()) / float64(res.Sent+res.Dropped)
+			}
+			ok := p99 <= cfg.sloP99 && errRate <= 0.01 && res.Dropped == 0
+			fmt.Printf("find-max %-9s rps=%-8.0f p99=%-10v errs=%.2f%% -> %s\n",
+				name, rate, p99, errRate*100, map[bool]string{true: "pass", false: "FAIL"}[ok])
+			if !ok {
+				break
+			}
+			best = rate
+			rate *= growth
+		}
+		st := rep.Endpoints[name]
+		st.MaxRPSAtSLO = best
+		rep.Endpoints[name] = st
+	}
+	return nil
+}
+
+// printResult writes the human-readable per-endpoint table.
+func printResult(res *loadgen.Result, classes []string, rep *loadgen.Report) {
+	fmt.Printf("\n%-9s %9s %7s %12s %10s %10s %10s %10s\n",
+		"endpoint", "requests", "errors", "rps", "p50", "p99", "p999", "max")
+	for ci, name := range classes {
+		c := &res.Class[ci]
+		st := rep.Endpoints[name]
+		fmt.Printf("%-9s %9d %7d %12.1f %10v %10v %10v %10v\n",
+			name, c.Requests.Load(), c.Errors.Load(), st.ThroughputRPS,
+			c.Hist.Quantile(0.50), c.Hist.Quantile(0.99), c.Hist.Quantile(0.999), c.Hist.Max())
+	}
+	fmt.Printf("%-9s %9d %7d %12.1f %10v %10v %10v %10v\n",
+		"TOTAL", res.Sent, res.Errors(), res.ActualRPS(),
+		res.Total.Quantile(0.50), res.Total.Quantile(0.99), res.Total.Quantile(0.999), res.Total.Max())
+	if res.Dropped > 0 {
+		fmt.Printf("dropped %d scheduled requests at the drain deadline (server far below target rate)\n", res.Dropped)
+	}
+}
+
+// gate compares rep against the baseline file and returns the exit code.
+func gate(rep *loadgen.Report, baselinePath string, tol float64) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipgload: reading baseline: %v\n", err)
+		return 1
+	}
+	var base loadgen.Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "ipgload: parsing baseline: %v\n", err)
+		return 1
+	}
+	violations := loadgen.Compare(rep, &base, tol)
+	if len(violations) == 0 {
+		names := make([]string, 0, len(rep.Endpoints))
+		for n := range rep.Endpoints {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("p99 gate PASS vs %s (tol %.0f%%, endpoints: %s)\n", baselinePath, tol*100, strings.Join(names, " "))
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "ipgload: p99 gate FAIL vs %s:\n", baselinePath)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	return 1
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ipgload: "+format+"\n", args...)
+	fmt.Fprintf(os.Stderr, "run `ipgload -h` for usage\n")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ipgload: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validConfig() config {
+	return config{
+		url:      "http://127.0.0.1:8080",
+		mode:     "open",
+		rps:      100,
+		conns:    4,
+		duration: time.Second,
+		mix:      "healthz=1,metrics=6,route=2",
+		hot:      0.9,
+		coldKeys: 8,
+		tol:      0.15,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validate(validConfig(), true); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	c := validConfig()
+	c.mode = "closed"
+	c.rps = 0
+	if err := validate(c, false); err != nil {
+		t.Fatalf("valid closed config rejected: %v", err)
+	}
+	c = validConfig()
+	c.findMax = true
+	c.sloP99 = 20 * time.Millisecond
+	if err := validate(c, true); err != nil {
+		t.Fatalf("valid find-max config rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsInapplicableCombos(t *testing.T) {
+	cases := []struct {
+		name        string
+		mutate      func(*config)
+		rpsProvided bool
+		wantSubstr  string
+	}{
+		{"missing url", func(c *config) { c.url = "" }, true, "-url"},
+		{"closed with rps", func(c *config) { c.mode = "closed" }, true, "does not apply"},
+		{"closed with find-max", func(c *config) { c.mode = "closed"; c.findMax = true; c.sloP99 = time.Millisecond }, false, "does not apply"},
+		{"unknown mode", func(c *config) { c.mode = "burst" }, true, "unknown -mode"},
+		{"open without rps", func(c *config) { c.rps = 0 }, false, "-rps"},
+		{"zero duration", func(c *config) { c.duration = 0 }, true, "-duration"},
+		{"negative warmup", func(c *config) { c.warmup = -time.Second }, true, "-warmup"},
+		{"zero conns", func(c *config) { c.conns = 0 }, true, "-conns"},
+		{"hot above 1", func(c *config) { c.hot = 1.5 }, true, "-hot"},
+		{"zero cold keys", func(c *config) { c.coldKeys = 0 }, true, "-cold-keys"},
+		{"zero tol", func(c *config) { c.tol = 0 }, true, "-tol"},
+		{"find-max without slo", func(c *config) { c.findMax = true }, true, "-slo-p99"},
+		{"bad mix entry", func(c *config) { c.mix = "metrics" }, true, "name=weight"},
+		{"unknown mix endpoint", func(c *config) { c.mix = "metrics=1,teleport=2" }, true, "unknown"},
+		{"zero mix weight", func(c *config) { c.mix = "metrics=0" }, true, "positive integer"},
+		{"duplicate mix endpoint", func(c *config) { c.mix = "metrics=1,metrics=2" }, true, "twice"},
+		{"empty mix", func(c *config) { c.mix = " , " }, true, "empty"},
+	}
+	for _, tc := range cases {
+		c := validConfig()
+		tc.mutate(&c)
+		err := validate(c, tc.rpsProvided)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSubstr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSubstr)
+		}
+	}
+}
+
+func TestParseMixWeights(t *testing.T) {
+	m, err := parseMix("healthz=1, metrics=6,route=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["healthz"] != 1 || m["metrics"] != 6 || m["route"] != 2 {
+		t.Errorf("unexpected weights: %v", m)
+	}
+}
+
+func TestColdQueriesDistinctAndDisjoint(t *testing.T) {
+	hot := map[string]bool{}
+	for _, q := range hotQueries {
+		hot[q] = true
+	}
+	cold := coldQueries(24)
+	if len(cold) != 24 {
+		t.Fatalf("wanted 24 cold queries, got %d", len(cold))
+	}
+	seen := map[string]bool{}
+	for _, q := range cold {
+		if hot[q] {
+			t.Errorf("cold query %q is in the hot set", q)
+		}
+		if seen[q] {
+			t.Errorf("cold query %q duplicated", q)
+		}
+		seen[q] = true
+	}
+}
+
+func TestWorkloadClassDrawMatchesMix(t *testing.T) {
+	cfg := validConfig()
+	wl, err := buildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"healthz", "metrics", "route"}; strings.Join(wl.classes, ",") != strings.Join(want, ",") {
+		t.Fatalf("classes = %v, want %v", wl.classes, want)
+	}
+	// The class draw must follow the 1:6:2 weights.
+	counts := make([]int, len(wl.classes))
+	for i := int64(0); i < 90_000; i++ {
+		h := splitmix64(uint64(i) ^ uint64(wl.cfg.seed)<<17)
+		draw := int(h % uint64(wl.total))
+		class := 0
+		for draw >= wl.cum[class] {
+			class++
+		}
+		counts[class]++
+	}
+	for ci, want := range []float64{1.0 / 9, 6.0 / 9, 2.0 / 9} {
+		got := float64(counts[ci]) / 90_000
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("class %s drawn %.3f of the time, want ~%.3f", wl.classes[ci], got, want)
+		}
+	}
+}

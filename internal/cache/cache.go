@@ -131,8 +131,9 @@ func New(cfg Config) *Cache {
 	return c
 }
 
-// shardFor hashes the key (FNV-1a) onto a shard.
-func (c *Cache) shardFor(key string) *shard {
+// fnv32 is the FNV-1a shard hash.  It is generic over string/[]byte so
+// Lookup can hash a pooled key buffer without converting it to a string.
+func fnv32[K string | []byte](key K) uint32 {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -142,7 +143,12 @@ func (c *Cache) shardFor(key string) *shard {
 		h ^= uint32(key[i])
 		h *= prime32
 	}
-	return &c.shards[h&c.mask]
+	return h
+}
+
+// shardFor hashes the key (FNV-1a) onto a shard.
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[fnv32(key)&c.mask]
 }
 
 // GetOrBuild returns the cached value for key, joining an in-flight build
@@ -185,6 +191,26 @@ func (c *Cache) GetOrBuild(ctx context.Context, key string, build BuildFunc) (va
 		s.abandon(f)
 		return nil, hit, ctx.Err()
 	}
+}
+
+// Lookup returns the cached value for key with GetOrBuild's hit
+// semantics — the hit is counted and the entry moves to the LRU front —
+// but it never builds or joins a flight on miss, and a miss is not
+// counted (the caller's follow-up GetOrBuild counts it when it starts
+// the build).  The key is accepted as []byte and never retained, so hot
+// request paths can pass a pooled key buffer: the map access compiles to
+// a no-allocation string conversion, making a warm lookup allocation-free.
+func (c *Cache) Lookup(key []byte) (Value, bool) {
+	s := &c.shards[fnv32(key)&c.mask]
+	s.mu.Lock()
+	if e := s.entries[string(key)]; e != nil {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.val, true
+	}
+	s.mu.Unlock()
+	return nil, false
 }
 
 // Get peeks at the cache without building, joining flights, counting a

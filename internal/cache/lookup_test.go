@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLookup covers the byte-keyed probe: misses are silent (no counter,
+// no build), hits count and refresh LRU recency exactly like GetOrBuild,
+// and the []byte key is never retained.
+func TestLookup(t *testing.T) {
+	c := New(Config{Shards: 1})
+	if v, ok := c.Lookup([]byte("a")); ok || v != nil {
+		t.Fatalf("Lookup on empty cache = %v, %v", v, ok)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("miss must not touch counters: %+v", st)
+	}
+
+	var builds atomic.Int64
+	ctx := context.Background()
+	for _, k := range []string{"a", "b"} {
+		if _, _, err := c.GetOrBuild(ctx, k, constBuild(&builds, 1, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Single shard: LRU order is global. "b" is most recent; a Lookup on
+	// "a" must move it back to the front.
+	v, ok := c.Lookup([]byte("a"))
+	if !ok || v.(blob).id != 1 {
+		t.Fatalf("Lookup(a) = %v, %v", v, ok)
+	}
+	if keys := c.Keys(); len(keys) != 2 || keys[0] != "a" {
+		t.Fatalf("Lookup did not refresh recency: %v", keys)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1 hit (the Lookup) and 2 misses", st.Hits, st.Misses)
+	}
+
+	// Mutating the key buffer after Lookup must not corrupt the cache:
+	// the map key is a copy, not an alias.
+	kb := []byte("b")
+	if _, ok := c.Lookup(kb); !ok {
+		t.Fatal("Lookup(b) missed")
+	}
+	kb[0] = 'X'
+	if _, ok := c.Lookup([]byte("b")); !ok {
+		t.Fatal("entry for b vanished after caller mutated its key buffer")
+	}
+
+	// A Lookup miss followed by GetOrBuild preserves the one-miss
+	// accounting the smoke tests assert on.
+	if _, ok := c.Lookup([]byte("c")); ok {
+		t.Fatal("Lookup(c) hit before build")
+	}
+	if _, hit, err := c.GetOrBuild(ctx, "c", constBuild(&builds, 3, 10)); err != nil || hit {
+		t.Fatalf("GetOrBuild(c): hit=%v err=%v", hit, err)
+	}
+	st = c.Stats()
+	// Three hits so far: Lookup(a) and the two Lookup(b) probes.
+	if st.Hits != 3 || st.Misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 3/3", st.Hits, st.Misses)
+	}
+}
+
+// TestLookupZeroAllocs asserts the warm byte-keyed probe does not
+// allocate — the property the serving hot path builds on.
+func TestLookupZeroAllocs(t *testing.T) {
+	c := New(Config{})
+	var builds atomic.Int64
+	if _, _, err := c.GetOrBuild(context.Background(), "hot", constBuild(&builds, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("hot")
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Lookup(key); !ok {
+			t.Fatal("warm Lookup missed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Lookup: %.2f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,166 @@
+// Package loadgen is the measurement core behind cmd/ipgload: an
+// HDR-style log-bucketed latency histogram with exact merge, and
+// coordinated-omission-safe open-loop / closed-loop load runners.  The
+// package is HTTP-agnostic — callers supply a Do function — so the
+// scheduling and recording logic is testable without sockets.
+package loadgen
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values (nanoseconds) are grouped by power of
+// two, each power split into 64 linear sub-buckets, so every recorded
+// value lands in a bucket whose width is at most 1/64 (~1.6%) of the
+// value.  Values below 128ns are bucketed exactly.  The full non-negative
+// int64 range fits in a fixed array, so Record is two shifts and an
+// atomic add — cheap enough to sit on the measurement path — and Merge is
+// element-wise addition, which is exact and associative: per-worker
+// histograms combine without losing tail fidelity, unlike sampled or
+// decaying reservoirs.
+const (
+	subBucketBits = 6
+	subBuckets    = 1 << subBucketBits // 64
+	numBuckets    = 64 * subBuckets    // covers all of int64
+)
+
+// Histogram is a concurrency-safe log-linear latency histogram.  Record
+// and Merge use atomics so many workers can share one histogram; the
+// read-side methods (Quantile, Count, Max) take a racy snapshot and are
+// meant to be called after the workers have stopped.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // total nanoseconds, for Mean
+	max    atomic.Int64
+}
+
+// bucketOf maps a non-negative value to its bucket index.  Values in
+// [0, 2*subBuckets) map to themselves (exact); larger values keep their
+// top 1+subBucketBits bits.
+func bucketOf(v int64) int {
+	if v < 2*subBuckets {
+		return int(v)
+	}
+	shift := uint(bits.Len64(uint64(v))) - 1 - subBucketBits
+	return int(shift+1)<<subBucketBits + int(v>>shift) - subBuckets
+}
+
+// bucketMax returns the largest value that maps to bucket index i — the
+// representative value Quantile reports, so quantiles never understate.
+func bucketMax(i int) int64 {
+	if i < 2*subBuckets {
+		return int64(i)
+	}
+	shift := uint(i>>subBucketBits) - 1
+	mantissa := int64(i&(subBuckets-1)) + subBuckets
+	return (mantissa+1)<<shift - 1
+}
+
+// Record adds one latency observation.  Negative values (clock skew)
+// clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Merge adds o's observations into h.  The merge is exact: bucket counts
+// add element-wise, so quantiles of the merged histogram equal quantiles
+// of the concatenated sample streams (to bucket resolution) regardless
+// of how the streams were split or the order of merging.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Max returns the largest recorded value exactly (not bucket-rounded).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean of the recorded values.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper bound of
+// the bucket containing the ceil(q*count)-th smallest observation, so the
+// reported value is >= the true quantile and at most ~1.6% above it.
+// The exact maximum is reported for q high enough to select the last
+// observation.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= n {
+		return h.Max()
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketMax(i))
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot returns the raw bucket counts (for tests asserting exactness).
+func (h *Histogram) Snapshot() []uint64 {
+	out := make([]uint64, numBuckets)
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// String summarizes the distribution for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d p50=%v p99=%v p999=%v max=%v}",
+		h.Count(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+}

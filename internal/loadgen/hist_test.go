@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistExactSmallValues(t *testing.T) {
+	// Values below 2*subBuckets ns land in exact unit buckets, so every
+	// quantile of a small-value distribution is exact.
+	var h Histogram
+	for v := 1; v <= 100; v++ {
+		h.Record(time.Duration(v))
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.01, 1}, {0.50, 50}, {0.99, 99}, {1.0, 100},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d, want 100", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %v, want 100ns", h.Max())
+	}
+}
+
+func TestHistGoldenQuantilesUniform(t *testing.T) {
+	// Uniform 1..1_000_000 ns: every quantile is known analytically and
+	// the log-bucketed estimate must sit within one bucket width (~1.6%)
+	// above it.
+	var h Histogram
+	for v := int64(1); v <= 1_000_000; v++ {
+		h.Record(time.Duration(v))
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.99, 0.999} {
+		want := q * 1e6
+		got := float64(h.Quantile(q))
+		if got < want {
+			t.Errorf("Quantile(%v) = %v, below true value %v (quantiles must never understate)", q, got, want)
+		}
+		if got > want*1.02 {
+			t.Errorf("Quantile(%v) = %v, more than 2%% above true value %v", q, got, want)
+		}
+	}
+	if h.Max() != 1_000_000 {
+		t.Errorf("Max = %v, want 1ms", h.Max())
+	}
+}
+
+func TestHistGoldenQuantilesBimodal(t *testing.T) {
+	// 99 fast (10us) : 1 slow (10ms) — the tail shape a stalled server
+	// produces.  p50 must report the fast mode, p999 the slow one.
+	var h Histogram
+	for i := 0; i < 9900; i++ {
+		h.Record(10 * time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(10 * time.Millisecond)
+	}
+	if p50 := h.Quantile(0.50); p50 < 10*time.Microsecond || p50 > 11*time.Microsecond {
+		t.Errorf("p50 = %v, want ~10us", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 > 11*time.Microsecond {
+		t.Errorf("p99 = %v, want the fast mode (the slow mode is exactly the last 1%%)", p99)
+	}
+	if p999 := h.Quantile(0.999); p999 < 10*time.Millisecond {
+		t.Errorf("p999 = %v, want the 10ms mode", p999)
+	}
+}
+
+func TestHistMergeExactAndAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]time.Duration, 30_000)
+	for i := range samples {
+		// Log-uniform over ~6 decades, heavy on the tail.
+		samples[i] = time.Duration(1 + rng.Int63n(1<<uint(10+rng.Intn(30))))
+	}
+	var whole Histogram
+	var parts [3]Histogram
+	for i, s := range samples {
+		whole.Record(s)
+		parts[i%3].Record(s)
+	}
+
+	// (a+b)+c and a+(b+c) must both equal the unsplit histogram, bucket
+	// by bucket — the merge is exact, not approximate.
+	var left, right Histogram
+	left.Merge(&parts[0])
+	left.Merge(&parts[1])
+	left.Merge(&parts[2])
+	right.Merge(&parts[2])
+	right.Merge(&parts[1])
+	right.Merge(&parts[0])
+
+	ws, ls, rs := whole.Snapshot(), left.Snapshot(), right.Snapshot()
+	for i := range ws {
+		if ws[i] != ls[i] || ws[i] != rs[i] {
+			t.Fatalf("bucket %d: whole=%d left=%d right=%d — merge is not exact/associative", i, ws[i], ls[i], rs[i])
+		}
+	}
+	if whole.Count() != left.Count() || whole.Max() != left.Max() || whole.Mean() != left.Mean() {
+		t.Fatalf("summary stats diverge after merge: whole=%v left=%v", whole.String(), left.String())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		if whole.Quantile(q) != left.Quantile(q) || whole.Quantile(q) != right.Quantile(q) {
+			t.Fatalf("Quantile(%v) diverges after merge", q)
+		}
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back to that bucket,
+	// and bucket indexes must be monotone in the value.
+	last := -1
+	for _, v := range []int64{0, 1, 63, 64, 127, 128, 129, 1000, 12345, 1 << 20, 1<<40 + 12345, 1<<62 + 999} {
+		b := bucketOf(v)
+		if b < last {
+			t.Fatalf("bucketOf not monotone at %d", v)
+		}
+		last = b
+		if got := bucketOf(bucketMax(b)); got != b {
+			t.Errorf("bucketMax(%d)=%d maps to bucket %d", b, bucketMax(b), got)
+		}
+		if bucketMax(b) < v {
+			t.Errorf("bucketMax(%d)=%d below member value %d", b, bucketMax(b), v)
+		}
+	}
+}

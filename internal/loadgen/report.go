@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// calibrationEndpoint is the endpoint whose p99 normalizes the
+// regression gate.  /healthz is a single static write, so its tail is a
+// pure measure of the machine + HTTP stack; dividing every other
+// endpoint's p99 by it yields a tail-amplification ratio that is stable
+// across hardware, the same trick cmd/benchratio uses for kernel
+// speedups (raw ns/op cannot be compared against a file committed from
+// another machine, ratios can).
+const calibrationEndpoint = "healthz"
+
+// EndpointStats is one endpoint's measured latency profile in a Report.
+// Latencies are microseconds (float for JSON readability).
+type EndpointStats struct {
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50us         float64 `json:"p50_us"`
+	P99us         float64 `json:"p99_us"`
+	P999us        float64 `json:"p999_us"`
+	MaxUs         float64 `json:"max_us"`
+	MeanUs        float64 `json:"mean_us"`
+	// MaxRPSAtSLO is the highest open-loop target RPS at which this
+	// endpoint's measured p99 stayed within the run's SLO (present only
+	// when the run searched for it).
+	MaxRPSAtSLO float64 `json:"max_rps_at_slo,omitempty"`
+}
+
+// Report is the ipgload output document (BENCH_SERVE.json).
+type Report struct {
+	Tool      string                   `json:"tool"`
+	Note      string                   `json:"note"`
+	Mode      string                   `json:"mode"` // open | closed
+	TargetRPS float64                  `json:"target_rps,omitempty"`
+	Conns     int                      `json:"conns"`
+	Duration  string                   `json:"duration"`
+	Mix       string                   `json:"mix"`
+	Hot       float64                  `json:"hot_fraction"`
+	SLOP99us  float64                  `json:"slo_p99_us,omitempty"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// StatsFor converts one class's run results into EndpointStats.
+func StatsFor(c *ClassResult, elapsed float64) EndpointStats {
+	us := func(q float64) float64 { return float64(c.Hist.Quantile(q).Nanoseconds()) / 1e3 }
+	st := EndpointStats{
+		Requests: c.Requests.Load(),
+		Errors:   c.Errors.Load(),
+		P50us:    us(0.50),
+		P99us:    us(0.99),
+		P999us:   us(0.999),
+		MaxUs:    float64(c.Hist.Max().Nanoseconds()) / 1e3,
+		MeanUs:   float64(c.Hist.Mean().Nanoseconds()) / 1e3,
+	}
+	if elapsed > 0 {
+		st.ThroughputRPS = float64(st.Requests) / elapsed
+	}
+	return st
+}
+
+// minGateSamples is the per-endpoint sample floor below which the
+// regression gate stays silent: quantiles of a handful of requests are
+// noise, not evidence.
+const minGateSamples = 200
+
+// ratioSlack is the absolute slack added on top of the relative
+// tolerance when comparing normalized p99 ratios.  Warm endpoints sit
+// within a ratio point or two of the calibration endpoint, where
+// scheduler jitter alone moves the ratio by fractions of a point; the
+// slack keeps the gate about real regressions, not timer noise.
+const ratioSlack = 0.75
+
+// Compare gates cur against base: an endpoint (present in both reports
+// with enough samples) fails only when BOTH regression signals trip —
+// its p99 normalized by the same run's calibration-endpoint p99 exceeds
+// the baseline's normalized p99 by more than tol (relative) plus a
+// small absolute slack, AND its raw p99 exceeds the baseline's raw p99
+// by more than tol.  The two signals cover each other's blind spot: on
+// a slower machine raw p99 inflates but the ratio holds, and on a run
+// where the calibration endpoint itself came in anomalously fast the
+// ratio spikes but raw p99 holds; a genuine serving regression inflates
+// both.  Returns one human-readable violation per failing endpoint,
+// empty when the gate passes.
+func Compare(cur, base *Report, tol float64) []string {
+	curCal, curOK := calibration(cur)
+	baseCal, baseOK := calibration(base)
+	var violations []string
+	names := make([]string, 0, len(cur.Endpoints))
+	for name := range cur.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if name == calibrationEndpoint {
+			continue
+		}
+		c := cur.Endpoints[name]
+		b, ok := base.Endpoints[name]
+		if !ok || c.Requests < minGateSamples || b.Requests < minGateSamples {
+			continue
+		}
+		if b.P99us <= 0 {
+			continue
+		}
+		if curOK && baseOK {
+			curRatio := c.P99us / curCal
+			baseRatio := b.P99us / baseCal
+			ratioRegressed := curRatio > baseRatio*(1+tol)+ratioSlack
+			rawRegressed := c.P99us > b.P99us*(1+tol)
+			if ratioRegressed && rawRegressed {
+				violations = append(violations, fmt.Sprintf(
+					"%s: p99 %.0fus (%.2fx healthz) vs baseline %.0fus (%.2fx): both raw and normalized regressed beyond %.0f%%",
+					name, c.P99us, curRatio, b.P99us, baseRatio, tol*100))
+			}
+			continue
+		}
+		// No calibration endpoint on one side: fall back to the raw p99,
+		// which is only meaningful baseline-refresh-on-same-machine.
+		if c.P99us > b.P99us*(1+tol) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: p99 %.0fus vs baseline %.0fus: regression beyond %.0f%% (no %s calibration available)",
+				name, c.P99us, b.P99us, tol*100, calibrationEndpoint))
+		}
+	}
+	return violations
+}
+
+// calibration returns the report's calibration p99, when measured with
+// enough samples to trust.
+func calibration(r *Report) (float64, bool) {
+	c, ok := r.Endpoints[calibrationEndpoint]
+	if !ok || c.Requests < minGateSamples || c.P99us <= 0 {
+		return 0, false
+	}
+	return c.P99us, true
+}

@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// rep builds a report whose endpoints all have enough samples to gate.
+// Latencies are microseconds, keyed by endpoint name; "healthz" is the
+// calibration endpoint.
+func rep(p99 map[string]float64) *Report {
+	r := &Report{Endpoints: map[string]EndpointStats{}}
+	for name, us := range p99 {
+		r.Endpoints[name] = EndpointStats{Requests: minGateSamples, P99us: us}
+	}
+	return r
+}
+
+// The gate needs BOTH signals to trip: normalized ratio regression alone
+// (e.g. the calibration endpoint came in anomalously fast on one run)
+// must pass, raw regression alone (e.g. a uniformly slower machine) must
+// pass, and a genuine regression — both raw and normalized — must fail.
+func TestCompareTwoSignalGate(t *testing.T) {
+	base := rep(map[string]float64{"healthz": 5000, "metrics": 6000})
+
+	cases := []struct {
+		name string
+		cur  *Report
+		fail bool
+	}{
+		// Identical run: clean pass.
+		{"identical", rep(map[string]float64{"healthz": 5000, "metrics": 6000}), false},
+		// Calibration came in 2.5x faster while metrics held: the ratio
+		// jumps 1.2x -> 3.0x but raw p99 did not move. Must pass.
+		{"fast calibration only", rep(map[string]float64{"healthz": 2000, "metrics": 6000}), false},
+		// Uniformly slower machine: raw doubles everywhere, ratio holds.
+		{"slower machine", rep(map[string]float64{"healthz": 10000, "metrics": 12000}), false},
+		// Raw regression with the calibration dragged along far enough
+		// that the ratio stays inside tol+slack: machine-level shift.
+		{"raw up ratio flat", rep(map[string]float64{"healthz": 7000, "metrics": 9000}), false},
+		// Genuine regression: metrics p99 triples against a steady
+		// calibration, so raw and normalized both blow through 15%.
+		{"real regression", rep(map[string]float64{"healthz": 5000, "metrics": 18000}), true},
+	}
+	for _, tc := range cases {
+		violations := Compare(tc.cur, base, 0.15)
+		if got := len(violations) > 0; got != tc.fail {
+			t.Errorf("%s: gate fail=%v, want %v (violations: %v)", tc.name, got, tc.fail, violations)
+		}
+	}
+}
+
+// Endpoints below the sample floor are skipped, and a missing
+// calibration class falls back to the raw-only comparison.
+func TestCompareSampleFloorAndFallback(t *testing.T) {
+	base := rep(map[string]float64{"healthz": 5000, "metrics": 6000})
+
+	thin := rep(map[string]float64{"healthz": 5000, "metrics": 60000})
+	e := thin.Endpoints["metrics"]
+	e.Requests = minGateSamples - 1
+	thin.Endpoints["metrics"] = e
+	if v := Compare(thin, base, 0.15); len(v) != 0 {
+		t.Errorf("under-sampled endpoint gated anyway: %v", v)
+	}
+
+	noCal := rep(map[string]float64{"metrics": 60000})
+	v := Compare(noCal, base, 0.15)
+	if len(v) != 1 || !strings.Contains(v[0], "no healthz calibration") {
+		t.Errorf("raw fallback: got %v, want one no-calibration violation", v)
+	}
+	if v := Compare(rep(map[string]float64{"metrics": 6100}), base, 0.15); len(v) != 0 {
+		t.Errorf("raw fallback within tolerance failed: %v", v)
+	}
+}

@@ -1,0 +1,238 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Do performs request number i and returns the workload class it chose
+// (an index < the run's class count, for per-class histograms) and the
+// request error, if any.  Implementations pick the endpoint/key mix
+// deterministically from i so runs are reproducible.
+type Do func(i int64) (class int, err error)
+
+// Options configures one measurement run.
+type Options struct {
+	// OpenLoop selects the pacing model.  Open-loop runs issue requests
+	// on a fixed schedule of intended start times (RPS) regardless of how
+	// fast the server answers, and each latency is measured from the
+	// *intended* start — so a stalled server inflates the recorded tail
+	// instead of silently slowing the request stream (the coordinated
+	// omission trap closed-loop tools fall into).  Closed-loop runs keep
+	// Conns workers saturated back-to-back, measuring per-request service
+	// time only.
+	OpenLoop bool
+	// RPS is the open-loop target request rate (ignored closed-loop).
+	RPS float64
+	// Conns is the worker count: concurrent requests in flight
+	// (closed-loop) or the cap on concurrent sends (open-loop; scheduled
+	// requests queue behind it, with their queueing delay measured).
+	Conns int
+	// Duration is how long new requests are scheduled/issued.
+	Duration time.Duration
+	// DrainTimeout bounds how long after Duration an open-loop run keeps
+	// executing the scheduled backlog a slow server left behind; requests
+	// still queued at the drain deadline are recorded as errors with
+	// their queueing delay as latency (never silently dropped — dropping
+	// them would reintroduce coordinated omission).  0 means 10s.
+	DrainTimeout time.Duration
+	// Classes is the number of workload classes Do may return.
+	Classes int
+}
+
+// ClassResult is one workload class's share of a run.
+type ClassResult struct {
+	Hist     Histogram
+	Requests atomic.Int64
+	Errors   atomic.Int64
+}
+
+// Result is one measurement run.
+type Result struct {
+	Class   []ClassResult
+	Total   Histogram
+	Sent    int64 // requests executed (including errored)
+	Dropped int64 // open-loop: scheduled requests abandoned at the drain deadline
+	Elapsed time.Duration
+}
+
+// ActualRPS is the achieved request rate over the issuing window.
+func (r *Result) ActualRPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Sent) / r.Elapsed.Seconds()
+}
+
+// Errors sums the per-class error counts.
+func (r *Result) Errors() int64 {
+	var n int64
+	for i := range r.Class {
+		n += r.Class[i].Errors.Load()
+	}
+	return n
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.Classes <= 0 {
+		o.Classes = 1
+	}
+	if o.Duration <= 0 {
+		return o, errors.New("loadgen: Duration must be positive")
+	}
+	if o.OpenLoop && o.RPS <= 0 {
+		return o, errors.New("loadgen: open-loop runs need a positive RPS")
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	return o, nil
+}
+
+// Run executes one measurement run and returns its histograms.  ctx
+// cancellation stops the run early (partial results are returned with
+// ctx's error).
+func Run(ctx context.Context, opts Options, do Do) (*Result, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Class: make([]ClassResult, opts.Classes)}
+	if opts.OpenLoop {
+		err = runOpen(ctx, opts, do, res)
+	} else {
+		err = runClosed(ctx, opts, do, res)
+	}
+	return res, err
+}
+
+// record executes request i and files its latency under the class Do
+// returned.  from is the timestamp latency is measured from: the
+// intended schedule slot (open-loop) or the actual send time
+// (closed-loop).
+func (res *Result) record(do Do, i int64, from time.Time) {
+	class, err := do(i)
+	lat := time.Since(from)
+	if class < 0 || class >= len(res.Class) {
+		class = 0
+	}
+	c := &res.Class[class]
+	c.Hist.Record(lat)
+	c.Requests.Add(1)
+	if err != nil {
+		c.Errors.Add(1)
+	}
+	res.Total.Record(lat)
+}
+
+// runClosed keeps Conns workers issuing back-to-back until Duration
+// elapses.  Latency is pure service time; throughput is whatever the
+// server sustains.
+func runClosed(ctx context.Context, opts Options, do Do, res *Result) error {
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				i := next.Add(1) - 1
+				res.record(do, i, time.Now())
+			}
+		}()
+	}
+	wg.Wait()
+	res.Sent = next.Load()
+	res.Elapsed = time.Since(start)
+	return ctx.Err()
+}
+
+// runOpen issues requests on the intended-start schedule start + i/RPS.
+// A scheduler goroutine enqueues each slot's intended timestamp the
+// moment it comes due; Conns workers drain the queue.  When the server
+// keeps up the queue stays empty and latency equals service time; when
+// it stalls, slots accumulate and every queued request's measured
+// latency includes its time in the queue — the coordinated-omission-safe
+// accounting.  The queue is sized for the whole schedule, so a stall
+// never blocks the scheduler itself.
+func runOpen(ctx context.Context, opts Options, do Do, res *Result) error {
+	total := int64(opts.RPS * opts.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / opts.RPS)
+	type slot struct {
+		i        int64
+		intended time.Time
+	}
+	queue := make(chan slot, total)
+	start := time.Now()
+
+	go func() {
+		defer close(queue)
+		timer := time.NewTimer(0)
+		defer timer.Stop()
+		if !timer.Stop() {
+			<-timer.C
+		}
+		for i := int64(0); i < total; i++ {
+			intended := start.Add(time.Duration(i) * interval)
+			if wait := time.Until(intended); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					return
+				}
+			} else if ctx.Err() != nil {
+				return
+			}
+			queue <- slot{i: i, intended: intended}
+		}
+	}()
+
+	drainDeadline := start.Add(opts.Duration + opts.DrainTimeout)
+	var sent, dropped atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range queue {
+				if ctx.Err() != nil || time.Now().After(drainDeadline) {
+					// Abandoned backlog: record the queueing delay as the
+					// latency (under class 0) and count an error, so the
+					// sample count still reflects the intended schedule.
+					c := &res.Class[0]
+					lat := time.Since(s.intended)
+					c.Hist.Record(lat)
+					c.Requests.Add(1)
+					c.Errors.Add(1)
+					res.Total.Record(lat)
+					dropped.Add(1)
+					continue
+				}
+				res.record(do, s.i, s.intended)
+				sent.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	res.Sent = sent.Load()
+	res.Dropped = dropped.Load()
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > opts.Duration {
+		// Throughput is defined over the scheduling window; the drain tail
+		// only finishes already-scheduled work.
+		res.Elapsed = opts.Duration
+	}
+	return ctx.Err()
+}

@@ -63,10 +63,12 @@ type Artifact struct {
 	superM *SuperMetrics    // memoized super-IPG metrics block
 	implM  *ImplicitMetrics // memoized implicit-representation metrics block
 
-	// metricsJSON memoizes the encoded /v1/metrics body, one slot per
-	// withDiameter variant, so warm requests are a single Write with no
-	// document assembly or JSON encoding.
-	metricsJSON [2][]byte
+	// metricsMemo memoizes the encoded /v1/metrics response — body plus
+	// precomputed Content-Length and ETag header values — one slot per
+	// withDiameter variant, so warm requests are three header map
+	// assignments and a single Write with no document assembly or JSON
+	// encoding.
+	metricsMemo [2]*staticBody
 
 	simNet    *netsim.Network // memoized simulation network (see SimNetwork)
 	simCapVal float64

@@ -93,11 +93,8 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, p Params, 
 			}
 		}
 		s.metrics.clusterNotOwner.Add(1)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusMisdirectedRequest)
-		_ = json.NewEncoder(w).Encode(map[string]string{
-			"error": fmt.Sprintf("replica %s does not own %s and has it neither built nor cached", cl.Self(), key),
-		})
+		writeErrorJSON(w, http.StatusMisdirectedRequest,
+			fmt.Sprintf("replica %s does not own %s and has it neither built nor cached", cl.Self(), key))
 		return true, nil
 	}
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"net/http"
+	"strconv"
 
 	"ipg/internal/fault"
 )
@@ -17,28 +18,39 @@ type faultQuery struct {
 }
 
 // parseFaultQuery returns nil when the request carries no fault
-// parameter, so fault-free requests pay nothing.
+// parameter, so fault-free requests pay nothing — not even a query-map
+// parse: the probe goes through the raw-query scanner.
 func parseFaultQuery(r *http.Request) (*faultQuery, error) {
-	q := r.URL.Query()
-	if q.Get("faults") == "" && q.Get("fmode") == "" && q.Get("fseed") == "" && q.Get("frouting") == "" {
+	faults := queryValue(r, "faults")
+	fmode := queryValue(r, "fmode")
+	fseed := queryValue(r, "fseed")
+	routing := queryValue(r, "frouting")
+	if faults == "" && fmode == "" && fseed == "" && routing == "" {
 		return nil, nil
 	}
-	count, err := queryInt(r, "faults", 0)
-	if err != nil {
-		return nil, err
+	count := 0
+	if faults != "" {
+		n, err := strconv.Atoi(faults)
+		if err != nil {
+			return nil, badRequest("parameter %q: bad integer %q", "faults", faults)
+		}
+		count = n
 	}
 	if count < 0 {
 		return nil, badRequest("parameter \"faults\" must be >= 0, got %d", count)
 	}
-	mode, err := fault.ParseMode(q.Get("fmode"))
+	mode, err := fault.ParseMode(fmode)
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	seed, err := queryInt(r, "fseed", 1)
-	if err != nil {
-		return nil, err
+	seed := 1
+	if fseed != "" {
+		n, err := strconv.Atoi(fseed)
+		if err != nil {
+			return nil, badRequest("parameter %q: bad integer %q", "fseed", fseed)
+		}
+		seed = n
 	}
-	routing := q.Get("frouting")
 	if routing == "" {
 		routing = "aware"
 	}

@@ -25,10 +25,10 @@ func FuzzParamsFromQuery(f *testing.F) {
 		"net=ccc&dim=4",
 		"net=butterfly&dim=3&band=1",
 		"net=hsn&nucleus=ghc:2,3,4",
-		"net=HSN&l=03&nucleus=Q4",   // case and zero padding normalize
+		"net=HSN&l=03&nucleus=Q4",    // case and zero padding normalize
 		"net=hsn&l=3&l=4&nucleus=q2", // repeated key: first value wins
 		"net=bogus",
-		"net=hypercube&l=3",          // l does not apply
+		"net=hypercube&l=3", // l does not apply
 		"net=hsn&l=-1&nucleus=q2",
 		"net=torus&k=999999999999999999999",
 		"l=3&nucleus=q2", // family defaulted
@@ -45,6 +45,33 @@ func FuzzParamsFromQuery(f *testing.F) {
 			t.Skip() // not a well-formed query; out of scope
 		}
 		p, provided, err := ParamsFromQuery(q)
+		// Escape-free queries must decode identically through the raw
+		// scanner the serving hot path uses — same params, same provided
+		// set, same accept/reject decision.
+		if !RawQueryNeedsEscape(raw) {
+			fastP, fastProv, fastErr := ParamsFromRawQuery(raw)
+			if (err == nil) != (fastErr == nil) {
+				t.Fatalf("decode divergence on %q: slow=%v fast=%v", raw, err, fastErr)
+			}
+			if err == nil {
+				if fastP != p {
+					t.Fatalf("params divergence on %q: slow=%+v fast=%+v", raw, p, fastP)
+				}
+				var slowMask Provided
+				for name := range provided {
+					if bit, ok := provBit(name); ok {
+						slowMask |= bit
+					}
+				}
+				if slowMask != fastProv {
+					t.Fatalf("provided divergence on %q: slow=%07b fast=%07b", raw, slowMask, fastProv)
+				}
+				slowCheck, fastCheck := p.Check(provided), fastP.CheckProvided(fastProv)
+				if (slowCheck == nil) != (fastCheck == nil) {
+					t.Fatalf("check divergence on %q: slow=%v fast=%v", raw, slowCheck, fastCheck)
+				}
+			}
+		}
 		if err != nil {
 			return // rejected inputs just need to not panic
 		}

@@ -19,8 +19,7 @@ import (
 // certain it will not return an error.
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	writeStaticJSON(w, http.StatusOK, healthzBody, healthzLen)
 }
 
 func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
@@ -30,7 +29,19 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 }
 
 // requestParams decodes and validates family parameters for one request.
+// Escape-free queries (all production traffic) are scanned in place; only
+// queries carrying %-escapes or '+' pay for url.Values.
 func requestParams(r *http.Request) (Params, error) {
+	if raw := r.URL.RawQuery; !RawQueryNeedsEscape(raw) {
+		p, prov, err := ParamsFromRawQuery(raw)
+		if err != nil {
+			return p, badRequest("%v", err)
+		}
+		if err := p.CheckProvided(prov); err != nil {
+			return p, badRequest("%v", err)
+		}
+		return p, nil
+	}
 	p, provided, err := ParamsFromQuery(r.URL.Query())
 	if err != nil {
 		return p, badRequest("%v", err)
@@ -81,8 +92,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) error {
 		links := a.U.M()
 		resp.Links = &links
 	}
-	w.Header().Set("Content-Type", "application/json")
-	return json.NewEncoder(w).Encode(resp)
+	return writeJSON(w, &resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
@@ -99,7 +109,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	// non-owners may cache the fetched body; degraded requests are
 	// per-request computations and forward uncached.
 	bodyKey := ""
-	if fq == nil {
+	if fq == nil && s.cfg.Cluster != nil {
 		bodyKey = fillBodyKey(p, withDiameter)
 	}
 	if handled, err := s.maybeForward(w, r, p, bodyKey); handled || err != nil {
@@ -109,14 +119,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	body, err := a.MetricsJSON(r.Context(), withDiameter)
+	sb, err := a.metricsBody(r.Context(), withDiameter)
 	if err != nil {
 		return err
 	}
 	if fq == nil {
-		w.Header().Set("Content-Type", "application/json")
-		_, err = w.Write(body)
-		return err
+		// The memoized body is immutable and byte-stable, so its content
+		// hash is a strong validator: revalidating pollers get a bodyless
+		// 304 instead of the full document.
+		h := w.Header()
+		h["Etag"] = sb.etag
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, sb.etag[0]) {
+			w.WriteHeader(http.StatusNotModified)
+			return nil
+		}
+		writeStaticJSON(w, http.StatusOK, sb.body, sb.clen)
+		return nil
 	}
 	// Degraded request: re-decode the memoized document, attach a freshly
 	// computed survivability block, and encode per request.  The sweep is
@@ -126,7 +144,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	var doc MetricsDoc
-	if err := json.Unmarshal(body, &doc); err != nil {
+	if err := json.Unmarshal(sb.body, &doc); err != nil {
 		return fmt.Errorf("serve: re-decoding memoized metrics: %w", err)
 	}
 	doc.Degraded = dm
@@ -249,26 +267,30 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 			resp.Labels[i] = label
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	return json.NewEncoder(w).Encode(resp)
+	return writeJSON(w, &resp)
 }
 
 // shortestPath reconstructs one BFS shortest path src -> dst by walking
 // back from dst along strictly decreasing distances.  It is generic over
 // the artifact's adjacency source: a materialized CSR takes the
 // zero-copy arena fast path inside the kernel, an implicit artifact
-// regenerates rows from its codec.  The distance vector and queue come
-// from the shared topo scratch pool, so the per-request allocations are
-// the response path and a degree-bounded neighbor buffer.  The backtrack
-// walk is O(path length * degree) and honors ctx so a disconnected
-// client cannot pin a worker on a high-diameter (path-like) topology.
+// regenerates rows from its codec.  The distance vector, queue, and
+// neighbor buffer all come from the shared topo scratch pool, so the
+// only per-request allocation is the response path itself.  The
+// backtrack walk is O(path length * degree) and honors ctx so a
+// disconnected client cannot pin a worker on a high-diameter
+// (path-like) topology.
 func shortestPath(ctx context.Context, a *Artifact, src, dst int) ([]int, error) {
 	source := a.Source()
 	s := topo.GetScratch(source.N())
 	defer topo.PutScratch(s)
 	dist := s.Dist
-	nbuf := make([]int32, 0, source.DegreeBound())
+	nbuf := s.NeighborBuf(source.DegreeBound())
 	_, _, nbuf = topo.BFSSourceInto(source, src, dist, s.Queue, nbuf)
+	// Store the possibly-grown buffer back so its capacity is pooled for
+	// the next request (growth past the degree bound is theoretical, so
+	// skipping the store-back on error returns below costs nothing).
+	s.Nbuf = nbuf
 	if dist[dst] < 0 {
 		return nil, badRequest("no path from %d to %d (disconnected?)", src, dst)
 	}
@@ -296,6 +318,7 @@ func shortestPath(ctx context.Context, a *Artifact, src, dst int) ([]int, error)
 			return nil, fmt.Errorf("serve: BFS distance array inconsistent at node %d", cur)
 		}
 	}
+	s.Nbuf = nbuf
 	return path, nil
 }
 
@@ -334,7 +357,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	workload := r.URL.Query().Get("workload")
+	workload := queryValue(r, "workload")
 	if workload == "" {
 		workload = "random"
 	}
@@ -503,13 +526,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	default:
 		return badRequest("unknown workload %q (random|te|transpose)", workload)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	return json.NewEncoder(w).Encode(resp)
+	return writeJSON(w, &resp)
 }
 
 // queryInt reads an integer query parameter with a default.
 func queryInt(r *http.Request, name string, def int) (int, error) {
-	v := r.URL.Query().Get(name)
+	v := queryValue(r, name)
 	if v == "" {
 		return def, nil
 	}
@@ -522,7 +544,7 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 
 // queryFloat reads a float query parameter with a default.
 func queryFloat(r *http.Request, name string, def float64) (float64, error) {
-	v := r.URL.Query().Get(name)
+	v := queryValue(r, name)
 	if v == "" {
 		return def, nil
 	}
@@ -535,7 +557,7 @@ func queryFloat(r *http.Request, name string, def float64) (float64, error) {
 
 // queryBool reports whether a query parameter is set to a truthy value.
 func queryBool(r *http.Request, name string) bool {
-	switch r.URL.Query().Get(name) {
+	switch queryValue(r, name) {
 	case "1", "true", "yes", "on":
 		return true
 	}

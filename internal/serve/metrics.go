@@ -109,8 +109,8 @@ type breakerStats struct {
 // clusterPromStats is the cluster snapshot WriteProm renders; nil means
 // single-node mode and the ipgd_cluster_* series are omitted entirely.
 type clusterPromStats struct {
-	peers, peersOpen int64
-	fills, fillErrors, hedges, hedgeWins, declines int64
+	peers, peersOpen                                 int64
+	fills, fillErrors, hedges, hedgeWins, declines   int64
 	fillsServed, notOwner, forwarded, localFallbacks int64
 }
 

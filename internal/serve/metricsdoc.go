@@ -313,22 +313,23 @@ func (d *MetricsDoc) WriteJSON(w io.Writer) error {
 	return enc.Encode(d)
 }
 
-// MetricsJSON returns the encoded metrics document, memoized per
-// withDiameter variant: the first request pays for document assembly and
-// encoding, every later one is a lock, a slice load, and a Write.  The
-// bytes go through the same WriteJSON encoder, so the body stays
+// metricsBody returns the encoded metrics document with its precomputed
+// response headers (Content-Length, strong ETag), memoized per
+// withDiameter variant: the first request pays for document assembly,
+// encoding, and the hash; every later one is a lock and a pointer load.
+// The bytes go through the same WriteJSON encoder, so the body stays
 // byte-identical to `ipgtool -json`.  Failed computations (cancelled
 // contexts) are not memoized.
-func (a *Artifact) MetricsJSON(ctx context.Context, withDiameter bool) ([]byte, error) {
+func (a *Artifact) metricsBody(ctx context.Context, withDiameter bool) (*staticBody, error) {
 	idx := 0
 	if withDiameter {
 		idx = 1
 	}
 	a.mu.Lock()
-	body := a.metricsJSON[idx]
+	sb := a.metricsMemo[idx]
 	a.mu.Unlock()
-	if body != nil {
-		return body, nil
+	if sb != nil {
+		return sb, nil
 	}
 	doc, err := ComputeMetrics(ctx, a, withDiameter)
 	if err != nil {
@@ -338,11 +339,24 @@ func (a *Artifact) MetricsJSON(ctx context.Context, withDiameter bool) ([]byte, 
 	if err := doc.WriteJSON(&buf); err != nil {
 		return nil, err
 	}
+	sb = newStaticBody(buf.Bytes())
 	a.mu.Lock()
-	if a.metricsJSON[idx] == nil {
-		a.metricsJSON[idx] = buf.Bytes()
+	if a.metricsMemo[idx] == nil {
+		a.metricsMemo[idx] = sb
+	} else {
+		sb = a.metricsMemo[idx]
 	}
-	body = a.metricsJSON[idx]
 	a.mu.Unlock()
-	return body, nil
+	return sb, nil
+}
+
+// MetricsJSON returns the encoded metrics document body (the memoized
+// bytes behind metricsBody), for callers that serve or re-decode the
+// document without the HTTP header plumbing.
+func (a *Artifact) MetricsJSON(ctx context.Context, withDiameter bool) ([]byte, error) {
+	sb, err := a.metricsBody(ctx, withDiameter)
+	if err != nil {
+		return nil, err
+	}
+	return sb.body, nil
 }

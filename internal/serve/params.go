@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ipg/internal/nucleus"
 	"ipg/internal/topology"
@@ -59,6 +60,56 @@ var familyParams = map[string]map[string]bool{
 	"butterfly":   {"dim": true, "band": true},
 }
 
+// Provided is the set of explicitly supplied parameter names as a
+// bitmask — the allocation-free form of Check's map argument, used by
+// the serving hot path (ParamsFromRawQuery + CheckProvided).
+type Provided uint8
+
+const (
+	ProvL Provided = 1 << iota
+	ProvNucleus
+	ProvDim
+	ProvLogM
+	ProvK
+	ProvSide
+	ProvBand
+)
+
+// provNames orders the parameter bits for error messages, matching the
+// names familyParams uses.
+var provNames = [...]struct {
+	name string
+	bit  Provided
+}{
+	{"l", ProvL}, {"nucleus", ProvNucleus}, {"dim", ProvDim},
+	{"logm", ProvLogM}, {"k", ProvK}, {"side", ProvSide}, {"band", ProvBand},
+}
+
+// familyAllowedMask is familyParams in bitmask form, derived once.
+var familyAllowedMask = func() map[string]Provided {
+	out := make(map[string]Provided, len(familyParams))
+	for fam, allowed := range familyParams {
+		var mask Provided
+		for _, pn := range provNames {
+			if allowed[pn.name] {
+				mask |= pn.bit
+			}
+		}
+		out[fam] = mask
+	}
+	return out
+}()
+
+// provBit maps a parameter name to its bit.
+func provBit(name string) (Provided, bool) {
+	for _, pn := range provNames {
+		if pn.name == name {
+			return pn.bit, true
+		}
+	}
+	return 0, false
+}
+
 // Families returns the known family names, sorted.
 func Families() []string {
 	out := make([]string, 0, len(familyParams))
@@ -77,13 +128,32 @@ func IsSuperFamily(net string) bool { return superFamilies[net] }
 // parameter the family does not consume is an error.  Pass nil to skip
 // the applicability check and validate ranges only.
 func (p Params) Check(provided map[string]bool) error {
-	allowed, ok := familyParams[p.Net]
+	if _, ok := familyAllowedMask[p.Net]; !ok {
+		return fmt.Errorf("unknown network %q (known: %s)", p.Net, strings.Join(Families(), ", "))
+	}
+	var prov Provided
+	for name := range provided {
+		bit, ok := provBit(name)
+		if !ok {
+			return fmt.Errorf("parameter %q does not apply to net %q", name, p.Net)
+		}
+		prov |= bit
+	}
+	return p.CheckProvided(prov)
+}
+
+// CheckProvided is Check with the provided set as a bitmask: the
+// allocation-free validation the raw-query request path uses.
+func (p Params) CheckProvided(prov Provided) error {
+	allowed, ok := familyAllowedMask[p.Net]
 	if !ok {
 		return fmt.Errorf("unknown network %q (known: %s)", p.Net, strings.Join(Families(), ", "))
 	}
-	for name := range provided {
-		if !allowed[name] {
-			return fmt.Errorf("parameter %q does not apply to net %q", name, p.Net)
+	if bad := prov &^ allowed; bad != 0 {
+		for _, pn := range provNames {
+			if bad&pn.bit != 0 {
+				return fmt.Errorf("parameter %q does not apply to net %q", pn.name, p.Net)
+			}
 		}
 	}
 	switch {
@@ -93,7 +163,7 @@ func (p Params) Check(provided map[string]bool) error {
 			// The Theorem 4.1/4.3 arrangement BFS is bounded to l <= 20.
 			return fmt.Errorf("l = %d outside [2, 20]", p.L)
 		}
-		nuc, err := nucleus.Parse(p.Nucleus)
+		nuc, err := parseNucleusCached(p.Nucleus)
 		if err != nil {
 			return err
 		}
@@ -142,6 +212,41 @@ func (p Params) Check(provided map[string]bool) error {
 	return nil
 }
 
+// nucCache memoizes nucleus.Parse results for CheckProvided: the hot
+// serving path re-validates the same handful of nucleus specs on every
+// request, and Parse allocates.  Bounded so unbounded distinct (mostly
+// invalid) specs from a querystring fuzzer cannot grow it without limit;
+// past the bound new specs are parsed uncached.  A plain RWMutex-guarded
+// map, not sync.Map: storing a string key in sync.Map would box it and
+// allocate on the read path.
+var nucCache = struct {
+	sync.RWMutex
+	m map[string]nucParseResult
+}{m: make(map[string]nucParseResult)}
+
+type nucParseResult struct {
+	nuc *nucleus.Nucleus
+	err error
+}
+
+const nucCacheMax = 4096
+
+func parseNucleusCached(spec string) (*nucleus.Nucleus, error) {
+	nucCache.RLock()
+	r, ok := nucCache.m[spec]
+	nucCache.RUnlock()
+	if ok {
+		return r.nuc, r.err
+	}
+	nuc, err := nucleus.Parse(spec)
+	nucCache.Lock()
+	if len(nucCache.m) < nucCacheMax {
+		nucCache.m[spec] = nucParseResult{nuc: nuc, err: err}
+	}
+	nucCache.Unlock()
+	return nuc, err
+}
+
 // effectiveL is the super-symbol count actually used: HCN is HSN(2, G) by
 // definition, so its l is pinned at 2.
 func (p Params) effectiveL() int {
@@ -153,25 +258,46 @@ func (p Params) effectiveL() int {
 
 // Key returns the canonical cache key: the family plus exactly the
 // parameters it consumes, in fixed order.
-func (p Params) Key() string {
-	var b strings.Builder
-	b.WriteString(p.Net)
-	allowed := familyParams[p.Net]
-	add := func(name string, v int) {
-		if allowed[name] {
-			fmt.Fprintf(&b, "|%s=%d", name, v)
-		}
+func (p Params) Key() string { return string(p.AppendKey(nil)) }
+
+// AppendKey appends the canonical cache key to dst and returns the
+// extended slice — Key without the string allocation, so the warm
+// request path can probe the cache with a pooled key buffer.  The bytes
+// are identical to Key's.
+func (p Params) AppendKey(dst []byte) []byte {
+	allowed := familyAllowedMask[p.Net]
+	dst = append(dst, p.Net...)
+	if allowed&ProvL != 0 {
+		dst = append(dst, "|l="...)
+		dst = strconv.AppendInt(dst, int64(p.effectiveL()), 10)
 	}
-	add("l", p.effectiveL())
-	if allowed["nucleus"] {
-		fmt.Fprintf(&b, "|nucleus=%s", strings.ToLower(strings.TrimSpace(p.Nucleus)))
+	if allowed&ProvNucleus != 0 {
+		dst = append(dst, "|nucleus="...)
+		// ToLower returns its input unchanged (no copy) when the spec is
+		// already lowercase, which request-decoded params always are.
+		dst = append(dst, strings.ToLower(strings.TrimSpace(p.Nucleus))...)
 	}
-	add("dim", p.Dim)
-	add("logm", p.LogM)
-	add("k", p.K)
-	add("side", p.Side)
-	add("band", p.Band)
-	return b.String()
+	if allowed&ProvDim != 0 {
+		dst = append(dst, "|dim="...)
+		dst = strconv.AppendInt(dst, int64(p.Dim), 10)
+	}
+	if allowed&ProvLogM != 0 {
+		dst = append(dst, "|logm="...)
+		dst = strconv.AppendInt(dst, int64(p.LogM), 10)
+	}
+	if allowed&ProvK != 0 {
+		dst = append(dst, "|k="...)
+		dst = strconv.AppendInt(dst, int64(p.K), 10)
+	}
+	if allowed&ProvSide != 0 {
+		dst = append(dst, "|side="...)
+		dst = strconv.AppendInt(dst, int64(p.Side), 10)
+	}
+	if allowed&ProvBand != 0 {
+		dst = append(dst, "|band="...)
+		dst = strconv.AppendInt(dst, int64(p.Band), 10)
+	}
+	return dst
 }
 
 // MaxBaselineNodes is the materialization cap for baseline families,
@@ -212,4 +338,82 @@ func ParamsFromQuery(q url.Values) (Params, map[string]bool, error) {
 		provided[f.name] = true
 	}
 	return p, provided, nil
+}
+
+// RawQueryNeedsEscape reports whether a raw query string contains
+// characters the zero-allocation scanners cannot decode in place
+// (%-escapes, '+'-encoded spaces, or legacy ';' separators).  Requests
+// carrying them take the url.Values path instead; family parameter
+// values never need escaping, so in practice the fast path covers all
+// production traffic.
+func RawQueryNeedsEscape(raw string) bool {
+	return strings.ContainsAny(raw, "%+;")
+}
+
+// ParamsFromRawQuery decodes family parameters by scanning the raw query
+// string in place — ParamsFromQuery without the url.Values map or the
+// provided-set map, for the serving hot path.  Callers must route
+// queries for which RawQueryNeedsEscape is true through ParamsFromQuery;
+// for all other queries the two decoders agree exactly (url.Values.Get
+// semantics: the first occurrence of a key wins, an empty value counts
+// as unset).
+func ParamsFromRawQuery(raw string) (Params, Provided, error) {
+	p := Defaults()
+	var prov, seen Provided
+	seenNet := false
+	for len(raw) > 0 {
+		var pair string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			pair, raw = raw, ""
+		}
+		if pair == "" {
+			continue
+		}
+		key, val, _ := strings.Cut(pair, "=")
+		if key == "net" {
+			if seenNet {
+				continue
+			}
+			seenNet = true
+			if val != "" {
+				p.Net = strings.ToLower(strings.TrimSpace(val))
+			}
+			continue
+		}
+		bit, ok := provBit(key)
+		if !ok || seen&bit != 0 {
+			continue // unknown keys are per-endpoint extras; first value wins
+		}
+		seen |= bit
+		if val == "" {
+			continue
+		}
+		if bit == ProvNucleus {
+			p.Nucleus = strings.ToLower(strings.TrimSpace(val))
+			prov |= bit
+			continue
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return p, prov, fmt.Errorf("parameter %q: bad integer %q", key, val)
+		}
+		switch bit {
+		case ProvL:
+			p.L = n
+		case ProvDim:
+			p.Dim = n
+		case ProvLogM:
+			p.LogM = n
+		case ProvK:
+			p.K = n
+		case ProvSide:
+			p.Side = n
+		case ProvBand:
+			p.Band = n
+		}
+		prov |= bit
+	}
+	return p, prov, nil
 }

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Raw-query parameter access.  r.URL.Query() parses the whole query
+// string into a fresh map of fresh slices on every call — several
+// handlers called it four or five times per request.  queryValue scans
+// r.URL.RawQuery in place instead (url.Values.Get semantics: first
+// occurrence wins), falling back to the url.Values path only when the
+// query carries escapes the in-place scan cannot decode.
+
+// rawQueryGet returns the first value of name in a raw query string
+// without escapes.
+func rawQueryGet(raw, name string) string {
+	for len(raw) > 0 {
+		var pair string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			pair, raw = raw, ""
+		}
+		key, val, _ := strings.Cut(pair, "=")
+		if key == name {
+			return val
+		}
+	}
+	return ""
+}
+
+// queryValue returns the first value of a query parameter,
+// allocation-free for escape-free queries.
+func queryValue(r *http.Request, name string) string {
+	raw := r.URL.RawQuery
+	if RawQueryNeedsEscape(raw) {
+		return r.URL.Query().Get(name)
+	}
+	return rawQueryGet(raw, name)
+}

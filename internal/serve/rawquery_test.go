@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"testing"
+)
+
+// rawParityQueries are escape-free query strings the raw scanner must
+// decode identically to the url.Values path, covering first-wins
+// repeats, empty values, valueless keys, unknown extras, and every
+// family's parameter shape.
+var rawParityQueries = []string{
+	"",
+	"net=hsn&l=3&nucleus=q4",
+	"net=hcn&nucleus=fq3",
+	"net=hypercube&dim=6&logm=2",
+	"net=torus&k=8&side=2",
+	"net=ccc&dim=4",
+	"net=butterfly&dim=3&band=1",
+	"net=hsn&nucleus=ghc:2,3,4",
+	"net=HSN&l=03&nucleus=Q4",
+	"net=hsn&l=3&l=4&nucleus=q2",        // repeated key: first wins
+	"net=hsn&l=&l=4&nucleus=q2",         // empty first occurrence wins (stays default)
+	"net=hsn&l&nucleus=q2",              // valueless key
+	"net=&net=torus&k=4&side=2",         // empty net: family stays default
+	"net=torus&net=ccc&k=4&side=2",      // repeated net: first wins
+	"l=3&nucleus=q2",                    // family defaulted
+	"net=bogus",                         // unknown family
+	"net=hypercube&l=3",                 // l does not apply
+	"net=hsn&l=-1&nucleus=q2",           // out of range
+	"net=torus&k=999999999999999999999", // Atoi overflow
+	"net=hsn&l=x&nucleus=q2",            // bad integer
+	"net=hsn&L=9&l=2&nucleus=q2",        // keys are case-sensitive
+	"src=3&dst=9&net=torus&k=4&side=2&workload=te&seed=5", // per-endpoint extras ignored
+	"&&net=ccc&dim=3&&", // empty pairs
+	"diameter=1&net=hypercube&dim=4&logm=1",
+}
+
+// TestParamsFromRawQueryParity pins the raw scanner to the url.Values
+// decoder: identical Params, identical provided sets, and identical
+// accept/reject decisions (with identical messages) for every query the
+// fast path is allowed to handle.
+func TestParamsFromRawQueryParity(t *testing.T) {
+	for _, raw := range rawParityQueries {
+		if RawQueryNeedsEscape(raw) {
+			t.Fatalf("query %q is not fast-path eligible; fix the table", raw)
+		}
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", raw, err)
+		}
+		slowP, slowProv, slowErr := ParamsFromQuery(q)
+		fastP, fastProv, fastErr := ParamsFromRawQuery(raw)
+		if (slowErr == nil) != (fastErr == nil) ||
+			(slowErr != nil && slowErr.Error() != fastErr.Error()) {
+			t.Errorf("%q: decode error mismatch: slow=%v fast=%v", raw, slowErr, fastErr)
+			continue
+		}
+		if slowErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(slowP, fastP) {
+			t.Errorf("%q: params mismatch:\n slow %+v\n fast %+v", raw, slowP, fastP)
+		}
+		var slowMask Provided
+		for name := range slowProv {
+			bit, ok := provBit(name)
+			if !ok {
+				t.Fatalf("%q: ParamsFromQuery provided unknown name %q", raw, name)
+			}
+			slowMask |= bit
+		}
+		if slowMask != fastProv {
+			t.Errorf("%q: provided mismatch: slow=%07b fast=%07b", raw, slowMask, fastProv)
+		}
+		slowCheck := slowP.Check(slowProv)
+		fastCheck := fastP.CheckProvided(fastProv)
+		if (slowCheck == nil) != (fastCheck == nil) ||
+			(slowCheck != nil && slowCheck.Error() != fastCheck.Error()) {
+			t.Errorf("%q: check mismatch: slow=%v fast=%v", raw, slowCheck, fastCheck)
+		}
+	}
+}
+
+// TestRequestParamsEscapedQueriesFallBack asserts queries carrying
+// escapes still decode correctly through the url.Values fallback.
+func TestRequestParamsEscapedQueriesFallBack(t *testing.T) {
+	r := httptest.NewRequest("GET", "/v1/build?net=hsn&l=2&nucleus=%71two2", nil)
+	if !RawQueryNeedsEscape(r.URL.RawQuery) {
+		t.Fatal("query should need escaping")
+	}
+	// %71 is 'q'; the decoded spec "qtwo2" is invalid, but the point is
+	// the decoder saw the unescaped bytes, not the raw ones.
+	_, err := requestParams(r)
+	if err == nil {
+		t.Fatal("expected a validation error for nucleus qtwo2")
+	}
+	r2 := httptest.NewRequest("GET", "/v1/build?net=hsn&l=2&nucleus=%71"+"2", nil)
+	p, err := requestParams(r2)
+	if err != nil {
+		t.Fatalf("escaped q2 should validate: %v", err)
+	}
+	if p.Nucleus != "q2" {
+		t.Fatalf("nucleus %q, want q2", p.Nucleus)
+	}
+}
+
+// TestQueryValueMatchesURLValues pins the per-endpoint scalar helper to
+// url.Values.Get semantics.
+func TestQueryValueMatchesURLValues(t *testing.T) {
+	for _, raw := range []string{
+		"", "a=1", "a=1&b=2", "a=&a=2", "a&b=2", "b=2&a=xyz", "a=1&a=2&a=3",
+		"workload=te&seed=5&rate=0.5",
+	} {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"a", "b", "workload", "seed", "rate", "missing"} {
+			r := httptest.NewRequest("GET", "/x?"+raw, nil)
+			if got, want := queryValue(r, name), q.Get(name); got != want {
+				t.Errorf("queryValue(%q, %q) = %q, want %q", raw, name, got, want)
+			}
+		}
+	}
+}

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -10,6 +9,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"ipg/internal/breaker"
@@ -145,6 +145,10 @@ type Server struct {
 	metrics *serverMetrics
 	breaker *breaker.Set // per-family circuits; nil when disabled
 	mux     *http.ServeMux
+
+	// retryAfter is the breaker-open Retry-After header value, precomputed
+	// from BreakerCooldown so the 503 fast-fail path never allocates.
+	retryAfter []string
 }
 
 // NewServer builds the handler set.
@@ -159,6 +163,11 @@ func NewServer(cfg Config) *Server {
 		breaker: breaker.NewSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		mux:     http.NewServeMux(),
 	}
+	retry := int(cfg.BreakerCooldown / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	s.retryAfter = []string{strconv.Itoa(retry)}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/build", s.instrument("/v1/build", s.handleBuild))
 	s.mux.HandleFunc("/v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
@@ -265,7 +274,19 @@ func (s *Server) getArtifact(ctx context.Context, p Params) (*Artifact, bool, er
 		s.metrics.breakerFastFails.Add(1)
 		return nil, false, err
 	}
-	v, hit, err := s.cache.GetOrBuild(ctx, p.Key(), func(bctx context.Context) (cache.Value, error) {
+	// Warm path: probe the cache with a pooled key buffer so a hit never
+	// allocates the key string.  The miss is not counted here — the
+	// GetOrBuild below counts it when it starts (or joins) the build.
+	kb := keyBufPool.Get().(*keyBuf)
+	kb.b = p.AppendKey(kb.b[:0])
+	if v, ok := s.cache.Lookup(kb.b); ok {
+		keyBufPool.Put(kb)
+		s.breaker.Report(p.Net, breaker.OK, time.Now())
+		return v.(*Artifact), true, nil
+	}
+	key := string(kb.b)
+	keyBufPool.Put(kb)
+	v, hit, err := s.cache.GetOrBuild(ctx, key, func(bctx context.Context) (cache.Value, error) {
 		release, err := s.acquireSlot(bctx)
 		if err != nil {
 			return nil, err
@@ -287,6 +308,12 @@ func (s *Server) getArtifact(ctx context.Context, p Params) (*Artifact, bool, er
 	return v.(*Artifact), hit, nil
 }
 
+// keyBuf wraps the pooled cache-key buffer (pooling the bare slice would
+// allocate its header on every Put).
+type keyBuf struct{ b []byte }
+
+var keyBufPool = sync.Pool{New: func() any { return &keyBuf{b: make([]byte, 0, 64)} }}
+
 // httpError is an error with a dedicated HTTP status.
 type httpError struct {
 	code int
@@ -302,8 +329,28 @@ func badRequest(format string, args ...any) error {
 // writeError maps an error to a JSON error body with the right status:
 // pool saturation becomes 503 + Retry-After, a blown request deadline
 // becomes 504, cancellations become 499 (client gone), everything else
-// 400/500 by type.
+// 400/500 by type.  The unwrapped sentinels — what load shedding and
+// timeouts actually return — are served from preencoded envelopes, so a
+// saturated server rejects without allocating; only errors carrying
+// dynamic text pay for encoding.
 func (s *Server) writeError(w http.ResponseWriter, err error) int {
+	switch err {
+	case ErrSaturated:
+		w.Header()["Retry-After"] = retryAfterOne
+		writeStaticJSON(w, http.StatusServiceUnavailable, saturatedBody.body, saturatedBody.clen)
+		return http.StatusServiceUnavailable
+	case ErrCircuitOpen:
+		w.Header()["Retry-After"] = s.retryAfter
+		writeStaticJSON(w, http.StatusServiceUnavailable, circuitOpenBody.body, circuitOpenBody.clen)
+		return http.StatusServiceUnavailable
+	case context.DeadlineExceeded:
+		writeStaticJSON(w, http.StatusGatewayTimeout, deadlineBody.body, deadlineBody.clen)
+		return http.StatusGatewayTimeout
+	case context.Canceled:
+		// 499 is nginx's "client closed request"; never seen by a live client.
+		writeStaticJSON(w, 499, canceledBody.body, canceledBody.clen)
+		return 499
+	}
 	code := http.StatusInternalServerError
 	var he *httpError
 	switch {
@@ -311,23 +358,17 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 		code = he.code
 	case errors.Is(err, ErrSaturated):
 		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		w.Header()["Retry-After"] = retryAfterOne
 	case errors.Is(err, ErrCircuitOpen):
 		code = http.StatusServiceUnavailable
-		retry := int(s.cfg.BreakerCooldown / time.Second)
-		if retry < 1 {
-			retry = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		w.Header()["Retry-After"] = s.retryAfter
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		code = 499 // nginx's "client closed request"; never seen by a live client
+		code = 499
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	// An encode failure here means the client is gone; nothing to do.
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	// A write failure here means the client is gone; nothing to do.
+	writeErrorJSON(w, code, err.Error())
 	return code
 }
 

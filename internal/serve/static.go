@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"unicode/utf8"
+)
+
+// Zero-allocation response writing.  The warm serving paths (/healthz,
+// memoized /v1/metrics, the fixed error envelopes) write precomputed
+// immutable bodies with precomputed header value slices; dynamic
+// responses encode into pooled buffers.  Headers are set by direct map
+// assignment of shared []string values — http.Header.Set allocates a
+// fresh one-element slice per call, which is the single largest
+// allocation on an otherwise-static response.
+
+// Shared header values.  These slices are assigned into header maps and
+// must never be mutated.
+var (
+	jsonCT        = []string{"application/json"}
+	retryAfterOne = []string{"1"}
+)
+
+// healthzBody is the /healthz response, byte-identical to the
+// json.Encoder output it replaced.
+var (
+	healthzBody = []byte("{\"status\":\"ok\"}\n")
+	healthzLen  = []string{strconv.Itoa(len(healthzBody))}
+)
+
+// staticBody is a precomputed immutable response body with its header
+// values, built once (at memoization time) and served with two map
+// assignments and one Write.
+type staticBody struct {
+	body []byte
+	clen []string // Content-Length
+	etag []string // strong ETag: quoted FNV-1a 64 of the body
+}
+
+func newStaticBody(body []byte) *staticBody {
+	return &staticBody{
+		body: body,
+		clen: []string{strconv.Itoa(len(body))},
+		etag: []string{etagOf(body)},
+	}
+}
+
+// etagOf derives the strong entity tag for an immutable body.  The
+// memoized metrics documents are byte-stable (the WriteJSON contract),
+// so a content hash is a valid strong validator.
+func etagOf(body []byte) string {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	return `"` + strconv.FormatUint(h.Sum64(), 16) + `"`
+}
+
+// etagMatches implements If-None-Match matching against one strong etag:
+// a comma-separated candidate list, "*", and weak ("W/"-prefixed)
+// candidates compare true per RFC 9110's weak comparison.
+func etagMatches(header, etag string) bool {
+	for len(header) > 0 {
+		var cand string
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			cand, header = header[:i], header[i+1:]
+		} else {
+			cand, header = header, ""
+		}
+		cand = strings.TrimSpace(cand)
+		if cand == "*" {
+			return true
+		}
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeStaticJSON writes a precomputed body with its precomputed
+// Content-Length.  code http.StatusOK skips the explicit WriteHeader
+// (the first Write implies it).
+func writeStaticJSON(w http.ResponseWriter, code int, body []byte, clen []string) {
+	h := w.Header()
+	h["Content-Type"] = jsonCT
+	h["Content-Length"] = clen
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
+	_, _ = w.Write(body)
+}
+
+// encBuf is a pooled response-encoding buffer with a json.Encoder bound
+// to it, plus a scratch slice for manual JSON assembly, reused across
+// requests.
+type encBuf struct {
+	buf     bytes.Buffer
+	scratch []byte
+	enc     *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &encBuf{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// encBufMaxRetain drops buffers a giant response grew instead of pooling
+// them forever.
+const encBufMaxRetain = 1 << 20
+
+func putEncBuf(e *encBuf) {
+	if e.buf.Cap() <= encBufMaxRetain {
+		encPool.Put(e)
+	}
+}
+
+// writeJSON encodes v into a pooled buffer and writes it as one
+// application/json response (one Write call, so net/http sets
+// Content-Length itself for responses that fit its output buffer).
+func writeJSON(w http.ResponseWriter, v any) error {
+	e := encPool.Get().(*encBuf)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		putEncBuf(e)
+		return err
+	}
+	w.Header()["Content-Type"] = jsonCT
+	_, err := w.Write(e.buf.Bytes())
+	putEncBuf(e)
+	return err
+}
+
+// writeErrorJSON writes a {"error": msg} envelope for a dynamic message
+// through the pooled buffer, byte-compatible with the json.Encoder
+// encoding of map[string]string{"error": msg} it replaced.
+func writeErrorJSON(w http.ResponseWriter, code int, msg string) {
+	e := encPool.Get().(*encBuf)
+	e.buf.Reset()
+	e.buf.WriteString(`{"error":`)
+	e.scratch = appendJSONString(e.scratch[:0], msg)
+	e.buf.Write(e.scratch)
+	e.buf.WriteString("}\n")
+	h := w.Header()
+	h["Content-Type"] = jsonCT
+	w.WriteHeader(code)
+	_, _ = w.Write(e.buf.Bytes())
+	putEncBuf(e)
+}
+
+// staticErrorBody precomputes the error envelope for a fixed sentinel
+// message.
+func staticErrorBody(msg string) *staticBody {
+	b := append(appendJSONString([]byte(`{"error":`), msg), '}', '\n')
+	return newStaticBody(b)
+}
+
+// Preencoded envelopes for the fixed-message errors on the backpressure
+// and timeout paths, so a saturated server sheds load without allocating
+// per rejection.
+var (
+	saturatedBody   = staticErrorBody(ErrSaturated.Error())
+	circuitOpenBody = staticErrorBody(ErrCircuitOpen.Error())
+	deadlineBody    = staticErrorBody(context.DeadlineExceeded.Error())
+	canceledBody    = staticErrorBody(context.Canceled.Error())
+)
+
+// jsonSafe marks the ASCII bytes encoding/json emits verbatim inside a
+// string (with HTML escaping on, its Encoder default).
+var jsonSafe = func() (safe [utf8.RuneSelf]bool) {
+	for b := 0; b < utf8.RuneSelf; b++ {
+		safe[b] = b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&'
+	}
+	return
+}()
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, matching
+// encoding/json's escaping (HTML escapes included) byte for byte so the
+// manual error envelopes are indistinguishable from encoded ones.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

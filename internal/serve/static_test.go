@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHealthzStaticBody pins the preencoded /healthz body to the exact
+// bytes the json.Encoder used to produce, headers included.
+func TestHealthzStaticBody(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	want := "{\"status\":\"ok\"}\n"
+	if string(body) != want {
+		t.Errorf("body %q, want %q", body, want)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(want)) {
+		t.Errorf("Content-Length %q, want %d", cl, len(want))
+	}
+}
+
+// TestMetricsETagRevalidation walks the conditional-request protocol
+// end to end over a real server: 200 with a strong ETag, then 304s for
+// exact, weak-prefixed, listed, and wildcard If-None-Match candidates,
+// and a fresh 200 for a stale one.
+func TestMetricsETagRevalidation(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	url := ts.URL + "/v1/metrics?net=hypercube&dim=4&logm=2"
+
+	resp, err := ts.Client().Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("Etag")
+	if !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+		t.Fatalf("ETag %q is not a quoted strong validator", etag)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(body)) {
+		t.Errorf("Content-Length %q, body is %d bytes", cl, len(body))
+	}
+	var doc MetricsDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("body is not a metrics document: %v", err)
+	}
+
+	get := func(inm string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, url, nil)
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resp.Request = nil
+		resp.Body = io.NopCloser(bytes.NewReader(b))
+		return resp
+	}
+
+	for _, inm := range []string{etag, "W/" + etag, `"stale", ` + etag, "*"} {
+		resp := get(inm)
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("If-None-Match %q: %d, want 304", inm, resp.StatusCode)
+		}
+		if b, _ := io.ReadAll(resp.Body); len(b) != 0 {
+			t.Errorf("If-None-Match %q: 304 carried a %d-byte body", inm, len(b))
+		}
+		if got := resp.Header.Get("Etag"); got != etag {
+			t.Errorf("If-None-Match %q: 304 ETag %q, want %q", inm, got, etag)
+		}
+	}
+
+	resp2 := get(`"deadbeef"`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("stale If-None-Match: %d, want 200", resp2.StatusCode)
+	}
+	if b, _ := io.ReadAll(resp2.Body); !bytes.Equal(b, body) {
+		t.Error("stale If-None-Match: body differs from the first response")
+	}
+
+	// The ETag is a function of the body: a different instance gets a
+	// different tag.
+	other, err := ts.Client().Get(ts.URL + "/v1/metrics?net=hypercube&dim=5&logm=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, other.Body)
+	other.Body.Close()
+	if got := other.Header.Get("Etag"); got == etag || got == "" {
+		t.Errorf("distinct instance ETag %q vs %q", got, etag)
+	}
+}
+
+// TestEtagMatches covers the If-None-Match list parser directly.
+func TestEtagMatches(t *testing.T) {
+	const tag = `"abc123"`
+	for _, tc := range []struct {
+		header string
+		want   bool
+	}{
+		{tag, true},
+		{"W/" + tag, true},
+		{"*", true},
+		{`"zzz", ` + tag, true},
+		{`"zzz",` + tag, true},
+		{`  ` + tag + `  `, true},
+		{`"zzz"`, false},
+		{`abc123`, false}, // unquoted is a different opaque tag
+		{"", false},
+	} {
+		if got := etagMatches(tc.header, tag); got != tc.want {
+			t.Errorf("etagMatches(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestWriteErrorBodiesMatchEncoder asserts the static and pooled error
+// envelopes are byte-identical to the json.Encoder output they replaced,
+// for both the preencoded sentinels and dynamic messages.
+func TestWriteErrorBodiesMatchEncoder(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	for _, err := range []error{
+		ErrSaturated,
+		ErrCircuitOpen,
+		context.DeadlineExceeded,
+		context.Canceled,
+		badRequest("dim %d outside [1, 30]", 99),
+		fmt.Errorf("wrapped: %w", ErrSaturated),
+		badRequest("tricky <html> & \"quotes\"   %s", "\x01"),
+	} {
+		rec := httptest.NewRecorder()
+		srv.writeError(rec, err)
+		var want bytes.Buffer
+		_ = json.NewEncoder(&want).Encode(map[string]string{"error": err.Error()})
+		if got := rec.Body.String(); got != want.String() {
+			t.Errorf("writeError(%v) body %q, want %q", err, got, want.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("writeError(%v) Content-Type %q", err, ct)
+		}
+	}
+
+	// Retry-After accompanies both the sentinel and wrapped 503s.
+	for _, err := range []error{ErrSaturated, fmt.Errorf("wrapped: %w", ErrSaturated)} {
+		rec := httptest.NewRecorder()
+		if code := srv.writeError(rec, err); code != http.StatusServiceUnavailable {
+			t.Fatalf("writeError(%v) = %d", err, code)
+		}
+		if rec.Header().Get("Retry-After") != "1" {
+			t.Errorf("writeError(%v): missing Retry-After", err)
+		}
+	}
+}
+
+// TestAppendJSONStringMatchesEncoder drives the manual string escaper
+// over the encoder's corner cases: HTML escaping, control bytes, invalid
+// UTF-8, and the U+2028/U+2029 JavaScript line separators.
+func TestAppendJSONStringMatchesEncoder(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		`quotes " and \ slashes`,
+		"tabs\tnewlines\nreturns\r",
+		"\x00\x01\x1f\x7f",
+		"<script>&amp;</script>",
+		"line\u2028and\u2029seps",
+		"invalid \xff\xfe utf8",
+		"mixed ünïcodé 漢字 🎉",
+		strings.Repeat("x", 300) + "\"",
+	}
+	for _, s := range cases {
+		var want bytes.Buffer
+		enc := json.NewEncoder(&want)
+		if err := enc.Encode(s); err != nil {
+			t.Fatalf("encode %q: %v", s, err)
+		}
+		got := string(appendJSONString(nil, s)) + "\n"
+		if got != want.String() {
+			t.Errorf("appendJSONString(%q) = %q, want %q", s, got, want.String())
+		}
+	}
+}
+
+// TestWriteJSONMatchesEncoder asserts the pooled response encoder is
+// byte-identical to a plain json.Encoder for a response struct.
+func TestWriteJSONMatchesEncoder(t *testing.T) {
+	links := 42
+	resp := BuildResponse{Network: "HSN(2,Q2)", Key: "hsn|l=2|nucleus=q2", Nodes: 16, Links: &links}
+	rec := httptest.NewRecorder()
+	if err := writeJSON(rec, &resp); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	_ = json.NewEncoder(&want).Encode(&resp)
+	if rec.Body.String() != want.String() {
+		t.Errorf("writeJSON body %q, want %q", rec.Body.String(), want.String())
+	}
+}

@@ -19,6 +19,11 @@ type Scratch struct {
 	// allocation-free.
 	Queue []int32
 
+	// Nbuf is a reusable neighbor-row buffer (see NeighborBuf).  Callers
+	// that grow it must store the grown slice back before PutScratch so
+	// the capacity is retained across checkouts.
+	Nbuf []int32
+
 	ms *MSBFSScratch
 }
 
@@ -47,6 +52,17 @@ func PutScratch(s *Scratch) {
 	if s != nil {
 		scratchPool.Put(s)
 	}
+}
+
+// NeighborBuf returns an empty neighbor-row buffer with capacity >=
+// degreeBound, reusing the pooled slice when it is already big enough —
+// the per-request NeighborsInto buffer on serving paths without
+// allocating per request.
+func (s *Scratch) NeighborBuf(degreeBound int) []int32 {
+	if cap(s.Nbuf) < degreeBound {
+		s.Nbuf = make([]int32, 0, degreeBound)
+	}
+	return s.Nbuf[:0]
 }
 
 // MS returns the scratch's MSBFS state sized for n vertices, allocating

@@ -106,6 +106,22 @@ done
   || fail "cluster performed $total builds for ${#queries[@]} keys, want exactly one each"
 echo "ipgd_cluster_smoke: one build per key confirmed ($total/${#queries[@]})"
 
+# Load-generator pass: drive the mixed workload through a replica with
+# ipgload's open loop.  Every request must succeed — peer-fill plus the
+# warm zero-allocation path have no excuse for errors at this gentle rate.
+go build -o "$workdir/ipgload" ./cmd/ipgload
+"$workdir/ipgload" -url "http://127.0.0.1:${ports[1]}" \
+  -mode open -rps 100 -conns 4 -duration 3s -warmup 1s \
+  -out "$workdir/load.json" >"$workdir/ipgload.log" 2>&1 \
+  || { cat "$workdir/ipgload.log" >&2; fail "ipgload run failed"; }
+loaderrs=$(python3 -c '
+import json, sys
+rep = json.load(open(sys.argv[1]))
+print(sum(e["errors"] for e in rep["endpoints"].values()))
+' "$workdir/load.json") || fail "ipgload report unreadable"
+[[ "$loaderrs" == "0" ]] || { cat "$workdir/ipgload.log" >&2; fail "ipgload saw $loaderrs request errors, want 0"; }
+echo "ipgd_cluster_smoke: ipgload mixed workload clean (0 errors)"
+
 # Pick a victim that owns the first golden key, SIGKILL it (no drain,
 # no goodbye), and assert the survivors keep answering and rehash its
 # ownership.
