@@ -143,7 +143,7 @@ func parseFlags(args []string) config {
 	fs.IntVar(&c.conns, "conns", 16, "concurrent connections (workers)")
 	fs.DurationVar(&c.duration, "duration", 10*time.Second, "measurement duration")
 	fs.DurationVar(&c.warmup, "warmup", 2*time.Second, "closed-loop warmup before measuring (0 disables)")
-	fs.StringVar(&c.mix, "mix", "healthz=1,metrics=6,route=2,simulate=1", "endpoint mix as name=weight, endpoints: healthz|metrics|route|simulate|fmetrics")
+	fs.StringVar(&c.mix, "mix", "healthz=1,metrics=6,route=2,simulate=1", "endpoint mix as name=weight, endpoints: healthz|metrics|route|route_multipath|simulate|fmetrics")
 	fs.Float64Var(&c.hot, "hot", 0.9, "fraction of metrics/route requests using the hot key set (the rest use -cold-keys generated keys)")
 	fs.IntVar(&c.coldKeys, "cold-keys", 24, "size of the cold key universe")
 	fs.Int64Var(&c.seed, "seed", 1, "deterministic request schedule seed")
@@ -220,7 +220,7 @@ func validate(c config, rpsProvided bool) error {
 
 // endpointOrder is the canonical class order; class indexes and report
 // sections follow it.
-var endpointOrder = []string{"healthz", "metrics", "route", "simulate", "fmetrics"}
+var endpointOrder = []string{"healthz", "metrics", "route", "route_multipath", "simulate", "fmetrics"}
 
 // parseMix decodes "-mix name=weight,..." into per-endpoint weights.
 func parseMix(mix string) (map[string]int, error) {
@@ -468,6 +468,16 @@ func (wl *workload) doClass(name string, i int64) (int, error) {
 		h2 := splitmix64(h)
 		url = fmt.Sprintf("%s/v1/route?%s&src=%d&dst=%d", wl.cfg.url, k.query,
 			int(h%uint64(k.n)), int(h2%uint64(k.n)))
+	case "route_multipath":
+		// Multipath needs a materialized network, so draw from the same
+		// subset the fault classes use.
+		k := wl.fltKeys[int(h%uint64(len(wl.fltKeys)))]
+		if k.n < 2 {
+			k = wl.fltKeys[0]
+		}
+		h2 := splitmix64(h)
+		url = fmt.Sprintf("%s/v1/route?%s&src=%d&dst=%d&multipath=%d", wl.cfg.url, k.query,
+			int(h%uint64(k.n)), int(h2%uint64(k.n)), 2+int(h2%5))
 	case "simulate":
 		k := wl.simKeys[int(h%uint64(len(wl.simKeys)))]
 		url = fmt.Sprintf("%s/v1/simulate?%s&workload=random&rate=0.1&warmup=5&measure=20&seed=%d",

@@ -85,6 +85,17 @@ func TestParseMixWeights(t *testing.T) {
 	if m["healthz"] != 1 || m["metrics"] != 6 || m["route"] != 2 {
 		t.Errorf("unexpected weights: %v", m)
 	}
+	m, err = parseMix("route_multipath=3,route=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["route_multipath"] != 3 {
+		t.Errorf("route_multipath weight missing: %v", m)
+	}
+	// Unknown endpoints are a hard error, never a silently dropped weight.
+	if _, err := parseMix("route=1,warp=9"); err == nil {
+		t.Error("unknown -mix endpoint must be rejected")
+	}
 }
 
 func TestColdQueriesDistinctAndDisjoint(t *testing.T) {

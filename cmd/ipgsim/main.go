@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"ipg/internal/fault"
+	"ipg/internal/ist"
 	"ipg/internal/netsim"
 	"ipg/internal/nucleus"
 	"ipg/internal/superipg"
@@ -38,10 +39,11 @@ func main() {
 		measure  = flag.Int("measure", 300, "measured rounds")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
 
-		faults   = flag.Int("faults", 0, "failures injected before the run (0 = healthy network)")
-		fmode    = flag.String("fmode", "node", "failure mode: node|link|chip")
-		fseed    = flag.Int64("fseed", 1, "failure sample seed")
-		frouting = flag.String("frouting", "aware", "degraded routing: aware|oblivious")
+		faults    = flag.Int("faults", 0, "failures injected before the run (0 = healthy network)")
+		fmode     = flag.String("fmode", "node", "failure mode: node|link|chip")
+		fseed     = flag.Int64("fseed", 1, "failure sample seed")
+		frouting  = flag.String("frouting", "aware", "degraded routing: aware|oblivious")
+		multipath = flag.Int("multipath", 0, "route over k independent spanning trees with alive-path fallback (0 = off)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -49,10 +51,17 @@ func main() {
 	}
 	validateFlags(*netName, *nucName, *workload, *rate, *chipCap, *warm, *measure)
 	fspec := validateFaultFlags(*faults, *fmode, *fseed, *frouting)
+	if *multipath < 0 {
+		usageError("-multipath must be >= 0, got %d", *multipath)
+	}
+	if *multipath > 0 && *frouting == "oblivious" {
+		usageError("-multipath replaces the degraded routing policy; drop -frouting=oblivious")
+	}
 
 	net, logN, addrToNode, nodeToAddr := buildNet(*netName, *l, *nucName, *dim, *logm, *k, *side, *chipCap)
 	fmt.Printf("network: %s (%d nodes)\n", net.Name, net.N)
-	net = degradeNet(net, fspec, *frouting)
+	net = degradeNet(net, fspec, *frouting, *multipath)
+	net = installMultipath(net, *netName, *dim, *multipath)
 
 	switch *workload {
 	case "random":
@@ -128,21 +137,55 @@ func validateFaultFlags(faults int, fmode string, fseed int64, frouting string) 
 }
 
 // degradeNet applies the fault spec (if any) to the built network and
-// installs the fault-aware router when requested.
-func degradeNet(net *netsim.Network, spec *fault.Spec, frouting string) *netsim.Network {
+// installs the fault-aware router when requested.  A pending multipath
+// router (installed right after) supersedes the routing policy here.
+func degradeNet(net *netsim.Network, spec *fault.Spec, frouting string, multipath int) *netsim.Network {
 	if spec == nil {
 		return net
 	}
 	dnet, sum, err := netsim.Degrade(net, *spec)
 	fail(err)
-	if frouting == "aware" {
+	routing := frouting
+	if multipath > 0 {
+		routing = fmt.Sprintf("multipath(%d)", multipath)
+	} else if frouting == "aware" {
 		far, err := netsim.NewFaultAwareRouter(dnet)
 		fail(err)
 		dnet.Router = far
 	}
 	fmt.Printf("faults: mode=%s seed=%d routing=%s; dead nodes %d, links %d, chips %d\n",
-		sum.Mode, spec.Seed, frouting, len(sum.DeadNodes), len(sum.DeadLinks), len(sum.DeadChips))
+		sum.Mode, spec.Seed, routing, len(sum.DeadNodes), len(sum.DeadLinks), len(sum.DeadChips))
 	return dnet
+}
+
+// installMultipath replaces the network's router with the independent
+// spanning tree multipath router: the closed-form k <= dim family on
+// the hypercube, the generic 2-IST family elsewhere.  It applies to
+// healthy and degraded networks alike (on a healthy network every pair
+// rides tree 0, so results match minimal routing).
+func installMultipath(net *netsim.Network, netName string, dim, k int) *netsim.Network {
+	if k <= 0 {
+		return net
+	}
+	var src netsim.TreeSource
+	if netName == "hypercube" {
+		if k > dim {
+			k = dim
+		}
+		kk := k
+		src = func(dst int) (*ist.Trees, error) { return ist.BuildHypercube(dim, dst, kk) }
+	} else {
+		if k > ist.GenericMaxTrees {
+			k = ist.GenericMaxTrees
+		}
+		src = netsim.GenericTreeSource(net, k)
+	}
+	mpr, err := netsim.NewMultipathRouter(net, src)
+	fail(err)
+	net.Router = mpr
+	fmt.Printf("multipath: %d independent trees; pairs: %d tree, %d fallback, %d unreachable\n",
+		k, mpr.TreePairs.Load(), mpr.FallbackPairs.Load(), mpr.UnreachablePairs.Load())
+	return net
 }
 
 // printFaultStats reports the degraded-run packet accounting; on a

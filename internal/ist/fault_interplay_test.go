@@ -1,0 +1,160 @@
+package ist_test
+
+import (
+	"context"
+	"testing"
+
+	"ipg/internal/fault"
+	"ipg/internal/ist"
+	"ipg/internal/topo"
+	"ipg/internal/topology"
+)
+
+// arcDead reports whether the directed arc u -> w is masked out by the
+// fault set, using the CSR arc-index convention shared with the fault
+// package (both directions of a failed edge are set).
+func arcDead(c *topo.CSR, set *fault.Set, u, w int) bool {
+	first := c.RowStart(u)
+	for j, x := range c.Row(u) {
+		if int(x) == w {
+			return topo.Bit(set.ADead, first+j)
+		}
+	}
+	return true // not a graph arc at all
+}
+
+// bruteReachable returns the set of vertices that can reach root in the
+// alive subgraph, by direct BFS with no IST machinery involved.
+func bruteReachable(c *topo.CSR, set *fault.Set, root int) []bool {
+	n := c.N()
+	reach := make([]bool, n)
+	if set.VertexDead(root) {
+		return reach
+	}
+	reach[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		first := c.RowStart(u)
+		for j, w := range c.Row(u) {
+			if reach[w] || set.VertexDead(int(w)) || topo.Bit(set.ADead, first+j) {
+				continue
+			}
+			reach[w] = true
+			queue = append(queue, int(w))
+		}
+	}
+	return reach
+}
+
+// treeDelivers reports whether at least one of the k tree paths from v
+// to the root survives the fault set intact — pure tree routing, no
+// fallback of any kind.
+func treeDelivers(c *topo.CSR, set *fault.Set, tr *ist.Trees, v int, buf []int32) (bool, []int32) {
+	if set.VertexDead(v) || set.VertexDead(tr.Root) {
+		return false, buf
+	}
+	for t := 0; t < tr.K; t++ {
+		var err error
+		buf, err = tr.PathTo(t, v, buf[:0])
+		if err != nil {
+			return false, buf
+		}
+		ok := true
+		for i, x := range buf {
+			if set.VertexDead(int(x)) {
+				ok = false
+				break
+			}
+			if i+1 < len(buf) && arcDead(c, set, int(x), int(buf[i+1])) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true, buf
+		}
+	}
+	return false, buf
+}
+
+// TestISTFaultBoundDeliveryMatchesReachability is the disjointness bound
+// made operational: with fewer than k node or link faults, pure tree
+// routing over a k-IST family delivers to the root from EXACTLY the
+// brute-force reachable set.  At most one of k pairwise internally
+// node-disjoint, edge-disjoint paths can die per fault, so some path
+// survives from every alive vertex — and a vertex the BFS cannot reach
+// is unreachable for every router.  Runs on all 8 golden families with
+// the generic k = 2 trees, and on Q6 with the full k = 6 family.
+func TestISTFaultBoundDeliveryMatchesReachability(t *testing.T) {
+	ctx := context.Background()
+	modes := []fault.Mode{fault.Nodes, fault.Links}
+	for _, fam := range goldenFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			c := fam.build().CSR()
+			n := c.N()
+			roots := []int{0, n / 3, n - 1}
+			var buf []int32
+			for _, root := range roots {
+				tr, err := ist.Build(ctx, c, root, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, mode := range modes {
+					for seed := int64(1); seed <= 3; seed++ {
+						// count = 1 < k = 2: the bound applies.
+						set, err := fault.New(c, fault.Spec{Mode: mode, Count: 1, Seed: seed}, nil)
+						if err != nil {
+							t.Fatal(err)
+						}
+						reach := bruteReachable(c, set, root)
+						for v := 0; v < n; v++ {
+							var got bool
+							got, buf = treeDelivers(c, set, tr, v, buf)
+							if got != reach[v] {
+								t.Fatalf("root %d mode %v seed %d vertex %d: tree delivery %v, brute reachability %v",
+									root, mode, seed, v, got, reach[v])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+
+	// Q6 with the full k = 6 hypercube family: up to 5 simultaneous
+	// faults still cannot sever all six disjoint paths.
+	t.Run("Q6 k=6", func(t *testing.T) {
+		t.Parallel()
+		c := topology.NewHypercube(6).G.CSR()
+		var buf []int32
+		for _, root := range []int{0, 21, 63} {
+			tr, err := ist.BuildHypercube(6, root, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range modes {
+				for count := 1; count <= 5; count++ {
+					for seed := int64(1); seed <= 3; seed++ {
+						set, err := fault.New(c, fault.Spec{Mode: mode, Count: count, Seed: seed}, nil)
+						if err != nil {
+							t.Fatal(err)
+						}
+						reach := bruteReachable(c, set, root)
+						for v := 0; v < c.N(); v++ {
+							var got bool
+							got, buf = treeDelivers(c, set, tr, v, buf)
+							if got != reach[v] {
+								t.Fatalf("root %d mode %v count %d seed %d vertex %d: tree delivery %v, brute reachability %v",
+									root, mode, count, seed, v, got, reach[v])
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}

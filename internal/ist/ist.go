@@ -1,0 +1,548 @@
+// Package ist constructs independent spanning trees (ISTs): k spanning
+// trees rooted at one destination such that for every vertex v the k
+// tree paths v -> root are pairwise internally node-disjoint (and
+// edge-disjoint).  By Menger's theorem the paths of a k-IST family
+// survive any f < k component failures: each failed node or link can
+// kill at most one of the k paths, so at least one tree path from every
+// surviving vertex stays intact.  This is the structural object that
+// turns the fault layer's degradation *measurements* into routes
+// *around* the damage.
+//
+// Two constructors are provided, both deterministic (fixed adjacency
+// order, no randomness) and allocation-bounded:
+//
+//   - BuildHypercube: the closed-form d-IST family of the d-cube.  Tree
+//     i detours through dimension i — a vertex whose i-th address bit
+//     already differs from the root corrects the cyclically-next wrong
+//     bit after i and fixes bit i last; a vertex whose i-th bit agrees
+//     flips it first ("wrong way") and then corrects.  Every internal
+//     vertex of path i therefore differs from the root in bit i, and
+//     the corrected-bit order makes paths of distinct trees meet only
+//     at the endpoints.
+//
+//   - Build: the generic 2-IST of any 2-connected graph via an
+//     st-numbering (Even–Tarjan).  With st(root) = 1 and st(t) = n for
+//     a neighbor t of the root, tree 1 descends st-numbers to the root
+//     and tree 2 ascends them to t and crosses the (t, root) edge;
+//     path-1 internals are numbered strictly below v and path-2
+//     internals strictly above, so the paths share only v and the root.
+//
+// The super-IPG and baseline families served by this repository are all
+// at least 2-connected, so Build covers every golden family; the
+// hypercube family upgrades to the full k = d trees.
+package ist
+
+import (
+	"context"
+	"fmt"
+
+	"ipg/internal/topo"
+)
+
+// GenericMaxTrees is the number of independent spanning trees Build
+// constructs for an arbitrary 2-connected graph.  Families with more
+// structure (the hypercube) have dedicated constructors with larger k.
+const GenericMaxTrees = 2
+
+// Trees is a k-IST family for one destination: k spanning trees of the
+// same graph, all rooted at Root, whose root paths are pairwise
+// internally node-disjoint and edge-disjoint.  The value is immutable
+// after construction and safe for concurrent readers.
+type Trees struct {
+	Root int
+	K    int
+	N    int
+	// parent is the flat parent table: parent[t*N+v] is v's parent in
+	// tree t, -1 at the root.
+	parent []int32
+}
+
+// Parent returns v's parent in tree t (-1 at the root).
+func (tr *Trees) Parent(t, v int) int { return int(tr.parent[t*tr.N+v]) }
+
+// PathTo appends the tree-t path v -> Root (inclusive of both ends) to
+// buf and returns it.  The walk is bounded by N steps; a longer walk
+// means the parent table is corrupt and is reported as an error.
+func (tr *Trees) PathTo(t, v int, buf []int32) ([]int32, error) {
+	if t < 0 || t >= tr.K || v < 0 || v >= tr.N {
+		return buf, fmt.Errorf("ist: path (tree %d, vertex %d) out of range", t, v)
+	}
+	row := tr.parent[t*tr.N : (t+1)*tr.N]
+	cur := v
+	for steps := 0; ; steps++ {
+		if steps > tr.N {
+			return buf, fmt.Errorf("ist: tree %d has a parent cycle at vertex %d", t, v)
+		}
+		//lint:ignore indextrunc cur indexes row, so cur < tr.N <= topo.MaxVertices (math.MaxInt32)
+		buf = append(buf, int32(cur))
+		if cur == tr.Root {
+			return buf, nil
+		}
+		cur = int(row[cur])
+		if cur < 0 {
+			return buf, fmt.Errorf("ist: tree %d dead-ends before the root at vertex %d", t, v)
+		}
+	}
+}
+
+// SizeBytes reports the parent-table footprint, for cache accounting.
+func (tr *Trees) SizeBytes() int64 { return int64(len(tr.parent))*4 + 64 }
+
+// BuildHypercube returns the k-IST family of the d-cube rooted at root,
+// k <= d, with vertices identified with their d-bit addresses.  Tree i
+// routes v -> root by detouring through dimension i: writing
+// D = v XOR root,
+//
+//   - D == 1<<i: the last hop, straight to the root;
+//   - bit i of D set: correct the cyclically-next set bit of D after i
+//     (bit i itself is corrected last, by the first rule);
+//   - bit i of D clear: flip bit i "the wrong way" first.
+//
+// Every internal vertex of path i has bit i of its offset set, and the
+// cyclic correction order gives pairwise internally node-disjoint and
+// edge-disjoint root paths (verified exhaustively by the package
+// property tests).  Runs in O(k * 2^d * d) time.
+func BuildHypercube(d, root, k int) (*Trees, error) {
+	if d < 1 || d > 30 {
+		return nil, fmt.Errorf("ist: hypercube dimension %d out of range [1, 30]", d)
+	}
+	n := 1 << d
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("ist: root %d out of range for Q%d", root, d)
+	}
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("ist: Q%d supports 1..%d independent trees, requested %d", d, d, k)
+	}
+	tr := &Trees{Root: root, K: k, N: n, parent: make([]int32, k*n)}
+	for i := 0; i < k; i++ {
+		row := tr.parent[i*n : (i+1)*n]
+		row[root] = -1
+		for v := 0; v < n; v++ {
+			if v == root {
+				continue
+			}
+			D := v ^ root
+			var p int
+			switch {
+			case D == 1<<i:
+				p = root
+			case D>>i&1 == 1:
+				// Correct the cyclically-next set bit after i, leaving
+				// bit i for last.
+				s := -1
+				for off := 1; off < d; off++ {
+					b := (i + off) % d
+					if D>>b&1 == 1 {
+						s = b
+						break
+					}
+				}
+				p = v ^ 1<<s
+			default:
+				p = v ^ 1<<i // detour: flip bit i the wrong way first
+			}
+			//lint:ignore indextrunc p < n = 1<<d <= 1<<30, well under math.MaxInt32
+			row[v] = int32(p)
+		}
+	}
+	return tr, nil
+}
+
+// Build returns a k-IST family (k <= GenericMaxTrees) for an arbitrary
+// adjacency source rooted at root.  k = 1 is the BFS shortest-path
+// tree; k = 2 requires the graph to be 2-connected and uses the
+// Even–Tarjan st-numbering.  The construction is deterministic (the
+// source's canonical ascending neighbor order drives both the DFS and
+// all tie-breaks), runs in O(N + M), and polls ctx at vertex-batch
+// granularity so oversized requests stay cancellable.
+func Build(ctx context.Context, src topo.Source, root, k int) (*Trees, error) {
+	n := src.N()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("ist: root %d out of range [0, %d)", root, n)
+	}
+	if k < 1 || k > GenericMaxTrees {
+		return nil, fmt.Errorf("ist: generic constructor supports 1..%d independent trees, requested %d", GenericMaxTrees, k)
+	}
+	tr := &Trees{Root: root, K: k, N: n, parent: make([]int32, k*n)}
+	if err := bfsTreeInto(ctx, src, root, tr.parent[:n]); err != nil {
+		return nil, err
+	}
+	if k == 1 {
+		return tr, nil
+	}
+	if n < 3 {
+		return nil, fmt.Errorf("ist: 2 independent trees need at least 3 vertices, graph has %d", n)
+	}
+	num, order, err := stNumber(ctx, src, root)
+	if err != nil {
+		return nil, err
+	}
+	if err := stTreesInto(ctx, src, root, num, order, tr.parent[:n], tr.parent[n:2*n]); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// bfsTreeInto fills parent with the BFS shortest-path tree rooted at
+// root (lowest-id predecessor on ties, -1 at the root), using pooled
+// scratch for the distance vector and queue.
+func bfsTreeInto(ctx context.Context, src topo.Source, root int, parent []int32) error {
+	n := src.N()
+	s := topo.GetScratch(n)
+	defer topo.PutScratch(s)
+	dist := s.Dist
+	nbuf := s.NeighborBuf(src.DegreeBound())
+	_, _, nbuf = topo.BFSSourceInto(src, root, dist, s.Queue, nbuf)
+	s.Nbuf = nbuf
+	for v := 0; v < n; v++ {
+		if v&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if v == root {
+			parent[v] = -1
+			continue
+		}
+		if dist[v] < 0 {
+			return fmt.Errorf("ist: graph is disconnected at vertex %d", v)
+		}
+		nbuf = src.NeighborsInto(v, nbuf)
+		parent[v] = -1
+		//lint:ignore ctxflow scans one neighbor row, at most DegreeBound entries; the enclosing vertex loop polls ctx every 1024 iterations
+		for _, w := range nbuf {
+			if dist[w] == dist[v]-1 {
+				parent[v] = w
+				break
+			}
+		}
+		if parent[v] < 0 {
+			return fmt.Errorf("ist: BFS distance array inconsistent at vertex %d", v)
+		}
+	}
+	s.Nbuf = nbuf
+	return nil
+}
+
+// stNumber computes an st-numbering of a 2-connected graph with
+// num[s] = 1 and num[t] = n for t = the lowest neighbor of s, via the
+// Even–Tarjan algorithm: an iterative DFS from s whose first tree edge
+// is (s, t) computes preorder and lowpoint numbers, then each further
+// vertex is inserted into a doubly-linked list before or after its DFS
+// parent according to the sign of its lowpoint vertex.  It returns the
+// numbering and the vertex order (order[num[v]-1] = v), or an error if
+// the graph is disconnected or has a cut vertex.
+func stNumber(ctx context.Context, src topo.Source, s int) (num, order []int32, err error) {
+	n := src.N()
+	// Flatten the adjacency once so the DFS can resume a vertex's
+	// neighbor scan in O(1); implicit sources regenerate rows per call,
+	// which would otherwise cost O(deg) per resumption.
+	off := make([]int32, n+1)
+	adj := make([]int32, 0, n*2)
+	nbuf := make([]int32, 0, src.DegreeBound())
+	for v := 0; v < n; v++ {
+		if v&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		nbuf = src.NeighborsInto(v, nbuf)
+		adj = append(adj, nbuf...)
+		//lint:ignore indextrunc adjacency arcs number at most N*DegreeBound <= topo arena arc bounds (int32 by CSR construction)
+		off[v+1] = int32(len(adj))
+	}
+	if off[s+1] == off[s] {
+		return nil, nil, fmt.Errorf("ist: root %d is isolated", s)
+	}
+
+	pre := make([]int32, n) // preorder number, -1 unvisited
+	low := make([]int32, n) // lowpoint (a preorder number)
+	par := make([]int32, n) // DFS tree parent
+	cur := make([]int32, n) // adjacency cursor
+	byPre := make([]int32, n)
+	//lint:ignore ctxflow O(n) array initialization, a single pass between the polled loops
+	for v := range pre {
+		pre[v] = -1
+		par[v] = -1
+	}
+	copy(cur, off[:n])
+	pre[s], low[s] = 0, 0
+	//lint:ignore indextrunc s < n <= topo.MaxVertices (math.MaxInt32)
+	byPre[0] = int32(s)
+	counter := int32(1)
+	stack := make([]int32, 0, 64)
+	//lint:ignore indextrunc s < n <= topo.MaxVertices (math.MaxInt32)
+	stack = append(stack, int32(s))
+	steps := 0
+	for len(stack) > 0 {
+		if steps&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		steps++
+		v := stack[len(stack)-1]
+		if cur[v] == off[v+1] {
+			stack = stack[:len(stack)-1]
+			if p := par[v]; p >= 0 && low[v] < low[p] {
+				low[p] = low[v]
+			}
+			continue
+		}
+		w := adj[cur[v]]
+		cur[v]++
+		if pre[w] < 0 {
+			par[w] = v
+			pre[w], low[w] = counter, counter
+			byPre[counter] = w
+			counter++
+			stack = append(stack, w)
+		} else if w != par[v] && pre[w] < low[v] {
+			low[v] = pre[w]
+		}
+	}
+	if int(counter) != n {
+		return nil, nil, fmt.Errorf("ist: graph is disconnected (%d of %d vertices reached)", counter, n)
+	}
+	// 2-connectivity: the DFS root must have exactly one child and no
+	// non-root vertex may dominate a child subtree (low[c] >= pre[v]).
+	t := adj[off[s]] // first tree edge is (s, t): t is the lowest neighbor of s
+	for v := 0; v < n; v++ {
+		if v&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		p := par[v]
+		if p < 0 {
+			continue
+		}
+		if int(p) == s {
+			if v != int(t) {
+				return nil, nil, fmt.Errorf("ist: vertex %d is a cut vertex (DFS root has multiple children)", s)
+			}
+			continue
+		}
+		if low[v] >= pre[p] {
+			return nil, nil, fmt.Errorf("ist: vertex %d is a cut vertex; 2 independent trees need a 2-connected graph", p)
+		}
+	}
+
+	// Even–Tarjan list construction.  sign[v] records on which side of v
+	// the next vertex whose lowpoint is v should land; only s starts
+	// signed, and the invariant low[v] < pre[par[v]] guarantees every
+	// lowpoint vertex consulted below has been signed already.
+	next := make([]int32, n)
+	prev := make([]int32, n)
+	sign := make([]int8, n)
+	for v := range next {
+		next[v] = -1
+		prev[v] = -1
+	}
+	sign[s] = -1
+	next[s] = t
+	//lint:ignore indextrunc s < n <= topo.MaxVertices (math.MaxInt32)
+	prev[t] = int32(s)
+	for i := 2; i < n; i++ {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		v := byPre[i]
+		p := par[v]
+		lv := byPre[low[v]]
+		if sign[lv] == -1 {
+			// Insert v immediately before p.
+			q := prev[p]
+			next[q] = v
+			prev[v] = q
+			next[v] = p
+			prev[p] = v
+			sign[p] = 1
+		} else {
+			// Insert v immediately after p.  p is never the list tail
+			// here (children of t always land in the before-branch, as
+			// sign[s] stays -1), so q is a real vertex; the self-check
+			// below catches any violation of that invariant.
+			q := next[p]
+			next[p] = v
+			prev[v] = p
+			next[v] = q
+			if q >= 0 {
+				prev[q] = v
+			}
+			sign[p] = -1
+		}
+	}
+	num = make([]int32, n)
+	order = make([]int32, n)
+	//lint:ignore indextrunc s < n <= topo.MaxVertices (math.MaxInt32)
+	at := int32(s)
+	//lint:ignore indextrunc n <= topo.MaxVertices (math.MaxInt32)
+	for i := int32(0); i < int32(n); i++ {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if at < 0 {
+			return nil, nil, fmt.Errorf("ist: st-number list broke after %d of %d vertices", i, n)
+		}
+		num[at] = i + 1
+		order[i] = at
+		at = next[at]
+	}
+	// Self-check the defining property: every vertex except the first
+	// and last has both a lower- and a higher-numbered neighbor, so both
+	// trees below have a parent everywhere.  O(N + M), and cheap
+	// insurance that a subtle DFS bug cannot ship a wrong table.
+	for v := 0; v < n; v++ {
+		if v&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		lower, higher := false, false
+		for _, w := range adj[off[v]:off[v+1]] {
+			if num[w] < num[v] {
+				lower = true
+			} else if num[w] > num[v] {
+				higher = true
+			}
+		}
+		if (!lower && num[v] != 1) || (!higher && int(num[v]) != n) {
+			return nil, nil, fmt.Errorf("ist: st-numbering property violated at vertex %d", v)
+		}
+	}
+	return num, order, nil
+}
+
+// stTreesInto derives the two independent spanning trees from an
+// st-numbering: in t1 every vertex steps to its lowest-numbered lower
+// neighbor (descending to the root, number 1); in t2 every vertex steps
+// to its lowest higher neighbor (ascending to t, number n), and t
+// itself crosses to the root.  The one subtlety: t's t1 parent must
+// avoid the root so the (t, root) edge is used by t2 alone, keeping the
+// two paths of t edge-disjoint.
+func stTreesInto(ctx context.Context, src topo.Source, root int, num, order []int32, t1, t2 []int32) error {
+	n := src.N()
+	t := int(order[n-1])
+	nbuf := make([]int32, 0, src.DegreeBound())
+	for v := 0; v < n; v++ {
+		if v&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if v == root {
+			t1[v] = -1
+			t2[v] = -1
+			continue
+		}
+		nbuf = src.NeighborsInto(v, nbuf)
+		p1, p2 := int32(-1), int32(-1)
+		//lint:ignore ctxflow scans one neighbor row, at most DegreeBound entries; the enclosing vertex loop polls ctx every 1024 iterations
+		for _, w := range nbuf {
+			if num[w] < num[v] {
+				// Lowest-id lower neighbor; t skips the root (see above).
+				if (p1 < 0) && !(v == t && int(w) == root) {
+					p1 = w
+				}
+			} else if num[w] > num[v] && p2 < 0 {
+				p2 = w
+			}
+		}
+		if v == t {
+			//lint:ignore indextrunc root < n <= topo.MaxVertices (math.MaxInt32)
+			p2 = int32(root)
+		}
+		if p1 < 0 || p2 < 0 {
+			return fmt.Errorf("ist: st-numbering left vertex %d without both tree parents", v)
+		}
+		t1[v] = p1
+		t2[v] = p2
+	}
+	return nil
+}
+
+// Verify checks the full IST contract of tr against the adjacency
+// source it was built from: every parent edge exists in the graph, each
+// tree spans (every vertex reaches the root without cycles), and for
+// every vertex the k root paths are pairwise internally node-disjoint
+// and edge-disjoint.  It is O(K^2 * N * diameter) and meant for tests
+// and offline validation, not serving paths.
+func Verify(src topo.Source, tr *Trees) error {
+	n := src.N()
+	if n != tr.N {
+		return fmt.Errorf("ist: tree family built for %d vertices, source has %d", tr.N, n)
+	}
+	nbuf := make([]int32, 0, src.DegreeBound())
+	for t := 0; t < tr.K; t++ {
+		for v := 0; v < n; v++ {
+			p := tr.Parent(t, v)
+			if v == tr.Root {
+				if p != -1 {
+					return fmt.Errorf("ist: tree %d gives the root a parent", t)
+				}
+				continue
+			}
+			if p < 0 || p >= n {
+				return fmt.Errorf("ist: tree %d vertex %d has parent %d out of range", t, v, p)
+			}
+			nbuf = src.NeighborsInto(v, nbuf)
+			found := false
+			for _, w := range nbuf {
+				if int(w) == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("ist: tree %d edge (%d, %d) is not a graph edge", t, v, p)
+			}
+		}
+	}
+	// Spanning + disjointness, per source vertex.
+	//lint:ignore adjbuild k per-tree root-path buffers, not an adjacency table
+	paths := make([][]int32, tr.K)
+	seen := make(map[int32]int, 64)     // internal vertex -> tree
+	edges := make(map[[2]int32]int, 64) // canonical edge -> tree
+	for v := 0; v < n; v++ {
+		for t := 0; t < tr.K; t++ {
+			var err error
+			paths[t], err = tr.PathTo(t, v, paths[t][:0])
+			if err != nil {
+				return err
+			}
+		}
+		if v == tr.Root {
+			continue
+		}
+		clear(seen)
+		clear(edges)
+		for t := 0; t < tr.K; t++ {
+			p := paths[t]
+			for i, x := range p {
+				if i > 0 && i < len(p)-1 {
+					if prevT, dup := seen[x]; dup {
+						return fmt.Errorf("ist: paths of trees %d and %d from vertex %d share internal vertex %d", prevT, t, v, x)
+					}
+					seen[x] = t
+				}
+				if i < len(p)-1 {
+					a, b := x, p[i+1]
+					if a > b {
+						a, b = b, a
+					}
+					e := [2]int32{a, b}
+					if prevT, dup := edges[e]; dup {
+						return fmt.Errorf("ist: paths of trees %d and %d from vertex %d share edge (%d, %d)", prevT, t, v, a, b)
+					}
+					edges[e] = t
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package ist_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ipg/internal/graph"
+	"ipg/internal/ist"
+	"ipg/internal/nucleus"
+	"ipg/internal/superipg"
+	"ipg/internal/topology"
+)
+
+// goldenFamily mirrors the 8 golden families of the fault package's
+// property tests: the IST contract must hold on every one of them.
+type goldenFamily struct {
+	name  string
+	build func() *graph.Graph
+}
+
+func goldenFamilies() []goldenFamily {
+	q2 := func() *nucleus.Nucleus { return nucleus.Hypercube(2) }
+	return []goldenFamily{
+		{"HSN(3,Q2)", func() *graph.Graph { return superipg.HSN(3, q2()).MustBuild().Undirected() }},
+		{"ring-CN(3,Q2)", func() *graph.Graph { return superipg.RingCN(3, q2()).MustBuild().Undirected() }},
+		{"complete-CN(3,Q2)", func() *graph.Graph { return superipg.CompleteCN(3, q2()).MustBuild().Undirected() }},
+		{"SFN(3,Q2)", func() *graph.Graph { return superipg.SFN(3, q2()).MustBuild().Undirected() }},
+		{"Q6", func() *graph.Graph { return topology.NewHypercube(6).G }},
+		{"8-ary 2-cube", func() *graph.Graph { return topology.NewTorus(8, 2).G }},
+		{"CCC(3)", func() *graph.Graph { return topology.NewCCC(3).G }},
+		{"WBF(3)", func() *graph.Graph { return topology.NewButterfly(3).G }},
+	}
+}
+
+// TestGenericISTGoldenFamilies: the generic 2-IST constructor must
+// produce verified independent spanning trees for every root of every
+// golden family.  Verify checks edge validity, spanning, acyclicity,
+// and pairwise internal-vertex and edge disjointness of all root paths.
+func TestGenericISTGoldenFamilies(t *testing.T) {
+	ctx := context.Background()
+	for _, fam := range goldenFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			c := fam.build().CSR()
+			for root := 0; root < c.N(); root++ {
+				tr, err := ist.Build(ctx, c, root, 2)
+				if err != nil {
+					t.Fatalf("root %d: %v", root, err)
+				}
+				if tr.K != 2 || tr.N != c.N() || tr.Root != root {
+					t.Fatalf("root %d: got (K=%d N=%d Root=%d)", root, tr.K, tr.N, tr.Root)
+				}
+				if err := ist.Verify(c, tr); err != nil {
+					t.Fatalf("root %d: %v", root, err)
+				}
+			}
+		})
+	}
+}
+
+// TestHypercubeIST: the closed-form constructor must produce k = d
+// verified independent trees for every root of Q3..Q6 (exhaustive over
+// roots — the hypercube is vertex-transitive, but the test should not
+// assume the code exploits that).
+func TestHypercubeIST(t *testing.T) {
+	for d := 3; d <= 6; d++ {
+		c := topology.NewHypercube(d).G.CSR()
+		for root := 0; root < 1<<d; root++ {
+			tr, err := ist.BuildHypercube(d, root, d)
+			if err != nil {
+				t.Fatalf("Q%d root %d: %v", d, root, err)
+			}
+			if err := ist.Verify(c, tr); err != nil {
+				t.Fatalf("Q%d root %d: %v", d, root, err)
+			}
+		}
+	}
+}
+
+// TestISTDeterminism: same inputs, identical parent tables — the serve
+// layer caches and cluster-fills these, so rebuilds must be bitwise
+// reproducible.
+func TestISTDeterminism(t *testing.T) {
+	ctx := context.Background()
+	c := superipg.HSN(3, nucleus.Hypercube(2)).MustBuild().Undirected().CSR()
+	a, err := ist.Build(ctx, c, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ist.Build(ctx, c, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tree := 0; tree < 2; tree++ {
+		for v := 0; v < c.N(); v++ {
+			if a.Parent(tree, v) != b.Parent(tree, v) {
+				t.Fatalf("tree %d vertex %d: %d vs %d across rebuilds", tree, v, a.Parent(tree, v), b.Parent(tree, v))
+			}
+		}
+	}
+	h1, err := ist.BuildHypercube(6, 9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ist.BuildHypercube(6, 9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tree := 0; tree < 6; tree++ {
+		for v := 0; v < 64; v++ {
+			if h1.Parent(tree, v) != h2.Parent(tree, v) {
+				t.Fatalf("hypercube tree %d vertex %d differs across rebuilds", tree, v)
+			}
+		}
+	}
+}
+
+// TestISTErrors: invalid requests fail loudly with descriptive errors
+// instead of returning broken tables.
+func TestISTErrors(t *testing.T) {
+	ctx := context.Background()
+	path4 := graph.FromStream(4, func(edge func(u, v int)) {
+		edge(0, 1)
+		edge(1, 2)
+		edge(2, 3)
+	}).CSR()
+	disconnected := graph.FromStream(4, func(edge func(u, v int)) {
+		edge(0, 1)
+		edge(2, 3)
+	}).CSR()
+	triangle := graph.FromStream(3, func(edge func(u, v int)) {
+		edge(0, 1)
+		edge(1, 2)
+		edge(2, 0)
+	}).CSR()
+	tiny := graph.FromStream(2, func(edge func(u, v int)) { edge(0, 1) }).CSR()
+
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"root out of range", func() error { _, err := ist.Build(ctx, triangle, 3, 2); return err }, "out of range"},
+		{"k too large generic", func() error { _, err := ist.Build(ctx, triangle, 0, 3); return err }, "1..2"},
+		{"k zero", func() error { _, err := ist.Build(ctx, triangle, 0, 0); return err }, "1..2"},
+		{"not 2-connected", func() error { _, err := ist.Build(ctx, path4, 0, 2); return err }, "cut vertex"},
+		{"disconnected", func() error { _, err := ist.Build(ctx, disconnected, 0, 2); return err }, "disconnected"},
+		{"too few vertices", func() error { _, err := ist.Build(ctx, tiny, 0, 2); return err }, "at least 3"},
+		{"hypercube k > d", func() error { _, err := ist.BuildHypercube(4, 0, 5); return err }, "1..4"},
+		{"hypercube bad root", func() error { _, err := ist.BuildHypercube(3, 8, 3); return err }, "out of range"},
+		{"hypercube bad dim", func() error { _, err := ist.BuildHypercube(0, 0, 1); return err }, "dimension"},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil {
+			t.Fatalf("%s: expected an error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// k = 1 works even on graphs that are merely connected.
+	tr, err := ist.Build(ctx, path4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ist.Verify(path4, tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestISTCancellation: a pre-cancelled context must abort Build.
+func TestISTCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := topology.NewHypercube(6).G.CSR()
+	if _, err := ist.Build(ctx, c, 0, 2); err == nil {
+		t.Fatal("expected context cancellation error")
+	}
+}
+
+// TestPathToDefensive: PathTo bounds its walk and reports corrupt
+// tables rather than spinning.
+func TestPathToDefensive(t *testing.T) {
+	tr, err := ist.BuildHypercube(3, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.PathTo(3, 0, nil); err == nil {
+		t.Fatal("expected out-of-range tree error")
+	}
+	if _, err := tr.PathTo(0, 8, nil); err == nil {
+		t.Fatal("expected out-of-range vertex error")
+	}
+	buf, err := tr.PathTo(1, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 5 || buf[len(buf)-1] != 0 {
+		t.Fatalf("path endpoints wrong: %v", buf)
+	}
+}

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ipg/internal/fault"
+	"ipg/internal/ist"
+)
+
+// multipathSource picks the richest tree family each fault-test network
+// supports: the closed-form k = 6 family for Q6 (netsim hypercube node
+// ids are the addresses), the generic 2-IST for everything else.
+func multipathSource(t *testing.T, net *Network) TreeSource {
+	t.Helper()
+	if net.N == 64 && strings.HasPrefix(net.Name, "Q6/") {
+		return func(dst int) (*ist.Trees, error) { return ist.BuildHypercube(6, dst, 6) }
+	}
+	return GenericTreeSource(net, 2)
+}
+
+// aliveCount returns the number of alive nodes of net.
+func aliveCount(net *Network) int64 {
+	var alive int64
+	for v := 0; v < net.N; v++ {
+		if !net.nodeDead(v) {
+			alive++
+		}
+	}
+	return alive
+}
+
+// TestMultipathDeliversReachable is the tentpole's routing pin: under
+// every PR-5 fault mode, the multipath router delivers EXACTLY the
+// reachable packet set — never below the fault-aware single-path router
+// (they tie at the reachability optimum, the strongest form of the
+// "≥ whenever any disjoint tree survives" guarantee) — never misroutes,
+// and resolves every alive pair into exactly one of the tree, fallback,
+// or unreachable tiers.
+func TestMultipathDeliversReachable(t *testing.T) {
+	for _, base := range faultTestNetworks(t) {
+		base := base
+		links := len(undirectedLinks(base))
+		specs := []fault.Spec{
+			{Mode: fault.Links, Count: links / 20, Seed: 0},
+			{Mode: fault.Nodes, Count: base.N / 16, Seed: 0},
+			{Mode: fault.Chips, Count: 2, Seed: 0},
+		}
+		perm := rotatePerm(base.N)
+		total := permTotal(perm)
+		for _, spec := range specs {
+			for seed := int64(1); seed <= 3; seed++ {
+				spec := spec
+				spec.Seed = seed
+				name := fmt.Sprintf("%s/%s/seed=%d", base.Name, spec.Mode, seed)
+				t.Run(name, func(t *testing.T) {
+					net, _, err := Degrade(base, spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					far, err := NewFaultAwareRouter(net)
+					if err != nil {
+						t.Fatal(err)
+					}
+					net.Router = far
+					awr, err := RunPermutation(net, 7, perm, 1<<16)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					mpr, err := NewMultipathRouter(net, multipathSource(t, base))
+					if err != nil {
+						t.Fatal(err)
+					}
+					alive := aliveCount(net)
+					if got := mpr.TreePairs.Load() + mpr.FallbackPairs.Load() + mpr.UnreachablePairs.Load(); got != alive*(alive-1) {
+						t.Fatalf("pair accounting: %d tree + %d fallback + %d unreachable = %d, want %d alive pairs",
+							mpr.TreePairs.Load(), mpr.FallbackPairs.Load(), mpr.UnreachablePairs.Load(), got, alive*(alive-1))
+					}
+					net.Router = mpr
+					mp, err := RunPermutation(net, 7, perm, 1<<16)
+					if err != nil {
+						t.Fatal(err)
+					}
+					conservationCheck(t, name, mp.Stats)
+					if mp.Stats.InFlight != 0 {
+						t.Fatalf("%d multipath packets still in flight", mp.Stats.InFlight)
+					}
+					if mp.Stats.Retried != 0 {
+						t.Fatalf("multipath routing misrouted %d times; the table must never hit a dead port", mp.Stats.Retried)
+					}
+					if mp.Stats.Injected != total || awr.Stats.Injected != total {
+						t.Fatalf("injected %d/%d, want %d", mp.Stats.Injected, awr.Stats.Injected, total)
+					}
+					want := awareReachable(net, far, perm)
+					if mp.Stats.Delivered != want {
+						t.Fatalf("multipath delivered %d of %d reachable packets", mp.Stats.Delivered, want)
+					}
+					if mp.Stats.Delivered < awr.Stats.Delivered {
+						t.Fatalf("multipath delivered %d < fault-aware %d", mp.Stats.Delivered, awr.Stats.Delivered)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMultipathHealthyDeliversAll: on an intact network every pair rides
+// tree 0 (no fallback, nothing unreachable) and every packet arrives.
+func TestMultipathHealthyDeliversAll(t *testing.T) {
+	for _, base := range faultTestNetworks(t) {
+		base := base
+		t.Run(base.Name, func(t *testing.T) {
+			mpr, err := NewMultipathRouter(base, multipathSource(t, base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := int64(base.N)
+			if mpr.TreePairs.Load() != n*(n-1) || mpr.FallbackPairs.Load() != 0 || mpr.UnreachablePairs.Load() != 0 {
+				t.Fatalf("healthy pairs: tree %d fallback %d unreachable %d, want %d/0/0",
+					mpr.TreePairs.Load(), mpr.FallbackPairs.Load(), mpr.UnreachablePairs.Load(), n*(n-1))
+			}
+			net := *base
+			net.Router = mpr
+			perm := rotatePerm(base.N)
+			res, err := RunPermutation(&net, 7, perm, 1<<16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Delivered != permTotal(perm) || res.Stats.Dropped != 0 {
+				t.Fatalf("healthy multipath delivered %d dropped %d of %d", res.Stats.Delivered, res.Stats.Dropped, permTotal(perm))
+			}
+		})
+	}
+}
+
+// TestMultipathBeatsOblivious: same ~5% link-fault setup as the
+// fault-aware comparison — multipath must never deliver less than the
+// oblivious router's randomized diversions.
+func TestMultipathBeatsOblivious(t *testing.T) {
+	for _, base := range faultTestNetworks(t) {
+		base := base
+		t.Run(base.Name, func(t *testing.T) {
+			links := len(undirectedLinks(base))
+			count := links / 20
+			if count < 1 {
+				count = 1
+			}
+			perm := rotatePerm(base.N)
+			for seed := int64(1); seed <= 3; seed++ {
+				spec := fault.Spec{Mode: fault.Links, Count: count, Seed: seed}
+				netObl, _, err := Degrade(base, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				obl, err := RunPermutation(netObl, 7, perm, 1<<16)
+				if err != nil {
+					t.Fatal(err)
+				}
+				netMP, _, err := Degrade(base, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mpr, err := NewMultipathRouter(netMP, multipathSource(t, base))
+				if err != nil {
+					t.Fatal(err)
+				}
+				netMP.Router = mpr
+				mp, err := RunPermutation(netMP, 7, perm, 1<<16)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mp.Stats.Delivered < obl.Stats.Delivered {
+					t.Fatalf("seed %d: multipath delivered %d < oblivious %d", seed, mp.Stats.Delivered, obl.Stats.Delivered)
+				}
+			}
+		})
+	}
+}
+
+// TestMultipathErrors: oversized networks and broken tree sources are
+// rejected loudly.
+func TestMultipathErrors(t *testing.T) {
+	base, err := BuildHypercube(4, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMultipathRouter(base, func(dst int) (*ist.Trees, error) {
+		return nil, fmt.Errorf("boom")
+	}); err == nil {
+		t.Fatal("tree-source errors must propagate")
+	}
+	if _, err := NewMultipathRouter(base, func(dst int) (*ist.Trees, error) {
+		return ist.BuildHypercube(3, dst%8, 3) // wrong N and root
+	}); err == nil {
+		t.Fatal("mismatched tree families must be rejected")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"ipg/internal/graph"
 	"ipg/internal/ipg"
+	"ipg/internal/ist"
 	"ipg/internal/mcmp"
 	"ipg/internal/netsim"
 	"ipg/internal/nucleus"
@@ -74,6 +75,12 @@ type Artifact struct {
 	simCapVal float64
 
 	clusterIDs []int32 // memoized chip assignment (see ClusterIDs)
+
+	// istMemo caches independent-spanning-tree families per (dst, k),
+	// FIFO-bounded (see ISTrees); the tables live and die with the
+	// artifact in the server's LRU.
+	istMemo  map[uint64]*ist.Trees
+	istOrder []uint64
 }
 
 // SizeBytes implements cache.Value with the CSR bytes-per-vertex
@@ -433,6 +440,75 @@ func (a *Artifact) ClusterIDs() []int32 {
 	}
 	a.mu.Unlock()
 	return ids
+}
+
+// MaxTrees returns the largest independent-spanning-tree family the
+// artifact's topology supports: the full dimension for the hypercube
+// (closed-form construction), the generic 2-connected bound otherwise.
+func (a *Artifact) MaxTrees() int {
+	if a.Params.Net == "hypercube" {
+		return a.Params.Dim
+	}
+	return ist.GenericMaxTrees
+}
+
+// IST memo bounds: at most istMemoMaxEntries destination families per
+// artifact, and only tables whose parent count (k*N) stays under
+// istMemoMaxParents (4 MiB of int32s) are retained at all — a giant
+// implicit-scale table is computed per request instead of pinned.
+const (
+	istMemoMaxEntries = 64
+	istMemoMaxParents = 1 << 20
+)
+
+// ISTrees returns the k independent spanning trees rooted at dst on the
+// artifact's healthy topology, memoized FIFO per (dst, k).  The trees
+// are deterministic, so every replica computes identical tables and
+// cluster peer-fill keys stay representation-independent.
+func (a *Artifact) ISTrees(ctx context.Context, dst, k int) (*ist.Trees, error) {
+	key := uint64(dst)<<8 | uint64(k)
+	a.mu.Lock()
+	if tr, ok := a.istMemo[key]; ok {
+		a.mu.Unlock()
+		return tr, nil
+	}
+	a.mu.Unlock()
+	var (
+		tr  *ist.Trees
+		err error
+	)
+	if a.Params.Net == "hypercube" && k <= a.Params.Dim {
+		// Hypercube node ids are the d-bit addresses, so the closed-form
+		// k = d family applies directly.
+		tr, err = ist.BuildHypercube(a.Params.Dim, dst, k)
+	} else {
+		src := a.Source()
+		if src == nil {
+			return nil, badRequest("%s has no adjacency representation (label-level skeleton); no multipath trees", a.Name)
+		}
+		tr, err = ist.Build(ctx, src, dst, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if k*a.N <= istMemoMaxParents {
+		a.mu.Lock()
+		if cached, ok := a.istMemo[key]; ok {
+			tr = cached // a concurrent builder won; keep one table resident
+		} else {
+			if a.istMemo == nil {
+				a.istMemo = make(map[uint64]*ist.Trees, istMemoMaxEntries)
+			}
+			if len(a.istOrder) >= istMemoMaxEntries {
+				delete(a.istMemo, a.istOrder[0])
+				a.istOrder = a.istOrder[1:]
+			}
+			a.istMemo[key] = tr
+			a.istOrder = append(a.istOrder, key)
+		}
+		a.mu.Unlock()
+	}
+	return tr, nil
 }
 
 // routeLabel renders the node label of vertex v on a super-IPG route:

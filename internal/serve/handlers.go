@@ -198,15 +198,43 @@ func (s *Server) degradedMetrics(r *http.Request, a *Artifact, fq *faultQuery) (
 }
 
 // RouteResponse is the /v1/route reply: a shortest path in the
-// materialized undirected network.
+// materialized undirected network, plus — when ?multipath=k is set —
+// the k node-disjoint independent-spanning-tree routes to dst.
 type RouteResponse struct {
-	Network string   `json:"network"`
-	Src     int      `json:"src"`
-	Dst     int      `json:"dst"`
-	Hops    int      `json:"hops"`
-	Path    []int    `json:"path"`
-	Labels  []string `json:"labels,omitempty"` // node labels along the path (super-IPG families)
+	Network   string          `json:"network"`
+	Src       int             `json:"src"`
+	Dst       int             `json:"dst"`
+	Hops      int             `json:"hops"`
+	Path      []int           `json:"path"`
+	Labels    []string        `json:"labels,omitempty"` // node labels along the path (super-IPG families)
+	Multipath *MultipathRoute `json:"multipath,omitempty"`
 }
+
+// MultipathPath is one independent-tree route src -> dst.
+type MultipathPath struct {
+	Tree  int   `json:"tree"`
+	Hops  int   `json:"hops"`
+	Path  []int `json:"path"`
+	Alive *bool `json:"alive,omitempty"` // set only when fault params are present
+}
+
+// MultipathRoute is the ?multipath=k block: k pairwise internally
+// node-disjoint (and edge-disjoint) routes from src to dst over the
+// healthy topology.  With fault parameters, each path is annotated with
+// whether it survives the sampled failures, and Delivered reports
+// whether at least one does — guaranteed whenever faults < k.
+type MultipathRoute struct {
+	Requested int             `json:"requested"` // k the client asked for
+	K         int             `json:"k"`         // trees actually built (topology bound)
+	Disjoint  bool            `json:"disjoint"`  // response-level disjointness self-check
+	Paths     []MultipathPath `json:"paths"`
+	Delivered *bool           `json:"delivered,omitempty"` // set only when fault params are present
+	Faults    *SimFaults      `json:"faults,omitempty"`
+}
+
+// multipathMaxK bounds the ?multipath parameter; no supported family
+// exceeds this tree count.
+const multipathMaxK = 64
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 	p, err := requestParams(r)
@@ -220,6 +248,13 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 	dst, err := queryInt(r, "dst", 0)
 	if err != nil {
 		return err
+	}
+	multipath, err := queryInt(r, "multipath", 0)
+	if err != nil {
+		return err
+	}
+	if multipath < 0 || multipath > multipathMaxK {
+		return badRequest("parameter \"multipath\" must be in [0, %d], got %d", multipathMaxK, multipath)
 	}
 	if handled, err := s.maybeForward(w, r, p, ""); handled || err != nil {
 		return err
@@ -267,7 +302,141 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 			resp.Labels[i] = label
 		}
 	}
+	if multipath > 0 {
+		mp, err := s.multipathRoute(r, a, src, dst, multipath)
+		if err != nil {
+			return err
+		}
+		resp.Multipath = mp
+		s.metrics.multipathRoutes.Add(1)
+	}
 	return writeJSON(w, &resp)
+}
+
+// multipathRoute builds the ?multipath=k response block: the k
+// independent-tree routes src -> dst (k clamped to what the topology
+// supports), with optional fault annotation.  Tree construction is
+// CPU-bound like a build, so it holds a worker slot.
+func (s *Server) multipathRoute(r *http.Request, a *Artifact, src, dst, requested int) (*MultipathRoute, error) {
+	if !a.Materialized() {
+		return nil, badRequest("%s is not materialized; multipath routes need the built network", a.Name)
+	}
+	fq, err := parseFaultQuery(r)
+	if err != nil {
+		return nil, err
+	}
+	if fq != nil && fq.Spec.Mode == fault.Adversarial {
+		return nil, badRequest("adversarial faults target graph cuts; use the degraded metrics endpoint, not multipath routes")
+	}
+	release, err := s.acquireSlot(r.Context())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	k := requested
+	if max := a.MaxTrees(); k > max {
+		k = max
+	}
+	tr, err := a.ISTrees(r.Context(), dst, k)
+	if err != nil {
+		if ctxErr := r.Context().Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, badRequest("%v", err)
+	}
+	mp := &MultipathRoute{Requested: requested, K: tr.K, Paths: make([]MultipathPath, tr.K)}
+	var buf []int32
+	for t := 0; t < tr.K; t++ {
+		buf, err = tr.PathTo(t, src, buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		path := make([]int, len(buf))
+		//lint:ignore ctxflow copies one root path, at most N entries, inside a slot-bounded request
+		for i, v := range buf {
+			path[i] = int(v)
+		}
+		mp.Paths[t] = MultipathPath{Tree: t, Hops: len(path) - 1, Path: path}
+	}
+	mp.Disjoint = multipathDisjoint(mp.Paths, src, dst)
+	if fq != nil {
+		set, err := fault.New(a.U.CSR(), fq.Spec, a.ClusterIDs())
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		mp.Faults = &SimFaults{
+			Mode:      string(fq.Spec.Mode),
+			Count:     fq.Spec.Count,
+			Seed:      fq.Spec.Seed,
+			DeadNodes: len(set.DeadVertices),
+			DeadLinks: len(set.DeadEdges),
+			DeadChips: len(set.DeadChips),
+		}
+		delivered := false
+		for t := range mp.Paths {
+			alive := pathAlive(a.U.CSR(), set, mp.Paths[t].Path)
+			mp.Paths[t].Alive = &alive
+			delivered = delivered || alive
+		}
+		mp.Delivered = &delivered
+	}
+	return mp, nil
+}
+
+// multipathDisjoint is the response-level self-check: the tree paths
+// must share no internal vertex and no edge (they meet only at src and
+// dst).  O(total path length).
+func multipathDisjoint(paths []MultipathPath, src, dst int) bool {
+	internals := make(map[int]bool, 64)
+	edges := make(map[[2]int]bool, 64)
+	for _, p := range paths {
+		for i, v := range p.Path {
+			if v != src && v != dst {
+				if internals[v] {
+					return false
+				}
+				internals[v] = true
+			}
+			if i+1 < len(p.Path) {
+				a, b := v, p.Path[i+1]
+				if a > b {
+					a, b = b, a
+				}
+				e := [2]int{a, b}
+				if edges[e] {
+					return false
+				}
+				edges[e] = true
+			}
+		}
+	}
+	return true
+}
+
+// pathAlive reports whether every vertex and every hop of path survives
+// the fault set (both directions of a failed link are masked, so one
+// directional arc check per hop suffices).
+func pathAlive(c *topo.CSR, set *fault.Set, path []int) bool {
+	for i, v := range path {
+		if set.VertexDead(v) {
+			return false
+		}
+		if i+1 == len(path) {
+			break
+		}
+		first := c.RowStart(v)
+		hopAlive := false
+		for j, w := range c.Row(v) {
+			if int(w) == path[i+1] && !topo.Bit(set.ADead, first+j) {
+				hopAlive = true
+				break
+			}
+		}
+		if !hopAlive {
+			return false
+		}
+	}
+	return true
 }
 
 // shortestPath reconstructs one BFS shortest path src -> dst by walking
@@ -327,7 +496,7 @@ type SimFaults struct {
 	Mode      string `json:"mode"`
 	Count     int    `json:"count"`
 	Seed      int64  `json:"seed"`
-	Routing   string `json:"routing"` // aware | oblivious
+	Routing   string `json:"routing,omitempty"` // aware | oblivious (simulate); empty on route echoes
 	DeadNodes int    `json:"dead_nodes,omitempty"`
 	DeadLinks int    `json:"dead_links,omitempty"`
 	DeadChips int    `json:"dead_chips,omitempty"`

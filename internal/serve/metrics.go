@@ -23,6 +23,10 @@ type serverMetrics struct {
 	buildRetries     atomic.Int64
 	breakerFastFails atomic.Int64
 
+	// multipathRoutes counts /v1/route?multipath=k computations served
+	// (IST-based multipath route blocks, cache hits included).
+	multipathRoutes atomic.Int64
+
 	// Artifact builds by representation: materialized CSR arenas vs
 	// codec-backed implicit sources vs label-level skeletons.
 	buildsCSR      atomic.Int64
@@ -176,6 +180,7 @@ func (m *serverMetrics) WriteProm(w io.Writer, cs cache.Stats, bs breakerStats, 
 	counter("ipgd_build_retries_total", "Transient build failures retried with backoff.", m.buildRetries.Load())
 	counter("ipgd_breaker_fastfail_total", "Requests rejected immediately by an open circuit breaker.", m.breakerFastFails.Load())
 	counter("ipgd_breaker_open_total", "Circuit breaker transitions to the open state.", bs.opens)
+	counter("ipgd_multipath_routes_total", "Independent-spanning-tree multipath route computations served.", m.multipathRoutes.Load())
 	gauge("ipgd_breaker_open", "Family circuits currently open (fast-failing).", bs.open)
 	gauge("ipgd_breaker_half_open", "Family circuits currently half-open (probing).", bs.halfOpen)
 

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// checkMultipathBlock asserts the structural contract of a multipath
+// response block: the right tree count, every path running src -> dst,
+// and the disjointness self-check green.
+func checkMultipathBlock(t *testing.T, mp *MultipathRoute, src, dst, wantK int) {
+	t.Helper()
+	if mp == nil {
+		t.Fatal("multipath block missing")
+	}
+	if mp.K != wantK || len(mp.Paths) != wantK {
+		t.Fatalf("multipath k = %d with %d paths, want %d", mp.K, len(mp.Paths), wantK)
+	}
+	if !mp.Disjoint {
+		t.Fatal("multipath paths failed the disjointness self-check")
+	}
+	for _, p := range mp.Paths {
+		if len(p.Path) == 0 || p.Path[0] != src || p.Path[len(p.Path)-1] != dst {
+			t.Fatalf("tree %d path does not run %d -> %d: %v", p.Tree, src, dst, p.Path)
+		}
+		if p.Hops != len(p.Path)-1 {
+			t.Fatalf("tree %d hops %d inconsistent with path length %d", p.Tree, p.Hops, len(p.Path))
+		}
+	}
+}
+
+// TestMultipathRoute: /v1/route?multipath=k returns k disjoint routes —
+// the full k = dim family on the hypercube, the generic 2 elsewhere —
+// and clamps oversized requests to what the topology supports.
+func TestMultipathRoute(t *testing.T) {
+	srv := NewServer(Config{Workers: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var route RouteResponse
+	if resp := get(t, ts, "/v1/route?net=hypercube&dim=6&logm=2&src=3&dst=44&multipath=6", &route); resp.StatusCode != http.StatusOK {
+		t.Fatalf("hypercube multipath: status %d", resp.StatusCode)
+	}
+	checkMultipathBlock(t, route.Multipath, 3, 44, 6)
+	if route.Multipath.Requested != 6 {
+		t.Fatalf("requested echo %d, want 6", route.Multipath.Requested)
+	}
+	if route.Hops != len(route.Path)-1 || route.Path[0] != 3 {
+		t.Fatalf("single-path part of the response broke: %+v", route)
+	}
+
+	// Super-IPG family: generic 2-IST, with an oversized request clamped.
+	var hsn RouteResponse
+	if resp := get(t, ts, "/v1/route?net=hsn&l=2&nucleus=q2&src=0&dst=5&multipath=10", &hsn); resp.StatusCode != http.StatusOK {
+		t.Fatalf("hsn multipath: status %d", resp.StatusCode)
+	}
+	checkMultipathBlock(t, hsn.Multipath, 0, 5, 2)
+	if hsn.Multipath.Requested != 10 {
+		t.Fatalf("requested echo %d, want 10", hsn.Multipath.Requested)
+	}
+	if len(hsn.Labels) == 0 {
+		t.Fatal("super-IPG labels must survive the multipath branch")
+	}
+
+	// multipath=0 leaves the response exactly as before.
+	var plain RouteResponse
+	if resp := get(t, ts, "/v1/route?net=hsn&l=2&nucleus=q2&src=0&dst=5&multipath=0", &plain); resp.StatusCode != http.StatusOK {
+		t.Fatalf("multipath=0: status %d", resp.StatusCode)
+	}
+	if plain.Multipath != nil {
+		t.Fatal("multipath=0 must omit the multipath block")
+	}
+
+	// The counter moved.
+	raw, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(raw.Body)
+	raw.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := promValue(t, string(b), "ipgd_multipath_routes_total"); v < 2 {
+		t.Fatalf("ipgd_multipath_routes_total = %v, want >= 2", v)
+	}
+}
+
+// TestMultipathRouteFaults: fault parameters annotate each tree path
+// with survival and the block with delivery; one link fault can never
+// sever both disjoint trees, so delivery is guaranteed.
+func TestMultipathRouteFaults(t *testing.T) {
+	srv := NewServer(Config{Workers: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for seed := 1; seed <= 5; seed++ {
+		var route RouteResponse
+		url := "/v1/route?net=hypercube&dim=6&logm=2&src=9&dst=54&multipath=6&faults=5&fmode=link&fseed=" +
+			string(rune('0'+seed))
+		if resp := get(t, ts, url, &route); resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d", seed, resp.StatusCode)
+		}
+		mp := route.Multipath
+		checkMultipathBlock(t, mp, 9, 54, 6)
+		if mp.Faults == nil || mp.Faults.Mode != "link" || mp.Faults.Count != 5 || mp.Faults.DeadLinks != 5 {
+			t.Fatalf("seed %d: fault echo wrong: %+v", seed, mp.Faults)
+		}
+		if mp.Delivered == nil || !*mp.Delivered {
+			t.Fatalf("seed %d: 5 link faults < k=6 trees must leave a surviving path", seed)
+		}
+		annotated := 0
+		for _, p := range mp.Paths {
+			if p.Alive != nil {
+				annotated++
+			}
+		}
+		if annotated != 6 {
+			t.Fatalf("seed %d: %d of 6 paths annotated", seed, annotated)
+		}
+	}
+}
+
+// TestMultipathRouteValidation: bad parameters are 400s, never 500s.
+func TestMultipathRouteValidation(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	bad := []string{
+		"/v1/route?net=hypercube&dim=4&logm=1&src=0&dst=3&multipath=-1",
+		"/v1/route?net=hypercube&dim=4&logm=1&src=0&dst=3&multipath=65",
+		"/v1/route?net=hypercube&dim=4&logm=1&src=0&dst=3&multipath=bogus",
+		"/v1/route?net=hypercube&dim=4&logm=1&src=0&dst=3&multipath=2&fmode=adversarial&faults=1",
+	}
+	for _, u := range bad {
+		if resp := get(t, ts, u, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", u, resp.StatusCode)
+		}
+	}
+}
+
+// TestISTreesMemo: repeated requests for the same (dst, k) return the
+// cached table, and the FIFO bound holds.
+func TestISTreesMemo(t *testing.T) {
+	a, err := BuildArtifact(context.Background(), Params{Net: "hsn", L: 2, Nucleus: "q2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := a.ISTrees(context.Background(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := a.ISTrees(context.Background(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1 != tr2 {
+		t.Fatal("second ISTrees call must hit the memo")
+	}
+	for dst := 0; dst < a.N && dst < istMemoMaxEntries+8; dst++ {
+		if _, err := a.ISTrees(context.Background(), dst, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.mu.Lock()
+	entries := len(a.istMemo)
+	a.mu.Unlock()
+	if entries > istMemoMaxEntries {
+		t.Fatalf("memo grew to %d entries, cap is %d", entries, istMemoMaxEntries)
+	}
+}

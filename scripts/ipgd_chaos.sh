@@ -115,6 +115,37 @@ done
 wait "${hammer_pids[@]}" || true
 alive "parallel hammer"
 
+# --- Multipath under faults -------------------------------------------
+# Inject faults via fseed/fmode and hammer /v1/route?multipath=k across
+# valid and clamped tree counts: every response must be orderly (no 5xx),
+# the daemon must not panic, and /healthz must stay green throughout.
+multipath_mix=(
+  '/v1/route?net=hypercube&dim=6&logm=2&src=3&dst=44&multipath=6&faults=5&fmode=link&fseed=1'
+  '/v1/route?net=hypercube&dim=6&logm=2&src=9&dst=54&multipath=6&faults=3&fmode=node&fseed=2'
+  '/v1/route?net=hypercube&dim=6&logm=2&src=0&dst=63&multipath=2&faults=2&fmode=chip&fseed=3'
+  '/v1/route?net=hsn&l=2&nucleus=q2&src=0&dst=5&multipath=2&faults=1&fmode=link&fseed=4'
+  '/v1/route?net=hsn&l=3&nucleus=q2&src=1&dst=40&multipath=10&faults=4&fmode=node&fseed=5'
+  '/v1/route?net=torus&k=8&side=2&src=0&dst=37&multipath=2&faults=3&fmode=link&fseed=6'
+)
+for round in 1 2 3; do
+  for path in "${multipath_mix[@]}"; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 15 "http://$addr$path" || true)
+    case "$code" in
+      5*) fail "multipath request $path returned HTTP $code" ;;
+    esac
+  done
+  alive "multipath hammer round $round"
+done
+# Invalid multipath parameters must 400, never 5xx.
+for path in \
+  '/v1/route?net=hypercube&dim=6&logm=2&src=0&dst=1&multipath=-1' \
+  '/v1/route?net=hypercube&dim=6&logm=2&src=0&dst=1&multipath=999' \
+  '/v1/route?net=hypercube&dim=6&logm=2&src=0&dst=1&multipath=2&faults=1&fmode=adversarial'; do
+  code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 "http://$addr$path" || true)
+  [[ "$code" == "400" ]] || fail "invalid multipath request $path returned HTTP $code, want 400"
+done
+alive "multipath validation sweep"
+
 # --- The daemon still does real work ---------------------------------
 body=$(curl -sS --max-time 15 "http://$addr/v1/metrics?net=hypercube&dim=6&logm=2&faults=4&fmode=node&fseed=7") \
   || fail "post-chaos degraded metrics request"
